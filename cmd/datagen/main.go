@@ -1,0 +1,117 @@
+// Command datagen materializes the synthetic dataset substitutes to
+// standard ANN-benchmark vector files: base vectors, query vectors,
+// and brute-force ground truth.
+//
+// Float32 presets write .fvecs, uint8 presets .bvecs, Jaccard presets
+// .ivecs (variable-length sorted sets); ground truth is always .ivecs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dnnd/internal/brute"
+	"dnnd/internal/dataset"
+	"dnnd/internal/knng"
+	"dnnd/internal/metric"
+	"dnnd/internal/vecio"
+)
+
+func main() {
+	var (
+		preset  = flag.String("preset", "deep", "dataset preset (see -list)")
+		n       = flag.Int("n", 0, "number of base points (0 = preset default)")
+		nq      = flag.Int("queries", 1000, "number of query points")
+		k       = flag.Int("k", 10, "ground-truth neighbors per query")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		outDir  = flag.String("out", ".", "output directory")
+		list    = flag.Bool("list", false, "list presets and exit")
+		noTruth = flag.Bool("no-truth", false, "skip brute-force ground truth")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("preset          dim  paper-entries  default-entries  metric   elem")
+		for _, p := range dataset.Presets {
+			fmt.Printf("%-15s %4d %14d %16d  %-8s %s\n",
+				p.Name, p.Dim, p.PaperEntries, p.DefaultEntries, p.Metric, p.Elem)
+		}
+		return
+	}
+
+	p, err := dataset.ByName(*preset)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	base := dataset.Generate(p, *n, *seed)
+	queries := dataset.GenerateQueries(p, *nq, *seed)
+
+	join := func(suffix string) string {
+		return filepath.Join(*outDir, p.Name+suffix)
+	}
+
+	var truth [][]knng.Neighbor
+	switch p.Elem {
+	case dataset.ElemFloat32:
+		must(vecio.WriteFvecsFile(join("-base.fvecs"), base.F32))
+		must(vecio.WriteFvecsFile(join("-query.fvecs"), queries.F32))
+		if !*noTruth {
+			dist, err := metric.ForFloat32(truthKind(p.Metric))
+			if err != nil {
+				fatal(err)
+			}
+			truth = brute.QueryKNN(base.F32, queries.F32, *k, dist, 0)
+		}
+	case dataset.ElemUint8:
+		must(vecio.WriteBvecsFile(join("-base.bvecs"), base.U8))
+		must(vecio.WriteBvecsFile(join("-query.bvecs"), queries.U8))
+		if !*noTruth {
+			dist, err := metric.ForUint8(truthKind(p.Metric))
+			if err != nil {
+				fatal(err)
+			}
+			truth = brute.QueryKNN(base.U8, queries.U8, *k, dist, 0)
+		}
+	case dataset.ElemUint32:
+		must(vecio.WriteIvecsFile(join("-base.ivecs"), base.U32))
+		must(vecio.WriteIvecsFile(join("-query.ivecs"), queries.U32))
+		if !*noTruth {
+			dist, err := metric.ForUint32(p.Metric)
+			if err != nil {
+				fatal(err)
+			}
+			truth = brute.QueryKNN(base.U32, queries.U32, *k, dist, 0)
+		}
+	}
+	if truth != nil {
+		ids := brute.TruthIDs(truth)
+		must(vecio.WriteIvecsFile(join("-truth.ivecs"), ids))
+	}
+	fmt.Printf("datagen: wrote %s (%d base, %d queries) to %s\n",
+		p.Name, base.Len(), queries.Len(), *outDir)
+}
+
+// truthKind maps L2 to squared L2 (same ordering, cheaper) for ground
+// truth computation.
+func truthKind(k metric.Kind) metric.Kind {
+	if k == metric.L2 {
+		return metric.SquaredL2
+	}
+	return k
+}
+
+func must(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Command dnnd-optimize applies the Section 4.5 graph optimizations
+// (reverse-edge merge and degree pruning to k*m) to a datastore written
+// by dnnd-construct, mirroring the paper's separate optimization
+// executable that reattaches to the Metall store.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dnnd"
+)
+
+func main() {
+	var (
+		storeDir = flag.String("store", "", "datastore directory (required)")
+		m        = flag.Float64("m", 1.5, "degree cap multiplier (prune to k*m)")
+	)
+	flag.Parse()
+	if *storeDir == "" {
+		fatal(fmt.Errorf("-store is required"))
+	}
+	elem, err := dnnd.StoreElem(*storeDir)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	switch elem {
+	case "float32":
+		err = dnnd.Refine[float32](*storeDir, *m)
+	case "uint8":
+		err = dnnd.Refine[uint8](*storeDir, *m)
+	case "uint32":
+		err = dnnd.Refine[uint32](*storeDir, *m)
+	default:
+		err = fmt.Errorf("unknown element type %q", elem)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dnnd-optimize: refined %s (m=%.2f) in %s\n",
+		*storeDir, *m, time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dnnd-optimize: %v\n", err)
+	os.Exit(1)
+}

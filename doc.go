@@ -1,0 +1,31 @@
+// Package dnnd is a distributed k-nearest-neighbor-graph construction
+// library: a from-scratch Go reproduction of "Towards A Massive-Scale
+// Distributed Neighborhood Graph Construction" (Iwabuchi, Steil,
+// Priest, Pearce, Sanders; SC-W 2023).
+//
+// The package root offers the high-level API most applications need:
+//
+//   - Build constructs an approximate k-NNG from a dataset with
+//     distributed NN-Descent running over a world of simulated ranks.
+//   - Index answers approximate nearest-neighbor queries on a built
+//     graph with the greedy epsilon search of the paper's Section 3.3.
+//   - Save/Load persist an index through a Metall-style datastore so
+//     construction, graph optimization, and querying can run as
+//     separate program invocations.
+//
+// The full machinery lives in internal packages: internal/ygm (the
+// asynchronous fire-and-forget communication runtime with quiescence
+// barriers, local and TCP transports), internal/core (the DNND
+// algorithm itself, including the Type 1/2/2+/3 communication-saving
+// neighbor-check protocol), internal/hnsw and internal/brute (the
+// paper's baselines), internal/dataset (Table 1 dataset substitutes),
+// and internal/bench (the experiment harness that regenerates every
+// table and figure of the evaluation section).
+//
+// Quick start:
+//
+//	data := ... // [][]float32
+//	res, err := dnnd.Build(data, dnnd.BuildOptions{K: 10, Metric: "l2"})
+//	ix, err := dnnd.NewIndex(res.Graph, data, res.Metric, res.K)
+//	neighbors := ix.Search(query, 10, 0.1)
+package dnnd

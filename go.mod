@@ -1,0 +1,3 @@
+module dnnd
+
+go 1.22

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dnnd/internal/brute"
+	"dnnd/internal/core"
+	"dnnd/internal/dataset"
+	"dnnd/internal/dquery"
+	"dnnd/internal/knng"
+	"dnnd/internal/metric"
+	"dnnd/internal/recall"
+	"dnnd/internal/ygm"
+)
+
+// DQueryRow is one distributed-query scaling measurement.
+type DQueryRow struct {
+	Ranks      int
+	Recall     float64
+	DistEvals  int64
+	Supersteps int64
+	Msgs       int64
+	Bytes      int64
+	Wall       time.Duration
+	Modeled    time.Duration
+}
+
+// DistributedQueryScaling measures the dquery engine — queries against
+// the partitioned graph, no gather — across rank counts on the deep
+// stand-in: recall parity with the shared-memory path, plus the
+// communication cost of keeping the graph distributed (the direction
+// the paper's "massive-scale NNG framework" conclusion points to).
+func DistributedQueryScaling(opt Options) ([]DQueryRow, error) {
+	opt.fill()
+	const k = 10
+	rankSet := []int{1, 2, 4, 8}
+	if opt.Quick {
+		rankSet = []int{1, 4}
+	}
+	p, err := dataset.ByName("deep")
+	if err != nil {
+		return nil, err
+	}
+	d := dataset.Generate(p, opt.billionN(), opt.Seed)
+	queries := dataset.GenerateQueries(p, opt.queryN(), opt.Seed)
+	dist, err := metric.For[float32](metric.SquaredL2)
+	if err != nil {
+		return nil, err
+	}
+	truth := brute.TruthIDs(brute.QueryKNN(d.F32, queries.F32, k, dist, 0))
+	model := Calibrate()
+
+	var rows []DQueryRow
+	for _, ranks := range rankSet {
+		world := ygm.NewLocalWorld(ranks)
+		var mu sync.Mutex
+		var results [][]knng.Neighbor
+		var stats dquery.Stats
+		start := time.Now()
+		err := world.Run(func(c *ygm.Comm) error {
+			shard := core.Partition(d.F32, c.Rank(), c.NRanks())
+			cfg := core.DefaultConfig(k)
+			cfg.Seed = opt.Seed
+			res, err := core.Build(c, shard, dist, cfg)
+			if err != nil {
+				return err
+			}
+			eng := dquery.New(c, shard, res.Local, dist)
+			got, st, err := eng.Run(queries.F32, dquery.Options{L: k, Epsilon: 0.15, Beam: 2})
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				mu.Lock()
+				results = got
+				stats = st
+				mu.Unlock()
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: dquery ranks=%d: %w", ranks, err)
+		}
+		wall := time.Since(start)
+		got := make([][]knng.ID, len(results))
+		for i, ns := range results {
+			ids := make([]knng.ID, len(ns))
+			for j, e := range ns {
+				ids[j] = e.ID
+			}
+			got[i] = ids
+		}
+		agg := world.AggregateStats()
+		rows = append(rows, DQueryRow{
+			Ranks:      ranks,
+			Recall:     recall.AtK(got, truth, k),
+			DistEvals:  stats.DistEvals,
+			Supersteps: stats.Supersteps,
+			Msgs:       agg.SentMsgs,
+			Bytes:      agg.SentBytes,
+			Wall:       wall,
+			Modeled:    time.Duration(ygm.ModeledCriticalPath(world.IntervalsPerRank(), model) * float64(time.Second)),
+		})
+	}
+
+	header(opt.Out, "Extension: distributed queries on the partitioned graph (no gather)")
+	t := newTable("Ranks", "recall@10", "Dist evals", "Supersteps", "Msgs", "MiB", "Wall (build+query)", "Modeled")
+	for _, r := range rows {
+		t.row(fmt.Sprint(r.Ranks), f3(r.Recall), fmt.Sprint(r.DistEvals),
+			fmt.Sprint(r.Supersteps), fmt.Sprint(r.Msgs),
+			f2(float64(r.Bytes)/(1<<20)), secs(r.Wall), secs(r.Modeled))
+	}
+	t.render(opt.Out)
+	return rows, nil
+}

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"dnnd/internal/core"
+	"dnnd/internal/dataset"
+	"dnnd/internal/metric"
+	"dnnd/internal/ygm"
+)
+
+// Fig3Row is one construction-time measurement of Figure 3 / Table 3.
+type Fig3Row struct {
+	Dataset string
+	System  string // "DNND k10" or "Hnsw A" ...
+	Ranks   int    // "nodes"; 1 for HNSW
+	Wall    time.Duration
+	// Modeled is the cost-model parallel time (BSP critical path);
+	// see ygm.ModeledCriticalPath. Zero for HNSW rows (shared memory).
+	Modeled time.Duration
+	// Speedup is Modeled(minimum ranks)/Modeled(this row) within the
+	// same (dataset, system) group.
+	Speedup float64
+}
+
+// Calibrate measures this machine's distance-computation rate to price
+// work units (vector-element operations) in the scaling cost model.
+func Calibrate() ygm.CostModel {
+	const dim = 96
+	a := make([]float32, dim)
+	b := make([]float32, dim)
+	for i := range a {
+		a[i] = float32(i)
+		b[i] = float32(dim - i)
+	}
+	var sink float32
+	const iters = 20000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		sink += metric.SquaredL2Float32(a, b)
+	}
+	elapsed := time.Since(start)
+	_ = sink
+	m := ygm.DefaultCostModel()
+	m.SecPerWorkUnit = elapsed.Seconds() / float64(iters*dim)
+	return m
+}
+
+// Fig3Construction reproduces Figure 3 / Table 3: k-NNG construction
+// time versus the number of "nodes" (ranks), for k = 10, 20, 30, on
+// the two billion-scale stand-ins, against the Table 2 Hnswlib
+// configurations built on one node. Wall time on this single-core host
+// cannot exhibit strong scaling, so the headline series is the modeled
+// parallel time; the expected shape is the paper's: near-linear
+// speedup that tapers with rank count, larger k needing more nodes.
+func Fig3Construction(opt Options) ([]Fig3Row, error) {
+	opt.fill()
+	ks := []int{10, 20, 30}
+	rankSets := map[int][]int{
+		// Paper: k=10 from 4 nodes, k=20 from 8, k=30 from 16; we keep
+		// the staggering but include smaller counts that fit memory.
+		10: {1, 2, 4, 8, 16},
+		20: {2, 4, 8, 16},
+		30: {4, 8, 16},
+	}
+	hnswCfgs := map[string][]struct {
+		label  string
+		m, efc int
+	}{
+		"deep":   {{"Hnsw A", 64, 50}, {"Hnsw B", 64, 200}},
+		"bigann": {{"Hnsw C", 32, 25}, {"Hnsw D", 64, 200}},
+	}
+	if opt.Quick {
+		ks = []int{5}
+		rankSets = map[int][]int{5: {1, 2, 4}}
+		hnswCfgs = map[string][]struct {
+			label  string
+			m, efc int
+		}{
+			"deep":   {{"Hnsw A", 8, 25}},
+			"bigann": {{"Hnsw C", 8, 25}},
+		}
+	}
+
+	model := Calibrate()
+	var rows []Fig3Row
+	for _, name := range []string{"deep", "bigann"} {
+		p, err := dataset.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		d := dataset.Generate(p, opt.billionN(), opt.Seed)
+
+		for _, k := range ks {
+			var base float64
+			for _, ranks := range rankSets[k] {
+				cfg := core.DefaultConfig(k)
+				cfg.Seed = opt.Seed
+				out, err := BuildDNND(d, ranks, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s k=%d ranks=%d: %w", name, k, ranks, err)
+				}
+				modeled := ygm.ModeledCriticalPath(out.PerRank, model)
+				if base == 0 {
+					base = modeled
+				}
+				rows = append(rows, Fig3Row{
+					Dataset: name,
+					System:  fmt.Sprintf("DNND k%d", k),
+					Ranks:   ranks,
+					Wall:    out.Wall,
+					Modeled: time.Duration(modeled * float64(time.Second)),
+					Speedup: base / modeled,
+				})
+			}
+		}
+
+		for _, hc := range hnswCfgs[name] {
+			run, err := RunHNSW(d, d, nil, 1, hc.m, hc.efc, nil, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig3Row{
+				Dataset: name, System: hc.label, Ranks: 1,
+				Wall: run.BuildWall, Speedup: 1,
+			})
+		}
+	}
+
+	header(opt.Out, "Figure 3 / Table 3: k-NNG construction time vs nodes (ranks)")
+	for _, name := range []string{"deep", "bigann"} {
+		plot := asciiPlot{
+			Title:  fmt.Sprintf("Figure 3 (%s): nodes (x, log) vs modeled construction time (y, log)", name),
+			XLabel: "nodes", YLabel: "sec", LogX: true, LogY: true,
+		}
+		bySystem := map[string]*plotSeries{}
+		var order []string
+		for _, r := range rows {
+			if r.Dataset != name || r.Modeled <= 0 {
+				continue
+			}
+			s, ok := bySystem[r.System]
+			if !ok {
+				s = &plotSeries{Label: r.System}
+				bySystem[r.System] = s
+				order = append(order, r.System)
+			}
+			s.Points = append(s.Points, [2]float64{float64(r.Ranks), r.Modeled.Seconds()})
+		}
+		for _, sys := range order {
+			plot.Series = append(plot.Series, *bySystem[sys])
+		}
+		plot.render(opt.Out)
+	}
+	fmt.Fprintf(opt.Out, "cost model: %.2f ns/element-op, %.2f GB/s/rank, %d ns/msg\n\n",
+		model.SecPerWorkUnit*1e9, 1/(model.SecPerByte*1e9), int(model.SecPerMsg*1e9))
+	t := newTable("Dataset", "System", "Nodes", "Wall", "Modeled parallel", "Speedup (modeled)")
+	for _, r := range rows {
+		mod := "-"
+		if r.Modeled > 0 {
+			mod = secs(r.Modeled)
+		}
+		t.row(r.Dataset, r.System, fmt.Sprint(r.Ranks), secs(r.Wall), mod, f2(r.Speedup))
+	}
+	t.render(opt.Out)
+	return rows, nil
+}

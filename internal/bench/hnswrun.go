@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"dnnd/internal/dataset"
+	"dnnd/internal/hnsw"
+	"dnnd/internal/knng"
+	"dnnd/internal/metric"
+	"dnnd/internal/recall"
+	"dnnd/internal/wire"
+)
+
+// HnswRun is one HNSW configuration's build + query outcome.
+type HnswRun struct {
+	M, Efc    int
+	BuildWall time.Duration
+	Curve     []TradeoffPoint // over the ef sweep
+}
+
+// BestRecall returns the highest recall on the curve.
+func (h *HnswRun) BestRecall() float64 {
+	best := 0.0
+	for _, p := range h.Curve {
+		if p.Recall > best {
+			best = p.Recall
+		}
+	}
+	return best
+}
+
+// RunHNSW builds an HNSW index over the dataset and sweeps ef,
+// dispatching on element type. Jaccard sets are not supported by this
+// baseline (neither are they by Hnswlib).
+func RunHNSW(d, queries *dataset.Data, truth [][]knng.ID, k, m, efc int, efSweep []int, seed int64) (*HnswRun, error) {
+	switch d.Preset.Elem {
+	case dataset.ElemFloat32:
+		return hnswTyped(d.F32, queries.F32, d.Preset.Metric, truth, k, m, efc, efSweep, seed)
+	case dataset.ElemUint8:
+		return hnswTyped(d.U8, queries.U8, d.Preset.Metric, truth, k, m, efc, efSweep, seed)
+	default:
+		return nil, fmt.Errorf("bench: hnsw baseline does not support %s data", d.Preset.Elem)
+	}
+}
+
+func hnswTyped[T wire.Scalar](data, queries [][]T, kind metric.Kind, truth [][]knng.ID, k, m, efc int, efSweep []int, seed int64) (*HnswRun, error) {
+	if kind == metric.L2 {
+		kind = metric.SquaredL2
+	}
+	dist, err := metric.For[T](kind)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	ix, err := hnsw.Build(data, dist, hnsw.Config{M: m, EfConstruction: efc, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	run := &HnswRun{M: m, Efc: efc, BuildWall: time.Since(start)}
+
+	for _, ef := range efSweep {
+		qStart := time.Now()
+		got := make([][]knng.ID, len(queries))
+		for qi, q := range queries {
+			res := ix.Search(q, k, ef)
+			ids := make([]knng.ID, len(res))
+			for j, e := range res {
+				ids[j] = e.ID
+			}
+			got[qi] = ids
+		}
+		wall := time.Since(qStart)
+		run.Curve = append(run.Curve, TradeoffPoint{
+			Param:  float64(ef),
+			Recall: recall.AtK(got, truth, k),
+			QPS:    float64(len(queries)) / wall.Seconds(),
+		})
+	}
+	return run, nil
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// plotSeries is one labeled curve of an ASCII plot.
+type plotSeries struct {
+	Label  string
+	Points [][2]float64 // (x, y)
+}
+
+// asciiPlot renders labeled scatter series into a fixed-size character
+// grid, so `dnnd-bench fig2`/`fig3` emit the figures themselves and
+// not only the raw tables. Log axes mirror the paper's figures.
+type asciiPlot struct {
+	Title          string
+	XLabel, YLabel string
+	Width, Height  int
+	LogX, LogY     bool
+	Series         []plotSeries
+}
+
+const plotMarks = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+func (p *asciiPlot) render(w io.Writer) {
+	if p.Width <= 0 {
+		p.Width = 72
+	}
+	if p.Height <= 0 {
+		p.Height = 20
+	}
+	tx := func(v float64) float64 { return v }
+	ty := func(v float64) float64 { return v }
+	if p.LogX {
+		tx = safeLog10
+	}
+	if p.LogY {
+		ty = safeLog10
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range p.Series {
+		for _, pt := range s.Points {
+			x, y := tx(pt[0]), ty(pt[1])
+			if math.IsInf(x, 0) || math.IsInf(y, 0) || math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			any = true
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if !any {
+		fmt.Fprintf(w, "%s: no data\n", p.Title)
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, p.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", p.Width))
+	}
+	for si, s := range p.Series {
+		mark := plotMarks[si%len(plotMarks)]
+		for _, pt := range s.Points {
+			x, y := tx(pt[0]), ty(pt[1])
+			if math.IsInf(x, 0) || math.IsInf(y, 0) || math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			col := int(math.Round((x - minX) / (maxX - minX) * float64(p.Width-1)))
+			row := p.Height - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(p.Height-1)))
+			grid[row][col] = mark
+		}
+	}
+
+	fmt.Fprintf(w, "%s\n", p.Title)
+	yTop, yBot := p.inv(maxY, p.LogY), p.inv(minY, p.LogY)
+	for r, line := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%.3g", yTop)
+		case p.Height - 1:
+			label = fmt.Sprintf("%.3g", yBot)
+		case p.Height / 2:
+			label = p.YLabel
+		}
+		fmt.Fprintf(w, "%10s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%10s +%s\n", "", strings.Repeat("-", p.Width))
+	fmt.Fprintf(w, "%10s  %-*.3g%*.3g  (%s)\n", "", p.Width/2,
+		p.inv(minX, p.LogX), p.Width/2-1, p.inv(maxX, p.LogX), p.XLabel)
+
+	// Legend in series declaration order.
+	labels := make([]string, len(p.Series))
+	for i, s := range p.Series {
+		labels[i] = fmt.Sprintf("%c=%s", plotMarks[i%len(plotMarks)], s.Label)
+	}
+	fmt.Fprintf(w, "%10s  legend: %s\n\n", "", strings.Join(labels, "  "))
+}
+
+func (p *asciiPlot) inv(v float64, log bool) float64 {
+	if log {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+func safeLog10(v float64) float64 {
+	if v <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log10(v)
+}

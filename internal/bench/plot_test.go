@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAsciiPlotRendersSeries(t *testing.T) {
+	var buf bytes.Buffer
+	p := asciiPlot{
+		Title: "test plot", XLabel: "x", YLabel: "y",
+		Width: 40, Height: 10,
+		Series: []plotSeries{
+			{Label: "one", Points: [][2]float64{{0, 1}, {1, 2}, {2, 4}}},
+			{Label: "two", Points: [][2]float64{{0, 4}, {2, 1}}},
+		},
+	}
+	p.render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "test plot") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Error("series marks missing")
+	}
+	if !strings.Contains(out, "A=one") || !strings.Contains(out, "B=two") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 13 {
+		t.Errorf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestAsciiPlotLogAxes(t *testing.T) {
+	var buf bytes.Buffer
+	p := asciiPlot{
+		Title: "log", LogX: true, LogY: true, Width: 30, Height: 8,
+		Series: []plotSeries{{Label: "s", Points: [][2]float64{{1, 10}, {10, 1000}, {100, 100000}}}},
+	}
+	p.render(&buf)
+	if !strings.Contains(buf.String(), "1e+05") && !strings.Contains(buf.String(), "100000") {
+		t.Errorf("log axis labels missing:\n%s", buf.String())
+	}
+}
+
+func TestAsciiPlotEmptyAndDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	p := asciiPlot{Title: "empty"}
+	p.render(&buf)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty plot not flagged")
+	}
+	buf.Reset()
+	// Single point, zero on a log axis: must not panic.
+	p2 := asciiPlot{
+		Title: "degenerate", LogY: true, Width: 20, Height: 5,
+		Series: []plotSeries{{Label: "s", Points: [][2]float64{{1, 0}, {1, 5}}}},
+	}
+	p2.render(&buf)
+	if !strings.Contains(buf.String(), "degenerate") {
+		t.Error("degenerate plot missing")
+	}
+}

@@ -1,0 +1,637 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"dnnd/internal/knng"
+	"dnnd/internal/metric"
+	"dnnd/internal/wire"
+	"dnnd/internal/ygm"
+)
+
+// RoundInfo records one descent round's outcome.
+type RoundInfo struct {
+	// Updates is the global count of successful neighbor-list updates
+	// (the c of Algorithm 1).
+	Updates int64
+	// Checks is the global count of generated neighbor-check pairs.
+	Checks int64
+}
+
+// MessageTotals breaks the world-wide app traffic down by DNND message
+// type, the accounting behind Figure 4.
+type MessageTotals struct {
+	Type1Msgs, Type1Bytes int64 // neighbor-check requests
+	Type2Msgs, Type2Bytes int64 // feature-vector messages (Type 2 / 2+)
+	Type3Msgs, Type3Bytes int64 // distance-return messages
+	InitMsgs, InitBytes   int64 // random-initialization traffic
+	RevMsgs, RevBytes     int64 // reverse old/new matrix exchange
+	OptMsgs, OptBytes     int64 // Section 4.5 reverse-edge merge
+	TotalMsgs, TotalBytes int64 // all app messages incl. gather
+	// CheckMsgs/CheckBytes cover only the neighbor-check phase
+	// (Type 1 + 2 + 3), the quantity Figure 4 plots.
+	CheckMsgs, CheckBytes int64
+}
+
+// PhaseTimings breaks a rank's construction wall time down by
+// algorithm phase — the "further performance profiling" the paper's
+// Section 7 calls for. Times are wall-clock on this rank and include
+// message processing performed while the phase was active.
+type PhaseTimings struct {
+	Init     time.Duration // random initialization (+ warm load)
+	Sample   time.Duration // old/new sampling (local)
+	Reverse  time.Duration // reverse matrix exchange (4.2)
+	Checks   time.Duration // neighbor checks (4.3)
+	Optimize time.Duration // reverse-edge merge + prune (4.5)
+	Gather   time.Duration // final gather to rank 0
+}
+
+// Total sums all phases.
+func (p PhaseTimings) Total() time.Duration {
+	return p.Init + p.Sample + p.Reverse + p.Checks + p.Optimize + p.Gather
+}
+
+// Result is the outcome of a DNND construction on one rank.
+type Result struct {
+	K     int
+	N     int
+	Iters int
+	// Rounds holds per-round convergence data (identical on all ranks).
+	Rounds []RoundInfo
+	// Local maps each owned vertex to its final neighbor list, sorted
+	// by distance. After cfg.Optimize the lists may exceed K (up to
+	// K*PruneFactor).
+	Local map[knng.ID][]knng.Neighbor
+	// Graph is the gathered global graph; non-nil on rank 0 only.
+	Graph *knng.Graph
+	// Comm aggregates message counters over all ranks (identical on
+	// all ranks).
+	Comm MessageTotals
+	// DistEvals is the global number of distance evaluations.
+	DistEvals int64
+	// Phases is this rank's per-phase timing breakdown.
+	Phases PhaseTimings
+}
+
+type builder[T wire.Scalar] struct {
+	c     *ygm.Comm
+	cfg   Config
+	dist  metric.Func[T]
+	shard *Shard[T]
+	rng   *rand.Rand
+
+	lists []*knng.NeighborList // parallel to shard.IDs
+
+	// Per-round state.
+	olds, news [][]knng.ID                 // parallel to shard.IDs
+	oldRev     map[knng.ID][]knng.ID       // reverse old matrix rows
+	newRev     map[knng.ID][]knng.ID       // reverse new matrix rows
+	optIn      map[knng.ID][]knng.Neighbor // 4.5 reverse edges received
+	final      [][]knng.Neighbor           // post-optimization lists
+
+	updates   int64 // successful Updates this round (c of Algorithm 1)
+	distEvals int64
+
+	gatherInto *knng.Graph // set on the gather root
+	warm       *knng.Graph // prior graph for warm-started builds
+
+	hInitReq, hInitResp    ygm.HandlerID
+	hRevOld, hRevNew       ygm.HandlerID
+	hType1, hType2, hType3 ygm.HandlerID
+	hOptEdge, hGather      ygm.HandlerID
+}
+
+// Build runs distributed NN-Descent over the world c belongs to. Every
+// rank calls Build with its shard of the dataset and the same
+// configuration (SPMD). The gathered graph is returned on rank 0.
+func Build[T wire.Scalar](c *ygm.Comm, shard *Shard[T], dist metric.Func[T], cfg Config) (*Result, error) {
+	return BuildWarm(c, shard, dist, cfg, nil)
+}
+
+// BuildWarm is Build with a warm start: prior is an existing k-NNG
+// over a prefix of the dataset (every rank passes the same graph).
+// Vertices covered by prior keep their neighbor lists, flagged "old";
+// only the appended points receive random initialization, so the
+// descent reduces to a short refinement that stitches the new points
+// into the neighborhood structure — the incremental-update workflow
+// the paper's Section 7 sketches for Metall-backed graphs.
+func BuildWarm[T wire.Scalar](c *ygm.Comm, shard *Shard[T], dist metric.Func[T], cfg Config, prior *knng.Graph) (*Result, error) {
+	if err := cfg.Validate(shard.N); err != nil {
+		return nil, err
+	}
+	if prior != nil && prior.NumVertices() > shard.N {
+		return nil, fmt.Errorf("core: warm graph has %d vertices but dataset only %d",
+			prior.NumVertices(), shard.N)
+	}
+	b := &builder[T]{
+		c:     c,
+		cfg:   cfg,
+		dist:  dist,
+		shard: shard,
+		rng:   rand.New(rand.NewSource(cfg.Seed*7919 + int64(c.Rank()))),
+	}
+	b.register()
+
+	b.lists = make([]*knng.NeighborList, shard.Len())
+	for i := range b.lists {
+		b.lists[i] = knng.NewNeighborList(cfg.K)
+	}
+	b.olds = make([][]knng.ID, shard.Len())
+	b.news = make([][]knng.ID, shard.Len())
+
+	res := &Result{K: cfg.K, N: shard.N}
+
+	b.warm = prior
+	res.Phases.Init = timed(b.initGraph)
+
+	threshold := int64(cfg.Delta * float64(cfg.K) * float64(shard.N))
+	for res.Iters < cfg.MaxIters {
+		res.Iters++
+		checks := b.round(&res.Phases)
+		globalUpdates := c.AllReduceSum(b.updates)
+		globalChecks := c.AllReduceSum(checks)
+		b.updates = 0
+		res.Rounds = append(res.Rounds, RoundInfo{Updates: globalUpdates, Checks: globalChecks})
+		if globalUpdates < threshold {
+			break
+		}
+	}
+
+	if cfg.Optimize {
+		res.Phases.Optimize = timed(b.optimizeGraph)
+	}
+
+	res.Local = make(map[knng.ID][]knng.Neighbor, shard.Len())
+	for i, id := range shard.IDs {
+		res.Local[id] = b.finalList(i)
+	}
+
+	res.Phases.Gather = timed(func() { b.gather(res) })
+	b.collectTotals(res)
+	// Final synchronization: after Build returns, no rank awaits any
+	// message from a peer, so callers may immediately exit or close
+	// their transports (important for multi-process TCP worlds).
+	c.Barrier()
+	return res, nil
+}
+
+func timed(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// finalList returns vertex i's final neighbors sorted by distance,
+// using the optimized list when Section 4.5 ran.
+func (b *builder[T]) finalList(i int) []knng.Neighbor {
+	if b.final != nil {
+		return b.final[i]
+	}
+	return b.lists[i].Sorted()
+}
+
+// ---- handler registration -------------------------------------------
+
+func (b *builder[T]) register() {
+	c := b.c
+	b.hInitReq = c.Register("nd.initreq", func(c *ygm.Comm, from int, p []byte) { b.onInitReq(p) })
+	b.hInitResp = c.Register("nd.initresp", func(c *ygm.Comm, from int, p []byte) { b.onInitResp(p) })
+	b.hRevOld = c.Register("nd.revold", func(c *ygm.Comm, from int, p []byte) { b.onReverse(p, true) })
+	b.hRevNew = c.Register("nd.revnew", func(c *ygm.Comm, from int, p []byte) { b.onReverse(p, false) })
+	b.hType1 = c.Register("nd.type1", func(c *ygm.Comm, from int, p []byte) { b.onType1(p) })
+	b.hType2 = c.Register("nd.type2", func(c *ygm.Comm, from int, p []byte) { b.onType2(p) })
+	b.hType3 = c.Register("nd.type3", func(c *ygm.Comm, from int, p []byte) { b.onType3(p) })
+	b.hOptEdge = c.Register("nd.optedge", func(c *ygm.Comm, from int, p []byte) { b.onOptEdge(p) })
+	b.hGather = c.Register("nd.gather", func(c *ygm.Comm, from int, p []byte) { b.onGather(p) })
+}
+
+func (b *builder[T]) owner(id knng.ID) int { return Owner(id, b.c.NRanks()) }
+
+// localIndex returns the shard index of an owned vertex.
+func (b *builder[T]) localIndex(id knng.ID) int {
+	i, ok := b.shard.index[id]
+	if !ok {
+		panic("core: message routed to non-owner rank")
+	}
+	return i
+}
+
+func (b *builder[T]) evalDist(a, v []T) float32 {
+	b.distEvals++
+	b.c.AddWork(float64(len(a)))
+	return b.dist(a, v)
+}
+
+// ---- batched submission (Section 4.4) --------------------------------
+
+// batched runs emit(i) for every local item i in [0, totalLocal),
+// interleaving a global barrier after each batch so that message
+// volume in flight stays bounded. All ranks execute the same global
+// number of batches (padded with empty ones), keeping barrier calls
+// aligned.
+func (b *builder[T]) batched(totalLocal int, perItemMsgs int, emit func(i int)) {
+	if perItemMsgs < 1 {
+		perItemMsgs = 1
+	}
+	per := int(b.cfg.BatchSize) / (b.c.NRanks() * perItemMsgs)
+	if per < 1 {
+		per = 1
+	}
+	myBatches := (totalLocal + per - 1) / per
+	global := b.c.AllReduceMax(int64(myBatches))
+	idx := 0
+	for r := int64(0); r < global; r++ {
+		end := idx + per
+		if end > totalLocal {
+			end = totalLocal
+		}
+		for ; idx < end; idx++ {
+			emit(idx)
+		}
+		b.c.Barrier()
+	}
+}
+
+// ---- phase 1: random initialization (Algorithm 1 lines 2-5) ----------
+
+func (b *builder[T]) initGraph() {
+	w := wire.NewWriter(64)
+	b.batched(b.shard.Len(), b.cfg.K, func(i int) {
+		v := b.shard.IDs[i]
+		need := b.cfg.K
+		seen := make(map[knng.ID]bool, b.cfg.K)
+		// Warm start: vertices the prior graph covers keep their
+		// lists (distances already known, no communication), flagged
+		// old so they generate no redundant checks on their own.
+		// Partial lists (e.g. after deletions) are topped up with
+		// random candidates below, flagged new, which focuses the
+		// refinement on the affected vertices.
+		if b.warm != nil && int(v) < b.warm.NumVertices() {
+			for _, e := range b.warm.Neighbors[v] {
+				if b.lists[i].Update(e.ID, e.Dist, false) == 1 {
+					seen[e.ID] = true
+					need--
+				}
+			}
+		}
+		if need <= 0 {
+			return
+		}
+		vec := b.shard.Vecs[i]
+		for need > 0 {
+			u := knng.ID(b.rng.Intn(b.shard.N))
+			if u == v || seen[u] {
+				continue
+			}
+			seen[u] = true
+			need--
+			w.Reset()
+			w.Uint32(v)
+			w.Uint32(u)
+			wire.PutVector(w, vec)
+			b.c.Async(b.owner(u), b.hInitReq, w.Bytes())
+		}
+	})
+}
+
+func (b *builder[T]) onInitReq(p []byte) {
+	r := wire.NewReader(p)
+	v := r.Uint32()
+	u := r.Uint32()
+	vec := wire.GetVector[T](r)
+	if r.Finish() != nil {
+		panic("core: bad init request")
+	}
+	d := b.evalDist(vec, b.shard.Vec(u))
+	w := wire.NewWriter(12)
+	w.Uint32(v)
+	w.Uint32(u)
+	w.Float32(d)
+	b.c.Async(b.owner(v), b.hInitResp, w.Bytes())
+}
+
+func (b *builder[T]) onInitResp(p []byte) {
+	r := wire.NewReader(p)
+	v := r.Uint32()
+	u := r.Uint32()
+	d := r.Float32()
+	if r.Finish() != nil {
+		panic("core: bad init response")
+	}
+	b.lists[b.localIndex(v)].Update(u, d, true)
+}
+
+// ---- phase 2: sampling and reverse matrices (lines 7-16, Sec 4.2) ----
+
+// sampleLists builds old[v] and new[v] from the flags, marking the
+// sampled new entries old.
+func (b *builder[T]) sampleLists() {
+	sampleN := int(math.Ceil(b.cfg.Rho * float64(b.cfg.K)))
+	for i := range b.lists {
+		items := b.lists[i].Items()
+		old := b.olds[i][:0]
+		cand := make([]knng.ID, 0, len(items))
+		for _, it := range items {
+			if it.New {
+				cand = append(cand, it.ID)
+			} else {
+				old = append(old, it.ID)
+			}
+		}
+		b.rng.Shuffle(len(cand), func(a, z int) { cand[a], cand[z] = cand[z], cand[a] })
+		if len(cand) > sampleN {
+			cand = cand[:sampleN]
+		}
+		nw := b.news[i][:0]
+		for _, id := range cand {
+			b.lists[i].MarkOld(id)
+			nw = append(nw, id)
+		}
+		b.olds[i] = old
+		b.news[i] = nw
+	}
+}
+
+// exchangeReverse sends each (u <- v) relationship to u's owner,
+// visiting local vertices in a shuffled order to avoid synchronized
+// bursts at one destination (Section 4.2).
+func (b *builder[T]) exchangeReverse() {
+	b.oldRev = make(map[knng.ID][]knng.ID)
+	b.newRev = make(map[knng.ID][]knng.ID)
+
+	order := make([]int, b.shard.Len())
+	for i := range order {
+		order[i] = i
+	}
+	b.rng.Shuffle(len(order), func(a, z int) { order[a], order[z] = order[z], order[a] })
+
+	w := wire.NewWriter(8)
+	perItem := 2 * b.cfg.K
+	b.batched(len(order), perItem, func(oi int) {
+		i := order[oi]
+		v := b.shard.IDs[i]
+		for _, u := range b.olds[i] {
+			w.Reset()
+			w.Uint32(u)
+			w.Uint32(v)
+			b.c.Async(b.owner(u), b.hRevOld, w.Bytes())
+		}
+		for _, u := range b.news[i] {
+			w.Reset()
+			w.Uint32(u)
+			w.Uint32(v)
+			b.c.Async(b.owner(u), b.hRevNew, w.Bytes())
+		}
+	})
+}
+
+func (b *builder[T]) onReverse(p []byte, old bool) {
+	r := wire.NewReader(p)
+	u := r.Uint32()
+	v := r.Uint32()
+	if r.Finish() != nil {
+		panic("core: bad reverse entry")
+	}
+	// Ensure u is local; the row u of the reversed matrix lives here.
+	_ = b.localIndex(u)
+	if old {
+		b.oldRev[u] = append(b.oldRev[u], v)
+	} else {
+		b.newRev[u] = append(b.newRev[u], v)
+	}
+}
+
+// mergeReverseSamples implements lines 15-16: union rho*K sampled
+// reverse entries into old[v] and new[v], deduplicating.
+func (b *builder[T]) mergeReverseSamples() {
+	sampleN := int(math.Ceil(b.cfg.Rho * float64(b.cfg.K)))
+	for i, v := range b.shard.IDs {
+		b.olds[i] = unionSample(b.rng, b.olds[i], b.oldRev[v], sampleN)
+		b.news[i] = unionSample(b.rng, b.news[i], b.newRev[v], sampleN)
+	}
+	b.oldRev = nil
+	b.newRev = nil
+}
+
+// unionSample merges up to sampleN random elements of extra into base,
+// deduplicating the result.
+func unionSample(rng *rand.Rand, base, extra []knng.ID, sampleN int) []knng.ID {
+	if len(extra) > sampleN {
+		rng.Shuffle(len(extra), func(a, z int) { extra[a], extra[z] = extra[z], extra[a] })
+		extra = extra[:sampleN]
+	}
+	seen := make(map[knng.ID]bool, len(base)+len(extra))
+	out := base[:0]
+	for _, id := range base {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, id := range extra {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ---- phase 3: neighbor checks (lines 17-22, Section 4.3) -------------
+
+// pairCount returns the number of check pairs this rank generates.
+func (b *builder[T]) pairCount() int {
+	total := 0
+	for i := range b.news {
+		nn := len(b.news[i])
+		total += nn*(nn-1)/2 + nn*len(b.olds[i])
+	}
+	return total
+}
+
+// pairAt enumerates check pairs with a flat index so the batched
+// submission helper can drive it. checkPairs precomputes the flat
+// boundaries.
+type pairIter struct {
+	vi, i, j int // vertex index, new index, partner index
+}
+
+// emitChecks walks every (u1, u2) pair from new x new (upper triangle)
+// and new x old, submitting the protocol's initial message(s).
+func (b *builder[T]) emitChecks(it *pairIter) (u1, u2 knng.ID, ok bool) {
+	for it.vi < len(b.news) {
+		nw := b.news[it.vi]
+		od := b.olds[it.vi]
+		if it.i < len(nw) {
+			// Partners: nw[it.i+1:] then od.
+			if it.j < len(nw)-it.i-1 {
+				u1, u2 = nw[it.i], nw[it.i+1+it.j]
+				it.j++
+				if u1 == u2 {
+					continue
+				}
+				return u1, u2, true
+			}
+			if k := it.j - (len(nw) - it.i - 1); k < len(od) {
+				u1, u2 = nw[it.i], od[k]
+				it.j++
+				if u1 == u2 {
+					continue
+				}
+				return u1, u2, true
+			}
+			it.i++
+			it.j = 0
+			continue
+		}
+		it.vi++
+		it.i, it.j = 0, 0
+	}
+	return 0, 0, false
+}
+
+func (b *builder[T]) neighborChecks() int64 {
+	count := b.pairCount()
+	it := &pairIter{}
+	w := wire.NewWriter(8)
+	emitted := int64(0)
+	b.batched(count, 1, func(_ int) {
+		u1, u2, ok := b.emitChecks(it)
+		if !ok {
+			return // duplicate-id pairs were skipped; fewer real pairs
+		}
+		emitted++
+		w.Reset()
+		w.Uint32(u1)
+		w.Uint32(u2)
+		b.c.Async(b.owner(u1), b.hType1, w.Bytes())
+		if !b.cfg.Protocol.OneSided {
+			w.Reset()
+			w.Uint32(u2)
+			w.Uint32(u1)
+			b.c.Async(b.owner(u2), b.hType1, w.Bytes())
+		}
+	})
+	return emitted
+}
+
+// onType1 runs at owner(u1): forward u1's feature vector to u2
+// (Type 2 / Type 2+), unless the pair is redundant (4.3.2).
+func (b *builder[T]) onType1(p []byte) {
+	r := wire.NewReader(p)
+	u1 := r.Uint32()
+	u2 := r.Uint32()
+	if r.Finish() != nil {
+		panic("core: bad type1")
+	}
+	i := b.localIndex(u1)
+	if b.cfg.Protocol.OneSided && b.cfg.Protocol.SkipRedundant && b.lists[i].Contains(u2) {
+		return
+	}
+	w := wire.NewWriter(16 + len(b.shard.Vecs[i])*4)
+	w.Uint32(u1)
+	w.Uint32(u2)
+	if b.cfg.Protocol.OneSided && b.cfg.Protocol.PruneDistant {
+		w.Uint8(1)
+		w.Float32(b.lists[i].FarthestDist())
+	} else {
+		w.Uint8(0)
+	}
+	wire.PutVector(w, b.shard.Vecs[i])
+	b.c.Async(b.owner(u2), b.hType2, w.Bytes())
+}
+
+// onType2 runs at owner(u2): compute theta(u1, u2), update u2's list,
+// and in the one-sided flow return the distance to u1 (Type 3) unless
+// redundant (4.3.2) or prunable (4.3.3).
+func (b *builder[T]) onType2(p []byte) {
+	r := wire.NewReader(p)
+	u1 := r.Uint32()
+	u2 := r.Uint32()
+	hasBound := r.Uint8() == 1
+	var bound float32 = math.MaxFloat32
+	if hasBound {
+		bound = r.Float32()
+	}
+	vec1 := wire.GetVector[T](r)
+	if r.Finish() != nil {
+		panic("core: bad type2")
+	}
+	j := b.localIndex(u2)
+	d := b.evalDist(vec1, b.shard.Vecs[j])
+
+	if !b.cfg.Protocol.OneSided {
+		// Two-sided flow: each endpoint updates only its own list.
+		b.updates += int64(b.lists[j].Update(u1, d, true))
+		return
+	}
+	alreadyNeighbor := b.lists[j].Contains(u1)
+	b.updates += int64(b.lists[j].Update(u1, d, true))
+	if b.cfg.Protocol.SkipRedundant && alreadyNeighbor {
+		return
+	}
+	if b.cfg.Protocol.PruneDistant && d >= bound {
+		return
+	}
+	w := wire.NewWriter(12)
+	w.Uint32(u1)
+	w.Uint32(u2)
+	w.Float32(d)
+	b.c.Async(b.owner(u1), b.hType3, w.Bytes())
+}
+
+// onType3 runs at owner(u1): fold the returned distance into u1's list.
+func (b *builder[T]) onType3(p []byte) {
+	r := wire.NewReader(p)
+	u1 := r.Uint32()
+	u2 := r.Uint32()
+	d := r.Float32()
+	if r.Finish() != nil {
+		panic("core: bad type3")
+	}
+	b.updates += int64(b.lists[b.localIndex(u1)].Update(u2, d, true))
+}
+
+// round executes one NN-Descent iteration and returns the number of
+// check pairs generated locally, accumulating phase timings.
+func (b *builder[T]) round(ph *PhaseTimings) int64 {
+	if cap(b.olds) < b.shard.Len() {
+		b.olds = make([][]knng.ID, b.shard.Len())
+		b.news = make([][]knng.ID, b.shard.Len())
+	}
+	ph.Sample += timed(b.sampleLists)
+	ph.Reverse += timed(b.exchangeReverse)
+	ph.Sample += timed(b.mergeReverseSamples)
+	var checks int64
+	ph.Checks += timed(func() { checks = b.neighborChecks() })
+	return checks
+}
+
+// collectTotals aggregates per-handler counters over all ranks.
+func (b *builder[T]) collectTotals(res *Result) {
+	st := b.c.Stats()
+	sum := func(h ygm.HandlerID) (int64, int64) {
+		hs := st.PerHandler[h]
+		return b.c.AllReduceSum(hs.SentMsgs), b.c.AllReduceSum(hs.SentBytes)
+	}
+	var t MessageTotals
+	t.Type1Msgs, t.Type1Bytes = sum(b.hType1)
+	t.Type2Msgs, t.Type2Bytes = sum(b.hType2)
+	t.Type3Msgs, t.Type3Bytes = sum(b.hType3)
+	initReqM, initReqB := sum(b.hInitReq)
+	initRespM, initRespB := sum(b.hInitResp)
+	t.InitMsgs, t.InitBytes = initReqM+initRespM, initReqB+initRespB
+	revOldM, revOldB := sum(b.hRevOld)
+	revNewM, revNewB := sum(b.hRevNew)
+	t.RevMsgs, t.RevBytes = revOldM+revNewM, revOldB+revNewB
+	t.OptMsgs, t.OptBytes = sum(b.hOptEdge)
+	t.TotalMsgs = b.c.AllReduceSum(st.SentMsgs)
+	t.TotalBytes = b.c.AllReduceSum(st.SentBytes)
+	t.CheckMsgs = t.Type1Msgs + t.Type2Msgs + t.Type3Msgs
+	t.CheckBytes = t.Type1Bytes + t.Type2Bytes + t.Type3Bytes
+	res.Comm = t
+	res.DistEvals = b.c.AllReduceSum(b.distEvals)
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"dnnd/internal/knng"
+	"dnnd/internal/wire"
+)
+
+// optimizeGraph applies Section 4.5 in the distributed setting: every
+// rank sends each of its edges (v -> u, d) to u's owner, receivers
+// merge the reverse edges into their lists (deduplicating), and each
+// list is pruned to K*PruneFactor closest entries.
+func (b *builder[T]) optimizeGraph() {
+	b.optIn = make(map[knng.ID][]knng.Neighbor)
+	w := wire.NewWriter(16)
+	b.batched(b.shard.Len(), b.cfg.K, func(i int) {
+		v := b.shard.IDs[i]
+		for _, e := range b.lists[i].Items() {
+			w.Reset()
+			w.Uint32(e.ID)
+			w.Uint32(v)
+			w.Float32(e.Dist)
+			b.c.Async(b.owner(e.ID), b.hOptEdge, w.Bytes())
+		}
+	})
+
+	limit := int(float64(b.cfg.K) * b.cfg.PruneFactor)
+	if limit < 1 {
+		limit = 1
+	}
+	b.final = make([][]knng.Neighbor, b.shard.Len())
+	for i, v := range b.shard.IDs {
+		merged := b.lists[i].Sorted()
+		seen := make(map[knng.ID]bool, len(merged)+len(b.optIn[v]))
+		for _, e := range merged {
+			seen[e.ID] = true
+		}
+		for _, e := range b.optIn[v] {
+			if !seen[e.ID] {
+				seen[e.ID] = true
+				merged = append(merged, e)
+			}
+		}
+		sortNeighborsByDist(merged)
+		if len(merged) > limit {
+			merged = merged[:limit:limit]
+		}
+		b.final[i] = merged
+	}
+	b.optIn = nil
+}
+
+func (b *builder[T]) onOptEdge(p []byte) {
+	r := wire.NewReader(p)
+	u := r.Uint32()
+	v := r.Uint32()
+	d := r.Float32()
+	if r.Finish() != nil {
+		panic("core: bad optimize edge")
+	}
+	_ = b.localIndex(u)
+	b.optIn[u] = append(b.optIn[u], knng.Neighbor{ID: v, Dist: d})
+}
+
+func sortNeighborsByDist(ns []knng.Neighbor) {
+	for i := 1; i < len(ns); i++ {
+		x := ns[i]
+		j := i - 1
+		for j >= 0 && (ns[j].Dist > x.Dist || (ns[j].Dist == x.Dist && ns[j].ID > x.ID)) {
+			ns[j+1] = ns[j]
+			j--
+		}
+		ns[j+1] = x
+	}
+}
+
+// gather ships every rank's final lists to rank 0, which assembles the
+// global knng.Graph.
+func (b *builder[T]) gather(res *Result) {
+	const root = 0
+	if b.c.Rank() == root {
+		b.gatherInto = knng.NewGraph(b.shard.N)
+	}
+	w := wire.NewWriter(256)
+	b.batched(b.shard.Len(), b.cfg.K, func(i int) {
+		v := b.shard.IDs[i]
+		ns := res.Local[v]
+		w.Reset()
+		w.Uint32(v)
+		w.Uint32(uint32(len(ns)))
+		for _, e := range ns {
+			w.Uint32(e.ID)
+			w.Float32(e.Dist)
+		}
+		b.c.Async(root, b.hGather, w.Bytes())
+	})
+	if b.c.Rank() == root {
+		res.Graph = b.gatherInto
+		b.gatherInto = nil
+	}
+}
+
+func (b *builder[T]) onGather(p []byte) {
+	r := wire.NewReader(p)
+	v := r.Uint32()
+	n := int(r.Uint32())
+	ns := make([]knng.Neighbor, n)
+	for i := 0; i < n; i++ {
+		ns[i].ID = r.Uint32()
+		ns[i].Dist = r.Float32()
+	}
+	if r.Finish() != nil {
+		panic("core: bad gather record")
+	}
+	b.gatherInto.Neighbors[v] = ns
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"dnnd/internal/knng"
+	"dnnd/internal/wire"
+)
+
+// Owner maps a global point ID to its owning rank. As in the paper,
+// both the feature vector and the neighbor list of a vertex live on
+// that rank. A multiplicative hash spreads consecutive IDs so that
+// clustered ID ranges do not skew one rank.
+func Owner(id knng.ID, nranks int) int {
+	return int(mix32(uint32(id)) % uint32(nranks))
+}
+
+// mix32 is the finalizer of splitmix/murmur3: a cheap avalanching
+// permutation of uint32.
+func mix32(x uint32) uint32 {
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return x
+}
+
+// Shard holds one rank's partition of the dataset: the globally dense
+// IDs [0, N) it owns, their feature vectors, and a reverse index.
+type Shard[T wire.Scalar] struct {
+	// N is the global number of points.
+	N int
+	// IDs lists the owned global IDs in ascending order.
+	IDs []knng.ID
+	// Vecs holds the owned feature vectors, parallel to IDs.
+	Vecs [][]T
+
+	index map[knng.ID]int
+}
+
+// Partition splits a full dataset into the shard owned by rank. Every
+// rank of a world calls this with the same data (or loads only its
+// rows via PartitionIDs); ownership is by ID hash, as in DNND.
+func Partition[T wire.Scalar](data [][]T, rank, nranks int) *Shard[T] {
+	s := &Shard[T]{N: len(data), index: make(map[knng.ID]int)}
+	for i, v := range data {
+		id := knng.ID(i)
+		if Owner(id, nranks) != rank {
+			continue
+		}
+		s.index[id] = len(s.IDs)
+		s.IDs = append(s.IDs, id)
+		s.Vecs = append(s.Vecs, v)
+	}
+	return s
+}
+
+// NewShard assembles a shard from explicit rows (for loaders that read
+// only the owned subset). ids must be strictly ascending and owned by
+// rank.
+func NewShard[T wire.Scalar](n int, ids []knng.ID, vecs [][]T) (*Shard[T], error) {
+	if len(ids) != len(vecs) {
+		return nil, fmt.Errorf("core: %d ids but %d vectors", len(ids), len(vecs))
+	}
+	s := &Shard[T]{N: n, IDs: ids, Vecs: vecs, index: make(map[knng.ID]int, len(ids))}
+	for i, id := range ids {
+		if i > 0 && ids[i-1] >= id {
+			return nil, fmt.Errorf("core: shard ids not strictly ascending at %d", i)
+		}
+		if int(id) >= n {
+			return nil, fmt.Errorf("core: shard id %d out of range (N=%d)", id, n)
+		}
+		s.index[id] = i
+	}
+	return s, nil
+}
+
+// Vec returns the feature vector of an owned global ID; it panics if
+// the ID is not owned by this shard (a protocol bug, not user error).
+func (s *Shard[T]) Vec(id knng.ID) []T {
+	i, ok := s.index[id]
+	if !ok {
+		panic(fmt.Sprintf("core: vector %d not owned by this shard", id))
+	}
+	return s.Vecs[i]
+}
+
+// Owns reports whether the shard holds the given global ID.
+func (s *Shard[T]) Owns(id knng.ID) bool {
+	_, ok := s.index[id]
+	return ok
+}
+
+// Len returns the number of owned points.
+func (s *Shard[T]) Len() int { return len(s.IDs) }

@@ -1,0 +1,411 @@
+// Package dquery executes approximate nearest-neighbor queries against
+// a *distributed* k-NNG, where both the vectors and the adjacency
+// lists stay partitioned across ranks (the layout DNND construction
+// leaves behind). The paper queries with a shared-memory program after
+// gathering the graph; this engine is the natural distributed follow-on
+// ("towards developing massive-scale NNG frameworks"), in the spirit of
+// the Pyramid system the paper cites for distributed similarity search.
+//
+// Each query lives on a home rank that drives the Section 3.3 greedy
+// search as a message cascade: expanding a frontier vertex p asks
+// owner(p) for p's adjacency (Expand), distances are evaluated by the
+// owners of the candidate vectors (Dist), and results flow back to the
+// home rank. Query vectors are cached at most once per (query, rank) —
+// the same communication-saving instinct as the paper's Type 2+
+// messages. The engine advances every active query by one expansion
+// wave per superstep; ygm's quiescence barrier guarantees each wave's
+// full cascade (Expand -> ExpandResp -> Dist -> DistResp) completes
+// before the next wave starts.
+package dquery
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dnnd/internal/core"
+	"dnnd/internal/knng"
+	"dnnd/internal/metric"
+	"dnnd/internal/wire"
+	"dnnd/internal/ygm"
+)
+
+// Options configures a distributed query run.
+type Options struct {
+	// L is the number of neighbors to return per query.
+	L int
+	// Epsilon is the Section 3.3 expansion parameter.
+	Epsilon float64
+	// Beam is the number of frontier vertices expanded per superstep
+	// (default 2): larger beams mean fewer barriers but more distance
+	// evaluations.
+	Beam int
+	// Seeds is the number of random entry points (default max(L, 16)).
+	Seeds int
+	// Seed drives entry selection.
+	Seed int64
+}
+
+func (o *Options) fill() error {
+	if o.L < 1 {
+		return fmt.Errorf("dquery: L=%d must be >= 1", o.L)
+	}
+	if o.Beam <= 0 {
+		o.Beam = 2
+	}
+	if o.Seeds <= 0 {
+		o.Seeds = o.L
+		if o.Seeds < 16 {
+			o.Seeds = 16
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return nil
+}
+
+// Stats aggregates a run's cost over all ranks.
+type Stats struct {
+	DistEvals  int64 // distance computations (global)
+	Expansions int64 // frontier vertices expanded (global)
+	Supersteps int64 // barrier rounds needed
+}
+
+// qstate is one active query's search state on its home rank.
+type qstate[T wire.Scalar] struct {
+	vec      []T
+	frontier knng.MinQueue
+	results  *knng.NeighborList
+	visited  map[knng.ID]bool
+	vecAt    []bool // ranks holding the query vector
+	done     bool
+}
+
+// Engine is one rank's endpoint of the distributed query system.
+// Construct it identically on every rank (SPMD), then call Run.
+type Engine[T wire.Scalar] struct {
+	c     *ygm.Comm
+	shard *core.Shard[T]
+	adj   map[knng.ID][]knng.Neighbor
+	dist  metric.Func[T]
+
+	queries [][]T
+	states  map[int]*qstate[T] // home-owned queries
+	qvecs   map[int][]T        // cached foreign query vectors
+	opt     Options
+
+	distEvals  int64
+	expansions int64
+
+	gathered [][]knng.Neighbor // on rank 0 after Run
+
+	hStart, hEnd, hExpand, hExpandResp, hDist, hDistResp, hResult ygm.HandlerID
+}
+
+// New registers the engine's handlers on c. The shard and adjacency
+// must be this rank's partition of the dataset and graph (e.g.
+// core.Result.Local); every rank must call New in the same program
+// position.
+func New[T wire.Scalar](c *ygm.Comm, shard *core.Shard[T], adj map[knng.ID][]knng.Neighbor, dist metric.Func[T]) *Engine[T] {
+	e := &Engine[T]{
+		c:     c,
+		shard: shard,
+		adj:   adj,
+		dist:  dist,
+		qvecs: make(map[int][]T),
+	}
+	e.hStart = c.Register("dq.start", func(c *ygm.Comm, from int, p []byte) { e.onStart(p) })
+	e.hEnd = c.Register("dq.end", func(c *ygm.Comm, from int, p []byte) { e.onEnd(p) })
+	e.hExpand = c.Register("dq.expand", func(c *ygm.Comm, from int, p []byte) { e.onExpand(p) })
+	e.hExpandResp = c.Register("dq.expandresp", func(c *ygm.Comm, from int, p []byte) { e.onExpandResp(p) })
+	e.hDist = c.Register("dq.dist", func(c *ygm.Comm, from int, p []byte) { e.onDist(p) })
+	e.hDistResp = c.Register("dq.distresp", func(c *ygm.Comm, from int, p []byte) { e.onDistResp(p) })
+	e.hResult = c.Register("dq.result", func(c *ygm.Comm, from int, p []byte) { e.onResult(p) })
+	return e
+}
+
+// home maps a query index to the rank that drives it.
+func (e *Engine[T]) home(qid int) int { return qid % e.c.NRanks() }
+
+// Run answers the query set (every rank passes the same full slice)
+// and gathers all results on rank 0; other ranks receive nil results.
+// Stats are identical on every rank.
+func (e *Engine[T]) Run(queries [][]T, opt Options) ([][]knng.Neighbor, Stats, error) {
+	if err := opt.fill(); err != nil {
+		return nil, Stats{}, err
+	}
+	e.opt = opt
+	e.queries = queries
+	e.states = make(map[int]*qstate[T])
+	rng := rand.New(rand.NewSource(opt.Seed*31 + int64(e.c.Rank())))
+
+	n := e.shard.N
+	// Seed every home-owned query.
+	for qid := range queries {
+		if e.home(qid) != e.c.Rank() {
+			continue
+		}
+		q := &qstate[T]{
+			vec:     queries[qid],
+			results: knng.NewNeighborList(min(opt.L, n)),
+			visited: make(map[knng.ID]bool),
+			vecAt:   make([]bool, e.c.NRanks()),
+		}
+		e.states[qid] = q
+		seeds := opt.Seeds
+		if seeds > n {
+			seeds = n
+		}
+		for attempts := 0; seeds > 0 && attempts < 8*opt.Seeds+32; attempts++ {
+			id := knng.ID(rng.Intn(n))
+			if q.visited[id] {
+				continue
+			}
+			q.visited[id] = true
+			seeds--
+			e.sendDist(qid, q, id)
+		}
+	}
+	e.c.Barrier()
+
+	var steps int64
+	for {
+		steps++
+		active := 0
+		for qid, q := range e.states {
+			if q.done {
+				continue
+			}
+			e.advance(qid, q)
+			if !q.done {
+				active++
+			}
+		}
+		e.c.Barrier()
+		if e.c.AllReduceSum(int64(active)) == 0 {
+			break
+		}
+	}
+
+	stats := Stats{
+		DistEvals:  e.c.AllReduceSum(e.distEvals),
+		Expansions: e.c.AllReduceSum(e.expansions),
+		Supersteps: steps,
+	}
+	results := e.gather(len(queries))
+	return results, stats, nil
+}
+
+// advance expands up to Beam frontier vertices of one query, or
+// finalizes it when the Section 3.3 stop condition holds. At entry all
+// previous cascades have completed (quiescence barrier), so there are
+// no in-flight operations for this query. The query is only finalized
+// when no expansion was issued in this superstep — otherwise the hEnd
+// release could overtake distance requests the in-flight expansions
+// are about to generate.
+func (e *Engine[T]) advance(qid int, q *qstate[T]) {
+	expanded := 0
+	for ; expanded < e.opt.Beam; expanded++ {
+		if q.frontier.Empty() {
+			break
+		}
+		_, pd := q.frontier.Top()
+		if float64(pd) > q.limit(e.opt.Epsilon) {
+			break
+		}
+		p, _ := q.frontier.Pop()
+		e.expansions++
+		w := wire.NewWriter(16)
+		w.Uint32(uint32(qid))
+		w.Uint32(p)
+		e.c.Async(core.Owner(p, e.c.NRanks()), e.hExpand, w.Bytes())
+	}
+	if expanded == 0 {
+		e.finish(qid, q)
+	}
+}
+
+func (q *qstate[T]) limit(eps float64) float64 {
+	if !q.results.Full() {
+		return maxFloat64
+	}
+	return (1 + eps) * float64(q.results.FarthestDist())
+}
+
+const maxFloat64 = 1.7976931348623157e+308
+
+// finish releases cached query vectors and marks the query done.
+func (e *Engine[T]) finish(qid int, q *qstate[T]) {
+	q.done = true
+	w := wire.NewWriter(4)
+	w.Uint32(uint32(qid))
+	for rank, has := range q.vecAt {
+		if has {
+			e.c.Async(rank, e.hEnd, w.Bytes())
+		}
+	}
+}
+
+// sendDist asks owner(id) to evaluate theta(q, id), shipping the query
+// vector first if that rank has not seen it yet.
+func (e *Engine[T]) sendDist(qid int, q *qstate[T], id knng.ID) {
+	dest := core.Owner(id, e.c.NRanks())
+	if !q.vecAt[dest] {
+		q.vecAt[dest] = true
+		w := wire.NewWriter(8 + len(q.vec)*4)
+		w.Uint32(uint32(qid))
+		wire.PutVector(w, q.vec)
+		e.c.Async(dest, e.hStart, w.Bytes())
+	}
+	w := wire.NewWriter(12)
+	w.Uint32(uint32(qid))
+	w.Uint32(id)
+	e.c.Async(dest, e.hDist, w.Bytes())
+}
+
+// ---- handlers ---------------------------------------------------------
+
+func (e *Engine[T]) onStart(p []byte) {
+	r := wire.NewReader(p)
+	qid := int(r.Uint32())
+	vec := wire.GetVector[T](r)
+	if r.Finish() != nil {
+		panic("dquery: bad start")
+	}
+	e.qvecs[qid] = vec
+}
+
+func (e *Engine[T]) onEnd(p []byte) {
+	r := wire.NewReader(p)
+	qid := int(r.Uint32())
+	if r.Finish() != nil {
+		panic("dquery: bad end")
+	}
+	delete(e.qvecs, qid)
+}
+
+// onExpand runs at the owner of p: return p's adjacency to the home
+// rank.
+func (e *Engine[T]) onExpand(p []byte) {
+	r := wire.NewReader(p)
+	qid := int(r.Uint32())
+	v := r.Uint32()
+	if r.Finish() != nil {
+		panic("dquery: bad expand")
+	}
+	ns := e.adj[v]
+	w := wire.NewWriter(8 + 4*len(ns))
+	w.Uint32(uint32(qid))
+	w.Uint32(uint32(len(ns)))
+	for _, nb := range ns {
+		w.Uint32(nb.ID)
+	}
+	e.c.Async(e.home(qid), e.hExpandResp, w.Bytes())
+}
+
+// onExpandResp runs at the home rank: fan out distance requests for
+// unvisited candidates.
+func (e *Engine[T]) onExpandResp(p []byte) {
+	r := wire.NewReader(p)
+	qid := int(r.Uint32())
+	cnt := int(r.Uint32())
+	ids := make([]knng.ID, cnt)
+	for i := range ids {
+		ids[i] = r.Uint32()
+	}
+	if r.Finish() != nil {
+		panic("dquery: bad expand response")
+	}
+	q := e.states[qid]
+	for _, id := range ids {
+		if q.visited[id] {
+			continue
+		}
+		q.visited[id] = true
+		e.sendDist(qid, q, id)
+	}
+}
+
+// onDist runs at the owner of the candidate vector.
+func (e *Engine[T]) onDist(p []byte) {
+	r := wire.NewReader(p)
+	qid := int(r.Uint32())
+	id := r.Uint32()
+	if r.Finish() != nil {
+		panic("dquery: bad dist request")
+	}
+	qvec, ok := e.qvecs[qid]
+	if !ok {
+		panic(fmt.Sprintf("dquery: rank %d missing query vector %d", e.c.Rank(), qid))
+	}
+	e.distEvals++
+	e.c.AddWork(float64(len(qvec)))
+	d := e.dist(qvec, e.shard.Vec(id))
+	w := wire.NewWriter(12)
+	w.Uint32(uint32(qid))
+	w.Uint32(id)
+	w.Float32(d)
+	e.c.Async(e.home(qid), e.hDistResp, w.Bytes())
+}
+
+// onDistResp runs at the home rank: fold the distance into the query
+// state.
+func (e *Engine[T]) onDistResp(p []byte) {
+	r := wire.NewReader(p)
+	qid := int(r.Uint32())
+	id := r.Uint32()
+	d := r.Float32()
+	if r.Finish() != nil {
+		panic("dquery: bad dist response")
+	}
+	q := e.states[qid]
+	if float64(d) < q.limit(e.opt.Epsilon) {
+		q.results.Update(id, d, false)
+		q.frontier.Push(id, d)
+	}
+}
+
+// gather ships every finished query's result list to rank 0.
+func (e *Engine[T]) gather(nq int) [][]knng.Neighbor {
+	const root = 0
+	if e.c.Rank() == root {
+		e.gathered = make([][]knng.Neighbor, nq)
+	}
+	for qid, q := range e.states {
+		ns := q.results.Sorted()
+		w := wire.NewWriter(8 + 8*len(ns))
+		w.Uint32(uint32(qid))
+		w.Uint32(uint32(len(ns)))
+		for _, nb := range ns {
+			w.Uint32(nb.ID)
+			w.Float32(nb.Dist)
+		}
+		e.c.Async(root, e.hResult, w.Bytes())
+	}
+	e.c.Barrier()
+	out := e.gathered
+	e.gathered = nil
+	return out
+}
+
+func (e *Engine[T]) onResult(p []byte) {
+	r := wire.NewReader(p)
+	qid := int(r.Uint32())
+	cnt := int(r.Uint32())
+	ns := make([]knng.Neighbor, cnt)
+	for i := range ns {
+		ns[i].ID = r.Uint32()
+		ns[i].Dist = r.Float32()
+	}
+	if r.Finish() != nil {
+		panic("dquery: bad result record")
+	}
+	e.gathered[qid] = ns
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,54 @@
+package hnsw
+
+import (
+	"math/rand"
+	"testing"
+
+	"dnnd/internal/metric"
+)
+
+// BenchmarkInsert measures one HNSW insertion into a 2000-point index
+// (M=16, efc=100), the baseline's construction unit of work.
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	mk := func() []float32 {
+		v := make([]float32, 16)
+		for j := range v {
+			v[j] = rng.Float32()
+		}
+		return v
+	}
+	ix, err := New(metric.SquaredL2Float32, Config{M: 16, EfConstruction: 100, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		ix.Add(mk())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Add(mk())
+	}
+}
+
+// BenchmarkSearchEf100 measures one ef=100 query on a 2000-point index.
+func BenchmarkSearchEf100(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([][]float32, 2000)
+	for i := range data {
+		v := make([]float32, 16)
+		for j := range v {
+			v[j] = rng.Float32()
+		}
+		data[i] = v
+	}
+	ix, err := Build(data, metric.SquaredL2Float32, Config{M: 16, EfConstruction: 100, Seed: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := data[7]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(q, 10, 100)
+	}
+}

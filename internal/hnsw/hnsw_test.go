@@ -1,0 +1,210 @@
+package hnsw
+
+import (
+	"math/rand"
+	"testing"
+
+	"dnnd/internal/brute"
+	"dnnd/internal/knng"
+	"dnnd/internal/metric"
+	"dnnd/internal/recall"
+)
+
+func uniformData(rng *rand.Rand, n, dim int) [][]float32 {
+	data := make([][]float32, n)
+	for i := range data {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = rng.Float32()
+		}
+		data[i] = v
+	}
+	return data
+}
+
+func queryAll[T any](ix *Index[float32], queries [][]float32, k, ef int) [][]knng.ID {
+	out := make([][]knng.ID, len(queries))
+	for i, q := range queries {
+		res := ix.Search(q, k, ef)
+		ids := make([]knng.ID, len(res))
+		for j, e := range res {
+			ids[j] = e.ID
+		}
+		out[i] = ids
+	}
+	return out
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(metric.L2Float32, Config{M: 1, EfConstruction: 10}); err == nil {
+		t.Error("M=1 accepted")
+	}
+	if _, err := New(metric.L2Float32, Config{M: 8, EfConstruction: 0}); err == nil {
+		t.Error("efc=0 accepted")
+	}
+	if _, err := New(metric.L2Float32, DefaultConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSearchEmptyAndTiny(t *testing.T) {
+	ix, _ := New(metric.L2Float32, Config{M: 4, EfConstruction: 10, Seed: 1})
+	if got := ix.Search([]float32{1}, 3, 10); got != nil {
+		t.Errorf("empty index returned %v", got)
+	}
+	ix.Add([]float32{5})
+	got := ix.Search([]float32{1}, 3, 10)
+	if len(got) != 1 || got[0].ID != 0 {
+		t.Errorf("single-point index returned %v", got)
+	}
+	if got := ix.Search([]float32{1}, 0, 10); got != nil {
+		t.Errorf("k=0 returned %v", got)
+	}
+}
+
+func TestExactOnLine(t *testing.T) {
+	ix, _ := New(metric.L2Float32, Config{M: 4, EfConstruction: 40, Seed: 2})
+	for i := 0; i < 50; i++ {
+		ix.Add([]float32{float32(i)})
+	}
+	res := ix.Search([]float32{20.3}, 3, 50)
+	if res[0].ID != 20 {
+		t.Errorf("nearest = %v", res[0])
+	}
+	ids := map[knng.ID]bool{res[0].ID: true, res[1].ID: true, res[2].ID: true}
+	if !ids[20] || !ids[21] || !ids[19] {
+		t.Errorf("top3 = %v", res)
+	}
+}
+
+func TestRecallVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := uniformData(rng, 2000, 10)
+	ix, err := Build(data, metric.SquaredL2Float32, Config{M: 16, EfConstruction: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := uniformData(rng, 50, 10)
+	truth := brute.TruthIDs(brute.QueryKNN(data, queries, 10, metric.SquaredL2Float32, 0))
+	got := queryAll[float32](ix, queries, 10, 100)
+	r := recall.AtK(got, truth, 10)
+	t.Logf("hnsw recall@10 = %.3f (distEvals=%d)", r, ix.DistEvals())
+	if r < 0.90 {
+		t.Errorf("recall = %.3f, want >= 0.90", r)
+	}
+}
+
+func TestEfImprovesRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := uniformData(rng, 1500, 12)
+	ix, _ := Build(data, metric.SquaredL2Float32, Config{M: 8, EfConstruction: 60, Seed: 6})
+	queries := uniformData(rng, 40, 12)
+	truth := brute.TruthIDs(brute.QueryKNN(data, queries, 10, metric.SquaredL2Float32, 0))
+
+	rLow := recall.AtK(queryAll[float32](ix, queries, 10, 10), truth, 10)
+	rHigh := recall.AtK(queryAll[float32](ix, queries, 10, 200), truth, 10)
+	t.Logf("ef=10 recall=%.3f, ef=200 recall=%.3f", rLow, rHigh)
+	if rHigh < rLow {
+		t.Errorf("larger ef reduced recall: %.3f -> %.3f", rLow, rHigh)
+	}
+	if rHigh < 0.90 {
+		t.Errorf("ef=200 recall = %.3f, want >= 0.90", rHigh)
+	}
+}
+
+func TestDegreeCaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := uniformData(rng, 800, 6)
+	cfg := Config{M: 6, EfConstruction: 50, Seed: 8}
+	ix, _ := Build(data, metric.SquaredL2Float32, cfg)
+	for id := 0; id < ix.Len(); id++ {
+		for level := 0; ; level++ {
+			deg := ix.Degree(id, level)
+			if deg == 0 && level >= len(ix.links[id]) {
+				break
+			}
+			cap := cfg.M
+			if level == 0 {
+				cap = 2 * cfg.M
+			}
+			if deg > cap {
+				t.Fatalf("node %d level %d degree %d exceeds cap %d", id, level, deg, cap)
+			}
+			if level >= len(ix.links[id])-1 {
+				break
+			}
+		}
+	}
+	if ix.MaxLevel() < 1 {
+		t.Errorf("800 points should produce multiple layers (maxLevel=%d)", ix.MaxLevel())
+	}
+}
+
+func TestLinksAreBidirectionallyValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := uniformData(rng, 300, 4)
+	ix, _ := Build(data, metric.SquaredL2Float32, Config{M: 5, EfConstruction: 30, Seed: 10})
+	for id := range ix.links {
+		for level, lnk := range ix.links[id] {
+			for _, u := range lnk {
+				if int(u) == id {
+					t.Fatalf("node %d links to itself at level %d", id, level)
+				}
+				if int(u) >= ix.Len() {
+					t.Fatalf("node %d links to out-of-range %d", id, u)
+				}
+				if level >= len(ix.links[u]) {
+					t.Fatalf("node %d links to %d at level %d, but %d only reaches level %d",
+						id, u, level, u, len(ix.links[u])-1)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data := uniformData(rng, 400, 5)
+	a, _ := Build(data, metric.SquaredL2Float32, Config{M: 6, EfConstruction: 40, Seed: 12})
+	b, _ := Build(data, metric.SquaredL2Float32, Config{M: 6, EfConstruction: 40, Seed: 12})
+	q := []float32{0.5, 0.5, 0.5, 0.5, 0.5}
+	ra := a.Search(q, 5, 50)
+	rb := b.Search(q, 5, 50)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("same seed diverged: %v vs %v", ra, rb)
+		}
+	}
+}
+
+func TestUint8Index(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	data := make([][]uint8, 500)
+	for i := range data {
+		v := make([]uint8, 8)
+		for j := range v {
+			v[j] = uint8(rng.Intn(256))
+		}
+		data[i] = v
+	}
+	ix, err := Build(data, metric.SquaredL2Uint8, Config{M: 8, EfConstruction: 60, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := data[:20]
+	truth := brute.TruthIDs(brute.QueryKNN(data, queries, 5, metric.SquaredL2Uint8, 0))
+	got := make([][]knng.ID, len(queries))
+	for i, q := range queries {
+		res := ix.Search(q, 5, 80)
+		ids := make([]knng.ID, len(res))
+		for j, e := range res {
+			ids[j] = e.ID
+		}
+		got[i] = ids
+	}
+	r := recall.AtK(got, truth, 5)
+	t.Logf("uint8 hnsw recall@5 = %.3f", r)
+	if r < 0.85 {
+		t.Errorf("recall = %.3f, want >= 0.85", r)
+	}
+}

@@ -1,0 +1,78 @@
+package knng
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkNeighborListUpdate measures Algorithm 1's Update on a full
+// K=20 list — the operation every Type 2/Type 3 message triggers.
+func BenchmarkNeighborListUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewNeighborList(20)
+	for i := 0; i < 20; i++ {
+		l.Update(ID(i), rng.Float32()+1, true)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Update(ID(100+i%1000), rng.Float32(), true)
+	}
+}
+
+func BenchmarkNeighborListContainsMiss(b *testing.B) {
+	l := NewNeighborList(20)
+	for i := 0; i < 20; i++ {
+		l.Update(ID(i), float32(i), true)
+	}
+	b.ResetTimer()
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = l.Contains(9999)
+	}
+	_ = sink
+}
+
+func BenchmarkGraphMarshal(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomGraph(rng, 1000, 10)
+	blob := g.Marshal()
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Marshal()
+	}
+}
+
+func BenchmarkGraphUnmarshal(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	blob := randomGraph(rng, 1000, 10).Marshal()
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMergeReverseEdges(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := randomGraph(rng, 500, 10)
+		b.StartTimer()
+		g.MergeReverseEdges()
+	}
+}
+
+func BenchmarkMinQueue(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	var q MinQueue
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(ID(i), rng.Float32())
+		if q.Len() > 64 {
+			q.Pop()
+		}
+	}
+}

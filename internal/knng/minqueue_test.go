@@ -1,0 +1,102 @@
+package knng
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinQueueBasics(t *testing.T) {
+	var q MinQueue
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatal("fresh queue not empty")
+	}
+	q.Push(1, 3.0)
+	q.Push(2, 1.0)
+	q.Push(3, 2.0)
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if id, d := q.Top(); id != 2 || d != 1.0 {
+		t.Fatalf("Top = %d, %v", id, d)
+	}
+	id, d := q.Pop()
+	if id != 2 || d != 1.0 {
+		t.Fatalf("Pop = %d, %v", id, d)
+	}
+	if id, _ := q.Pop(); id != 3 {
+		t.Fatalf("second Pop = %d", id)
+	}
+	if id, _ := q.Pop(); id != 1 {
+		t.Fatalf("third Pop = %d", id)
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty after draining")
+	}
+}
+
+// Property: pops come out in ascending distance order, and the popped
+// multiset equals the pushed multiset.
+func TestQuickMinQueueHeapOrder(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300)
+		var q MinQueue
+		pushed := make([]float32, n)
+		for i := 0; i < n; i++ {
+			d := rng.Float32()
+			pushed[i] = d
+			q.Push(ID(i), d)
+		}
+		sort.Slice(pushed, func(a, b int) bool { return pushed[a] < pushed[b] })
+		for i := 0; i < n; i++ {
+			_, d := q.Pop()
+			if d != pushed[i] {
+				return false
+			}
+		}
+		return q.Empty()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinQueueInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var q MinQueue
+	lastPopped := float32(-1)
+	inserted := 0
+	for step := 0; step < 1000; step++ {
+		if q.Empty() || rng.Intn(2) == 0 {
+			// Monotone-increasing pushes keep the min non-decreasing,
+			// which lets us assert pop ordering even when interleaved.
+			q.Push(ID(inserted), lastPopped+rng.Float32()+0.001)
+			inserted++
+		} else {
+			_, d := q.Pop()
+			if d < lastPopped {
+				t.Fatalf("pop order broken: %v after %v", d, lastPopped)
+			}
+			lastPopped = d
+		}
+	}
+}
+
+func TestNeighborListK(t *testing.T) {
+	l := NewNeighborList(7)
+	if l.K() != 7 {
+		t.Errorf("K = %d", l.K())
+	}
+}
+
+func TestSortStable(t *testing.T) {
+	g := NewGraph(1)
+	g.Neighbors[0] = []Neighbor{{ID: 3, Dist: 1}, {ID: 1, Dist: 1}, {ID: 2, Dist: 0.5}}
+	g.SortStable()
+	ns := g.Neighbors[0]
+	if ns[0].ID != 2 || ns[1].ID != 1 || ns[2].ID != 3 {
+		t.Errorf("SortStable order = %v", ns)
+	}
+}

@@ -1,0 +1,193 @@
+// Package knng provides the k-nearest-neighbor-graph data structures
+// shared by the DNND construction path, the search path, and the
+// baselines: the bounded neighbor heap implementing Algorithm 1's
+// Update, the final Graph adjacency, (de)serialization, invariant
+// checking, and the Section 4.5 graph optimizations (reverse-edge merge
+// and degree pruning).
+package knng
+
+import "dnnd/internal/wire"
+
+// ID is a global point identifier. The paper uses uint32 point IDs for
+// billion-scale datasets; we follow suit.
+type ID = uint32
+
+// InvalidID is a sentinel that never names a real point.
+const InvalidID ID = ^ID(0)
+
+// Neighbor is one entry of a neighbor list: a point, its distance from
+// the list owner, and the NN-Descent new/old flag.
+type Neighbor struct {
+	ID   ID
+	Dist float32
+	New  bool
+}
+
+// NeighborList is a bounded max-heap of up to K neighbors keyed by
+// distance with the farthest entry at the top, exactly the structure H
+// manipulated by Update in Algorithm 1. Membership is deduplicated.
+//
+// K is small (10-100 in the paper), so membership checks are linear
+// scans; that beats a side map at these sizes and keeps the structure
+// allocation-free after construction.
+type NeighborList struct {
+	k     int
+	items []Neighbor // max-heap by Dist; items[0] is the farthest
+}
+
+// NewNeighborList returns an empty list with capacity k.
+// k must be positive.
+func NewNeighborList(k int) *NeighborList {
+	if k <= 0 {
+		panic("knng: neighbor list capacity must be positive")
+	}
+	return &NeighborList{k: k, items: make([]Neighbor, 0, k)}
+}
+
+// K returns the list's capacity.
+func (l *NeighborList) K() int { return l.k }
+
+// Len returns the number of stored neighbors.
+func (l *NeighborList) Len() int { return len(l.items) }
+
+// Full reports whether the list holds K neighbors.
+func (l *NeighborList) Full() bool { return len(l.items) == l.k }
+
+// FarthestDist returns the distance to the current farthest neighbor.
+// On a non-full list it returns +Inf semantics via MaxFloat behaviour:
+// callers that prune on this bound must treat a non-full list as
+// unbounded, so we return the largest float32.
+func (l *NeighborList) FarthestDist() float32 {
+	if len(l.items) < l.k {
+		return maxFloat32
+	}
+	return l.items[0].Dist
+}
+
+const maxFloat32 = 3.4028234663852886e+38
+
+// Contains reports whether id is in the list.
+func (l *NeighborList) Contains(id ID) bool {
+	for i := range l.items {
+		if l.items[i].ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Update implements Algorithm 1's Update(H, (v, d, f)): insert (id, d)
+// flagged new if id is absent and either the list is not full or d is
+// strictly closer than the farthest entry, evicting the farthest in the
+// latter case. It returns 1 when the list changed and 0 otherwise,
+// matching the paper's counter increment.
+func (l *NeighborList) Update(id ID, d float32, isNew bool) int {
+	if l.Contains(id) {
+		return 0
+	}
+	if len(l.items) < l.k {
+		l.items = append(l.items, Neighbor{ID: id, Dist: d, New: isNew})
+		l.siftUp(len(l.items) - 1)
+		return 1
+	}
+	if d >= l.items[0].Dist {
+		return 0
+	}
+	l.items[0] = Neighbor{ID: id, Dist: d, New: isNew}
+	l.siftDown(0)
+	return 1
+}
+
+func (l *NeighborList) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if l.items[parent].Dist >= l.items[i].Dist {
+			return
+		}
+		l.items[parent], l.items[i] = l.items[i], l.items[parent]
+		i = parent
+	}
+}
+
+func (l *NeighborList) siftDown(i int) {
+	n := len(l.items)
+	for {
+		left, right := 2*i+1, 2*i+2
+		largest := i
+		if left < n && l.items[left].Dist > l.items[largest].Dist {
+			largest = left
+		}
+		if right < n && l.items[right].Dist > l.items[largest].Dist {
+			largest = right
+		}
+		if largest == i {
+			return
+		}
+		l.items[i], l.items[largest] = l.items[largest], l.items[i]
+		i = largest
+	}
+}
+
+// Items returns the stored neighbors in heap order. The slice aliases
+// internal storage; callers must not mutate IDs or distances, but may
+// toggle the New flag (used by the NN-Descent sampling step).
+func (l *NeighborList) Items() []Neighbor { return l.items }
+
+// Sorted returns a copy of the neighbors ordered by ascending distance
+// (ties broken by ID for determinism).
+func (l *NeighborList) Sorted() []Neighbor {
+	out := make([]Neighbor, len(l.items))
+	copy(out, l.items)
+	sortNeighbors(out)
+	return out
+}
+
+// MarkOld clears the New flag on the neighbor with the given id, if
+// present. Used when the sampling step consumes a "new" entry
+// (Algorithm 1, line 10).
+func (l *NeighborList) MarkOld(id ID) {
+	for i := range l.items {
+		if l.items[i].ID == id {
+			l.items[i].New = false
+			return
+		}
+	}
+}
+
+func sortNeighbors(ns []Neighbor) {
+	// Insertion sort: lists are short (K <= ~150 even after merge).
+	for i := 1; i < len(ns); i++ {
+		x := ns[i]
+		j := i - 1
+		for j >= 0 && (ns[j].Dist > x.Dist || (ns[j].Dist == x.Dist && ns[j].ID > x.ID)) {
+			ns[j+1] = ns[j]
+			j--
+		}
+		ns[j+1] = x
+	}
+}
+
+// encodeList appends the list's sorted neighbors to w.
+func encodeNeighbors(w *wire.Writer, ns []Neighbor) {
+	w.Uint32(uint32(len(ns)))
+	for _, n := range ns {
+		w.Uint32(n.ID)
+		w.Float32(n.Dist)
+	}
+}
+
+func decodeNeighbors(r *wire.Reader) []Neighbor {
+	n := int(r.Uint32())
+	if r.Err() != nil || n < 0 || n > wire.MaxVectorLen {
+		return nil
+	}
+	out := make([]Neighbor, n)
+	for i := range out {
+		out[i].ID = r.Uint32()
+		out[i].Dist = r.Float32()
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return out
+}

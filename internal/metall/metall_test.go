@@ -1,0 +1,292 @@
+package metall
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreatePutGetCloseOpen(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put("graph", []byte("graph-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put("dataset", []byte("dataset-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	// Readable before commit.
+	got, err := m.Get("graph")
+	if err != nil || string(got) != "graph-bytes" {
+		t.Fatalf("pre-commit Get = %q, %v", got, err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = m2.Get("dataset")
+	if err != nil || string(got) != "dataset-bytes" {
+		t.Fatalf("post-reopen Get = %q, %v", got, err)
+	}
+	names := m2.Names()
+	if len(names) != 2 || names[0] != "dataset" || names[1] != "graph" {
+		t.Errorf("Names = %v", names)
+	}
+	sz, err := m2.Size("graph")
+	if err != nil || sz != int64(len("graph-bytes")) {
+		t.Errorf("Size = %d, %v", sz, err)
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateRefusesExistingStore(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := Create(dir)
+	m.Put("x", []byte("y"))
+	m.Close()
+	if _, err := Create(dir); err == nil {
+		t.Fatal("Create over an existing datastore should fail")
+	}
+	if _, err := OpenOrCreate(dir); err != nil {
+		t.Fatalf("OpenOrCreate should open: %v", err)
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("Open of missing store should fail")
+	}
+}
+
+func TestOverwriteAndDelete(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := Create(dir)
+	m.Put("k", []byte("v1"))
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	m.Put("k", []byte("v2"))
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Get("k")
+	if string(got) != "v2" {
+		t.Errorf("after overwrite = %q", got)
+	}
+	m.Delete("k")
+	if _, err := m.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get after Delete = %v", err)
+	}
+	if m.Has("k") {
+		t.Error("Has after Delete")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, _ := Open(dir)
+	if m2.Has("k") {
+		t.Error("deleted object resurfaced after reopen")
+	}
+	m2.Close()
+	// Overwritten/deleted object files are garbage collected.
+	files, _ := os.ReadDir(dir)
+	bins := 0
+	for _, f := range files {
+		if filepath.Ext(f.Name()) == ".bin" {
+			bins++
+		}
+	}
+	if bins != 0 {
+		t.Errorf("%d stale object files left behind", bins)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := Create(dir)
+	m.Put("obj", bytes.Repeat([]byte{7}, 100))
+	m.Close()
+
+	// Flip a byte in the object file.
+	files, _ := os.ReadDir(dir)
+	for _, f := range files {
+		if filepath.Ext(f.Name()) == ".bin" {
+			path := filepath.Join(dir, f.Name())
+			data, _ := os.ReadFile(path)
+			data[50] ^= 0xFF
+			os.WriteFile(path, data, 0o644)
+		}
+	}
+	m2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Get("obj"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Get on corrupted object = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTruncatedObjectDetected(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := Create(dir)
+	m.Put("obj", bytes.Repeat([]byte{9}, 64))
+	m.Close()
+	files, _ := os.ReadDir(dir)
+	for _, f := range files {
+		if filepath.Ext(f.Name()) == ".bin" {
+			os.Truncate(filepath.Join(dir, f.Name()), 10)
+		}
+	}
+	m2, _ := Open(dir)
+	if _, err := m2.Get("obj"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Get on truncated object = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBadManifestRejected(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := Create(dir)
+	m.Put("x", []byte("y"))
+	m.Close()
+	os.WriteFile(filepath.Join(dir, manifestName), []byte("{not json"), 0o644)
+	if _, err := Open(dir); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Open with bad manifest = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestClosedManagerRefusesOperations(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := Create(dir)
+	m.Close()
+	if err := m.Put("a", nil); !errors.Is(err, ErrClosed) {
+		t.Error("Put after Close")
+	}
+	if _, err := m.Get("a"); !errors.Is(err, ErrClosed) {
+		t.Error("Get after Close")
+	}
+	if err := m.Delete("a"); !errors.Is(err, ErrClosed) {
+		t.Error("Delete after Close")
+	}
+	if err := m.Commit(); !errors.Is(err, ErrClosed) {
+		t.Error("Commit after Close")
+	}
+	if err := m.Close(); !errors.Is(err, ErrClosed) {
+		t.Error("double Close should report ErrClosed")
+	}
+}
+
+func TestEmptyNameRejected(t *testing.T) {
+	m, _ := Create(t.TempDir())
+	defer m.Close()
+	if err := m.Put("", []byte("x")); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	src := t.TempDir()
+	dst := filepath.Join(t.TempDir(), "snap")
+	m, _ := Create(src)
+	m.Put("a", []byte("alpha"))
+	m.Put("b", []byte("beta"))
+	if err := m.Snapshot(dst); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot to an existing store must fail.
+	if err := m.Snapshot(dst); err == nil {
+		t.Error("second snapshot to the same dir should fail")
+	}
+	m.Close()
+
+	s, err := Open(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("a")
+	if err != nil || string(got) != "alpha" {
+		t.Errorf("snapshot Get = %q, %v", got, err)
+	}
+	s.Close()
+}
+
+func TestQuickPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	i := 0
+	prop := func(data []byte) bool {
+		i++
+		name := string(rune('a'+i%26)) + "obj"
+		if err := m.Put(name, data); err != nil {
+			return false
+		}
+		if err := m.Commit(); err != nil {
+			return false
+		}
+		got, err := m.Get(name)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommitIsAtomicUnderReopen(t *testing.T) {
+	// A store with uncommitted writes reopened from disk must show only
+	// the committed state.
+	dir := t.TempDir()
+	m, _ := Create(dir)
+	m.Put("committed", []byte("yes"))
+	m.Commit()
+	m.Put("pending", []byte("no"))
+	// No Commit, no Close: simulate a crash by just reopening.
+	m2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Has("pending") {
+		t.Error("uncommitted write became visible")
+	}
+	if !m2.Has("committed") {
+		t.Error("committed write lost")
+	}
+	m2.Close()
+}
+
+func TestDirAndSizeOfPending(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := Create(dir)
+	defer m.Close()
+	if m.Dir() != dir {
+		t.Errorf("Dir = %q", m.Dir())
+	}
+	m.Put("x", []byte("12345"))
+	if sz, err := m.Size("x"); err != nil || sz != 5 {
+		t.Errorf("pending Size = %d, %v", sz, err)
+	}
+	if _, err := m.Size("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Size of missing = %v", err)
+	}
+}
+
+func TestWriteFileSyncFailure(t *testing.T) {
+	if err := writeFileSync(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x")); err == nil {
+		t.Error("write into missing directory accepted")
+	}
+}

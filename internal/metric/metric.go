@@ -1,0 +1,191 @@
+// Package metric implements the distance functions used by DNND and the
+// baselines: L2, squared L2, cosine distance, inner-product distance,
+// Jaccard distance over sorted uint32 sets, and Hamming distance.
+//
+// A metric here follows the paper's convention: a symmetric function
+// theta(a, b) >= 0 where smaller means closer. Cosine and inner-product
+// "distances" are the usual ANN-benchmark similarity complements; they
+// are symmetric but not true metrics, which NN-Descent does not require.
+package metric
+
+import (
+	"fmt"
+	"math"
+
+	"dnnd/internal/wire"
+)
+
+// Func computes the distance between two feature vectors of element
+// type T. Implementations must be symmetric: Func(a,b) == Func(b,a).
+type Func[T wire.Scalar] func(a, b []T) float32
+
+// Kind names a distance function, as used in dataset presets and CLI
+// flags. The names mirror the "Similarity Metric" column of Table 1.
+type Kind string
+
+// Supported metric kinds.
+const (
+	L2           Kind = "l2"
+	SquaredL2    Kind = "sql2"
+	Cosine       Kind = "cosine"
+	InnerProduct Kind = "ip"
+	Jaccard      Kind = "jaccard"
+	Hamming      Kind = "hamming"
+)
+
+// Kinds lists every supported metric kind.
+func Kinds() []Kind {
+	return []Kind{L2, SquaredL2, Cosine, InnerProduct, Jaccard, Hamming}
+}
+
+// ForFloat32 returns the named metric over []float32 vectors.
+func ForFloat32(k Kind) (Func[float32], error) {
+	switch k {
+	case L2:
+		return L2Float32, nil
+	case SquaredL2:
+		return SquaredL2Float32, nil
+	case Cosine:
+		return CosineFloat32, nil
+	case InnerProduct:
+		return InnerProductFloat32, nil
+	default:
+		return nil, fmt.Errorf("metric: kind %q not defined for float32", k)
+	}
+}
+
+// ForUint8 returns the named metric over []uint8 vectors.
+func ForUint8(k Kind) (Func[uint8], error) {
+	switch k {
+	case L2:
+		return L2Uint8, nil
+	case SquaredL2:
+		return SquaredL2Uint8, nil
+	case Hamming:
+		return HammingUint8, nil
+	default:
+		return nil, fmt.Errorf("metric: kind %q not defined for uint8", k)
+	}
+}
+
+// ForUint32 returns the named metric over sorted []uint32 sets.
+func ForUint32(k Kind) (Func[uint32], error) {
+	switch k {
+	case Jaccard:
+		return JaccardUint32, nil
+	default:
+		return nil, fmt.Errorf("metric: kind %q not defined for uint32 sets", k)
+	}
+}
+
+// For returns the named metric for element type T, or an error when the
+// combination is unsupported (e.g. Jaccard over float32).
+func For[T wire.Scalar](k Kind) (Func[T], error) {
+	var z T
+	switch any(z).(type) {
+	case float32:
+		f, err := ForFloat32(k)
+		return any(f).(Func[T]), err
+	case uint8:
+		f, err := ForUint8(k)
+		return any(f).(Func[T]), err
+	default:
+		f, err := ForUint32(k)
+		return any(f).(Func[T]), err
+	}
+}
+
+// SquaredL2Float32 returns the squared Euclidean distance. It induces
+// the same neighbor ordering as L2 at lower cost and is what the
+// construction path uses internally for L2 datasets.
+func SquaredL2Float32(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// L2Float32 returns the Euclidean distance.
+func L2Float32(a, b []float32) float32 {
+	return float32(math.Sqrt(float64(SquaredL2Float32(a, b))))
+}
+
+// CosineFloat32 returns 1 - cos(a, b), in [0, 2]. Zero vectors are at
+// distance 1 from everything (cosine similarity treated as 0).
+func CosineFloat32(a, b []float32) float32 {
+	var dot, na, nb float32
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return 1 - dot/float32(math.Sqrt(float64(na)*float64(nb)))
+}
+
+// InnerProductFloat32 returns -<a, b>, shifted ordering used for
+// maximum-inner-product search. Not bounded below by zero in general;
+// NN-Descent only compares distances so this is fine.
+func InnerProductFloat32(a, b []float32) float32 {
+	var dot float32
+	for i := range a {
+		dot += a[i] * b[i]
+	}
+	return -dot
+}
+
+// SquaredL2Uint8 returns the squared Euclidean distance between
+// quantized vectors (BigANN's element type).
+func SquaredL2Uint8(a, b []uint8) float32 {
+	var s int64
+	for i := range a {
+		d := int64(a[i]) - int64(b[i])
+		s += d * d
+	}
+	return float32(s)
+}
+
+// L2Uint8 returns the Euclidean distance between quantized vectors.
+func L2Uint8(a, b []uint8) float32 {
+	return float32(math.Sqrt(float64(SquaredL2Uint8(a, b))))
+}
+
+// HammingUint8 counts differing bytes.
+func HammingUint8(a, b []uint8) float32 {
+	var n int
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return float32(n)
+}
+
+// JaccardUint32 returns the Jaccard distance 1 - |A∩B| / |A∪B| between
+// two strictly sorted uint32 sets (the Kosarak representation). Two
+// empty sets are at distance 0.
+func JaccardUint32(a, b []uint32) float32 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	var inter int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return 1 - float32(inter)/float32(union)
+}

@@ -1,0 +1,71 @@
+package metric
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchVecs(dim int) ([]float32, []float32) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float32, dim)
+	b := make([]float32, dim)
+	for i := 0; i < dim; i++ {
+		a[i], b[i] = rng.Float32(), rng.Float32()
+	}
+	return a, b
+}
+
+// BenchmarkSquaredL2Deep measures the hot distance kernel at the DEEP
+// dataset's dimensionality (the construction path's dominant cost).
+func BenchmarkSquaredL2Deep(b *testing.B) {
+	x, y := benchVecs(96)
+	b.SetBytes(96 * 4)
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink += SquaredL2Float32(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkCosineGloVe(b *testing.B) {
+	x, y := benchVecs(25)
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink += CosineFloat32(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkSquaredL2BigANN(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]uint8, 128)
+	y := make([]uint8, 128)
+	for i := range x {
+		x[i], y[i] = uint8(rng.Intn(256)), uint8(rng.Intn(256))
+	}
+	b.SetBytes(128)
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink += SquaredL2Uint8(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkJaccardKosarak(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	mk := func() []uint32 {
+		s := make([]uint32, 28)
+		v := uint32(0)
+		for i := range s {
+			v += uint32(rng.Intn(50)) + 1
+			s[i] = v
+		}
+		return s
+	}
+	x, y := mk(), mk()
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink += JaccardUint32(x, y)
+	}
+	_ = sink
+}

@@ -1,0 +1,209 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float32) bool {
+	return float32(math.Abs(float64(a-b))) <= tol
+}
+
+func TestL2KnownValues(t *testing.T) {
+	a := []float32{0, 0, 0}
+	b := []float32{3, 4, 0}
+	if got := L2Float32(a, b); got != 5 {
+		t.Errorf("L2 = %v, want 5", got)
+	}
+	if got := SquaredL2Float32(a, b); got != 25 {
+		t.Errorf("SqL2 = %v, want 25", got)
+	}
+}
+
+func TestCosineKnownValues(t *testing.T) {
+	if got := CosineFloat32([]float32{1, 0}, []float32{1, 0}); !almostEq(got, 0, 1e-6) {
+		t.Errorf("cos identical = %v, want 0", got)
+	}
+	if got := CosineFloat32([]float32{1, 0}, []float32{0, 1}); !almostEq(got, 1, 1e-6) {
+		t.Errorf("cos orthogonal = %v, want 1", got)
+	}
+	if got := CosineFloat32([]float32{1, 0}, []float32{-1, 0}); !almostEq(got, 2, 1e-6) {
+		t.Errorf("cos opposite = %v, want 2", got)
+	}
+	if got := CosineFloat32([]float32{0, 0}, []float32{1, 0}); got != 1 {
+		t.Errorf("cos zero vector = %v, want 1", got)
+	}
+}
+
+func TestInnerProduct(t *testing.T) {
+	got := InnerProductFloat32([]float32{1, 2}, []float32{3, 4})
+	if got != -11 {
+		t.Errorf("ip = %v, want -11", got)
+	}
+}
+
+func TestUint8Metrics(t *testing.T) {
+	a := []uint8{0, 255, 10}
+	b := []uint8{0, 0, 13}
+	if got := SquaredL2Uint8(a, b); got != 255*255+9 {
+		t.Errorf("sql2 u8 = %v", got)
+	}
+	if got := HammingUint8(a, b); got != 2 {
+		t.Errorf("hamming = %v, want 2", got)
+	}
+	if got := HammingUint8(a, a); got != 0 {
+		t.Errorf("hamming self = %v, want 0", got)
+	}
+}
+
+func TestJaccardKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b []uint32
+		want float32
+	}{
+		{[]uint32{1, 2, 3}, []uint32{1, 2, 3}, 0},
+		{[]uint32{1, 2}, []uint32{3, 4}, 1},
+		{[]uint32{1, 2, 3}, []uint32{2, 3, 4}, 0.5},
+		{nil, nil, 0},
+		{[]uint32{1}, nil, 1},
+	}
+	for i, c := range cases {
+		if got := JaccardUint32(c.a, c.b); !almostEq(got, c.want, 1e-6) {
+			t.Errorf("case %d: jaccard = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+// Property: all metrics are symmetric and self-distance is minimal.
+func TestQuickSymmetryFloat32(t *testing.T) {
+	for _, k := range []Kind{L2, SquaredL2, Cosine, InnerProduct} {
+		f, err := ForFloat32(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prop := func(seed int64, dim uint8) bool {
+			d := int(dim%32) + 1
+			rng := rand.New(rand.NewSource(seed))
+			a := make([]float32, d)
+			b := make([]float32, d)
+			for i := 0; i < d; i++ {
+				a[i] = rng.Float32()*2 - 1
+				b[i] = rng.Float32()*2 - 1
+			}
+			return almostEq(f(a, b), f(b, a), 1e-4)
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Errorf("%s symmetry: %v", k, err)
+		}
+	}
+}
+
+func TestQuickL2Axioms(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := rng.Intn(16) + 1
+		a := make([]float32, d)
+		b := make([]float32, d)
+		c := make([]float32, d)
+		for i := 0; i < d; i++ {
+			a[i], b[i], c[i] = rng.Float32(), rng.Float32(), rng.Float32()
+		}
+		// identity, non-negativity, triangle inequality
+		if L2Float32(a, a) != 0 {
+			return false
+		}
+		if L2Float32(a, b) < 0 {
+			return false
+		}
+		return L2Float32(a, c) <= L2Float32(a, b)+L2Float32(b, c)+1e-4
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickJaccardProperties(t *testing.T) {
+	mkset := func(rng *rand.Rand) []uint32 {
+		n := rng.Intn(20)
+		m := map[uint32]bool{}
+		for i := 0; i < n; i++ {
+			m[uint32(rng.Intn(50))] = true
+		}
+		out := make([]uint32, 0, len(m))
+		for v := range m {
+			out = append(out, v)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := mkset(rng), mkset(rng)
+		d := JaccardUint32(a, b)
+		if d < 0 || d > 1 {
+			return false
+		}
+		if JaccardUint32(a, a) != 0 {
+			return false
+		}
+		return almostEq(d, JaccardUint32(b, a), 1e-6)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSquaredL2OrderingMatchesL2(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := []float32{rng.Float32(), rng.Float32(), rng.Float32()}
+	pts := make([][]float32, 50)
+	for i := range pts {
+		pts[i] = []float32{rng.Float32(), rng.Float32(), rng.Float32()}
+	}
+	byL2 := make([]int, len(pts))
+	bySq := make([]int, len(pts))
+	for i := range pts {
+		byL2[i], bySq[i] = i, i
+	}
+	sort.Slice(byL2, func(i, j int) bool { return L2Float32(q, pts[byL2[i]]) < L2Float32(q, pts[byL2[j]]) })
+	sort.Slice(bySq, func(i, j int) bool { return SquaredL2Float32(q, pts[bySq[i]]) < SquaredL2Float32(q, pts[bySq[j]]) })
+	for i := range byL2 {
+		if byL2[i] != bySq[i] {
+			t.Fatalf("ordering diverges at %d", i)
+		}
+	}
+}
+
+func TestForDispatch(t *testing.T) {
+	if _, err := For[float32](L2); err != nil {
+		t.Error(err)
+	}
+	if _, err := For[uint8](L2); err != nil {
+		t.Error(err)
+	}
+	if _, err := For[uint32](Jaccard); err != nil {
+		t.Error(err)
+	}
+	if _, err := For[float32](Jaccard); err == nil {
+		t.Error("expected error: jaccard over float32")
+	}
+	if _, err := For[uint8](Cosine); err == nil {
+		t.Error("expected error: cosine over uint8")
+	}
+	if _, err := For[uint32](L2); err == nil {
+		t.Error("expected error: l2 over uint32 sets")
+	}
+	f, err := For[float32](Cosine)
+	if err != nil || f == nil {
+		t.Fatalf("For cosine: %v", err)
+	}
+	if got := f([]float32{1, 0}, []float32{0, 1}); !almostEq(got, 1, 1e-6) {
+		t.Errorf("dispatched cosine = %v", got)
+	}
+	if len(Kinds()) != 6 {
+		t.Errorf("Kinds() = %v", Kinds())
+	}
+}

@@ -1,0 +1,94 @@
+// Package recall scores approximate nearest-neighbor results against
+// ground truth, matching the paper's metrics: per-point recall averaged
+// over a graph (Section 5.2) and recall@k averaged over a query set
+// (Section 5.3.3, recall@10).
+package recall
+
+import (
+	"math"
+	"sort"
+
+	"dnnd/internal/knng"
+)
+
+// AtK returns the mean, over all queries, of |got[:k] ∩ truth[:k]| /
+// min(k, |truth|). got and truth must have the same length.
+func AtK(got, truth [][]knng.ID, k int) float64 {
+	if len(got) != len(truth) {
+		panic("recall: result/truth length mismatch")
+	}
+	if len(got) == 0 {
+		return 0
+	}
+	var total float64
+	for q := range got {
+		total += One(got[q], truth[q], k)
+	}
+	return total / float64(len(got))
+}
+
+// One returns the recall@k of a single result list.
+func One(got, truth []knng.ID, k int) float64 {
+	if len(truth) > k {
+		truth = truth[:k]
+	}
+	if len(truth) == 0 {
+		return 1
+	}
+	if len(got) > k {
+		got = got[:k]
+	}
+	truthSet := make(map[knng.ID]bool, len(truth))
+	for _, id := range truth {
+		truthSet[id] = true
+	}
+	hits := 0
+	for _, id := range got {
+		if truthSet[id] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(truth))
+}
+
+// Summary aggregates per-query recall scores.
+type Summary struct {
+	Mean float64
+	Min  float64
+	P10  float64 // 10th percentile
+	P50  float64
+	P90  float64
+}
+
+// Summarize computes per-query recall@k and summary statistics.
+func Summarize(got, truth [][]knng.ID, k int) Summary {
+	if len(got) != len(truth) {
+		panic("recall: result/truth length mismatch")
+	}
+	if len(got) == 0 {
+		return Summary{}
+	}
+	scores := make([]float64, len(got))
+	var sum float64
+	minV := math.Inf(1)
+	for q := range got {
+		s := One(got[q], truth[q], k)
+		scores[q] = s
+		sum += s
+		if s < minV {
+			minV = s
+		}
+	}
+	sort.Float64s(scores)
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(scores)-1))
+		return scores[idx]
+	}
+	return Summary{
+		Mean: sum / float64(len(scores)),
+		Min:  minV,
+		P10:  pct(0.10),
+		P50:  pct(0.50),
+		P90:  pct(0.90),
+	}
+}

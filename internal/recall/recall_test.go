@@ -1,0 +1,74 @@
+package recall
+
+import (
+	"testing"
+
+	"dnnd/internal/knng"
+)
+
+func TestOne(t *testing.T) {
+	truth := []knng.ID{1, 2, 3}
+	if got := One([]knng.ID{1, 2, 3}, truth, 3); got != 1 {
+		t.Errorf("perfect = %v", got)
+	}
+	if got := One([]knng.ID{1, 9, 8}, truth, 3); got != 1.0/3 {
+		t.Errorf("one hit = %v", got)
+	}
+	if got := One(nil, truth, 3); got != 0 {
+		t.Errorf("empty result = %v", got)
+	}
+	if got := One([]knng.ID{5}, nil, 3); got != 1 {
+		t.Errorf("empty truth = %v", got)
+	}
+	// Only the first k entries of each side count.
+	if got := One([]knng.ID{9, 1}, []knng.ID{1, 7}, 1); got != 0 {
+		t.Errorf("k=1 truncation = %v", got)
+	}
+}
+
+func TestAtK(t *testing.T) {
+	got := [][]knng.ID{{1, 2}, {3, 4}}
+	truth := [][]knng.ID{{1, 2}, {9, 8}}
+	if r := AtK(got, truth, 2); r != 0.5 {
+		t.Errorf("AtK = %v, want 0.5", r)
+	}
+	if r := AtK(nil, nil, 2); r != 0 {
+		t.Errorf("AtK empty = %v", r)
+	}
+}
+
+func TestAtKPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AtK([][]knng.ID{{1}}, nil, 1)
+}
+
+func TestSummarize(t *testing.T) {
+	// 10 queries: 9 perfect, 1 total miss.
+	got := make([][]knng.ID, 10)
+	truth := make([][]knng.ID, 10)
+	for i := range got {
+		truth[i] = []knng.ID{knng.ID(i)}
+		if i == 0 {
+			got[i] = []knng.ID{999}
+		} else {
+			got[i] = []knng.ID{knng.ID(i)}
+		}
+	}
+	s := Summarize(got, truth, 1)
+	if s.Mean != 0.9 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if s.Min != 0 {
+		t.Errorf("min = %v", s.Min)
+	}
+	if s.P50 != 1 || s.P90 != 1 {
+		t.Errorf("percentiles = %+v", s)
+	}
+	if z := Summarize(nil, nil, 1); z.Mean != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+}

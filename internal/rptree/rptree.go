@@ -1,0 +1,257 @@
+// Package rptree implements a random-projection tree forest, the
+// mechanism PyNNDescent uses to pick good starting points for graph
+// searches (paper Section 6: "PyNNDescent divides data points using a
+// random projection tree and selects the search's starting point based
+// on this information"). Each tree recursively splits the dataset by
+// the perpendicular bisector of two randomly chosen points; a query
+// descends to a leaf whose members are then used as search entry
+// points instead of uniformly random ones.
+package rptree
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dnnd/internal/knng"
+)
+
+// Numeric covers the dense element types rp-trees support (sparse
+// Jaccard sets use a different splitting rule and are not supported,
+// matching PyNNDescent's separate sparse code path).
+type Numeric interface {
+	float32 | uint8
+}
+
+// Config controls forest construction.
+type Config struct {
+	// Trees is the number of trees (more trees = better entry points,
+	// more memory). Default 4.
+	Trees int
+	// LeafSize caps leaf cardinality. Default 30.
+	LeafSize int
+	// Seed drives the random splits.
+	Seed int64
+}
+
+// DefaultConfig mirrors PyNNDescent-style settings.
+func DefaultConfig() Config { return Config{Trees: 4, LeafSize: 30, Seed: 1} }
+
+// node is one tree node: internal nodes hold a hyperplane, leaves hold
+// point IDs. Nodes live in a flat arena; children are indices.
+type node struct {
+	// Internal: normal/offset define the split; left/right index into
+	// the arena. Leaf: ids non-nil.
+	normal []float32
+	offset float32
+	left   int32
+	right  int32
+	ids    []knng.ID
+}
+
+// Tree is a single random-projection tree.
+type Tree struct {
+	nodes []node
+}
+
+// Forest is a set of independent random-projection trees over one
+// dataset.
+type Forest[T Numeric] struct {
+	cfg   Config
+	dim   int
+	trees []Tree
+}
+
+// Build constructs a forest over data. All vectors must share one
+// dimension.
+func Build[T Numeric](data [][]T, cfg Config) (*Forest[T], error) {
+	if cfg.Trees <= 0 {
+		cfg.Trees = 4
+	}
+	if cfg.LeafSize <= 1 {
+		cfg.LeafSize = 30
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("rptree: empty dataset")
+	}
+	dim := len(data[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("rptree: zero-dimensional data")
+	}
+	for i, v := range data {
+		if len(v) != dim {
+			return nil, fmt.Errorf("rptree: vector %d has dim %d, want %d", i, len(v), dim)
+		}
+	}
+	f := &Forest[T]{cfg: cfg, dim: dim}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ids := make([]knng.ID, len(data))
+	for i := range ids {
+		ids[i] = knng.ID(i)
+	}
+	for t := 0; t < cfg.Trees; t++ {
+		tree := Tree{}
+		scratch := make([]knng.ID, len(ids))
+		copy(scratch, ids)
+		buildNode(&tree, data, scratch, cfg.LeafSize, rng)
+		f.trees = append(f.trees, tree)
+	}
+	return f, nil
+}
+
+// buildNode recursively splits ids, appending nodes to the tree arena,
+// and returns the new node's index.
+func buildNode[T Numeric](t *Tree, data [][]T, ids []knng.ID, leafSize int, rng *rand.Rand) int32 {
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{})
+	if len(ids) <= leafSize {
+		leaf := make([]knng.ID, len(ids))
+		copy(leaf, ids)
+		t.nodes[idx].ids = leaf
+		return idx
+	}
+
+	normal, offset, ok := pickSplit(data, ids, rng)
+	if !ok {
+		// Degenerate subset (all points identical): make a leaf even
+		// though it exceeds leafSize.
+		leaf := make([]knng.ID, len(ids))
+		copy(leaf, ids)
+		t.nodes[idx].ids = leaf
+		return idx
+	}
+
+	// Partition in place around the hyperplane.
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		if side(data[ids[lo]], normal, offset) {
+			lo++
+		} else {
+			hi--
+			ids[lo], ids[hi] = ids[hi], ids[lo]
+		}
+	}
+	// Guard against useless splits (everything on one side): fall back
+	// to a random balanced split so depth stays bounded.
+	if lo == 0 || lo == len(ids) {
+		rng.Shuffle(len(ids), func(a, b int) { ids[a], ids[b] = ids[b], ids[a] })
+		lo = len(ids) / 2
+	}
+
+	left := buildNode(t, data, ids[:lo], leafSize, rng)
+	right := buildNode(t, data, ids[lo:], leafSize, rng)
+	t.nodes[idx].normal = normal
+	t.nodes[idx].offset = offset
+	t.nodes[idx].left = left
+	t.nodes[idx].right = right
+	return idx
+}
+
+// pickSplit chooses two distinct random points and returns the
+// perpendicular bisector of the segment between them.
+func pickSplit[T Numeric](data [][]T, ids []knng.ID, rng *rand.Rand) ([]float32, float32, bool) {
+	const attempts = 8
+	for try := 0; try < attempts; try++ {
+		a := data[ids[rng.Intn(len(ids))]]
+		b := data[ids[rng.Intn(len(ids))]]
+		var normal []float32
+		var norm2 float64
+		normal = make([]float32, len(a))
+		for j := range a {
+			d := float32(a[j]) - float32(b[j])
+			normal[j] = d
+			norm2 += float64(d) * float64(d)
+		}
+		if norm2 == 0 {
+			continue // identical points; retry
+		}
+		var offset float32
+		for j := range a {
+			offset += normal[j] * (float32(a[j]) + float32(b[j])) / 2
+		}
+		return normal, offset, true
+	}
+	return nil, 0, false
+}
+
+// side reports whether v falls on the "left" side of the hyperplane.
+func side[T Numeric](v []T, normal []float32, offset float32) bool {
+	var dot float32
+	for j := range normal {
+		dot += normal[j] * float32(v[j])
+	}
+	return dot < offset
+}
+
+// Leaf returns the leaf members the query descends to in one tree.
+func (t *Tree) leaf(q []float32) []knng.ID {
+	i := int32(0)
+	for {
+		n := &t.nodes[i]
+		if n.ids != nil {
+			return n.ids
+		}
+		var dot float32
+		for j := range n.normal {
+			dot += n.normal[j] * q[j]
+		}
+		if dot < n.offset {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// Candidates returns up to max entry-point candidates for q: the union
+// of the leaf members across all trees, deduplicated, in tree order.
+func (f *Forest[T]) Candidates(q []T, max int) []knng.ID {
+	qf := make([]float32, len(q))
+	for j, x := range q {
+		qf[j] = float32(x)
+	}
+	seen := make(map[knng.ID]bool, max)
+	var out []knng.ID
+	for ti := range f.trees {
+		for _, id := range f.trees[ti].leaf(qf) {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			out = append(out, id)
+			if max > 0 && len(out) >= max {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// Trees returns the number of trees in the forest.
+func (f *Forest[T]) Trees() int { return len(f.trees) }
+
+// LeafStats returns the minimum, maximum, and mean leaf sizes across
+// the forest (for tests and reports).
+func (f *Forest[T]) LeafStats() (min, max int, mean float64) {
+	min = 1 << 30
+	count, total := 0, 0
+	for ti := range f.trees {
+		for i := range f.trees[ti].nodes {
+			ids := f.trees[ti].nodes[i].ids
+			if ids == nil {
+				continue
+			}
+			count++
+			total += len(ids)
+			if len(ids) < min {
+				min = len(ids)
+			}
+			if len(ids) > max {
+				max = len(ids)
+			}
+		}
+	}
+	if count == 0 {
+		return 0, 0, 0
+	}
+	return min, max, float64(total) / float64(count)
+}

@@ -1,0 +1,215 @@
+package rptree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dnnd/internal/knng"
+	"dnnd/internal/metric"
+)
+
+func clustered(rng *rand.Rand, n, dim int) [][]float32 {
+	data := make([][]float32, n)
+	for i := range data {
+		base := float32(rng.Intn(6))
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = base + float32(rng.NormFloat64())*0.4
+		}
+		data[i] = v
+	}
+	return data
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build[float32](nil, DefaultConfig()); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := Build([][]float32{{}}, DefaultConfig()); err == nil {
+		t.Error("zero-dim accepted")
+	}
+	if _, err := Build([][]float32{{1, 2}, {1}}, DefaultConfig()); err == nil {
+		t.Error("ragged dims accepted")
+	}
+}
+
+func TestLeavesPartitionDataset(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := clustered(rng, 500, 8)
+	f, err := Build(data, Config{Trees: 3, LeafSize: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Trees() != 3 {
+		t.Fatalf("trees = %d", f.Trees())
+	}
+	// Every tree's leaves must partition [0, n) exactly.
+	for ti := range f.trees {
+		seen := make(map[knng.ID]int)
+		for i := range f.trees[ti].nodes {
+			for _, id := range f.trees[ti].nodes[i].ids {
+				seen[id]++
+			}
+		}
+		if len(seen) != 500 {
+			t.Fatalf("tree %d covers %d of 500 points", ti, len(seen))
+		}
+		for id, cnt := range seen {
+			if cnt != 1 {
+				t.Fatalf("tree %d contains %d %d times", ti, id, cnt)
+			}
+		}
+	}
+	min, max, mean := f.LeafStats()
+	if max > 20 {
+		t.Errorf("leaf of size %d exceeds LeafSize 20", max)
+	}
+	if min < 1 || mean <= 0 {
+		t.Errorf("leaf stats: min=%d max=%d mean=%.1f", min, max, mean)
+	}
+}
+
+func TestCandidatesAreLocal(t *testing.T) {
+	// Candidates for a query should be much closer than random points
+	// on clustered data.
+	rng := rand.New(rand.NewSource(3))
+	data := clustered(rng, 2000, 10)
+	f, err := Build(data, Config{Trees: 4, LeafSize: 25, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	better := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		q := data[rng.Intn(len(data))]
+		cands := f.Candidates(q, 30)
+		if len(cands) == 0 {
+			t.Fatal("no candidates")
+		}
+		var candMean, randMean float64
+		for _, id := range cands {
+			candMean += float64(metric.SquaredL2Float32(q, data[id]))
+		}
+		candMean /= float64(len(cands))
+		for i := 0; i < len(cands); i++ {
+			randMean += float64(metric.SquaredL2Float32(q, data[rng.Intn(len(data))]))
+		}
+		randMean /= float64(len(cands))
+		if candMean < randMean {
+			better++
+		}
+	}
+	if better < trials*8/10 {
+		t.Errorf("candidates closer than random in only %d/%d trials", better, trials)
+	}
+}
+
+func TestCandidatesRespectMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := clustered(rng, 300, 6)
+	f, _ := Build(data, Config{Trees: 5, LeafSize: 40, Seed: 6})
+	cands := f.Candidates(data[0], 10)
+	if len(cands) != 10 {
+		t.Errorf("got %d candidates, want 10", len(cands))
+	}
+	seen := map[knng.ID]bool{}
+	for _, id := range cands {
+		if seen[id] {
+			t.Fatalf("duplicate candidate %d", id)
+		}
+		seen[id] = true
+	}
+	// max <= 0 returns the full union.
+	all := f.Candidates(data[0], 0)
+	if len(all) < 10 {
+		t.Errorf("unbounded candidates = %d", len(all))
+	}
+}
+
+func TestDegenerateIdenticalPoints(t *testing.T) {
+	// All points identical: splits are impossible; Build must still
+	// terminate with (oversized) leaves.
+	data := make([][]float32, 100)
+	for i := range data {
+		data[i] = []float32{1, 2, 3}
+	}
+	f, err := Build(data, Config{Trees: 2, LeafSize: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := f.Candidates([]float32{1, 2, 3}, 0)
+	if len(cands) == 0 {
+		t.Fatal("no candidates on degenerate data")
+	}
+}
+
+func TestUint8Forest(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	data := make([][]uint8, 400)
+	for i := range data {
+		base := uint8(rng.Intn(5)) * 50
+		v := make([]uint8, 8)
+		for j := range v {
+			v[j] = base + uint8(rng.Intn(20))
+		}
+		data[i] = v
+	}
+	f, err := Build(data, Config{Trees: 3, LeafSize: 15, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := f.Candidates(data[7], 20)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	// The query point itself must be in its own leaf.
+	found := false
+	for _, id := range f.Candidates(data[7], 0) {
+		if id == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("query point missing from its own leaves")
+	}
+}
+
+func TestQuickForestPartition(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 10
+		dim := rng.Intn(8) + 1
+		data := make([][]float32, n)
+		for i := range data {
+			v := make([]float32, dim)
+			for j := range v {
+				v[j] = rng.Float32()
+			}
+			data[i] = v
+		}
+		f, err := Build(data, Config{Trees: 2, LeafSize: 8, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for ti := range f.trees {
+			seen := make(map[knng.ID]bool)
+			for i := range f.trees[ti].nodes {
+				for _, id := range f.trees[ti].nodes[i].ids {
+					if seen[id] || int(id) >= n {
+						return false
+					}
+					seen[id] = true
+				}
+			}
+			if len(seen) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

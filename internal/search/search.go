@@ -1,0 +1,197 @@
+// Package search implements the k-NNG approximate nearest-neighbor
+// query algorithm of Section 3.3: greedy best-first graph traversal
+// from random entry points with a frontier heap and a result heap, plus
+// PyNNDescent's epsilon parameter that widens the explored region.
+package search
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"dnnd/internal/knng"
+	"dnnd/internal/metric"
+	"dnnd/internal/wire"
+)
+
+// Options configures a query.
+type Options struct {
+	// L is the number of nearest neighbors to return; it may exceed
+	// the graph's k.
+	L int
+	// Epsilon >= 0 widens the frontier-admission bound to
+	// (1+Epsilon)*dmax (0 = pure greedy; the paper sweeps 0.1-0.4).
+	Epsilon float64
+	// Seed drives entry-point selection.
+	Seed int64
+	// Entries optionally supplies search starting points (e.g. from a
+	// random-projection tree forest, PyNNDescent-style); random points
+	// top up to the seed floor when fewer are given.
+	Entries []knng.ID
+	// EntriesFunc, when set, provides per-query starting points to
+	// Batch (it overrides Entries there).
+	EntriesFunc func(queryIndex int) []knng.ID
+}
+
+// minSeedPoints floors the number of random entry points per query.
+const minSeedPoints = 16
+
+// Stats reports the cost of one query (or the sum over a batch).
+type Stats struct {
+	// DistEvals counts distance computations.
+	DistEvals int64
+	// Visited counts vertices whose neighbor lists were expanded.
+	Visited int64
+}
+
+// bitset tracks visited vertices densely.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) testAndSet(i knng.ID) bool {
+	w, bit := i/64, uint64(1)<<(i%64)
+	old := b[w]&bit != 0
+	b[w] |= bit
+	return old
+}
+
+// Query finds the L approximate nearest neighbors of q in the graph.
+// data must be the dataset the graph was built over. The returned list
+// is sorted by ascending distance.
+func Query[T wire.Scalar](g *knng.Graph, data [][]T, dist metric.Func[T], q []T, opt Options, rng *rand.Rand) ([]knng.Neighbor, Stats) {
+	n := g.NumVertices()
+	if n == 0 || opt.L < 1 {
+		return nil, Stats{}
+	}
+	l := opt.L
+	if l > n {
+		l = n
+	}
+	var st Stats
+	results := knng.NewNeighborList(l)
+	var front knng.MinQueue
+	visited := newBitset(n)
+
+	// Seed with entry points: caller-provided ones first (e.g. rp-tree
+	// leaf members), then random points up to a floor (Section 3.3
+	// uses l random points; the floor makes tiny-l queries robust
+	// against local minima).
+	seeds := l
+	if seeds < minSeedPoints {
+		seeds = minSeedPoints
+	}
+	if seeds > n {
+		seeds = n
+	}
+	seeded := 0
+	for _, id := range opt.Entries {
+		if int(id) >= n || visited.testAndSet(id) {
+			continue
+		}
+		seeded++
+		d := dist(q, data[id])
+		st.DistEvals++
+		results.Update(id, d, false)
+		front.Push(id, d)
+	}
+	for attempts := 0; seeded < seeds && attempts < 4*seeds+16; attempts++ {
+		id := knng.ID(rng.Intn(n))
+		if visited.testAndSet(id) {
+			continue
+		}
+		seeded++
+		d := dist(q, data[id])
+		st.DistEvals++
+		results.Update(id, d, false)
+		front.Push(id, d)
+	}
+
+	limit := func() float64 {
+		dmax := results.FarthestDist()
+		if !results.Full() {
+			return math.Inf(1)
+		}
+		return (1 + opt.Epsilon) * float64(dmax)
+	}
+
+	for !front.Empty() {
+		p, pd := front.Pop()
+		// Stop when the closest frontier point is already beyond the
+		// (epsilon-relaxed) result horizon.
+		if float64(pd) > limit() {
+			break
+		}
+		st.Visited++
+		for _, e := range g.Neighbors[p] {
+			if visited.testAndSet(e.ID) {
+				continue
+			}
+			d := dist(q, data[e.ID])
+			st.DistEvals++
+			lim := limit()
+			if float64(d) < lim {
+				results.Update(e.ID, d, false)
+				front.Push(e.ID, d)
+			}
+		}
+	}
+	return results.Sorted(), st
+}
+
+// Batch answers many queries in parallel (workers <= 0 means
+// GOMAXPROCS) and returns per-query results plus summed stats. Entry
+// points are derived deterministically from opt.Seed and the query
+// index.
+func Batch[T wire.Scalar](g *knng.Graph, data [][]T, dist metric.Func[T], queries [][]T, opt Options, workers int) ([][]knng.Neighbor, Stats) {
+	out := make([][]knng.Neighbor, len(queries))
+	stats := make([]Stats, len(queries))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for qi := range next {
+				rng := rand.New(rand.NewSource(opt.Seed*1_000_003 + int64(qi)))
+				qopt := opt
+				if opt.EntriesFunc != nil {
+					qopt.Entries = opt.EntriesFunc(qi)
+				}
+				out[qi], stats[qi] = Query(g, data, dist, queries[qi], qopt, rng)
+			}
+		}()
+	}
+	for qi := range queries {
+		next <- qi
+	}
+	close(next)
+	wg.Wait()
+	var total Stats
+	for _, s := range stats {
+		total.DistEvals += s.DistEvals
+		total.Visited += s.Visited
+	}
+	return out, total
+}
+
+// IDs extracts the neighbor IDs from a batch result, the recall
+// package's exchange format.
+func IDs(res [][]knng.Neighbor) [][]knng.ID {
+	out := make([][]knng.ID, len(res))
+	for i, ns := range res {
+		ids := make([]knng.ID, len(ns))
+		for j, e := range ns {
+			ids[j] = e.ID
+		}
+		out[i] = ids
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"dnnd/internal/brute"
+	"dnnd/internal/metric"
+)
+
+// BenchmarkQuery measures one epsilon-greedy graph query on a
+// 5000-point k=10 graph (the Figure 2 workload's unit of work).
+func BenchmarkQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n, dim = 5000, 16
+	data := make([][]float32, n)
+	for i := range data {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = rng.Float32()
+		}
+		data[i] = v
+	}
+	g := brute.KNNGraph(data, 10, metric.SquaredL2Float32, 0)
+	g.Optimize(10, 1.5)
+	q := data[42]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qrng := rand.New(rand.NewSource(int64(i)))
+		Query(g, data, metric.SquaredL2Float32, q, Options{L: 10, Epsilon: 0.1}, qrng)
+	}
+}

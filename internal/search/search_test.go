@@ -1,0 +1,203 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"dnnd/internal/brute"
+	"dnnd/internal/knng"
+	"dnnd/internal/metric"
+	"dnnd/internal/recall"
+)
+
+func lineDataset(n int) [][]float32 {
+	data := make([][]float32, n)
+	for i := range data {
+		data[i] = []float32{float32(i)}
+	}
+	return data
+}
+
+func TestQueryOnLineGraph(t *testing.T) {
+	data := lineDataset(100)
+	g := brute.KNNGraph(data, 4, metric.L2Float32, 0)
+	rng := rand.New(rand.NewSource(1))
+	res, st := Query(g, data, metric.L2Float32, []float32{42.4}, Options{L: 3}, rng)
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if res[0].ID != 42 {
+		t.Errorf("nearest = %d, want 42", res[0].ID)
+	}
+	ids := map[knng.ID]bool{res[0].ID: true, res[1].ID: true, res[2].ID: true}
+	if !ids[42] || !ids[43] || !ids[41] {
+		t.Errorf("results = %v", res)
+	}
+	if st.DistEvals == 0 || st.Visited == 0 {
+		t.Errorf("stats not collected: %+v", st)
+	}
+	// Greedy search should touch far fewer points than the dataset...
+	// with n=100 and l random seeds it's modest, but must be < n.
+	if st.DistEvals >= 100 {
+		t.Errorf("distance evals %d not below n", st.DistEvals)
+	}
+}
+
+func TestQueryRecallOnBruteGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n, dim := 1000, 8
+	data := make([][]float32, n)
+	for i := range data {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = rng.Float32()
+		}
+		data[i] = v
+	}
+	g := brute.KNNGraph(data, 10, metric.SquaredL2Float32, 0)
+	// Symmetrize like DNND's optimization step: improves connectivity.
+	g.Optimize(10, 1.5)
+
+	queries := make([][]float32, 50)
+	for i := range queries {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = rng.Float32()
+		}
+		queries[i] = v
+	}
+	truth := brute.TruthIDs(brute.QueryKNN(data, queries, 10, metric.SquaredL2Float32, 0))
+
+	res, _ := Batch(g, data, metric.SquaredL2Float32, queries, Options{L: 10, Epsilon: 0.2, Seed: 7}, 2)
+	r := recall.AtK(IDs(res), truth, 10)
+	t.Logf("recall@10 = %.3f", r)
+	if r < 0.85 {
+		t.Errorf("recall@10 = %.3f, want >= 0.85", r)
+	}
+}
+
+func TestEpsilonTradeoff(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, dim := 800, 6
+	data := make([][]float32, n)
+	for i := range data {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = rng.Float32()
+		}
+		data[i] = v
+	}
+	g := brute.KNNGraph(data, 8, metric.SquaredL2Float32, 0)
+	queries := data[:30]
+	truth := brute.TruthIDs(brute.QueryKNN(data, queries, 5, metric.SquaredL2Float32, 0))
+
+	var prevEvals int64 = -1
+	var prevRecall float64 = -1
+	for _, eps := range []float64{0, 0.2, 0.5} {
+		res, st := Batch(g, data, metric.SquaredL2Float32, queries, Options{L: 5, Epsilon: eps, Seed: 7}, 1)
+		r := recall.AtK(IDs(res), truth, 5)
+		t.Logf("eps=%.1f recall=%.3f evals=%d", eps, r, st.DistEvals)
+		if st.DistEvals < prevEvals {
+			t.Errorf("eps=%.1f: evals %d decreased from %d", eps, st.DistEvals, prevEvals)
+		}
+		if r+0.05 < prevRecall { // allow small noise
+			t.Errorf("eps=%.1f: recall %.3f dropped well below %.3f", eps, r, prevRecall)
+		}
+		prevEvals, prevRecall = st.DistEvals, r
+	}
+}
+
+func TestQueryDeterministicWithSeed(t *testing.T) {
+	data := lineDataset(200)
+	g := brute.KNNGraph(data, 3, metric.L2Float32, 0)
+	q := [][]float32{{55.5}}
+	a, _ := Batch(g, data, metric.L2Float32, q, Options{L: 4, Seed: 9}, 1)
+	b, _ := Batch(g, data, metric.L2Float32, q, Options{L: 4, Seed: 9}, 1)
+	if len(a[0]) != len(b[0]) {
+		t.Fatal("result sizes differ")
+	}
+	for i := range a[0] {
+		if a[0][i] != b[0][i] {
+			t.Fatalf("results differ at %d: %v vs %v", i, a[0], b[0])
+		}
+	}
+}
+
+func TestQueryEdgeCases(t *testing.T) {
+	data := lineDataset(5)
+	g := brute.KNNGraph(data, 2, metric.L2Float32, 0)
+	rng := rand.New(rand.NewSource(1))
+	// L larger than the dataset: return everything.
+	res, _ := Query(g, data, metric.L2Float32, []float32{2}, Options{L: 50}, rng)
+	if len(res) != 5 {
+		t.Errorf("L>n returned %d results", len(res))
+	}
+	// L = 0: nothing.
+	res, _ = Query(g, data, metric.L2Float32, []float32{2}, Options{L: 0}, rng)
+	if res != nil {
+		t.Errorf("L=0 returned %v", res)
+	}
+	// Empty graph.
+	res, _ = Query(knng.NewGraph(0), nil, metric.L2Float32, []float32{2}, Options{L: 3}, rng)
+	if res != nil {
+		t.Errorf("empty graph returned %v", res)
+	}
+}
+
+func TestBitset(t *testing.T) {
+	b := newBitset(130)
+	if b.testAndSet(0) {
+		t.Error("fresh bit set")
+	}
+	if !b.testAndSet(0) {
+		t.Error("second testAndSet returned false")
+	}
+	if b.testAndSet(129) {
+		t.Error("bit 129 preset")
+	}
+	if !b.testAndSet(129) {
+		t.Error("bit 129 not retained")
+	}
+	if b.testAndSet(64) {
+		t.Error("word boundary bit preset")
+	}
+}
+
+func TestExplicitEntries(t *testing.T) {
+	data := lineDataset(300)
+	g := brute.KNNGraph(data, 3, metric.L2Float32, 0)
+	rng := rand.New(rand.NewSource(5))
+	// Entry right next to the answer: almost no exploration needed.
+	res, st := Query(g, data, metric.L2Float32, []float32{250.2},
+		Options{L: 3, Entries: []knng.ID{249, 251}}, rng)
+	if res[0].ID != 250 {
+		t.Fatalf("nearest = %v", res[0])
+	}
+	if st.DistEvals == 0 {
+		t.Fatal("no evals recorded")
+	}
+	// Out-of-range entries are ignored, not fatal.
+	res, _ = Query(g, data, metric.L2Float32, []float32{10},
+		Options{L: 2, Entries: []knng.ID{9999}}, rng)
+	if len(res) != 2 {
+		t.Fatalf("results with bad entry: %v", res)
+	}
+}
+
+func TestEntriesFuncInBatch(t *testing.T) {
+	data := lineDataset(200)
+	g := brute.KNNGraph(data, 3, metric.L2Float32, 0)
+	queries := [][]float32{{10.2}, {150.8}}
+	calls := 0
+	opt := Options{L: 2, Seed: 3, EntriesFunc: func(qi int) []knng.ID {
+		calls++
+		return []knng.ID{knng.ID(10 + qi)}
+	}}
+	res, _ := Batch(g, data, metric.L2Float32, queries, opt, 1)
+	if calls != 2 {
+		t.Errorf("EntriesFunc called %d times", calls)
+	}
+	if res[0][0].ID != 10 || res[1][0].ID != 151 {
+		t.Errorf("results = %v", res)
+	}
+}

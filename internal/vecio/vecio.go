@@ -1,0 +1,206 @@
+// Package vecio reads and writes the vector file formats of the ANN
+// benchmark ecosystem (TEXMEX / Big ANN Benchmarks): fvecs (float32),
+// bvecs (uint8), and ivecs (int32, also used for uint32 ground-truth
+// IDs and sparse sets). Each record is a little-endian int32 dimension
+// followed by that many elements; dimensions may vary per record.
+package vecio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ErrBadFormat reports a malformed vector file.
+var ErrBadFormat = errors.New("vecio: bad format")
+
+// maxDim bounds record dimensions to catch corrupt headers.
+const maxDim = 1 << 24
+
+// ReadFvecs decodes all float32 records from r.
+func ReadFvecs(r io.Reader) ([][]float32, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var out [][]float32
+	for {
+		dim, err := readDim(br)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		vec := make([]float32, dim)
+		if err := binary.Read(br, binary.LittleEndian, vec); err != nil {
+			return nil, fmt.Errorf("%w: truncated fvecs record %d: %v", ErrBadFormat, len(out), err)
+		}
+		out = append(out, vec)
+	}
+}
+
+// WriteFvecs encodes float32 records to w.
+func WriteFvecs(w io.Writer, data [][]float32) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for _, vec := range data {
+		if err := writeDim(bw, len(vec)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, vec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBvecs decodes all uint8 records from r.
+func ReadBvecs(r io.Reader) ([][]uint8, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var out [][]uint8
+	for {
+		dim, err := readDim(br)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		vec := make([]uint8, dim)
+		if _, err := io.ReadFull(br, vec); err != nil {
+			return nil, fmt.Errorf("%w: truncated bvecs record %d: %v", ErrBadFormat, len(out), err)
+		}
+		out = append(out, vec)
+	}
+}
+
+// WriteBvecs encodes uint8 records to w.
+func WriteBvecs(w io.Writer, data [][]uint8) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for _, vec := range data {
+		if err := writeDim(bw, len(vec)); err != nil {
+			return err
+		}
+		if _, err := bw.Write(vec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadIvecs decodes all uint32 records from r (ivecs files store
+// int32; ground-truth IDs and set items are non-negative, so uint32 is
+// the natural Go representation here).
+func ReadIvecs(r io.Reader) ([][]uint32, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var out [][]uint32
+	for {
+		dim, err := readDim(br)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		vec := make([]uint32, dim)
+		if err := binary.Read(br, binary.LittleEndian, vec); err != nil {
+			return nil, fmt.Errorf("%w: truncated ivecs record %d: %v", ErrBadFormat, len(out), err)
+		}
+		out = append(out, vec)
+	}
+}
+
+// WriteIvecs encodes uint32 records to w.
+func WriteIvecs(w io.Writer, data [][]uint32) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for _, vec := range data {
+		if err := writeDim(bw, len(vec)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, vec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func readDim(br *bufio.Reader) (int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, io.EOF
+		}
+		return 0, fmt.Errorf("%w: truncated dimension header: %v", ErrBadFormat, err)
+	}
+	dim := int(int32(binary.LittleEndian.Uint32(hdr[:])))
+	if dim < 0 || dim > maxDim {
+		return 0, fmt.Errorf("%w: dimension %d out of range", ErrBadFormat, dim)
+	}
+	return dim, nil
+}
+
+func writeDim(bw *bufio.Writer, dim int) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(int32(dim)))
+	_, err := bw.Write(hdr[:])
+	return err
+}
+
+// File helpers ---------------------------------------------------------
+
+// ReadFvecsFile reads an entire .fvecs file.
+func ReadFvecsFile(path string) ([][]float32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFvecs(f)
+}
+
+// WriteFvecsFile writes an entire .fvecs file.
+func WriteFvecsFile(path string, data [][]float32) error {
+	return writeFile(path, func(f *os.File) error { return WriteFvecs(f, data) })
+}
+
+// ReadBvecsFile reads an entire .bvecs file.
+func ReadBvecsFile(path string) ([][]uint8, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBvecs(f)
+}
+
+// WriteBvecsFile writes an entire .bvecs file.
+func WriteBvecsFile(path string, data [][]uint8) error {
+	return writeFile(path, func(f *os.File) error { return WriteBvecs(f, data) })
+}
+
+// ReadIvecsFile reads an entire .ivecs file.
+func ReadIvecsFile(path string) ([][]uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadIvecs(f)
+}
+
+// WriteIvecsFile writes an entire .ivecs file.
+func WriteIvecsFile(path string, data [][]uint32) error {
+	return writeFile(path, func(f *os.File) error { return WriteIvecs(f, data) })
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

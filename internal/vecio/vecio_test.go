@@ -1,0 +1,148 @@
+package vecio
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestFvecsRoundTrip(t *testing.T) {
+	data := [][]float32{{1, 2, 3}, {4.5, -6.25}, {}}
+	var buf bytes.Buffer
+	if err := WriteFvecs(&buf, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFvecs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || len(got[0]) != 3 || got[1][1] != -6.25 || len(got[2]) != 0 {
+		t.Fatalf("round trip = %v", got)
+	}
+}
+
+func TestBvecsRoundTrip(t *testing.T) {
+	data := [][]uint8{{0, 128, 255}, {7}}
+	var buf bytes.Buffer
+	if err := WriteBvecs(&buf, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBvecs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0][2] != 255 || got[1][0] != 7 {
+		t.Fatalf("round trip = %v", got)
+	}
+}
+
+func TestIvecsRoundTrip(t *testing.T) {
+	data := [][]uint32{{10, 20, 30}, {1 << 20}}
+	var buf bytes.Buffer
+	if err := WriteIvecs(&buf, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIvecs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0][1] != 20 || got[1][0] != 1<<20 {
+		t.Fatalf("round trip = %v", got)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	got, err := ReadFvecs(bytes.NewReader(nil))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty fvecs = %v, %v", got, err)
+	}
+}
+
+func TestTruncatedRecordRejected(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFvecs(&buf, [][]float32{{1, 2, 3}})
+	raw := buf.Bytes()
+	if _, err := ReadFvecs(bytes.NewReader(raw[:len(raw)-2])); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("truncated record = %v, want ErrBadFormat", err)
+	}
+	// Truncated header (partial dim field).
+	if _, err := ReadFvecs(bytes.NewReader(raw[:2])); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("truncated header = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestNegativeDimensionRejected(t *testing.T) {
+	raw := []byte{0xFF, 0xFF, 0xFF, 0xFF} // dim = -1
+	if _, err := ReadBvecs(bytes.NewReader(raw)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("negative dim = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestFileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	fv := filepath.Join(dir, "x.fvecs")
+	bv := filepath.Join(dir, "x.bvecs")
+	iv := filepath.Join(dir, "x.ivecs")
+
+	if err := WriteFvecsFile(fv, [][]float32{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadFvecsFile(fv); err != nil || got[0][1] != 2 {
+		t.Fatalf("fvecs file = %v, %v", got, err)
+	}
+	if err := WriteBvecsFile(bv, [][]uint8{{3}}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadBvecsFile(bv); err != nil || got[0][0] != 3 {
+		t.Fatalf("bvecs file = %v, %v", got, err)
+	}
+	if err := WriteIvecsFile(iv, [][]uint32{{4}}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadIvecsFile(iv); err != nil || got[0][0] != 4 {
+		t.Fatalf("ivecs file = %v, %v", got, err)
+	}
+	if _, err := ReadFvecsFile(filepath.Join(dir, "missing.fvecs")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestQuickFvecsRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20)
+		data := make([][]float32, n)
+		for i := range data {
+			v := make([]float32, rng.Intn(30))
+			for j := range v {
+				v[j] = rng.Float32()
+			}
+			data[i] = v
+		}
+		var buf bytes.Buffer
+		if err := WriteFvecs(&buf, data); err != nil {
+			return false
+		}
+		got, err := ReadFvecs(&buf)
+		if err != nil || len(got) != len(data) {
+			return false
+		}
+		for i := range data {
+			if len(got[i]) != len(data[i]) {
+				return false
+			}
+			for j := range data[i] {
+				if got[i][j] != data[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,49 @@
+package wire
+
+// Scalar is the set of feature-vector element types supported across the
+// library: float32 for real-valued embeddings (DEEP, GloVe, ...), uint8
+// for quantized vectors (BigANN), and uint32 for sparse set members
+// (Jaccard datasets such as Kosarak).
+type Scalar interface {
+	float32 | uint8 | uint32
+}
+
+// ScalarSize returns the encoded size in bytes of one element of T.
+func ScalarSize[T Scalar]() int {
+	var z T
+	switch any(z).(type) {
+	case uint8:
+		return 1
+	default:
+		return 4
+	}
+}
+
+// VectorBytes returns the encoded size of a length-prefixed vector of n
+// elements of type T, matching PutVector's output exactly.
+func VectorBytes[T Scalar](n int) int { return 4 + n*ScalarSize[T]() }
+
+// PutVector appends a length-prefixed vector of T.
+func PutVector[T Scalar](w *Writer, v []T) {
+	switch s := any(v).(type) {
+	case []float32:
+		w.Float32s(s)
+	case []uint8:
+		w.Uint8s(s)
+	case []uint32:
+		w.Uint32s(s)
+	}
+}
+
+// GetVector decodes a length-prefixed vector of T into a new slice.
+func GetVector[T Scalar](r *Reader) []T {
+	var z T
+	switch any(z).(type) {
+	case float32:
+		return any(r.Float32s()).([]T)
+	case uint8:
+		return any(r.Uint8s()).([]T)
+	default:
+		return any(r.Uint32s()).([]T)
+	}
+}

@@ -1,0 +1,287 @@
+// Package wire implements the little-endian binary codec shared by the
+// ygm transports and the metall datastore.
+//
+// All multi-byte integers are little-endian. Vectors are encoded as a
+// uint32 element count followed by the raw elements. The codec is
+// deliberately allocation-light: Writer appends into a caller-owned
+// buffer and Reader walks a byte slice without copying until the caller
+// asks for an owned value.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShortBuffer is returned when a Reader runs out of bytes mid-value.
+var ErrShortBuffer = errors.New("wire: short buffer")
+
+// ErrOversize is returned when a length prefix exceeds MaxVectorLen.
+var ErrOversize = errors.New("wire: vector length exceeds limit")
+
+// MaxVectorLen bounds decoded vector lengths to protect against corrupt
+// or malicious frames (2^27 elements = 512 MiB of float32).
+const MaxVectorLen = 1 << 27
+
+// Writer appends encoded values to an internal buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer whose buffer has the given initial capacity.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer. The slice aliases the Writer's
+// internal storage and is invalidated by further writes or Reset.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of encoded bytes.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Reset truncates the buffer, retaining capacity.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Uint8 appends a single byte.
+func (w *Writer) Uint8(v uint8) { w.buf = append(w.buf, v) }
+
+// Uint16 appends a little-endian uint16.
+func (w *Writer) Uint16(v uint16) {
+	w.buf = append(w.buf, byte(v), byte(v>>8))
+}
+
+// Uint32 appends a little-endian uint32.
+func (w *Writer) Uint32(v uint32) {
+	w.buf = append(w.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// Uint64 appends a little-endian uint64.
+func (w *Writer) Uint64(v uint64) {
+	w.buf = append(w.buf,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// Int64 appends a little-endian int64.
+func (w *Writer) Int64(v int64) { w.Uint64(uint64(v)) }
+
+// Float32 appends an IEEE-754 float32.
+func (w *Writer) Float32(v float32) { w.Uint32(math.Float32bits(v)) }
+
+// Float64 appends an IEEE-754 float64.
+func (w *Writer) Float64(v float64) { w.Uint64(math.Float64bits(v)) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.Uint8(1)
+	} else {
+		w.Uint8(0)
+	}
+}
+
+// Bytes32 appends a uint32 length prefix followed by raw bytes.
+func (w *Writer) Bytes32(p []byte) {
+	w.Uint32(uint32(len(p)))
+	w.buf = append(w.buf, p...)
+}
+
+// String appends a uint32 length prefix followed by the string bytes.
+func (w *Writer) String(s string) {
+	w.Uint32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Float32s appends a length-prefixed []float32.
+func (w *Writer) Float32s(v []float32) {
+	w.Uint32(uint32(len(v)))
+	for _, x := range v {
+		w.Float32(x)
+	}
+}
+
+// Uint8s appends a length-prefixed []uint8.
+func (w *Writer) Uint8s(v []uint8) { w.Bytes32(v) }
+
+// Uint32s appends a length-prefixed []uint32.
+func (w *Writer) Uint32s(v []uint32) {
+	w.Uint32(uint32(len(v)))
+	for _, x := range v {
+		w.Uint32(x)
+	}
+}
+
+// Reader decodes values sequentially from a byte slice.
+// Decoding errors are sticky: once any Get fails, Err reports it and
+// subsequent Gets return zero values. This lets call sites decode a
+// whole struct and check the error once.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over p. The Reader does not copy p.
+func NewReader(p []byte) *Reader { return &Reader{buf: p} }
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unconsumed bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Finish returns an error if decoding failed or bytes remain unconsumed.
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("wire: %d trailing bytes", len(r.buf)-r.off)
+	}
+	return nil
+}
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = ErrShortBuffer
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	p := r.buf[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+// Uint8 decodes one byte.
+func (r *Reader) Uint8() uint8 {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+// Uint16 decodes a little-endian uint16.
+func (r *Reader) Uint16() uint16 {
+	p := r.take(2)
+	if p == nil {
+		return 0
+	}
+	return uint16(p[0]) | uint16(p[1])<<8
+}
+
+// Uint32 decodes a little-endian uint32.
+func (r *Reader) Uint32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24
+}
+
+// Uint64 decodes a little-endian uint64.
+func (r *Reader) Uint64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return uint64(p[0]) | uint64(p[1])<<8 | uint64(p[2])<<16 | uint64(p[3])<<24 |
+		uint64(p[4])<<32 | uint64(p[5])<<40 | uint64(p[6])<<48 | uint64(p[7])<<56
+}
+
+// Int64 decodes a little-endian int64.
+func (r *Reader) Int64() int64 { return int64(r.Uint64()) }
+
+// Float32 decodes an IEEE-754 float32.
+func (r *Reader) Float32() float32 { return math.Float32frombits(r.Uint32()) }
+
+// Float64 decodes an IEEE-754 float64.
+func (r *Reader) Float64() float64 { return math.Float64frombits(r.Uint64()) }
+
+// Bool decodes a one-byte boolean.
+func (r *Reader) Bool() bool { return r.Uint8() != 0 }
+
+func (r *Reader) length() int {
+	n := r.Uint32()
+	if r.err != nil {
+		return 0
+	}
+	if n > MaxVectorLen {
+		r.err = ErrOversize
+		return 0
+	}
+	return int(n)
+}
+
+// Bytes32 decodes a length-prefixed byte slice. The returned slice is
+// an owned copy.
+func (r *Reader) Bytes32() []byte {
+	n := r.length()
+	p := r.take(n)
+	if p == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, p)
+	return out
+}
+
+// BytesView decodes a length-prefixed byte slice without copying; the
+// result aliases the Reader's buffer.
+func (r *Reader) BytesView() []byte {
+	n := r.length()
+	return r.take(n)
+}
+
+// String decodes a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.length()
+	p := r.take(n)
+	return string(p)
+}
+
+// Float32s decodes a length-prefixed []float32 into a new slice.
+func (r *Reader) Float32s() []float32 {
+	n := r.length()
+	if r.err != nil {
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = r.Float32()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Uint8s decodes a length-prefixed []uint8 into a new slice.
+func (r *Reader) Uint8s() []uint8 { return r.Bytes32() }
+
+// Uint32s decodes a length-prefixed []uint32 into a new slice.
+func (r *Reader) Uint32s() []uint32 {
+	n := r.length()
+	if r.err != nil {
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = r.Uint32()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarRoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	w.Uint8(0xAB)
+	w.Uint16(0xBEEF)
+	w.Uint32(0xDEADBEEF)
+	w.Uint64(0x0123456789ABCDEF)
+	w.Int64(-42)
+	w.Float32(3.5)
+	w.Float64(-2.25)
+	w.Bool(true)
+	w.Bool(false)
+	w.String("hello")
+
+	r := NewReader(w.Bytes())
+	if got := r.Uint8(); got != 0xAB {
+		t.Errorf("Uint8 = %#x", got)
+	}
+	if got := r.Uint16(); got != 0xBEEF {
+		t.Errorf("Uint16 = %#x", got)
+	}
+	if got := r.Uint32(); got != 0xDEADBEEF {
+		t.Errorf("Uint32 = %#x", got)
+	}
+	if got := r.Uint64(); got != 0x0123456789ABCDEF {
+		t.Errorf("Uint64 = %#x", got)
+	}
+	if got := r.Int64(); got != -42 {
+		t.Errorf("Int64 = %d", got)
+	}
+	if got := r.Float32(); got != 3.5 {
+		t.Errorf("Float32 = %v", got)
+	}
+	if got := r.Float64(); got != -2.25 {
+		t.Errorf("Float64 = %v", got)
+	}
+	if got := r.Bool(); !got {
+		t.Errorf("Bool = %v", got)
+	}
+	if got := r.Bool(); got {
+		t.Errorf("Bool = %v", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	w := NewWriter(8)
+	w.Uint32(0x04030201)
+	if !bytes.Equal(w.Bytes(), []byte{1, 2, 3, 4}) {
+		t.Fatalf("layout = %v, want little-endian [1 2 3 4]", w.Bytes())
+	}
+}
+
+func TestShortBufferIsSticky(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.Uint32() // fails: only 2 bytes
+	if r.Err() != ErrShortBuffer {
+		t.Fatalf("Err = %v, want ErrShortBuffer", r.Err())
+	}
+	// Subsequent reads return zero values and do not panic.
+	if got := r.Uint64(); got != 0 {
+		t.Errorf("Uint64 after error = %d, want 0", got)
+	}
+	if got := r.Float32s(); got != nil {
+		t.Errorf("Float32s after error = %v, want nil", got)
+	}
+	if err := r.Finish(); err != ErrShortBuffer {
+		t.Errorf("Finish = %v, want ErrShortBuffer", err)
+	}
+}
+
+func TestTrailingBytesDetected(t *testing.T) {
+	w := NewWriter(8)
+	w.Uint32(7)
+	w.Uint8(1)
+	r := NewReader(w.Bytes())
+	_ = r.Uint32()
+	if err := r.Finish(); err == nil {
+		t.Fatal("Finish should report trailing bytes")
+	}
+}
+
+func TestOversizeVectorRejected(t *testing.T) {
+	w := NewWriter(8)
+	w.Uint32(MaxVectorLen + 1)
+	r := NewReader(w.Bytes())
+	if got := r.Float32s(); got != nil {
+		t.Fatalf("oversize decode returned %d elems", len(got))
+	}
+	if r.Err() != ErrOversize {
+		t.Fatalf("Err = %v, want ErrOversize", r.Err())
+	}
+}
+
+func TestResetReusesBuffer(t *testing.T) {
+	w := NewWriter(16)
+	w.Uint64(1)
+	p := &w.Bytes()[0]
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", w.Len())
+	}
+	w.Uint64(2)
+	if &w.Bytes()[0] != p {
+		t.Error("Reset did not retain the underlying buffer")
+	}
+}
+
+func TestQuickFloat32sRoundTrip(t *testing.T) {
+	f := func(v []float32) bool {
+		w := NewWriter(len(v)*4 + 4)
+		w.Float32s(v)
+		r := NewReader(w.Bytes())
+		got := r.Float32s()
+		if r.Finish() != nil || len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			// NaN-safe comparison via bit patterns.
+			if math.Float32bits(got[i]) != math.Float32bits(v[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUint32sRoundTrip(t *testing.T) {
+	f := func(v []uint32) bool {
+		w := NewWriter(0)
+		w.Uint32s(v)
+		r := NewReader(w.Bytes())
+		got := r.Uint32s()
+		if r.Finish() != nil || len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			if got[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBytesAndStringRoundTrip(t *testing.T) {
+	f := func(b []byte, s string) bool {
+		w := NewWriter(0)
+		w.Bytes32(b)
+		w.String(s)
+		r := NewReader(w.Bytes())
+		gb := r.Bytes32()
+		gs := r.String()
+		return r.Finish() == nil && bytes.Equal(gb, b) && gs == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMixedSequence(t *testing.T) {
+	f := func(a uint32, b int64, c float64, d bool, v []uint8) bool {
+		w := NewWriter(0)
+		w.Uint32(a)
+		w.Int64(b)
+		w.Float64(c)
+		w.Bool(d)
+		w.Uint8s(v)
+		r := NewReader(w.Bytes())
+		okA := r.Uint32() == a
+		okB := r.Int64() == b
+		gc := r.Float64()
+		okC := math.Float64bits(gc) == math.Float64bits(c)
+		okD := r.Bool() == d
+		gv := r.Uint8s()
+		return r.Finish() == nil && okA && okB && okC && okD && bytes.Equal(gv, v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesViewAliases(t *testing.T) {
+	w := NewWriter(0)
+	w.Bytes32([]byte{9, 8, 7})
+	buf := w.Bytes()
+	r := NewReader(buf)
+	view := r.BytesView()
+	if len(view) != 3 {
+		t.Fatalf("view len = %d", len(view))
+	}
+	buf[4] = 42 // first payload byte (after the 4-byte length prefix)
+	if view[0] != 42 {
+		t.Error("BytesView should alias the underlying buffer")
+	}
+}
+
+func TestGenericVectorRoundTrip(t *testing.T) {
+	checkF32 := func(v []float32) {
+		w := NewWriter(0)
+		PutVector(w, v)
+		if w.Len() != VectorBytes[float32](len(v)) {
+			t.Fatalf("VectorBytes mismatch: %d vs %d", w.Len(), VectorBytes[float32](len(v)))
+		}
+		got := GetVector[float32](NewReader(w.Bytes()))
+		if len(got) != len(v) {
+			t.Fatalf("len = %d, want %d", len(got), len(v))
+		}
+		for i := range v {
+			if got[i] != v[i] {
+				t.Fatalf("elem %d = %v, want %v", i, got[i], v[i])
+			}
+		}
+	}
+	checkF32([]float32{1, -2.5, 3e9})
+	checkF32(nil)
+
+	wu := NewWriter(0)
+	PutVector(wu, []uint8{1, 2, 255})
+	if wu.Len() != VectorBytes[uint8](3) {
+		t.Fatalf("uint8 VectorBytes mismatch")
+	}
+	gu := GetVector[uint8](NewReader(wu.Bytes()))
+	if len(gu) != 3 || gu[2] != 255 {
+		t.Fatalf("uint8 round trip = %v", gu)
+	}
+
+	ws := NewWriter(0)
+	PutVector(ws, []uint32{7, 11, 1 << 30})
+	gs := GetVector[uint32](NewReader(ws.Bytes()))
+	if len(gs) != 3 || gs[2] != 1<<30 {
+		t.Fatalf("uint32 round trip = %v", gs)
+	}
+}
+
+func TestScalarSize(t *testing.T) {
+	if ScalarSize[float32]() != 4 || ScalarSize[uint8]() != 1 || ScalarSize[uint32]() != 4 {
+		t.Fatal("ScalarSize wrong")
+	}
+}

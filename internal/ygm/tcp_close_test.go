@@ -1,0 +1,106 @@
+package ygm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTCPGracefulClose verifies the exit contract of TCP worlds: after
+// a barrier, a rank may Close and exit while peers are still doing
+// local work; the goodbye frame prevents the peers from treating the
+// socket teardown as a world failure.
+func TestTCPGracefulClose(t *testing.T) {
+	const n = 3
+	addrs := freeAddrs(t, n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	closedFlags := make([]bool, n)
+
+	for rank := 0; rank < n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c, err := NewTCPComm(rank, addrs)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			h := c.Register("h", func(c *Comm, from int, payload []byte) {})
+			for dest := 0; dest < n; dest++ {
+				c.Async(dest, h, []byte{1})
+			}
+			c.Barrier()
+			if rank != 0 {
+				// Fast ranks leave immediately.
+				c.Close()
+				return
+			}
+			// Rank 0 keeps working locally (e.g. writing a datastore)
+			// while its peers tear their sockets down.
+			time.Sleep(200 * time.Millisecond)
+			c.mbox.mu.Lock()
+			closedFlags[0] = c.mbox.closed
+			c.mbox.mu.Unlock()
+			c.Close()
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	if closedFlags[0] {
+		t.Fatal("peer exits after a barrier aborted rank 0's mailbox (goodbye frame not honored)")
+	}
+}
+
+// TestTCPAbruptPeerDeathAborts: the flip side — a peer vanishing
+// WITHOUT the goodbye must abort ranks blocked in a barrier instead of
+// hanging them forever.
+func TestTCPAbruptPeerDeathAborts(t *testing.T) {
+	const n = 2
+	addrs := freeAddrs(t, n)
+	var wg sync.WaitGroup
+	var barrierErr error
+
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c, err := NewTCPComm(0, addrs)
+		if err != nil {
+			barrierErr = err
+			return
+		}
+		defer c.Close()
+		defer func() {
+			if r := recover(); r != nil {
+				barrierErr = fmt.Errorf("recovered: %v", r)
+			}
+		}()
+		c.Barrier() // rank 1 dies without entering: must abort, not hang
+	}()
+	go func() {
+		defer wg.Done()
+		c, err := NewTCPComm(1, addrs)
+		if err != nil {
+			return
+		}
+		// Simulate a crash: tear down sockets with no goodbye.
+		time.Sleep(50 * time.Millisecond)
+		c.tp.(*tcpTransport).teardown()
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("rank 0 hung in barrier after abrupt peer death")
+	}
+	if barrierErr == nil {
+		t.Fatal("rank 0's barrier did not surface the peer failure")
+	}
+}

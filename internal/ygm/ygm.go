@@ -1,0 +1,463 @@
+// Package ygm is a from-scratch reimplementation of the communication
+// model DNND needs from LLNL's YGM library: asynchronous fire-and-forget
+// remote procedure calls with sender-side message aggregation, a global
+// barrier that waits for quiescence (all messages, including messages
+// sent by message handlers, processed), and message/byte counters.
+//
+// The paper runs YGM over MPI on an HPC interconnect. Here a "world" of
+// ranks is either a set of goroutines exchanging serialized byte frames
+// through in-memory mailboxes (the local transport) or a set of
+// processes/goroutines connected by a TCP mesh (the tcp transport). In
+// both cases every message crosses a serialization boundary, so message
+// counts and byte volumes — the quantities Figure 4 of the paper
+// reports — are measured on real encoded traffic.
+//
+// Concurrency model (mirrors YGM/MPI): each rank is a single logical
+// thread. Handlers only ever execute on the owning rank's goroutine,
+// inside Async, Barrier, or AllReduce calls (the "progress engine"), so
+// rank-local state needs no locking. Handlers may themselves call Async;
+// such nested sends are buffered and flushed by the progress engine.
+package ygm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// HandlerID identifies a registered message handler. Like YGM, handler
+// registration must happen in the same order on every rank so the IDs
+// agree across the world.
+type HandlerID uint16
+
+// Handler is a message callback. It runs on the destination rank's
+// goroutine with the sender's rank and the message payload. The payload
+// slice aliases the receive buffer and must not be retained after the
+// handler returns; decode what you need.
+type Handler func(c *Comm, from int, payload []byte)
+
+// Control-plane handler IDs occupy the low range; user registration
+// starts at firstUserHandler.
+const (
+	hdlIdleReport HandlerID = iota
+	hdlConfirm
+	hdlConfirmAck
+	hdlRelease
+	hdlReduceContrib
+	hdlReduceResult
+	firstUserHandler
+)
+
+// recordHeaderBytes is the per-message framing overhead (2-byte handler
+// ID + 4-byte payload length), counted into byte volumes.
+const recordHeaderBytes = 6
+
+// defaultFlushBytes is the sender-side aggregation threshold per
+// destination; buffers are handed to the transport when they exceed it.
+const defaultFlushBytes = 32 << 10
+
+// pollInterval controls how often Async opportunistically drains the
+// mailbox (every pollInterval-th call).
+const pollInterval = 64
+
+// delivery is one batch of records from a single sender.
+type delivery struct {
+	from int
+	buf  []byte
+}
+
+// mailbox is the multi-producer single-consumer inbound queue of a rank.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []delivery
+	closed bool
+	// peakDepth and peakBytes are high-water marks of queued
+	// deliveries, the congestion signal behind the paper's Section 4.4
+	// batching (YGM "has no real-time global knowledge of the number
+	// of messages in all processes' buffers").
+	peakDepth int
+	peakBytes int64
+	curBytes  int64
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) push(d delivery) {
+	m.mu.Lock()
+	m.q = append(m.q, d)
+	m.curBytes += int64(len(d.buf))
+	if len(m.q) > m.peakDepth {
+		m.peakDepth = len(m.q)
+	}
+	if m.curBytes > m.peakBytes {
+		m.peakBytes = m.curBytes
+	}
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+func (m *mailbox) tryPop() (delivery, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.q) == 0 {
+		return delivery{}, false
+	}
+	d := m.q[0]
+	m.q[0] = delivery{}
+	m.q = m.q[1:]
+	m.curBytes -= int64(len(d.buf))
+	return d, true
+}
+
+// popBlocking waits until a delivery is available or the mailbox is
+// closed.
+func (m *mailbox) popBlocking() (delivery, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.q) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.q) == 0 {
+		return delivery{}, false
+	}
+	d := m.q[0]
+	m.q[0] = delivery{}
+	m.q = m.q[1:]
+	m.curBytes -= int64(len(d.buf))
+	return d, true
+}
+
+func (m *mailbox) empty() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.q) == 0
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// Transport moves encoded record batches between ranks. Deliveries
+// arrive at the destination Comm's mailbox (the transport holds a
+// reference to it).
+type Transport interface {
+	// Send transfers ownership of buf (a batch of encoded records) to
+	// the destination rank.
+	Send(dest int, buf []byte) error
+	// Close releases transport resources.
+	Close() error
+}
+
+// Comm is one rank's endpoint in a world. It is not safe for concurrent
+// use by multiple goroutines; like an MPI rank, exactly one goroutine
+// drives it.
+type Comm struct {
+	rank   int
+	nranks int
+	tp     Transport
+	mbox   *mailbox
+
+	handlers     []Handler
+	handlerNames []string
+
+	out        [][]byte // per-destination aggregation buffers
+	flushBytes int
+
+	stats      Stats
+	intervals  []IntervalStats
+	intervalAt IntervalStats // counters snapshot at last barrier exit
+	work       float64       // app-reported work units (see AddWork)
+
+	inDrain   bool
+	asyncTick int
+
+	// Barrier / quiescence state.
+	inBarrier  bool
+	epoch      uint64
+	released   bool
+	needReport bool
+	coord      *coordState // non-nil on rank 0
+
+	// AllReduce state.
+	reduceSeq     uint64
+	reduceResults map[uint64][]byte
+	reduceAccum   map[uint64]*reduceAccum
+
+	// err records a transport failure; surfaced by Barrier/Async panics.
+	err error
+}
+
+// newComm wires up a Comm; the transport is attached afterwards by the
+// world constructor (transports need the mailbox first).
+func newComm(rank, nranks int) *Comm {
+	c := &Comm{
+		rank:          rank,
+		nranks:        nranks,
+		mbox:          newMailbox(),
+		out:           make([][]byte, nranks),
+		flushBytes:    defaultFlushBytes,
+		reduceResults: make(map[uint64][]byte),
+		reduceAccum:   make(map[uint64]*reduceAccum),
+	}
+	if rank == 0 {
+		c.coord = newCoordState(nranks)
+	}
+	c.registerControlHandlers()
+	c.stats.PerHandler = make([]HandlerStats, 0, 16)
+	return c
+}
+
+// Rank returns this endpoint's rank in [0, NRanks).
+func (c *Comm) Rank() int { return c.rank }
+
+// NRanks returns the world size.
+func (c *Comm) NRanks() int { return c.nranks }
+
+// SetFlushThreshold overrides the sender-side aggregation threshold in
+// bytes. Must be called before any Async.
+func (c *Comm) SetFlushThreshold(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.flushBytes = n
+}
+
+// Register installs a message handler and returns its ID. Every rank
+// must register the same handlers in the same order (the YGM
+// convention); the name is recorded for stats output.
+func (c *Comm) Register(name string, h Handler) HandlerID {
+	id := HandlerID(len(c.handlers))
+	c.handlers = append(c.handlers, h)
+	c.handlerNames = append(c.handlerNames, name)
+	for len(c.stats.PerHandler) <= int(id) {
+		c.stats.PerHandler = append(c.stats.PerHandler, HandlerStats{})
+	}
+	return id
+}
+
+func (c *Comm) registerControlHandlers() {
+	// Order must match the hdl* constants.
+	c.Register("_idle", handleIdleReport)
+	c.Register("_confirm", handleConfirm)
+	c.Register("_confirmAck", handleConfirmAck)
+	c.Register("_release", handleRelease)
+	c.Register("_reduceContrib", handleReduceContrib)
+	c.Register("_reduceResult", handleReduceResult)
+}
+
+// Async sends a fire-and-forget message: handler h runs on rank dest at
+// some future time with the given payload. The payload is copied
+// immediately; the caller may reuse it. Messages to self go through the
+// same path (encoded, counted, delivered via the mailbox).
+func (c *Comm) Async(dest int, h HandlerID, payload []byte) {
+	if dest < 0 || dest >= c.nranks {
+		panic(fmt.Sprintf("ygm: Async dest %d out of range (nranks=%d)", dest, c.nranks))
+	}
+	if int(h) >= len(c.handlers) {
+		panic(fmt.Sprintf("ygm: Async with unregistered handler %d", h))
+	}
+	c.enqueue(dest, h, payload, true)
+
+	// Opportunistic progress, YGM-style: drain inbound traffic during
+	// long send loops so mailboxes stay bounded. Never re-entered from
+	// inside a handler.
+	if !c.inDrain {
+		c.asyncTick++
+		if c.asyncTick >= pollInterval {
+			c.asyncTick = 0
+			c.drainAll()
+		}
+	}
+}
+
+// enqueue appends one record to the destination's aggregation buffer
+// and accounts for it.
+func (c *Comm) enqueue(dest int, h HandlerID, payload []byte, isApp bool) {
+	buf := c.out[dest]
+	if buf == nil {
+		buf = make([]byte, 0, c.flushBytes+256)
+	}
+	n := len(payload)
+	buf = append(buf, byte(h), byte(h>>8),
+		byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	buf = append(buf, payload...)
+	c.out[dest] = buf
+
+	if isApp {
+		size := int64(n + recordHeaderBytes)
+		c.stats.SentMsgs++
+		c.stats.SentBytes += size
+		if dest != c.rank {
+			c.stats.RemoteSentMsgs++
+			c.stats.RemoteSentBytes += size
+		}
+		hs := &c.stats.PerHandler[h]
+		hs.SentMsgs++
+		hs.SentBytes += size
+	}
+	if len(c.out[dest]) >= c.flushBytes {
+		c.flushDest(dest)
+	}
+}
+
+// sendCtrl transmits a control record immediately, bypassing the
+// aggregation buffers so that barrier progress does not depend on flush
+// thresholds. Control traffic is excluded from app counters.
+func (c *Comm) sendCtrl(dest int, h HandlerID, payload []byte) {
+	n := len(payload)
+	buf := make([]byte, 0, n+recordHeaderBytes)
+	buf = append(buf, byte(h), byte(h>>8),
+		byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	buf = append(buf, payload...)
+	if err := c.tp.Send(dest, buf); err != nil && c.err == nil {
+		c.err = err
+	}
+}
+
+func (c *Comm) flushDest(dest int) {
+	buf := c.out[dest]
+	if len(buf) == 0 {
+		return
+	}
+	c.out[dest] = nil
+	c.stats.Flushes++
+	if err := c.tp.Send(dest, buf); err != nil && c.err == nil {
+		c.err = err
+	}
+}
+
+// Flush pushes all aggregation buffers to the transport without
+// waiting for delivery.
+func (c *Comm) Flush() {
+	for dest := range c.out {
+		c.flushDest(dest)
+	}
+}
+
+func (c *Comm) outboxesEmpty() bool {
+	for _, b := range c.out {
+		if len(b) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// drainAll processes every delivery currently queued in the mailbox and
+// reports whether any record was dispatched.
+func (c *Comm) drainAll() bool {
+	any := false
+	for {
+		d, ok := c.mbox.tryPop()
+		if !ok {
+			return any
+		}
+		c.dispatch(d)
+		any = true
+	}
+}
+
+// dispatch decodes and runs every record in one delivery.
+func (c *Comm) dispatch(d delivery) {
+	wasDraining := c.inDrain
+	c.inDrain = true
+	defer func() { c.inDrain = wasDraining }()
+
+	buf := d.buf
+	off := 0
+	for off < len(buf) {
+		if off+recordHeaderBytes > len(buf) {
+			panic(fmt.Sprintf("ygm: rank %d received truncated record header from %d", c.rank, d.from))
+		}
+		h := HandlerID(buf[off]) | HandlerID(buf[off+1])<<8
+		n := int(buf[off+2]) | int(buf[off+3])<<8 | int(buf[off+4])<<16 | int(buf[off+5])<<24
+		off += recordHeaderBytes
+		if off+n > len(buf) {
+			panic(fmt.Sprintf("ygm: rank %d received truncated record payload from %d", c.rank, d.from))
+		}
+		payload := buf[off : off+n]
+		off += n
+		if int(h) >= len(c.handlers) {
+			panic(fmt.Sprintf("ygm: rank %d received unknown handler %d from %d", c.rank, h, d.from))
+		}
+		c.handlers[h](c, d.from, payload)
+		if h >= firstUserHandler {
+			c.stats.RecvMsgs++
+			c.stats.PerHandler[h].RecvMsgs++
+			if c.inBarrier {
+				c.needReport = true
+			}
+		}
+	}
+}
+
+// AddWork accrues application-reported work units on this rank (the
+// DNND core reports one unit per vector-element operation). Interval
+// work feeds the modeled strong-scaling times; see IntervalStats.
+func (c *Comm) AddWork(units float64) { c.work += units }
+
+// Work returns the total accrued work units.
+func (c *Comm) Work() float64 { return c.work }
+
+// Stats returns a snapshot of this rank's counters, including the
+// mailbox congestion high-water marks.
+func (c *Comm) Stats() Stats {
+	s := c.stats.clone()
+	c.mbox.mu.Lock()
+	s.PeakMailboxDepth = int64(c.mbox.peakDepth)
+	s.PeakMailboxBytes = c.mbox.peakBytes
+	c.mbox.mu.Unlock()
+	return s
+}
+
+// HandlerName returns the registered name for id (for reports).
+func (c *Comm) HandlerName(id HandlerID) string {
+	if int(id) < len(c.handlerNames) {
+		return c.handlerNames[id]
+	}
+	return fmt.Sprintf("handler-%d", id)
+}
+
+// Intervals returns the per-barrier-interval statistics collected so
+// far. Index i covers the span between barrier exits i-1 and i.
+func (c *Comm) Intervals() []IntervalStats {
+	out := make([]IntervalStats, len(c.intervals))
+	copy(out, c.intervals)
+	return out
+}
+
+// checkErr surfaces transport failures to the caller; the SPMD runner
+// converts the panic into an error return.
+func (c *Comm) checkErr() {
+	if c.err != nil {
+		panic(fmt.Sprintf("ygm: rank %d transport failure: %v", c.rank, c.err))
+	}
+}
+
+// recordInterval snapshots counters at a barrier exit.
+func (c *Comm) recordInterval() {
+	cur := IntervalStats{
+		SentMsgs:  c.stats.SentMsgs,
+		SentBytes: c.stats.SentBytes,
+		Work:      c.work,
+		WallTime:  time.Since(startTime),
+	}
+	delta := IntervalStats{
+		SentMsgs:  cur.SentMsgs - c.intervalAt.SentMsgs,
+		SentBytes: cur.SentBytes - c.intervalAt.SentBytes,
+		Work:      cur.Work - c.intervalAt.Work,
+		WallTime:  cur.WallTime - c.intervalAt.WallTime,
+	}
+	c.intervals = append(c.intervals, delta)
+	c.intervalAt = cur
+}
+
+var startTime = time.Now()

@@ -1,0 +1,60 @@
+package ygm
+
+import "testing"
+
+// BenchmarkAsyncLocal measures fire-and-forget message throughput on
+// the local transport (enqueue + aggregate + dispatch), the
+// per-message cost every DNND phase pays.
+func BenchmarkAsyncLocal(b *testing.B) {
+	w := NewLocalWorld(2)
+	payload := make([]byte, 32)
+	b.SetBytes(int64(len(payload) + recordHeaderBytes))
+	b.ResetTimer()
+	err := w.Run(func(c *Comm) error {
+		h := c.Register("h", func(c *Comm, from int, p []byte) {})
+		if c.Rank() == 0 {
+			for i := 0; i < b.N; i++ {
+				c.Async(1, h, payload)
+			}
+		}
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkBarrier measures the quiescence barrier's round-trip cost
+// with no outstanding traffic (the lower bound every superstep pays).
+func BenchmarkBarrier(b *testing.B) {
+	w := NewLocalWorld(4)
+	b.ResetTimer()
+	err := w.Run(func(c *Comm) error {
+		for i := 0; i < b.N; i++ {
+			c.Barrier()
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAllReduce measures the collective used for DNND's
+// convergence checks.
+func BenchmarkAllReduce(b *testing.B) {
+	w := NewLocalWorld(4)
+	b.ResetTimer()
+	err := w.Run(func(c *Comm) error {
+		for i := 0; i < b.N; i++ {
+			if got := c.AllReduceSum(1); got != 4 {
+				return errWorldAborted
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,223 @@
+package dnnd
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dnnd/internal/knng"
+	"dnnd/internal/metall"
+	"dnnd/internal/wire"
+)
+
+// Datastore object names.
+const (
+	objMeta    = "meta"
+	objGraph   = "graph"
+	objDataset = "dataset"
+)
+
+// storeMeta describes a persisted index (JSON inside the datastore).
+type storeMeta struct {
+	Version int        `json:"version"`
+	K       int        `json:"k"`
+	Metric  MetricKind `json:"metric"`
+	Elem    string     `json:"elem"`
+	N       int        `json:"n"`
+	Refined bool       `json:"refined"` // Section 4.5 optimization applied
+}
+
+func elemName[T Scalar]() string {
+	var z T
+	switch any(z).(type) {
+	case float32:
+		return "float32"
+	case uint8:
+		return "uint8"
+	default:
+		return "uint32"
+	}
+}
+
+// Save persists an index (graph + dataset + metadata) into a
+// Metall-style datastore directory, creating or updating it. The
+// paper's construct executable does exactly this so the optimize and
+// query executables can reattach later.
+func Save[T Scalar](dir string, ix *Index[T], refined bool) error {
+	mgr, err := metall.OpenOrCreate(dir)
+	if err != nil {
+		return err
+	}
+	meta := storeMeta{
+		Version: 1,
+		K:       ix.k,
+		Metric:  ix.kind,
+		Elem:    elemName[T](),
+		N:       len(ix.data),
+		Refined: refined,
+	}
+	rawMeta, err := json.Marshal(&meta)
+	if err != nil {
+		return err
+	}
+	if err := mgr.Put(objMeta, rawMeta); err != nil {
+		return err
+	}
+	if err := mgr.Put(objGraph, ix.graph.Marshal()); err != nil {
+		return err
+	}
+	if err := mgr.Put(objDataset, marshalDataset(ix.data)); err != nil {
+		return err
+	}
+	return mgr.Close()
+}
+
+// Load reattaches to a datastore written by Save. The element type T
+// must match the stored one.
+func Load[T Scalar](dir string) (*Index[T], error) {
+	ix, _, err := LoadWithMeta[T](dir)
+	return ix, err
+}
+
+// LoadWithMeta is Load plus the stored metadata (e.g. the Refined
+// flag).
+func LoadWithMeta[T Scalar](dir string) (*Index[T], bool, error) {
+	mgr, err := metall.Open(dir)
+	if err != nil {
+		return nil, false, err
+	}
+	defer mgr.Close()
+
+	rawMeta, err := mgr.Get(objMeta)
+	if err != nil {
+		return nil, false, err
+	}
+	var meta storeMeta
+	if err := json.Unmarshal(rawMeta, &meta); err != nil {
+		return nil, false, fmt.Errorf("dnnd: bad store metadata: %w", err)
+	}
+	if meta.Elem != elemName[T]() {
+		return nil, false, fmt.Errorf("dnnd: store holds %s data, requested %s",
+			meta.Elem, elemName[T]())
+	}
+
+	rawGraph, err := mgr.Get(objGraph)
+	if err != nil {
+		return nil, false, err
+	}
+	g, err := knng.Unmarshal(rawGraph)
+	if err != nil {
+		return nil, false, err
+	}
+	rawData, err := mgr.Get(objDataset)
+	if err != nil {
+		return nil, false, err
+	}
+	data, err := unmarshalDataset[T](rawData)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(data) != meta.N || g.NumVertices() != meta.N {
+		return nil, false, fmt.Errorf("dnnd: store inconsistent: meta N=%d, dataset %d, graph %d",
+			meta.N, len(data), g.NumVertices())
+	}
+	ix, err := NewIndex(g, data, meta.Metric, meta.K)
+	if err != nil {
+		return nil, false, err
+	}
+	return ix, meta.Refined, nil
+}
+
+// StoreElem reports the element type ("float32", "uint8", "uint32")
+// of a persisted index, so command-line tools can dispatch to the
+// right Load instantiation.
+func StoreElem(dir string) (string, error) {
+	mgr, err := metall.Open(dir)
+	if err != nil {
+		return "", err
+	}
+	defer mgr.Close()
+	rawMeta, err := mgr.Get(objMeta)
+	if err != nil {
+		return "", err
+	}
+	var meta storeMeta
+	if err := json.Unmarshal(rawMeta, &meta); err != nil {
+		return "", fmt.Errorf("dnnd: bad store metadata: %w", err)
+	}
+	return meta.Elem, nil
+}
+
+// Refine applies the Section 4.5 graph optimization to a stored index
+// in place: merge reverse edges and prune degrees to k*m. It mirrors
+// the paper's separate graph-optimization executable.
+func Refine[T Scalar](dir string, m float64) error {
+	ix, refined, err := LoadWithMeta[T](dir)
+	if err != nil {
+		return err
+	}
+	if refined {
+		return fmt.Errorf("dnnd: store %s is already refined", dir)
+	}
+	ix.graph.Optimize(ix.k, m)
+	return Save(dir, ix, true)
+}
+
+const datasetMagic uint32 = 0x54534456 // "VDST"
+
+func marshalDataset[T Scalar](data [][]T) []byte {
+	size := 8
+	for _, v := range data {
+		size += wire.VectorBytes[T](len(v))
+	}
+	w := wire.NewWriter(size)
+	w.Uint32(datasetMagic)
+	w.Uint32(uint32(len(data)))
+	for _, v := range data {
+		putVec(w, v)
+	}
+	return w.Bytes()
+}
+
+func unmarshalDataset[T Scalar](p []byte) ([][]T, error) {
+	r := wire.NewReader(p)
+	if r.Uint32() != datasetMagic {
+		return nil, fmt.Errorf("dnnd: bad dataset blob")
+	}
+	n := int(r.Uint32())
+	if r.Err() != nil || n > wire.MaxVectorLen {
+		return nil, fmt.Errorf("dnnd: bad dataset header")
+	}
+	data := make([][]T, n)
+	for i := range data {
+		data[i] = getVec[T](r)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("dnnd: corrupt dataset blob: %w", err)
+	}
+	return data, nil
+}
+
+// putVec/getVec adapt wire's generic vector codec to the root Scalar
+// constraint (the constraints are structurally identical).
+func putVec[T Scalar](w *wire.Writer, v []T) {
+	switch s := any(v).(type) {
+	case []float32:
+		w.Float32s(s)
+	case []uint8:
+		w.Uint8s(s)
+	case []uint32:
+		w.Uint32s(s)
+	}
+}
+
+func getVec[T Scalar](r *wire.Reader) []T {
+	var z T
+	switch any(z).(type) {
+	case float32:
+		return any(r.Float32s()).([]T)
+	case uint8:
+		return any(r.Uint8s()).([]T)
+	default:
+		return any(r.Uint32s()).([]T)
+	}
+}
