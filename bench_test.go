@@ -10,10 +10,49 @@ import (
 	"testing"
 
 	"dnnd/internal/bench"
+	"dnnd/internal/core"
+	"dnnd/internal/dataset"
 )
 
 func quickOpts() bench.Options {
 	return bench.Options{Out: io.Discard, Seed: 1, Quick: true}
+}
+
+// BenchmarkConstruction is the allocation-regression anchor: one
+// end-to-end DNND build per iteration, on the hot path and on the
+// legacy Conservative path, over the two billion-scale stand-ins
+// (float32 "deep" and uint8 "bigann"). scripts/bench.sh records its
+// ns/op, B/op, and allocs/op into BENCH_PR<N>.json; the two variants
+// produce identical graphs (see core's determinism test), so any
+// allocs/op gap is pure hot-path savings.
+func BenchmarkConstruction(b *testing.B) {
+	for _, name := range []string{"deep", "bigann"} {
+		p, err := dataset.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := dataset.Generate(p, 2000, 1)
+		for _, mode := range []struct {
+			name string
+			cons bool
+		}{{"hotpath", false}, {"conservative", true}} {
+			b.Run(name+"/"+mode.name, func(b *testing.B) {
+				cfg := core.DefaultConfig(10)
+				cfg.Seed = 1
+				cfg.Conservative = mode.cons
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					out, err := bench.BuildDNND(d, 4, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						b.ReportMetric(float64(out.Result.DistEvals), "dist-evals")
+					}
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkTable1Datasets regenerates Table 1 (dataset inventory).

@@ -1,0 +1,98 @@
+// Command benchjson converts `go test -bench` text output (stdin) into
+// the JSON benchmark-trajectory format tracked as BENCH_PR<N>.json at
+// the repo root (see EXPERIMENTS.md, "Benchmark regression workflow").
+// Each benchmark line becomes one record carrying every reported
+// metric (ns/op, B/op, allocs/op, and custom b.ReportMetric units);
+// the goos/goarch/pkg/cpu context lines are preserved so numbers from
+// different machines are never compared blindly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type record struct {
+	Name    string             `json:"name"`
+	Pkg     string             `json:"pkg,omitempty"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type report struct {
+	Context    map[string]string `json:"context"`
+	Benchmarks []record          `json:"benchmarks"`
+}
+
+func main() {
+	out := report{Context: map[string]string{}}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				if key == "pkg" {
+					pkg = v
+				} else {
+					out.Context[key] = v
+				}
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		rec := record{
+			Name:    trimProcs(fields[0]),
+			Pkg:     pkg,
+			Iters:   iters,
+			Metrics: map[string]float64{},
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			rec.Metrics[fields[i+1]] = v
+		}
+		if len(rec.Metrics) > 0 {
+			out.Benchmarks = append(out.Benchmarks, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// trimProcs strips the trailing -N GOMAXPROCS tag from a benchmark
+// name (left as-is when absent, e.g. under -cpu 1).
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

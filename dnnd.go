@@ -119,7 +119,7 @@ type BuildResult struct {
 // NN-Descent on opt.Ranks simulated ranks. It is the one-call path for
 // applications; see internal/core for the SPMD building blocks.
 func Build[T Scalar](data [][]T, opt BuildOptions) (*BuildResult, error) {
-	dist, err := metricFor[T](opt.Metric)
+	kern, err := kernelFor[T](opt.Metric)
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +140,7 @@ func Build[T Scalar](data [][]T, opt BuildOptions) (*BuildResult, error) {
 	var root *core.Result
 	err = world.Run(func(c *ygm.Comm) error {
 		shard := core.Partition(data, c.Rank(), c.NRanks())
-		res, err := core.Build(c, shard, dist, cfg)
+		res, err := core.BuildKernel(c, shard, kern, cfg)
 		if err != nil {
 			return err
 		}
@@ -258,7 +258,7 @@ func Remove[T Scalar](data [][]T, removeIDs []ID, prior *Graph, opt BuildOptions
 // buildWithPrior runs a warm-started world build (shared by Extend and
 // Remove).
 func buildWithPrior[T Scalar](data [][]T, prior *Graph, opt BuildOptions) (*BuildResult, error) {
-	dist, err := metricFor[T](opt.Metric)
+	kern, err := kernelFor[T](opt.Metric)
 	if err != nil {
 		return nil, err
 	}
@@ -278,7 +278,7 @@ func buildWithPrior[T Scalar](data [][]T, prior *Graph, opt BuildOptions) (*Buil
 	var root *core.Result
 	err = world.Run(func(c *ygm.Comm) error {
 		shard := core.Partition(data, c.Rank(), c.NRanks())
-		res, err := core.BuildWarm(c, shard, dist, cfg, prior)
+		res, err := core.BuildWarmKernel(c, shard, kern, cfg, prior)
 		if err != nil {
 			return err
 		}
@@ -302,6 +302,16 @@ func buildWithPrior[T Scalar](data [][]T, prior *Graph, opt BuildOptions) (*Buil
 		Messages:     st.SentMsgs,
 		MessageBytes: st.SentBytes,
 	}, nil
+}
+
+// kernelFor adapts metric.KernelFor to the root Scalar constraint,
+// giving the construction loop the norm-precomputed fast path when the
+// metric has one.
+func kernelFor[T Scalar](k MetricKind) (metric.Kernel[T], error) {
+	if k == "" {
+		return metric.Kernel[T]{}, errors.New("dnnd: Metric is required")
+	}
+	return metric.KernelFor[T](k)
 }
 
 // metricFor adapts metric.For to the root Scalar constraint.

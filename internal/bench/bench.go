@@ -123,7 +123,7 @@ func buildTyped[T wire.Scalar](data [][]T, kind metric.Kind, ranks int, cfg core
 
 // buildWarmTyped runs a (possibly warm-started) DNND construction.
 func buildWarmTyped[T wire.Scalar](data [][]T, kind metric.Kind, ranks int, cfg core.Config, prior *knng.Graph) (*BuildOut, error) {
-	dist, err := metric.For[T](kind)
+	kern, err := metric.KernelFor[T](kind)
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +136,7 @@ func buildWarmTyped[T wire.Scalar](data [][]T, kind metric.Kind, ranks int, cfg 
 	start := time.Now()
 	err = world.Run(func(c *ygm.Comm) error {
 		shard := core.Partition(data, c.Rank(), c.NRanks())
-		res, err := core.BuildWarm(c, shard, dist, cfg, prior)
+		res, err := core.BuildWarmKernel(c, shard, kern, cfg, prior)
 		if err != nil {
 			return err
 		}

@@ -79,18 +79,42 @@ type Result struct {
 type builder[T wire.Scalar] struct {
 	c     *ygm.Comm
 	cfg   Config
-	dist  metric.Func[T]
+	kern  metric.Kernel[T]
 	shard *Shard[T]
 	rng   *rand.Rand
 
 	lists []*knng.NeighborList // parallel to shard.IDs
 
 	// Per-round state.
-	olds, news [][]knng.ID                 // parallel to shard.IDs
-	oldRev     map[knng.ID][]knng.ID       // reverse old matrix rows
-	newRev     map[knng.ID][]knng.ID       // reverse new matrix rows
-	optIn      map[knng.ID][]knng.Neighbor // 4.5 reverse edges received
-	final      [][]knng.Neighbor           // post-optimization lists
+	olds, news [][]knng.ID       // parallel to shard.IDs
+	final      [][]knng.Neighbor // post-optimization lists
+
+	// Reverse matrices. The hot path stores row u at u's shard index
+	// (flat rows whose backing arrays persist across rounds); the
+	// Conservative path keeps the original per-round maps.
+	oldRevRows [][]knng.ID           // parallel to shard.IDs
+	newRevRows [][]knng.ID           // parallel to shard.IDs
+	oldRev     map[knng.ID][]knng.ID // reverse old matrix rows
+	newRev     map[knng.ID][]knng.ID // reverse new matrix rows
+
+	// Section 4.5 reverse edges received: flat rows on the hot path,
+	// the original map in Conservative mode.
+	optRows [][]knng.Neighbor
+	optIn   map[knng.ID][]knng.Neighbor
+
+	// Hot-path scratch, all reused across rounds so the steady-state
+	// descent allocates nothing. mark is an epoch-stamped visited-set
+	// over the global ID space (one uint32 per vertex per rank; at truly
+	// massive N this wants sharding, but it is exact and O(1) per test
+	// where the former map[ID]bool allocated per vertex per round).
+	w, replyW    *wire.Writer // phase-loop writer / handler-reply writer
+	vecScratch   []T          // wire-vector decode target (Type 2, init)
+	mark         []uint32     // epoch-stamped marks, lazily sized to N
+	markEpoch    uint32
+	candScratch  []knng.ID // sampleLists candidate buffer
+	shufScratch  []knng.ID // unionSample shuffle buffer
+	orderScratch []int     // exchangeReverse vertex order
+	norms        []float32 // kern.Norm per local vector (fused cosine)
 
 	updates   int64 // successful Updates this round (c of Algorithm 1)
 	distEvals int64
@@ -108,7 +132,13 @@ type builder[T wire.Scalar] struct {
 // rank calls Build with its shard of the dataset and the same
 // configuration (SPMD). The gathered graph is returned on rank 0.
 func Build[T wire.Scalar](c *ygm.Comm, shard *Shard[T], dist metric.Func[T], cfg Config) (*Result, error) {
-	return BuildWarm(c, shard, dist, cfg, nil)
+	return BuildWarmKernel(c, shard, metric.Kernel[T]{Fn: dist}, cfg, nil)
+}
+
+// BuildKernel is Build taking a full metric.Kernel, enabling the
+// norm-precomputed fast path when the kernel provides one.
+func BuildKernel[T wire.Scalar](c *ygm.Comm, shard *Shard[T], kern metric.Kernel[T], cfg Config) (*Result, error) {
+	return BuildWarmKernel(c, shard, kern, cfg, nil)
 }
 
 // BuildWarm is Build with a warm start: prior is an existing k-NNG
@@ -119,19 +149,29 @@ func Build[T wire.Scalar](c *ygm.Comm, shard *Shard[T], dist metric.Func[T], cfg
 // into the neighborhood structure — the incremental-update workflow
 // the paper's Section 7 sketches for Metall-backed graphs.
 func BuildWarm[T wire.Scalar](c *ygm.Comm, shard *Shard[T], dist metric.Func[T], cfg Config, prior *knng.Graph) (*Result, error) {
+	return BuildWarmKernel(c, shard, metric.Kernel[T]{Fn: dist}, cfg, prior)
+}
+
+// BuildWarmKernel is BuildWarm taking a full metric.Kernel.
+func BuildWarmKernel[T wire.Scalar](c *ygm.Comm, shard *Shard[T], kern metric.Kernel[T], cfg Config, prior *knng.Graph) (*Result, error) {
 	if err := cfg.Validate(shard.N); err != nil {
 		return nil, err
+	}
+	if kern.Fn == nil {
+		return nil, fmt.Errorf("core: kernel has no distance function")
 	}
 	if prior != nil && prior.NumVertices() > shard.N {
 		return nil, fmt.Errorf("core: warm graph has %d vertices but dataset only %d",
 			prior.NumVertices(), shard.N)
 	}
 	b := &builder[T]{
-		c:     c,
-		cfg:   cfg,
-		dist:  dist,
-		shard: shard,
-		rng:   rand.New(rand.NewSource(cfg.Seed*7919 + int64(c.Rank()))),
+		c:      c,
+		cfg:    cfg,
+		kern:   kern,
+		shard:  shard,
+		rng:    rand.New(rand.NewSource(cfg.Seed*7919 + int64(c.Rank()))),
+		w:      wire.NewWriter(256),
+		replyW: wire.NewWriter(256),
 	}
 	b.register()
 
@@ -141,6 +181,13 @@ func BuildWarm[T wire.Scalar](c *ygm.Comm, shard *Shard[T], dist metric.Func[T],
 	}
 	b.olds = make([][]knng.ID, shard.Len())
 	b.news = make([][]knng.ID, shard.Len())
+
+	if !cfg.Conservative && kern.Norm != nil && kern.FnPre != nil {
+		b.norms = make([]float32, shard.Len())
+		for i, v := range shard.Vecs {
+			b.norms[i] = kern.Norm(v)
+		}
+	}
 
 	res := &Result{K: cfg.K, N: shard.N}
 
@@ -219,10 +266,68 @@ func (b *builder[T]) localIndex(id knng.ID) int {
 	return i
 }
 
-func (b *builder[T]) evalDist(a, v []T) float32 {
+// evalDistAt computes theta(a, vec of local vertex j), taking the
+// kernel's norm-precomputed path when available. Both paths are
+// bit-identical by the metric.Kernel contract, so the Conservative flag
+// gating the fast path cannot change any distance.
+func (b *builder[T]) evalDistAt(a []T, j int) float32 {
 	b.distEvals++
 	b.c.AddWork(float64(len(a)))
-	return b.dist(a, v)
+	if b.norms != nil {
+		return b.kern.FnPre(a, b.shard.Vecs[j], b.norms[j])
+	}
+	return b.kern.Fn(a, b.shard.Vecs[j])
+}
+
+// phaseWriter returns the writer for a phase's emit loop: the builder's
+// reused writer on the hot path, a fresh one in Conservative mode.
+func (b *builder[T]) phaseWriter(capacity int) *wire.Writer {
+	if b.cfg.Conservative {
+		return wire.NewWriter(capacity)
+	}
+	b.w.Reset()
+	return b.w
+}
+
+// replyWriter returns the writer for a handler's reply. Handlers never
+// nest (the comm never re-enters dispatch from inside a handler), and
+// Async copies the payload before returning, so one reused writer
+// suffices; it is distinct from the phase writer because handlers run
+// in the middle of phase emit loops.
+func (b *builder[T]) replyWriter(capacity int) *wire.Writer {
+	if b.cfg.Conservative {
+		return wire.NewWriter(capacity)
+	}
+	b.replyW.Reset()
+	return b.replyW
+}
+
+// getVec decodes a wire vector: a borrowed view / reused scratch on the
+// hot path (valid only within the current handler, which is all the
+// callers need), a fresh copy in Conservative mode.
+func (b *builder[T]) getVec(r *wire.Reader) []T {
+	if b.cfg.Conservative {
+		return wire.GetVector[T](r)
+	}
+	v, scratch := wire.GetVectorBorrow(r, b.vecScratch)
+	b.vecScratch = scratch
+	return v
+}
+
+// visitEpoch starts a fresh visited-mark generation and returns its
+// stamp; b.mark[id] == stamp means "seen this generation". The array is
+// sized to the global N on first use and cleared only when the uint32
+// epoch wraps (once per 2^32 generations).
+func (b *builder[T]) visitEpoch() uint32 {
+	if b.mark == nil {
+		b.mark = make([]uint32, b.shard.N)
+	}
+	b.markEpoch++
+	if b.markEpoch == 0 {
+		clear(b.mark)
+		b.markEpoch = 1
+	}
+	return b.markEpoch
 }
 
 // ---- batched submission (Section 4.4) --------------------------------
@@ -258,11 +363,18 @@ func (b *builder[T]) batched(totalLocal int, perItemMsgs int, emit func(i int)) 
 // ---- phase 1: random initialization (Algorithm 1 lines 2-5) ----------
 
 func (b *builder[T]) initGraph() {
-	w := wire.NewWriter(64)
+	cons := b.cfg.Conservative
+	w := b.phaseWriter(64)
 	b.batched(b.shard.Len(), b.cfg.K, func(i int) {
 		v := b.shard.IDs[i]
 		need := b.cfg.K
-		seen := make(map[knng.ID]bool, b.cfg.K)
+		var seen map[knng.ID]bool
+		var epoch uint32
+		if cons {
+			seen = make(map[knng.ID]bool, b.cfg.K)
+		} else {
+			epoch = b.visitEpoch()
+		}
 		// Warm start: vertices the prior graph covers keep their
 		// lists (distances already known, no communication), flagged
 		// old so they generate no redundant checks on their own.
@@ -272,7 +384,11 @@ func (b *builder[T]) initGraph() {
 		if b.warm != nil && int(v) < b.warm.NumVertices() {
 			for _, e := range b.warm.Neighbors[v] {
 				if b.lists[i].Update(e.ID, e.Dist, false) == 1 {
-					seen[e.ID] = true
+					if cons {
+						seen[e.ID] = true
+					} else {
+						b.mark[e.ID] = epoch
+					}
 					need--
 				}
 			}
@@ -283,10 +399,17 @@ func (b *builder[T]) initGraph() {
 		vec := b.shard.Vecs[i]
 		for need > 0 {
 			u := knng.ID(b.rng.Intn(b.shard.N))
-			if u == v || seen[u] {
-				continue
+			if cons {
+				if u == v || seen[u] {
+					continue
+				}
+				seen[u] = true
+			} else {
+				if u == v || b.mark[u] == epoch {
+					continue
+				}
+				b.mark[u] = epoch
 			}
-			seen[u] = true
 			need--
 			w.Reset()
 			w.Uint32(v)
@@ -301,12 +424,12 @@ func (b *builder[T]) onInitReq(p []byte) {
 	r := wire.NewReader(p)
 	v := r.Uint32()
 	u := r.Uint32()
-	vec := wire.GetVector[T](r)
+	vec := b.getVec(r)
 	if r.Finish() != nil {
 		panic("core: bad init request")
 	}
-	d := b.evalDist(vec, b.shard.Vec(u))
-	w := wire.NewWriter(12)
+	d := b.evalDistAt(vec, b.localIndex(u))
+	w := b.replyWriter(12)
 	w.Uint32(v)
 	w.Uint32(u)
 	w.Float32(d)
@@ -333,7 +456,12 @@ func (b *builder[T]) sampleLists() {
 	for i := range b.lists {
 		items := b.lists[i].Items()
 		old := b.olds[i][:0]
-		cand := make([]knng.ID, 0, len(items))
+		var cand []knng.ID
+		if b.cfg.Conservative {
+			cand = make([]knng.ID, 0, len(items))
+		} else {
+			cand = b.candScratch[:0]
+		}
 		for _, it := range items {
 			if it.New {
 				cand = append(cand, it.ID)
@@ -342,6 +470,9 @@ func (b *builder[T]) sampleLists() {
 			}
 		}
 		b.rng.Shuffle(len(cand), func(a, z int) { cand[a], cand[z] = cand[z], cand[a] })
+		if !b.cfg.Conservative {
+			b.candScratch = cand // keep the (possibly grown) backing array
+		}
 		if len(cand) > sampleN {
 			cand = cand[:sampleN]
 		}
@@ -359,16 +490,30 @@ func (b *builder[T]) sampleLists() {
 // visiting local vertices in a shuffled order to avoid synchronized
 // bursts at one destination (Section 4.2).
 func (b *builder[T]) exchangeReverse() {
-	b.oldRev = make(map[knng.ID][]knng.ID)
-	b.newRev = make(map[knng.ID][]knng.ID)
+	if b.cfg.Conservative {
+		b.oldRev = make(map[knng.ID][]knng.ID)
+		b.newRev = make(map[knng.ID][]knng.ID)
+	} else {
+		if b.oldRevRows == nil {
+			b.oldRevRows = make([][]knng.ID, b.shard.Len())
+			b.newRevRows = make([][]knng.ID, b.shard.Len())
+		}
+		for i := range b.oldRevRows {
+			b.oldRevRows[i] = b.oldRevRows[i][:0]
+			b.newRevRows[i] = b.newRevRows[i][:0]
+		}
+	}
 
-	order := make([]int, b.shard.Len())
+	if cap(b.orderScratch) < b.shard.Len() {
+		b.orderScratch = make([]int, b.shard.Len())
+	}
+	order := b.orderScratch[:b.shard.Len()]
 	for i := range order {
 		order[i] = i
 	}
 	b.rng.Shuffle(len(order), func(a, z int) { order[a], order[z] = order[z], order[a] })
 
-	w := wire.NewWriter(8)
+	w := b.phaseWriter(8)
 	perItem := 2 * b.cfg.K
 	b.batched(len(order), perItem, func(oi int) {
 		i := order[oi]
@@ -395,12 +540,20 @@ func (b *builder[T]) onReverse(p []byte, old bool) {
 	if r.Finish() != nil {
 		panic("core: bad reverse entry")
 	}
-	// Ensure u is local; the row u of the reversed matrix lives here.
-	_ = b.localIndex(u)
+	// Row u of the reversed matrix lives here, at u's owner.
+	i := b.localIndex(u)
+	if b.cfg.Conservative {
+		if old {
+			b.oldRev[u] = append(b.oldRev[u], v)
+		} else {
+			b.newRev[u] = append(b.newRev[u], v)
+		}
+		return
+	}
 	if old {
-		b.oldRev[u] = append(b.oldRev[u], v)
+		b.oldRevRows[i] = append(b.oldRevRows[i], v)
 	} else {
-		b.newRev[u] = append(b.newRev[u], v)
+		b.newRevRows[i] = append(b.newRevRows[i], v)
 	}
 }
 
@@ -409,31 +562,66 @@ func (b *builder[T]) onReverse(p []byte, old bool) {
 func (b *builder[T]) mergeReverseSamples() {
 	sampleN := int(math.Ceil(b.cfg.Rho * float64(b.cfg.K)))
 	for i, v := range b.shard.IDs {
-		b.olds[i] = unionSample(b.rng, b.olds[i], b.oldRev[v], sampleN)
-		b.news[i] = unionSample(b.rng, b.news[i], b.newRev[v], sampleN)
+		var extraOld, extraNew []knng.ID
+		if b.cfg.Conservative {
+			extraOld, extraNew = b.oldRev[v], b.newRev[v]
+		} else {
+			extraOld, extraNew = b.oldRevRows[i], b.newRevRows[i]
+		}
+		b.olds[i] = b.unionSample(b.olds[i], extraOld, sampleN)
+		b.news[i] = b.unionSample(b.news[i], extraNew, sampleN)
 	}
 	b.oldRev = nil
 	b.newRev = nil
 }
 
-// unionSample merges up to sampleN random elements of extra into base,
-// deduplicating the result.
-func unionSample(rng *rand.Rand, base, extra []knng.ID, sampleN int) []knng.ID {
+// unionSample merges up to sampleN random elements of extra into base
+// (in place), deduplicating the result. extra belongs to the reverse
+// matrix and must not be reordered — its rows persist (and, in earlier
+// revisions, aliased other sampling state) — so the shuffle runs on a
+// scratch copy. rand.Shuffle consumes the same random stream regardless
+// of what the swap closure touches, so the copy leaves the RNG sequence
+// identical to the historical in-place shuffle.
+func (b *builder[T]) unionSample(base, extra []knng.ID, sampleN int) []knng.ID {
 	if len(extra) > sampleN {
-		rng.Shuffle(len(extra), func(a, z int) { extra[a], extra[z] = extra[z], extra[a] })
-		extra = extra[:sampleN]
+		var scratch []knng.ID
+		if b.cfg.Conservative {
+			scratch = append([]knng.ID(nil), extra...)
+		} else {
+			scratch = append(b.shufScratch[:0], extra...)
+			b.shufScratch = scratch
+		}
+		b.rng.Shuffle(len(scratch), func(a, z int) { scratch[a], scratch[z] = scratch[z], scratch[a] })
+		extra = scratch[:sampleN]
 	}
-	seen := make(map[knng.ID]bool, len(base)+len(extra))
+	if b.cfg.Conservative {
+		seen := make(map[knng.ID]bool, len(base)+len(extra))
+		out := base[:0]
+		for _, id := range base {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+		for _, id := range extra {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	epoch := b.visitEpoch()
 	out := base[:0]
 	for _, id := range base {
-		if !seen[id] {
-			seen[id] = true
+		if b.mark[id] != epoch {
+			b.mark[id] = epoch
 			out = append(out, id)
 		}
 	}
 	for _, id := range extra {
-		if !seen[id] {
-			seen[id] = true
+		if b.mark[id] != epoch {
+			b.mark[id] = epoch
 			out = append(out, id)
 		}
 	}
@@ -496,7 +684,7 @@ func (b *builder[T]) emitChecks(it *pairIter) (u1, u2 knng.ID, ok bool) {
 func (b *builder[T]) neighborChecks() int64 {
 	count := b.pairCount()
 	it := &pairIter{}
-	w := wire.NewWriter(8)
+	w := b.phaseWriter(8)
 	emitted := int64(0)
 	b.batched(count, 1, func(_ int) {
 		u1, u2, ok := b.emitChecks(it)
@@ -531,7 +719,7 @@ func (b *builder[T]) onType1(p []byte) {
 	if b.cfg.Protocol.OneSided && b.cfg.Protocol.SkipRedundant && b.lists[i].Contains(u2) {
 		return
 	}
-	w := wire.NewWriter(16 + len(b.shard.Vecs[i])*4)
+	w := b.replyWriter(16 + len(b.shard.Vecs[i])*4)
 	w.Uint32(u1)
 	w.Uint32(u2)
 	if b.cfg.Protocol.OneSided && b.cfg.Protocol.PruneDistant {
@@ -556,12 +744,12 @@ func (b *builder[T]) onType2(p []byte) {
 	if hasBound {
 		bound = r.Float32()
 	}
-	vec1 := wire.GetVector[T](r)
+	vec1 := b.getVec(r)
 	if r.Finish() != nil {
 		panic("core: bad type2")
 	}
 	j := b.localIndex(u2)
-	d := b.evalDist(vec1, b.shard.Vecs[j])
+	d := b.evalDistAt(vec1, j)
 
 	if !b.cfg.Protocol.OneSided {
 		// Two-sided flow: each endpoint updates only its own list.
@@ -576,7 +764,7 @@ func (b *builder[T]) onType2(p []byte) {
 	if b.cfg.Protocol.PruneDistant && d >= bound {
 		return
 	}
-	w := wire.NewWriter(12)
+	w := b.replyWriter(12)
 	w.Uint32(u1)
 	w.Uint32(u2)
 	w.Float32(d)

@@ -68,6 +68,19 @@ type Config struct {
 	Optimize bool
 	// PruneFactor is the m in the k*m degree cap (paper default 1.5).
 	PruneFactor float64
+
+	// Conservative disables the allocation-free hot path (reused
+	// writers, borrowed wire decodes, epoch-stamped visited marks, flat
+	// reverse-matrix rows, cached vector norms) and runs the original
+	// allocation-heavy map-based code instead. Both paths are exactly
+	// equivalent — same RNG consumption, same message counts and bytes,
+	// same float32 distances — which the determinism regression test
+	// asserts under deterministic message delivery (protocol decisions
+	// and round counters are arrival-order-dependent in either mode, so
+	// multi-rank runs can differ between any two builds regardless of
+	// this flag). The flag exists as that test's lever and as an escape
+	// hatch, not as a tuning knob.
+	Conservative bool
 }
 
 // DefaultConfig returns the paper's parameters for a given K, with the

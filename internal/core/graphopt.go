@@ -10,8 +10,12 @@ import (
 // merge the reverse edges into their lists (deduplicating), and each
 // list is pruned to K*PruneFactor closest entries.
 func (b *builder[T]) optimizeGraph() {
-	b.optIn = make(map[knng.ID][]knng.Neighbor)
-	w := wire.NewWriter(16)
+	if b.cfg.Conservative {
+		b.optIn = make(map[knng.ID][]knng.Neighbor)
+	} else {
+		b.optRows = make([][]knng.Neighbor, b.shard.Len())
+	}
+	w := b.phaseWriter(16)
 	b.batched(b.shard.Len(), b.cfg.K, func(i int) {
 		v := b.shard.IDs[i]
 		for _, e := range b.lists[i].Items() {
@@ -30,14 +34,33 @@ func (b *builder[T]) optimizeGraph() {
 	b.final = make([][]knng.Neighbor, b.shard.Len())
 	for i, v := range b.shard.IDs {
 		merged := b.lists[i].Sorted()
-		seen := make(map[knng.ID]bool, len(merged)+len(b.optIn[v]))
-		for _, e := range merged {
-			seen[e.ID] = true
+		var extra []knng.Neighbor
+		if b.cfg.Conservative {
+			extra = b.optIn[v]
+		} else {
+			extra = b.optRows[i]
 		}
-		for _, e := range b.optIn[v] {
-			if !seen[e.ID] {
+		if b.cfg.Conservative {
+			seen := make(map[knng.ID]bool, len(merged)+len(extra))
+			for _, e := range merged {
 				seen[e.ID] = true
-				merged = append(merged, e)
+			}
+			for _, e := range extra {
+				if !seen[e.ID] {
+					seen[e.ID] = true
+					merged = append(merged, e)
+				}
+			}
+		} else {
+			epoch := b.visitEpoch()
+			for _, e := range merged {
+				b.mark[e.ID] = epoch
+			}
+			for _, e := range extra {
+				if b.mark[e.ID] != epoch {
+					b.mark[e.ID] = epoch
+					merged = append(merged, e)
+				}
 			}
 		}
 		sortNeighborsByDist(merged)
@@ -47,6 +70,7 @@ func (b *builder[T]) optimizeGraph() {
 		b.final[i] = merged
 	}
 	b.optIn = nil
+	b.optRows = nil
 }
 
 func (b *builder[T]) onOptEdge(p []byte) {
@@ -57,8 +81,12 @@ func (b *builder[T]) onOptEdge(p []byte) {
 	if r.Finish() != nil {
 		panic("core: bad optimize edge")
 	}
-	_ = b.localIndex(u)
-	b.optIn[u] = append(b.optIn[u], knng.Neighbor{ID: v, Dist: d})
+	i := b.localIndex(u)
+	if b.cfg.Conservative {
+		b.optIn[u] = append(b.optIn[u], knng.Neighbor{ID: v, Dist: d})
+		return
+	}
+	b.optRows[i] = append(b.optRows[i], knng.Neighbor{ID: v, Dist: d})
 }
 
 func sortNeighborsByDist(ns []knng.Neighbor) {
@@ -80,7 +108,7 @@ func (b *builder[T]) gather(res *Result) {
 	if b.c.Rank() == root {
 		b.gatherInto = knng.NewGraph(b.shard.N)
 	}
-	w := wire.NewWriter(256)
+	w := b.phaseWriter(256)
 	b.batched(b.shard.Len(), b.cfg.K, func(i int) {
 		v := b.shard.IDs[i]
 		ns := res.Local[v]

@@ -1,0 +1,32 @@
+package metric
+
+import "dnnd/internal/wire"
+
+// Kernel bundles a metric with its optional construction-loop fast
+// path. Fn is always set. Norm and FnPre are set together when the
+// metric admits a norm-precomputed form (currently cosine over
+// float32): FnPre(a, b, Norm(b)) must be bit-identical to Fn(a, b), so
+// a builder that caches Norm over its local shard computes exactly the
+// same distances as one that does not.
+type Kernel[T wire.Scalar] struct {
+	Fn    Func[T]
+	Norm  func(v []T) float32
+	FnPre func(a, b []T, nb float32) float32
+}
+
+// KernelFor returns the named metric for element type T together with
+// its fast path, for the construction hot loop. Callers that only need
+// the plain function can keep using For.
+func KernelFor[T wire.Scalar](k Kind) (Kernel[T], error) {
+	fn, err := For[T](k)
+	if err != nil {
+		return Kernel[T]{}, err
+	}
+	kern := Kernel[T]{Fn: fn}
+	var z T
+	if _, ok := any(z).(float32); ok && k == Cosine {
+		kern.Norm = any(SquaredNormFloat32).(func([]T) float32)
+		kern.FnPre = any(CosinePreNormFloat32).(func([]T, []T, float32) float32)
+	}
+	return kern, nil
+}

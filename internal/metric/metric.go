@@ -6,11 +6,20 @@
 // theta(a, b) >= 0 where smaller means closer. Cosine and inner-product
 // "distances" are the usual ANN-benchmark similarity complements; they
 // are symmetric but not true metrics, which NN-Descent does not require.
+//
+// The float and integer kernels are written as 4-way-unrolled loops with
+// independent accumulators so the compiler can keep four chains in
+// flight, and with the `b = b[:len(a)]` reslice shape that lets it prove
+// the inner accesses in-bounds. Partial sums always combine as
+// (s0+s1)+(s2+s3); any function documented as bit-identical to another
+// relies on both using exactly this accumulator structure.
 package metric
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"dnnd/internal/wire"
 )
@@ -99,12 +108,24 @@ func For[T wire.Scalar](k Kind) (Func[T], error) {
 // the same neighbor ordering as L2 at lower cost and is what the
 // construction path uses internally for L2 datasets.
 func SquaredL2Float32(a, b []float32) float32 {
-	var s float32
-	for i := range a {
-		d := a[i] - b[i]
-		s += d * d
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
 	}
-	return s
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // L2Float32 returns the Euclidean distance.
@@ -112,41 +133,146 @@ func L2Float32(a, b []float32) float32 {
 	return float32(math.Sqrt(float64(SquaredL2Float32(a, b))))
 }
 
-// CosineFloat32 returns 1 - cos(a, b), in [0, 2]. Zero vectors are at
-// distance 1 from everything (cosine similarity treated as 0).
-func CosineFloat32(a, b []float32) float32 {
-	var dot, na, nb float32
-	for i := range a {
-		dot += a[i] * b[i]
-		na += a[i] * a[i]
-		nb += b[i] * b[i]
+// DotFloat32 returns the inner product <a, b>.
+func DotFloat32(a, b []float32) float32 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
 	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// SquaredNormFloat32 returns |v|^2. Its accumulator structure matches
+// the per-operand norm lanes of dotAndNorms/dotAndNorm, so a norm
+// precomputed here is bit-identical to one computed inline by
+// CosineFloat32 over the same vector.
+//
+// The cosine family unrolls two-wide rather than four: with three
+// products per element, four lanes each would need twelve live
+// accumulators and spill on amd64's sixteen vector registers, which
+// benchmarked slower than the naive loop.
+func SquaredNormFloat32(v []float32) float32 {
+	var s0, s1 float32
+	i := 0
+	for ; i+2 <= len(v); i += 2 {
+		s0 += v[i] * v[i]
+		s1 += v[i+1] * v[i+1]
+	}
+	for ; i < len(v); i++ {
+		s0 += v[i] * v[i]
+	}
+	return s0 + s1
+}
+
+// dotAndNorms computes <a,b>, |a|^2 and |b|^2 in one pass. Each of the
+// three results uses its own two accumulators (see SquaredNormFloat32
+// on lane width), so each equals what the corresponding single-purpose
+// kernel would produce, bit for bit.
+func dotAndNorms(a, b []float32) (dot, na, nb float32) {
+	b = b[:len(a)]
+	var d0, d1, x0, x1, y0, y1 float32
+	i := 0
+	for ; i+2 <= len(a); i += 2 {
+		a0, a1 := a[i], a[i+1]
+		b0, b1 := b[i], b[i+1]
+		d0 += a0 * b0
+		d1 += a1 * b1
+		x0 += a0 * a0
+		x1 += a1 * a1
+		y0 += b0 * b0
+		y1 += b1 * b1
+	}
+	for ; i < len(a); i++ {
+		ai, bi := a[i], b[i]
+		d0 += ai * bi
+		x0 += ai * ai
+		y0 += bi * bi
+	}
+	return d0 + d1, x0 + x1, y0 + y1
+}
+
+// dotAndNorm is dotAndNorms without the |b|^2 lanes, for callers that
+// already hold |b|^2 (the construction loop's cached-norm path).
+func dotAndNorm(a, b []float32) (dot, na float32) {
+	b = b[:len(a)]
+	var d0, d1, x0, x1 float32
+	i := 0
+	for ; i+2 <= len(a); i += 2 {
+		a0, a1 := a[i], a[i+1]
+		d0 += a0 * b[i]
+		d1 += a1 * b[i+1]
+		x0 += a0 * a0
+		x1 += a1 * a1
+	}
+	for ; i < len(a); i++ {
+		ai := a[i]
+		d0 += ai * b[i]
+		x0 += ai * ai
+	}
+	return d0 + d1, x0 + x1
+}
+
+func cosineFromParts(dot, na, nb float32) float32 {
 	if na == 0 || nb == 0 {
 		return 1
 	}
 	return 1 - dot/float32(math.Sqrt(float64(na)*float64(nb)))
 }
 
+// CosineFloat32 returns 1 - cos(a, b), in [0, 2]. Zero vectors are at
+// distance 1 from everything (cosine similarity treated as 0).
+func CosineFloat32(a, b []float32) float32 {
+	dot, na, nb := dotAndNorms(a, b)
+	return cosineFromParts(dot, na, nb)
+}
+
+// CosinePreNormFloat32 is CosineFloat32 with |b|^2 precomputed (by
+// SquaredNormFloat32). Because dot and |a|^2 use the same accumulator
+// structure in dotAndNorm and dotAndNorms, and SquaredNormFloat32
+// matches the |b|^2 lanes, the result is bit-identical to
+// CosineFloat32(a, b) — which is what lets the construction loop cache
+// norms without perturbing the descent.
+func CosinePreNormFloat32(a, b []float32, nb float32) float32 {
+	dot, na := dotAndNorm(a, b)
+	return cosineFromParts(dot, na, nb)
+}
+
 // InnerProductFloat32 returns -<a, b>, shifted ordering used for
 // maximum-inner-product search. Not bounded below by zero in general;
 // NN-Descent only compares distances so this is fine.
 func InnerProductFloat32(a, b []float32) float32 {
-	var dot float32
-	for i := range a {
-		dot += a[i] * b[i]
-	}
-	return -dot
+	return -DotFloat32(a, b)
 }
 
 // SquaredL2Uint8 returns the squared Euclidean distance between
-// quantized vectors (BigANN's element type).
+// quantized vectors (BigANN's element type). Integer arithmetic, so the
+// result is exactly equal to the naive loop's. Two int64 lanes
+// benchmark fastest here — wider unrolls lose to register traffic, and
+// int64 accumulation cannot overflow for any slice that fits in
+// memory.
 func SquaredL2Uint8(a, b []uint8) float32 {
-	var s int64
-	for i := range a {
-		d := int64(a[i]) - int64(b[i])
-		s += d * d
+	b = b[:len(a)]
+	var s0, s1 int64
+	i := 0
+	for ; i+2 <= len(a); i += 2 {
+		d0 := int64(a[i]) - int64(b[i])
+		d1 := int64(a[i+1]) - int64(b[i+1])
+		s0 += d0 * d0
+		s1 += d1 * d1
 	}
-	return float32(s)
+	for ; i < len(a); i++ {
+		d := int64(a[i]) - int64(b[i])
+		s0 += d * d
+	}
+	return float32(s0 + s1)
 }
 
 // L2Uint8 returns the Euclidean distance between quantized vectors.
@@ -154,10 +280,31 @@ func L2Uint8(a, b []uint8) float32 {
 	return float32(math.Sqrt(float64(SquaredL2Uint8(a, b))))
 }
 
-// HammingUint8 counts differing bytes.
+// HammingUint8 counts differing bytes (not bits: a byte that differs in
+// any bit contributes 1, matching the ann-benchmarks convention for
+// byte-packed data). The bulk runs 8 bytes per step: in x = a^b a
+// differing byte is any nonzero byte, and the SWAR expression
+//
+//	t = (x & 0x7f..7f) + 0x7f..7f
+//
+// sets bit 7 of a byte of t iff that byte of x has any of bits 0..6
+// set (the per-byte add cannot carry past bit 7 because the masked byte
+// is at most 0x7f), so (t|x) & 0x80..80 has bit 7 set per nonzero byte
+// and OnesCount64 counts them exactly.
 func HammingUint8(a, b []uint8) float32 {
+	b = b[:len(a)]
+	const (
+		lo7 = 0x7f7f7f7f7f7f7f7f
+		hi1 = 0x8080808080808080
+	)
 	var n int
-	for i := range a {
+	i := 0
+	for ; i+8 <= len(a); i += 8 {
+		x := binary.LittleEndian.Uint64(a[i:]) ^ binary.LittleEndian.Uint64(b[i:])
+		t := (x & lo7) + lo7
+		n += bits.OnesCount64((t | x) & hi1)
+	}
+	for ; i < len(a); i++ {
 		if a[i] != b[i] {
 			n++
 		}

@@ -15,41 +15,74 @@ func benchVecs(dim int) ([]float32, []float32) {
 	return a, b
 }
 
+func benchBytes(dim int) ([]uint8, []uint8) {
+	rng := rand.New(rand.NewSource(2))
+	a := make([]uint8, dim)
+	b := make([]uint8, dim)
+	for i := range a {
+		a[i], b[i] = uint8(rng.Intn(256)), uint8(rng.Intn(256))
+	}
+	return a, b
+}
+
+func benchFloatKernel(b *testing.B, dim int, f func(a, b []float32) float32) {
+	x, y := benchVecs(dim)
+	b.SetBytes(int64(dim) * 4)
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink += f(x, y)
+	}
+	_ = sink
+}
+
+func benchByteKernel(b *testing.B, dim int, f func(a, b []uint8) float32) {
+	x, y := benchBytes(dim)
+	b.SetBytes(int64(dim))
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink += f(x, y)
+	}
+	_ = sink
+}
+
 // BenchmarkSquaredL2Deep measures the hot distance kernel at the DEEP
 // dataset's dimensionality (the construction path's dominant cost).
-func BenchmarkSquaredL2Deep(b *testing.B) {
+func BenchmarkSquaredL2Deep(b *testing.B)    { benchFloatKernel(b, 96, SquaredL2Float32) }
+func BenchmarkSquaredL2DeepRef(b *testing.B) { benchFloatKernel(b, 96, refSquaredL2Float32) }
+
+func BenchmarkCosineGloVe(b *testing.B)    { benchFloatKernel(b, 25, CosineFloat32) }
+func BenchmarkCosineGloVeRef(b *testing.B) { benchFloatKernel(b, 25, refCosineFloat32) }
+
+func BenchmarkCosineDeep(b *testing.B)    { benchFloatKernel(b, 96, CosineFloat32) }
+func BenchmarkCosineDeepRef(b *testing.B) { benchFloatKernel(b, 96, refCosineFloat32) }
+
+// BenchmarkCosineDeepPreNorm is the construction loop's cached-norm
+// path: |b|^2 computed once outside the timed loop.
+func BenchmarkCosineDeepPreNorm(b *testing.B) {
 	x, y := benchVecs(96)
+	nb := SquaredNormFloat32(y)
 	b.SetBytes(96 * 4)
 	var sink float32
 	for i := 0; i < b.N; i++ {
-		sink += SquaredL2Float32(x, y)
+		sink += CosinePreNormFloat32(x, y, nb)
 	}
 	_ = sink
 }
 
-func BenchmarkCosineGloVe(b *testing.B) {
-	x, y := benchVecs(25)
-	var sink float32
-	for i := 0; i < b.N; i++ {
-		sink += CosineFloat32(x, y)
-	}
-	_ = sink
-}
+func BenchmarkDot(b *testing.B)    { benchFloatKernel(b, 96, DotFloat32) }
+func BenchmarkDotRef(b *testing.B) { benchFloatKernel(b, 96, refDotFloat32) }
 
-func BenchmarkSquaredL2BigANN(b *testing.B) {
-	rng := rand.New(rand.NewSource(2))
-	x := make([]uint8, 128)
-	y := make([]uint8, 128)
-	for i := range x {
-		x[i], y[i] = uint8(rng.Intn(256)), uint8(rng.Intn(256))
-	}
-	b.SetBytes(128)
-	var sink float32
-	for i := 0; i < b.N; i++ {
-		sink += SquaredL2Uint8(x, y)
-	}
-	_ = sink
-}
+func BenchmarkInnerProduct(b *testing.B) { benchFloatKernel(b, 96, InnerProductFloat32) }
+
+func BenchmarkL2Glove(b *testing.B) { benchFloatKernel(b, 25, L2Float32) }
+
+func BenchmarkSquaredL2BigANN(b *testing.B)    { benchByteKernel(b, 128, SquaredL2Uint8) }
+func BenchmarkSquaredL2BigANNRef(b *testing.B) { benchByteKernel(b, 128, refSquaredL2Uint8) }
+
+func BenchmarkHamming(b *testing.B)    { benchByteKernel(b, 128, HammingUint8) }
+func BenchmarkHammingRef(b *testing.B) { benchByteKernel(b, 128, refHammingUint8) }
+
+func BenchmarkL2Uint8(b *testing.B) { benchByteKernel(b, 128, L2Uint8) }
 
 func BenchmarkJaccardKosarak(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))

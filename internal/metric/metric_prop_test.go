@@ -1,0 +1,244 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The unrolled float kernels compute exactly the same float32 terms as
+// the naive references (identical per-element subtractions/products)
+// but sum them in a different association order. Standard recursive
+// summation error analysis bounds each variant's sum within
+// n*eps*sum(|terms|) of the exact real sum (eps = 2^-23 for float32),
+// so the two variants differ by at most 2*n*eps*sum(|terms|). The
+// tolerances below use that bound with a 4x safety factor plus a few
+// ulps of absolute slack for the final division/sqrt. Integer kernels
+// (uint8 squared L2, Hamming) reassociate exact integer arithmetic and
+// must match bit for bit.
+
+const eps32 = 1.0 / (1 << 23)
+
+func sumAbsTerms(f func(i int) float64, n int) float64 {
+	var s float64
+	for i := 0; i < n; i++ {
+		s += math.Abs(f(i))
+	}
+	return s
+}
+
+func reassocTol(n int, sumAbs float64) float64 {
+	return 4*(2*float64(n)*eps32*sumAbs) + 4*eps32
+}
+
+var propDims = []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 12, 15, 16, 17, 25, 31, 32, 33, 63, 64, 67, 96, 100, 127, 128}
+
+// floatCasePair fills a, b with one of several value styles, including
+// adversarial ones: huge magnitudes (squares near float32 overflow),
+// tiny subnormal-range values, signed cancellation-heavy mixes, exact
+// zeros, and aliased/equal vectors.
+func floatCases(t *testing.T, fn func(name string, a, b []float32)) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	for _, d := range propDims {
+		mk := func(gen func(i int) float32) []float32 {
+			v := make([]float32, d)
+			for i := range v {
+				v[i] = gen(i)
+			}
+			return v
+		}
+		uniform := func(int) float32 { return rng.Float32()*2 - 1 }
+		huge := func(int) float32 { return (rng.Float32()*2 - 1) * 1e18 }
+		tiny := func(int) float32 { return (rng.Float32()*2 - 1) * 1e-38 }
+		alt := func(i int) float32 {
+			if i%2 == 0 {
+				return 1e6
+			}
+			return -1e6
+		}
+		cases := []struct {
+			name string
+			a, b []float32
+		}{
+			{"uniform", mk(uniform), mk(uniform)},
+			{"huge", mk(huge), mk(huge)},
+			{"tiny", mk(tiny), mk(tiny)},
+			{"cancel", mk(alt), mk(alt)},
+			{"zeros", mk(func(int) float32 { return 0 }), mk(uniform)},
+			{"mixedscale", mk(func(i int) float32 { return float32(math.Pow(10, float64(i%9-4))) }), mk(uniform)},
+		}
+		eq := mk(uniform)
+		cases = append(cases, struct {
+			name string
+			a, b []float32
+		}{"aliased", eq, eq})
+		for _, c := range cases {
+			fn(c.name, c.a, c.b)
+		}
+	}
+}
+
+func TestSquaredL2Float32MatchesReference(t *testing.T) {
+	floatCases(t, func(name string, a, b []float32) {
+		got := SquaredL2Float32(a, b)
+		want := refSquaredL2Float32(a, b)
+		sumAbs := sumAbsTerms(func(i int) float64 {
+			d := float64(a[i]) - float64(b[i])
+			return d * d
+		}, len(a))
+		if math.Abs(float64(got)-float64(want)) > reassocTol(len(a), sumAbs) {
+			t.Errorf("dim %d %s: SquaredL2Float32 = %v, ref = %v", len(a), name, got, want)
+		}
+	})
+}
+
+func TestDotAndInnerProductMatchReference(t *testing.T) {
+	floatCases(t, func(name string, a, b []float32) {
+		sumAbs := sumAbsTerms(func(i int) float64 {
+			return float64(a[i]) * float64(b[i])
+		}, len(a))
+		tol := reassocTol(len(a), sumAbs)
+		if got, want := DotFloat32(a, b), refDotFloat32(a, b); math.Abs(float64(got)-float64(want)) > tol {
+			t.Errorf("dim %d %s: DotFloat32 = %v, ref = %v", len(a), name, got, want)
+		}
+		if got, want := InnerProductFloat32(a, b), refInnerProductFloat32(a, b); math.Abs(float64(got)-float64(want)) > tol {
+			t.Errorf("dim %d %s: InnerProductFloat32 = %v, ref = %v", len(a), name, got, want)
+		}
+	})
+}
+
+func TestCosineFloat32MatchesReference(t *testing.T) {
+	floatCases(t, func(name string, a, b []float32) {
+		got := CosineFloat32(a, b)
+		want := refCosineFloat32(a, b)
+		na := sumAbsTerms(func(i int) float64 { return float64(a[i]) * float64(a[i]) }, len(a))
+		nb := sumAbsTerms(func(i int) float64 { return float64(b[i]) * float64(b[i]) }, len(b))
+		if na == 0 || nb == 0 {
+			// Both implementations take the exact zero-vector branch.
+			if got != 1 || want != 1 {
+				t.Errorf("dim %d %s: zero-vector cosine = %v / %v, want 1", len(a), name, got, want)
+			}
+			return
+		}
+		// Propagate the three summation errors through dot/sqrt(na*nb):
+		// relative slack 2n*eps on dot scales by sumAbsDot/sqrt(na*nb),
+		// and on each norm by |cos|/2 <= sumAbsDot/(2*sqrt(na*nb)).
+		sumAbsDot := sumAbsTerms(func(i int) float64 {
+			return float64(a[i]) * float64(b[i])
+		}, len(a))
+		scale := sumAbsDot / math.Sqrt(na*nb)
+		tol := 4*(2*float64(len(a))*eps32*2*scale) + 8*eps32
+		if math.Abs(float64(got)-float64(want)) > tol {
+			t.Errorf("dim %d %s: CosineFloat32 = %v, ref = %v (tol %v)", len(a), name, got, want, tol)
+		}
+	})
+}
+
+// The cached-norm cosine path must be bit-identical to the plain path:
+// the construction loop switches between them based on configuration,
+// and the determinism of the Figure-4 message accounting depends on
+// every rank computing identical float32 distances either way.
+func TestCosinePreNormBitIdentical(t *testing.T) {
+	floatCases(t, func(name string, a, b []float32) {
+		plain := CosineFloat32(a, b)
+		fused := CosinePreNormFloat32(a, b, SquaredNormFloat32(b))
+		if math.Float32bits(plain) != math.Float32bits(fused) {
+			t.Errorf("dim %d %s: plain %x fused %x", len(a), name,
+				math.Float32bits(plain), math.Float32bits(fused))
+		}
+	})
+}
+
+func TestKernelForFastPath(t *testing.T) {
+	kc, err := KernelFor[float32](Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kc.Fn == nil || kc.Norm == nil || kc.FnPre == nil {
+		t.Fatalf("cosine kernel incomplete: %+v", kc)
+	}
+	a := []float32{1, 2, 3, 4, 5}
+	b := []float32{5, 4, 3, 2, 1}
+	if got, want := kc.FnPre(a, b, kc.Norm(b)), kc.Fn(a, b); got != want {
+		t.Errorf("FnPre = %v, Fn = %v", got, want)
+	}
+	kl, err := KernelFor[float32](SquaredL2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kl.Norm != nil || kl.FnPre != nil {
+		t.Error("sql2 kernel should have no norm fast path")
+	}
+	ku, err := KernelFor[uint8](Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ku.Fn == nil || ku.Norm != nil {
+		t.Error("hamming kernel should be plain")
+	}
+	if _, err := KernelFor[float32](Jaccard); err == nil {
+		t.Error("expected error: jaccard over float32")
+	}
+}
+
+func uint8Cases(fn func(name string, a, b []uint8)) {
+	rng := rand.New(rand.NewSource(7))
+	for _, d := range propDims {
+		mk := func(gen func(i int) uint8) []uint8 {
+			v := make([]uint8, d)
+			for i := range v {
+				v[i] = gen(i)
+			}
+			return v
+		}
+		random := func(int) uint8 { return uint8(rng.Intn(256)) }
+		cases := []struct {
+			name string
+			a, b []uint8
+		}{
+			{"random", mk(random), mk(random)},
+			{"extremes", mk(func(i int) uint8 {
+				if i%2 == 0 {
+					return 0
+				}
+				return 255
+			}), mk(func(i int) uint8 {
+				if i%2 == 0 {
+					return 255
+				}
+				return 0
+			})},
+			{"highbit", mk(func(int) uint8 { return 0x80 }), mk(func(int) uint8 { return 0x00 })},
+			{"offbyone", mk(func(i int) uint8 { return uint8(i) }), mk(func(i int) uint8 { return uint8(i + i%2) })},
+			{"zeros", mk(func(int) uint8 { return 0 }), mk(func(int) uint8 { return 0 })},
+		}
+		eq := mk(random)
+		cases = append(cases, struct {
+			name string
+			a, b []uint8
+		}{"aliased", eq, eq})
+		for _, c := range cases {
+			fn(c.name, c.a, c.b)
+		}
+	}
+}
+
+func TestSquaredL2Uint8MatchesReferenceExactly(t *testing.T) {
+	uint8Cases(func(name string, a, b []uint8) {
+		if got, want := SquaredL2Uint8(a, b), refSquaredL2Uint8(a, b); got != want {
+			t.Errorf("dim %d %s: SquaredL2Uint8 = %v, ref = %v", len(a), name, got, want)
+		}
+		if got, want := L2Uint8(a, b), float32(math.Sqrt(float64(refSquaredL2Uint8(a, b)))); got != want {
+			t.Errorf("dim %d %s: L2Uint8 = %v, ref = %v", len(a), name, got, want)
+		}
+	})
+}
+
+func TestHammingUint8MatchesReferenceExactly(t *testing.T) {
+	uint8Cases(func(name string, a, b []uint8) {
+		if got, want := HammingUint8(a, b), refHammingUint8(a, b); got != want {
+			t.Errorf("dim %d %s: HammingUint8 = %v, ref = %v", len(a), name, got, want)
+		}
+	})
+}

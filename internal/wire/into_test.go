@@ -1,0 +1,158 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestIntoDecodersReuseCapacity(t *testing.T) {
+	w := NewWriter(0)
+	fs := []float32{1.5, -2.25, 3.75}
+	us := []uint32{7, 8, 9, 10}
+	bs := []uint8{1, 2, 3, 4, 5}
+	w.Float32s(fs)
+	w.Uint32s(us)
+	w.Uint8s(bs)
+
+	// Scratch big enough: the decode must reuse its backing array.
+	fScratch := make([]float32, 0, 16)
+	uScratch := make([]uint32, 0, 16)
+	bScratch := make([]uint8, 0, 16)
+	r := NewReader(w.Bytes())
+	gotF := r.Float32sInto(fScratch)
+	gotU := r.Uint32sInto(uScratch)
+	gotB := r.Uint8sInto(bScratch)
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotF, fs) || !reflect.DeepEqual(gotU, us) || !reflect.DeepEqual(gotB, bs) {
+		t.Fatalf("decoded %v %v %v", gotF, gotU, gotB)
+	}
+	if &gotF[0] != &fScratch[:1][0] {
+		t.Error("Float32sInto did not reuse scratch backing array")
+	}
+	if &gotU[0] != &uScratch[:1][0] {
+		t.Error("Uint32sInto did not reuse scratch backing array")
+	}
+	if &gotB[0] != &bScratch[:1][0] {
+		t.Error("Uint8sInto did not reuse scratch backing array")
+	}
+}
+
+func TestIntoDecodersGrowWhenSmall(t *testing.T) {
+	w := NewWriter(0)
+	fs := []float32{1, 2, 3, 4, 5, 6, 7}
+	w.Float32s(fs)
+	r := NewReader(w.Bytes())
+	got := r.Float32sInto(make([]float32, 0, 2))
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, fs) {
+		t.Fatalf("decoded %v, want %v", got, fs)
+	}
+	// Nil scratch must also work.
+	r2 := NewReader(w.Bytes())
+	if got := r2.Float32sInto(nil); !reflect.DeepEqual(got, fs) {
+		t.Fatalf("nil-scratch decode %v", got)
+	}
+}
+
+func TestIntoMatchesPlainDecoders(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(40)
+		fs := make([]float32, n)
+		us := make([]uint32, n)
+		for i := 0; i < n; i++ {
+			fs[i] = rng.Float32()*2e6 - 1e6
+			us[i] = rng.Uint32()
+		}
+		w := NewWriter(0)
+		w.Float32s(fs)
+		w.Uint32s(us)
+		ra := NewReader(w.Bytes())
+		rb := NewReader(w.Bytes())
+		fa, fb := ra.Float32s(), rb.Float32sInto(make([]float32, 0, n))
+		ua, ub := ra.Uint32s(), rb.Uint32sInto(make([]uint32, 0, n))
+		if ra.Finish() != nil || rb.Finish() != nil {
+			t.Fatalf("trial %d: decode errors %v %v", trial, ra.Err(), rb.Err())
+		}
+		if !reflect.DeepEqual(fa, fb) || !reflect.DeepEqual(ua, ub) {
+			t.Fatalf("trial %d: plain/Into mismatch", trial)
+		}
+	}
+}
+
+func TestIntoShortBuffer(t *testing.T) {
+	w := NewWriter(0)
+	w.Float32s([]float32{1, 2, 3})
+	enc := w.Bytes()
+	r := NewReader(enc[:len(enc)-2])
+	if got := r.Float32sInto(make([]float32, 0, 8)); got != nil {
+		t.Errorf("short decode returned %v, want nil", got)
+	}
+	if r.Err() != ErrShortBuffer {
+		t.Errorf("err = %v", r.Err())
+	}
+}
+
+func TestGetVectorBorrowUint8ZeroCopy(t *testing.T) {
+	w := NewWriter(0)
+	v := []uint8{9, 8, 7, 6}
+	PutVector(w, v)
+	r := NewReader(w.Bytes())
+	got, scratch := GetVectorBorrow[uint8](r, nil)
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Fatalf("decoded %v", got)
+	}
+	if scratch != nil {
+		t.Error("uint8 borrow should not create scratch")
+	}
+	// Zero-copy: the vector aliases the encoded buffer.
+	if &got[0] != &w.Bytes()[4] {
+		t.Error("uint8 borrow is not a view of the reader's buffer")
+	}
+}
+
+func TestGetVectorBorrowFloat32UsesScratch(t *testing.T) {
+	w := NewWriter(0)
+	v := []float32{1.5, 2.5, -3}
+	PutVector(w, v)
+
+	r := NewReader(w.Bytes())
+	got, scratch := GetVectorBorrow[float32](r, nil)
+	if !reflect.DeepEqual(got, v) {
+		t.Fatalf("decoded %v", got)
+	}
+	// Second decode with the carried scratch must reuse its array.
+	r2 := NewReader(w.Bytes())
+	got2, scratch2 := GetVectorBorrow[float32](r2, scratch)
+	if !reflect.DeepEqual(got2, v) {
+		t.Fatalf("decoded %v", got2)
+	}
+	if &got2[0] != &scratch[0] {
+		t.Error("float32 borrow did not reuse scratch")
+	}
+	if &scratch2[0] != &scratch[0] {
+		t.Error("scratch not carried through")
+	}
+}
+
+func TestGetVectorIntoRoundTrip(t *testing.T) {
+	w := NewWriter(0)
+	v := []uint32{5, 10, 15}
+	PutVector(w, v)
+	r := NewReader(w.Bytes())
+	got := GetVectorInto(r, make([]uint32, 1))
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Fatalf("decoded %v", got)
+	}
+}

@@ -47,3 +47,39 @@ func GetVector[T Scalar](r *Reader) []T {
 		return any(r.Uint32s()).([]T)
 	}
 }
+
+// GetVectorInto decodes a length-prefixed vector of T into dst's
+// backing array, allocating only when dst's capacity is insufficient.
+// Returns the decoded slice (possibly dst resliced), or nil on error.
+func GetVectorInto[T Scalar](r *Reader, dst []T) []T {
+	var z T
+	switch any(z).(type) {
+	case float32:
+		return any(r.Float32sInto(any(dst).([]float32))).([]T)
+	case uint8:
+		return any(r.Uint8sInto(any(dst).([]uint8))).([]T)
+	default:
+		return any(r.Uint32sInto(any(dst).([]uint32))).([]T)
+	}
+}
+
+// GetVectorBorrow decodes a length-prefixed vector of T without
+// allocating in steady state. For uint8 the element encoding is the
+// identity, so the result is a zero-copy view of the Reader's buffer;
+// wider element types are decoded into scratch, which is grown only
+// when too small. It returns the vector and the (possibly grown)
+// scratch to carry to the next call. The vector may alias the Reader's
+// buffer or the scratch: it is only valid until the underlying frame is
+// released or the scratch is reused, so callers must finish with it
+// before returning from the message handler.
+func GetVectorBorrow[T Scalar](r *Reader, scratch []T) (vec, newScratch []T) {
+	var z T
+	if _, ok := any(z).(uint8); ok {
+		return any(r.BytesView()).([]T), scratch
+	}
+	v := GetVectorInto(r, scratch)
+	if v == nil {
+		return nil, scratch
+	}
+	return v, v
+}

@@ -9,6 +9,7 @@
 package wire
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -44,6 +45,19 @@ func (w *Writer) Len() int { return len(w.buf) }
 
 // Reset truncates the buffer, retaining capacity.
 func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// reserve extends the buffer by n bytes and returns the new span for
+// the caller to fill, growing the backing array geometrically.
+func (w *Writer) reserve(n int) []byte {
+	l := len(w.buf)
+	if cap(w.buf)-l < n {
+		nb := make([]byte, l, 2*cap(w.buf)+n)
+		copy(nb, w.buf)
+		w.buf = nb
+	}
+	w.buf = w.buf[:l+n]
+	return w.buf[l:]
+}
 
 // Uint8 appends a single byte.
 func (w *Writer) Uint8(v uint8) { w.buf = append(w.buf, v) }
@@ -98,8 +112,9 @@ func (w *Writer) String(s string) {
 // Float32s appends a length-prefixed []float32.
 func (w *Writer) Float32s(v []float32) {
 	w.Uint32(uint32(len(v)))
-	for _, x := range v {
-		w.Float32(x)
+	p := w.reserve(4 * len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(p[4*i:], math.Float32bits(x))
 	}
 }
 
@@ -109,8 +124,9 @@ func (w *Writer) Uint8s(v []uint8) { w.Bytes32(v) }
 // Uint32s appends a length-prefixed []uint32.
 func (w *Writer) Uint32s(v []uint32) {
 	w.Uint32(uint32(len(v)))
-	for _, x := range v {
-		w.Uint32(x)
+	p := w.reserve(4 * len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(p[4*i:], x)
 	}
 }
 
@@ -257,18 +273,53 @@ func (r *Reader) Float32s() []float32 {
 	if r.err != nil {
 		return nil
 	}
-	out := make([]float32, n)
-	for i := range out {
-		out[i] = r.Float32()
-	}
+	return r.float32sBody(make([]float32, n))
+}
+
+// Float32sInto decodes a length-prefixed []float32 into dst's backing
+// array, allocating only when dst's capacity is insufficient. It
+// returns the decoded slice (which may be dst resliced) or nil on
+// error; dst's previous contents are overwritten.
+func (r *Reader) Float32sInto(dst []float32) []float32 {
+	n := r.length()
 	if r.err != nil {
 		return nil
 	}
-	return out
+	if cap(dst) < n {
+		dst = make([]float32, n)
+	}
+	return r.float32sBody(dst[:n])
+}
+
+func (r *Reader) float32sBody(dst []float32) []float32 {
+	p := r.take(4 * len(dst))
+	if p == nil {
+		return nil
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[4*i:]))
+	}
+	return dst
 }
 
 // Uint8s decodes a length-prefixed []uint8 into a new slice.
 func (r *Reader) Uint8s() []uint8 { return r.Bytes32() }
+
+// Uint8sInto decodes a length-prefixed []uint8 into dst's backing
+// array, allocating only when dst's capacity is insufficient.
+func (r *Reader) Uint8sInto(dst []uint8) []uint8 {
+	n := r.length()
+	p := r.take(n)
+	if p == nil {
+		return nil
+	}
+	if cap(dst) < n {
+		dst = make([]uint8, n)
+	}
+	dst = dst[:n]
+	copy(dst, p)
+	return dst
+}
 
 // Uint32s decodes a length-prefixed []uint32 into a new slice.
 func (r *Reader) Uint32s() []uint32 {
@@ -276,12 +327,29 @@ func (r *Reader) Uint32s() []uint32 {
 	if r.err != nil {
 		return nil
 	}
-	out := make([]uint32, n)
-	for i := range out {
-		out[i] = r.Uint32()
-	}
+	return r.uint32sBody(make([]uint32, n))
+}
+
+// Uint32sInto decodes a length-prefixed []uint32 into dst's backing
+// array, allocating only when dst's capacity is insufficient.
+func (r *Reader) Uint32sInto(dst []uint32) []uint32 {
+	n := r.length()
 	if r.err != nil {
 		return nil
 	}
-	return out
+	if cap(dst) < n {
+		dst = make([]uint32, n)
+	}
+	return r.uint32sBody(dst[:n])
+}
+
+func (r *Reader) uint32sBody(dst []uint32) []uint32 {
+	p := r.take(4 * len(dst))
+	if p == nil {
+		return nil
+	}
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint32(p[4*i:])
+	}
+	return dst
 }

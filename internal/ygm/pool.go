@@ -1,0 +1,51 @@
+package ygm
+
+import "sync"
+
+// Frame pooling. Aggregation buffers and delivery frames cycle through
+// a package-level sync.Pool so steady-state traffic allocates nothing:
+// a frame is filled by enqueue (or sendCtrl) on the sender, handed to
+// the destination mailbox (local / self sends) or copied onto the
+// socket and released immediately (remote TCP sends), and finally
+// released by dispatch after the last record's handler returns — the
+// same moment at which the Handler contract already invalidates payload
+// views, so no handler can observe reuse.
+//
+// Frames are passed through the pool as *[]byte boxes, and the empty
+// boxes cycle through their own pool, so neither Get nor Put allocates
+// in steady state.
+
+// minPooledFrame keeps sub-KiB frames (stray control records) from
+// displacing flush-sized buffers in the pool.
+const minPooledFrame = 1 << 10
+
+var (
+	framePool sync.Pool // holds *[]byte boxes with non-trivial backing arrays
+	boxPool   = sync.Pool{New: func() any { return new([]byte) }}
+)
+
+// getFrame returns an empty frame with at least the given capacity,
+// reusing a pooled backing array when one fits.
+func getFrame(capacity int) []byte {
+	if v := framePool.Get(); v != nil {
+		p := v.(*[]byte)
+		b := *p
+		*p = nil
+		boxPool.Put(p)
+		if cap(b) >= capacity {
+			return b[:0]
+		}
+	}
+	return make([]byte, 0, capacity)
+}
+
+// putFrame recycles a frame's backing array. Callers must not touch the
+// slice afterwards.
+func putFrame(b []byte) {
+	if cap(b) < minPooledFrame {
+		return
+	}
+	p := boxPool.Get().(*[]byte)
+	*p = b[:0]
+	framePool.Put(p)
+}

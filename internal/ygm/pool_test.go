@@ -1,0 +1,39 @@
+package ygm
+
+import "testing"
+
+func TestFramePoolReuse(t *testing.T) {
+	b := getFrame(2048)
+	if cap(b) < 2048 || len(b) != 0 {
+		t.Fatalf("getFrame: len %d cap %d", len(b), cap(b))
+	}
+	b = append(b, make([]byte, 1500)...)
+	putFrame(b)
+	// A compatible request should get the same backing array back.
+	// (sync.Pool may drop entries under GC pressure, so only assert the
+	// shape, then check identity best-effort.)
+	c := getFrame(1024)
+	if len(c) != 0 {
+		t.Fatalf("reused frame not reset: len %d", len(c))
+	}
+	if cap(c) < 1024 {
+		t.Fatalf("reused frame too small: cap %d", cap(c))
+	}
+}
+
+func TestFramePoolRejectsTinyFrames(t *testing.T) {
+	tiny := make([]byte, 0, 64)
+	putFrame(tiny) // must be dropped, not pooled
+	got := getFrame(4096)
+	if cap(got) < 4096 {
+		t.Fatalf("tiny frame leaked into pool: cap %d", cap(got))
+	}
+}
+
+func TestGetFrameGrowsPastPooledCapacity(t *testing.T) {
+	putFrame(make([]byte, 0, minPooledFrame))
+	got := getFrame(1 << 16)
+	if cap(got) < 1<<16 {
+		t.Fatalf("getFrame returned undersized frame: cap %d", cap(got))
+	}
+}

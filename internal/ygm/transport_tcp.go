@@ -147,7 +147,7 @@ func (t *tcpTransport) readLoop(peer int, conn net.Conn) {
 			t.mbox.close()
 			return
 		}
-		buf := make([]byte, n)
+		buf := getFrame(int(n))[:n]
 		if _, err := io.ReadFull(conn, buf); err != nil {
 			if !t.closed.Load() {
 				t.mbox.close()
@@ -172,6 +172,10 @@ func (t *tcpTransport) Send(dest int, buf []byte) error {
 		return err
 	}
 	_, err := conn.Write(buf)
+	// The frame is on the socket (or the link is dead); either way the
+	// sender is done with it. Self-sends above instead hand ownership to
+	// the mailbox, and dispatch releases them.
+	putFrame(buf)
 	return err
 }
 

@@ -283,7 +283,7 @@ func (c *Comm) Async(dest int, h HandlerID, payload []byte) {
 func (c *Comm) enqueue(dest int, h HandlerID, payload []byte, isApp bool) {
 	buf := c.out[dest]
 	if buf == nil {
-		buf = make([]byte, 0, c.flushBytes+256)
+		buf = getFrame(c.flushBytes + 256)
 	}
 	n := len(payload)
 	buf = append(buf, byte(h), byte(h>>8),
@@ -313,7 +313,7 @@ func (c *Comm) enqueue(dest int, h HandlerID, payload []byte, isApp bool) {
 // thresholds. Control traffic is excluded from app counters.
 func (c *Comm) sendCtrl(dest int, h HandlerID, payload []byte) {
 	n := len(payload)
-	buf := make([]byte, 0, n+recordHeaderBytes)
+	buf := getFrame(n + recordHeaderBytes)
 	buf = append(buf, byte(h), byte(h>>8),
 		byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
 	buf = append(buf, payload...)
@@ -397,6 +397,9 @@ func (c *Comm) dispatch(d delivery) {
 			}
 		}
 	}
+	// All records dispatched; the frame can carry outbound traffic next.
+	// (Payload views are dead here by the Handler contract.)
+	putFrame(buf)
 }
 
 // AddWork accrues application-reported work units on this rank (the

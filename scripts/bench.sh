@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Benchmark-regression snapshot: runs the allocation/latency anchor
+# benches with -benchmem and records them as BENCH_PR<N>.json at the
+# repo root (see EXPERIMENTS.md, "Benchmark regression workflow").
+#
+# Usage: scripts/bench.sh <PR-number> [extra go-test bench args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pr="${1:?usage: scripts/bench.sh <PR-number>}"
+shift || true
+out="BENCH_PR${pr}.json"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+{
+  # End-to-end construction: the hot path vs the Conservative legacy
+  # path (identical output graphs; the gap is pure optimization).
+  go test -run '^$' -bench '^BenchmarkConstruction$' -benchmem -benchtime 3x "$@" .
+  # Distance kernels.
+  go test -run '^$' -bench . -benchmem "$@" ./internal/metric/
+  # Comm substrate (aggregation, delivery, barrier).
+  go test -run '^$' -bench . -benchmem "$@" ./internal/ygm/
+} | tee "$tmp"
+
+go run ./cmd/benchjson < "$tmp" > "$out"
+echo "wrote $out"

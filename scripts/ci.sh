@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 gate (see ROADMAP.md): formatting, vet, build, full tests,
+# and a race pass over the concurrency-heavy packages. Must stay green
+# on every PR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+  echo "gofmt needed:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (comm + core)"
+go test -race ./internal/ygm/ ./internal/core/ ./internal/dquery/
+
+echo "CI OK"
