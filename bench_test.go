@@ -6,6 +6,7 @@
 package dnnd_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -48,6 +49,44 @@ func BenchmarkConstruction(b *testing.B) {
 					}
 					if i == 0 {
 						b.ReportMetric(float64(out.Result.DistEvals), "dist-evals")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkConstructionWorkers sweeps the intra-rank worker-pool width
+// on a single rank. Every width builds the bit-identical graph (the
+// core worker-equivalence test pins this), so ns/op differences are
+// pure scheduling. On a one-core host wall time stays flat; the
+// offload-frac metric (kernel time / wall at that width, the f of
+// Amdahl) and modeled-speedup-w4 are what scripts/bench.sh snapshots to
+// track how much of the critical path the pool can take off the rank
+// goroutine.
+func BenchmarkConstructionWorkers(b *testing.B) {
+	for _, name := range []string{"deep", "bigann", "mnist"} {
+		p, err := dataset.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := dataset.Generate(p, 2000, 1)
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(b *testing.B) {
+				cfg := core.DefaultConfig(10)
+				cfg.Seed = 1
+				cfg.Workers = workers
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					out, err := bench.BuildDNND(d, 1, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						f := out.Result.KernelTime.Seconds() / out.Wall.Seconds()
+						b.ReportMetric(f, "offload-frac")
+						b.ReportMetric(1/((1-f)+f/4), "modeled-speedup-w4")
+						b.ReportMetric(float64(out.Result.TasksDeferred), "tasks")
 					}
 				}
 			})

@@ -26,11 +26,12 @@ func main() {
 		quick   = flag.Bool("quick", false, "tiny datasets and sweeps (smoke run)")
 		entries = flag.Int("n", 0, "override dataset size (0 = experiment default)")
 		queries = flag.Int("queries", 0, "override query-set size (0 = default)")
+		workers = flag.Int("workers", 0, "distance-eval worker goroutines per rank for all constructions (0 = GOMAXPROCS/ranks)")
 		outPath = flag.String("o", "", "write the report to this file instead of stdout")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: dnnd-bench [flags] <table1|recall|table2|fig2|fig3|fig4|batch|graphopt|commablate|entry|incr|dquery|all>\n")
+			"usage: dnnd-bench [flags] <table1|recall|table2|fig2|fig3|fig4|batch|graphopt|commablate|entry|incr|dquery|workers|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -56,6 +57,7 @@ func main() {
 		Quick:   *quick,
 		Entries: *entries,
 		Queries: *queries,
+		Workers: *workers,
 	}
 
 	runners := map[string]func(bench.Options) error{
@@ -71,9 +73,10 @@ func main() {
 		"entry":      func(o bench.Options) error { _, err := bench.EntryPointAblation(o); return err },
 		"incr":       func(o bench.Options) error { _, err := bench.IncrementalAblation(o); return err },
 		"dquery":     func(o bench.Options) error { _, err := bench.DistributedQueryScaling(o); return err },
+		"workers":    func(o bench.Options) error { _, err := bench.WorkersScaling(o); return err },
 	}
 
-	order := []string{"table1", "recall", "table2", "fig2", "fig3", "fig4", "batch", "graphopt", "commablate", "entry", "incr", "dquery"}
+	order := []string{"table1", "recall", "table2", "fig2", "fig3", "fig4", "batch", "graphopt", "commablate", "entry", "incr", "dquery", "workers"}
 	var todo []string
 	if exp == "all" {
 		todo = order

@@ -39,6 +39,7 @@ func main() {
 		seed        = flag.Int64("seed", 1, "random seed")
 		batch       = flag.Int64("batch", 0, "communication batch size (0 = default 2^18)")
 		unoptimized = flag.Bool("unoptimized", false, "disable the Sec 4.3 communication savings")
+		workers     = flag.Int("workers", 0, "distance-eval worker goroutines per rank (0 = GOMAXPROCS/ranks); any value yields the same graph")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -51,6 +52,7 @@ func main() {
 		Seed:        *seed,
 		BatchSize:   *batch,
 		Unoptimized: *unoptimized,
+		Workers:     *workers,
 		SkipRefine:  true, // dnnd-optimize applies Section 4.5
 	}
 
@@ -147,6 +149,9 @@ func constructTCP[T dnnd.Scalar](data [][]T, opts dnnd.BuildOptions, storeDir st
 		fatal(err)
 	}
 	defer c.Close()
+	// This goroutine drives the rank for the whole process; bind it so
+	// misuse from other goroutines fails loudly (see ygm/localwork.go).
+	c.BindOwner()
 
 	cfg := core.DefaultConfig(opts.K)
 	cfg.Seed = opts.Seed
@@ -156,6 +161,7 @@ func constructTCP[T dnnd.Scalar](data [][]T, opts dnnd.BuildOptions, storeDir st
 	if opts.Unoptimized {
 		cfg.Protocol = core.Unoptimized()
 	}
+	cfg.Workers = opts.Workers
 	cfg.Optimize = false // dnnd-optimize applies Section 4.5
 
 	start := time.Now()

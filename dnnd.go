@@ -68,6 +68,10 @@ type BuildOptions struct {
 	PruneFactor float64
 	// Seed makes sampling reproducible (default 1).
 	Seed int64
+	// Workers is the intra-rank worker-pool width for distance
+	// evaluation (default: GOMAXPROCS divided among the ranks). Results
+	// are identical for every width; see core.Config.Workers.
+	Workers int
 }
 
 func (o BuildOptions) coreConfig() core.Config {
@@ -93,6 +97,9 @@ func (o BuildOptions) coreConfig() core.Config {
 	}
 	if o.Seed != 0 {
 		cfg.Seed = o.Seed
+	}
+	if o.Workers > 0 {
+		cfg.Workers = o.Workers
 	}
 	return cfg
 }

@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 
-	"dnnd/internal/core"
 	"dnnd/internal/dataset"
 	"dnnd/internal/knng"
 	"dnnd/internal/metric"
@@ -41,7 +40,7 @@ func EntryPointAblation(opt Options) ([]EntryRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.DefaultConfig(k)
+	cfg := opt.coreConfig(k)
 	cfg.Seed = opt.Seed
 	out, err := BuildDNND(d, 4, cfg)
 	if err != nil {
@@ -109,7 +108,7 @@ func IncrementalAblation(opt Options) ([]IncrementalRow, error) {
 	baseN := total * 9 / 10
 	full := dataset.Generate(p, total, opt.Seed)
 
-	cfg := core.DefaultConfig(k)
+	cfg := opt.coreConfig(k)
 	cfg.Seed = opt.Seed
 	cfg.Optimize = false
 

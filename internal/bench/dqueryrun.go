@@ -61,7 +61,7 @@ func DistributedQueryScaling(opt Options) ([]DQueryRow, error) {
 		start := time.Now()
 		err := world.Run(func(c *ygm.Comm) error {
 			shard := core.Partition(d.F32, c.Rank(), c.NRanks())
-			cfg := core.DefaultConfig(k)
+			cfg := opt.coreConfig(k)
 			cfg.Seed = opt.Seed
 			res, err := core.Build(c, shard, dist, cfg)
 			if err != nil {

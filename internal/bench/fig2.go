@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 
-	"dnnd/internal/core"
 	"dnnd/internal/dataset"
 )
 
@@ -61,7 +60,7 @@ func Fig2QualityTradeoff(opt Options) ([]Fig2Series, error) {
 		}
 
 		for _, k := range ks {
-			cfg := core.DefaultConfig(k)
+			cfg := opt.coreConfig(k)
 			cfg.Seed = opt.Seed
 			out, err := BuildDNND(d, 4, cfg)
 			if err != nil {

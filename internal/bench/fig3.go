@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"dnnd/internal/core"
 	"dnnd/internal/dataset"
 	"dnnd/internal/metric"
 	"dnnd/internal/ygm"
@@ -95,7 +94,7 @@ func Fig3Construction(opt Options) ([]Fig3Row, error) {
 		for _, k := range ks {
 			var base float64
 			for _, ranks := range rankSets[k] {
-				cfg := core.DefaultConfig(k)
+				cfg := opt.coreConfig(k)
 				cfg.Seed = opt.Seed
 				out, err := BuildDNND(d, ranks, cfg)
 				if err != nil {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"dnnd/internal/core"
 	"dnnd/internal/dataset"
 )
 
@@ -65,7 +64,7 @@ func Table2HnswSurvey(opt Options) (*Table2Result, error) {
 		}
 
 		// DNND k=10 baseline quality (best over the epsilon sweep).
-		cfg := core.DefaultConfig(k)
+		cfg := opt.coreConfig(k)
 		cfg.Seed = opt.Seed
 		out, err := BuildDNND(d, 4, cfg)
 		if err != nil {

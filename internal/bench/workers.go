@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"dnnd/internal/dataset"
+)
+
+// WorkersRow is one point of the intra-rank worker-scaling curve: one
+// construction at a fixed dataset/seed with a given pool width.
+type WorkersRow struct {
+	Dataset string
+	Workers int
+	Wall    time.Duration
+	// Kernel is the global time spent inside batched distance kernels
+	// (summed over workers, so it can exceed Wall at high widths).
+	Kernel time.Duration
+	// Tasks is the number of coalesced tasks staged onto the pool.
+	Tasks int64
+	// OffloadFrac is the W=1 run's kernel share of its wall time — the
+	// parallelizable fraction f of the rank's critical path.
+	OffloadFrac float64
+	// ModeledSpeedup is Amdahl at this width with that f:
+	// 1/((1-f)+f/W). On hosts with spare cores the measured Wall curve
+	// should approach it; on a single core Wall stays flat and the
+	// modeled value is the honest report (the same convention as the
+	// Fig-3 modeled strong scaling — see ygm.CostModel).
+	ModeledSpeedup float64
+}
+
+// WorkersScaling measures the descent with Workers = 1, 2, 4, 8 on one
+// rank (one rank isolates intra-rank parallelism from rank-count
+// effects and keeps runs bit-comparable). It verifies the determinism
+// contract on the way: every width must report identical distance-eval
+// and staged-task counts.
+func WorkersScaling(opt Options) ([]WorkersRow, error) {
+	opt.fill()
+	k := 10
+	widths := []int{1, 2, 4, 8}
+	if opt.Quick {
+		widths = []int{1, 4}
+	}
+
+	var rows []WorkersRow
+	// deep and bigann are the paper's billion-scale stand-ins; mnist
+	// (784-d) adds a high-dimensional point where the kernel share of
+	// the critical path — and so the pool's leverage — is largest.
+	for _, name := range []string{"deep", "bigann", "mnist"} {
+		p, err := dataset.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		n := opt.billionN()
+		if !p.Billion {
+			n = opt.smallN(p)
+		}
+		d := dataset.Generate(p, n, opt.Seed)
+
+		var base *WorkersRow
+		for _, w := range widths {
+			cfg := opt.coreConfig(k)
+			cfg.Seed = opt.Seed
+			cfg.Workers = w
+			out, err := BuildDNND(d, 1, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row := WorkersRow{
+				Dataset: name,
+				Workers: out.Result.Workers,
+				Wall:    out.Wall,
+				Kernel:  out.Result.KernelTime,
+				Tasks:   out.Result.TasksDeferred,
+			}
+			if base == nil {
+				rows = append(rows, row)
+				base = &rows[len(rows)-1]
+				base.OffloadFrac = base.Kernel.Seconds() / base.Wall.Seconds()
+				base.ModeledSpeedup = 1
+				continue
+			}
+			if out.Result.DistEvals == 0 || row.Tasks != base.Tasks {
+				return nil, fmt.Errorf("workers=%d staged %d tasks but workers=1 staged %d — determinism contract broken",
+					w, row.Tasks, base.Tasks)
+			}
+			f := base.OffloadFrac
+			row.OffloadFrac = f
+			row.ModeledSpeedup = 1 / ((1 - f) + f/float64(w))
+			rows = append(rows, row)
+		}
+	}
+
+	header(opt.Out, "Intra-rank worker scaling (1 rank, k=%d, N=%d; mnist at its default size)", k, opt.billionN())
+	fmt.Fprintf(opt.Out, "f = kernel time / wall at workers=1; modeled speedup = 1/((1-f)+f/W).\n")
+	fmt.Fprintf(opt.Out, "Wall is measured on this host; with no spare cores it stays flat and\n")
+	fmt.Fprintf(opt.Out, "the modeled column is the honest scaling estimate.\n\n")
+	t := newTable("dataset", "workers", "wall", "kernel", "tasks", "f", "modeled speedup")
+	for _, r := range rows {
+		t.row(r.Dataset, fmt.Sprintf("%d", r.Workers), secs(r.Wall), secs(r.Kernel),
+			fmt.Sprintf("%d", r.Tasks), f3(r.OffloadFrac), f2(r.ModeledSpeedup))
+	}
+	t.render(opt.Out)
+	return rows, nil
+}

@@ -72,6 +72,20 @@ type Result struct {
 	Comm MessageTotals
 	// DistEvals is the global number of distance evaluations.
 	DistEvals int64
+	// Workers is the resolved intra-rank worker-pool width on this rank
+	// (Config.Workers after the GOMAXPROCS/nranks default).
+	Workers int
+	// TasksDeferred is the global number of coalesced tasks staged onto
+	// the worker pools (each covers up to taskBatchSize candidates).
+	TasksDeferred int64
+	// KernelTime is the global wall time spent inside batched distance
+	// kernels, summed over ranks and workers (sampled one task in 16
+	// and extrapolated by candidate count — see workpool.kernelTime).
+	// With Workers=W ideally overlapped, the offloadable share of the
+	// critical path is KernelTime/W — the measured basis for the
+	// modeled intra-rank scaling curve when the host has no spare
+	// cores to show it in end-to-end wall time.
+	KernelTime time.Duration
 	// Phases is this rank's per-phase timing breakdown.
 	Phases PhaseTimings
 }
@@ -118,6 +132,10 @@ type builder[T wire.Scalar] struct {
 
 	updates   int64 // successful Updates this round (c of Algorithm 1)
 	distEvals int64
+
+	// pool is the intra-rank worker pool; handlers stage onto it and it
+	// applies effects in submission order on this rank's goroutine.
+	pool *workpool[T]
 
 	gatherInto *knng.Graph // set on the gather root
 	warm       *knng.Graph // prior graph for warm-started builds
@@ -189,7 +207,20 @@ func BuildWarmKernel[T wire.Scalar](c *ygm.Comm, shard *Shard[T], kern metric.Ke
 		}
 	}
 
-	res := &Result{K: cfg.K, N: shard.N}
+	// The worker pool exists at every width (including 1) and in
+	// Conservative mode: the ring's stage/apply discipline is part of
+	// the message interleaving, so running it unconditionally is what
+	// makes results independent of the worker count. The local-work
+	// hook keeps ygm quiescence honest while staged tasks still owe
+	// replies; it is detached before the pool stops.
+	b.pool = newWorkpool(b, resolveWorkers(cfg.Workers, c.NRanks()))
+	c.SetLocalWork(b.pool.runHook, b.pool.pendingHook)
+	defer func() {
+		c.SetLocalWork(nil, nil)
+		b.pool.shutdown()
+	}()
+
+	res := &Result{K: cfg.K, N: shard.N, Workers: b.pool.workers}
 
 	b.warm = prior
 	res.Phases.Init = timed(b.initGraph)
@@ -266,17 +297,18 @@ func (b *builder[T]) localIndex(id knng.ID) int {
 	return i
 }
 
-// evalDistAt computes theta(a, vec of local vertex j), taking the
-// kernel's norm-precomputed path when available. Both paths are
-// bit-identical by the metric.Kernel contract, so the Conservative flag
-// gating the fast path cannot change any distance.
-func (b *builder[T]) evalDistAt(a []T, j int) float32 {
-	b.distEvals++
-	b.c.AddWork(float64(len(a)))
+// stageDist stages one distance evaluation theta(query, local vertex
+// j) onto the worker pool, coalescing with preceding candidates from
+// the same sender. The kernel's norm-precomputed batch path is used
+// when available; all paths are bit-identical by the metric.Kernel
+// contract, so neither the Conservative flag nor the worker count can
+// change any distance.
+func (b *builder[T]) stageDist(kind taskKind, key knng.ID, query []T, m candMeta, j int) {
+	var norm float32
 	if b.norms != nil {
-		return b.kern.FnPre(a, b.shard.Vecs[j], b.norms[j])
+		norm = b.norms[j]
 	}
-	return b.kern.Fn(a, b.shard.Vecs[j])
+	b.pool.stageCompute(kind, key, query, m, b.shard.Vecs[j], norm, b.norms != nil)
 }
 
 // phaseWriter returns the writer for a phase's emit loop: the builder's
@@ -428,12 +460,19 @@ func (b *builder[T]) onInitReq(p []byte) {
 	if r.Finish() != nil {
 		panic("core: bad init request")
 	}
-	d := b.evalDistAt(vec, b.localIndex(u))
-	w := b.replyWriter(12)
-	w.Uint32(v)
-	w.Uint32(u)
-	w.Float32(d)
-	b.c.Async(b.owner(v), b.hInitResp, w.Bytes())
+	b.stageDist(taskInitReq, v, vec, candMeta{a: v, b: u}, b.localIndex(u))
+}
+
+// applyInitReq sends the computed init distances back to the querier.
+func (b *builder[T]) applyInitReq(t *task[T]) {
+	for i := range t.meta {
+		m := &t.meta[i]
+		w := b.replyWriter(12)
+		w.Uint32(m.a)
+		w.Uint32(m.b)
+		w.Float32(t.dists[i])
+		b.c.Async(b.owner(m.a), b.hInitResp, w.Bytes())
+	}
 }
 
 func (b *builder[T]) onInitResp(p []byte) {
@@ -444,7 +483,7 @@ func (b *builder[T]) onInitResp(p []byte) {
 	if r.Finish() != nil {
 		panic("core: bad init response")
 	}
-	b.lists[b.localIndex(v)].Update(u, d, true)
+	b.pool.stageApply(taskInitResp, candMeta{b: u, local: int32(b.localIndex(v)), d: d})
 }
 
 // ---- phase 2: sampling and reverse matrices (lines 7-16, Sec 4.2) ----
@@ -707,7 +746,9 @@ func (b *builder[T]) neighborChecks() int64 {
 }
 
 // onType1 runs at owner(u1): forward u1's feature vector to u2
-// (Type 2 / Type 2+), unless the pair is redundant (4.3.2).
+// (Type 2 / Type 2+), unless the pair is redundant (4.3.2). The
+// decision reads u1's list, so it is staged and taken at apply time,
+// in arrival order with the staged list updates.
 func (b *builder[T]) onType1(p []byte) {
 	r := wire.NewReader(p)
 	u1 := r.Uint32()
@@ -715,13 +756,17 @@ func (b *builder[T]) onType1(p []byte) {
 	if r.Finish() != nil {
 		panic("core: bad type1")
 	}
-	i := b.localIndex(u1)
-	if b.cfg.Protocol.OneSided && b.cfg.Protocol.SkipRedundant && b.lists[i].Contains(u2) {
+	b.pool.stageApply(taskType1, candMeta{a: u1, b: u2, local: int32(b.localIndex(u1))})
+}
+
+func (b *builder[T]) applyType1(m *candMeta) {
+	i := int(m.local)
+	if b.cfg.Protocol.OneSided && b.cfg.Protocol.SkipRedundant && b.lists[i].Contains(m.b) {
 		return
 	}
 	w := b.replyWriter(16 + len(b.shard.Vecs[i])*4)
-	w.Uint32(u1)
-	w.Uint32(u2)
+	w.Uint32(m.a)
+	w.Uint32(m.b)
 	if b.cfg.Protocol.OneSided && b.cfg.Protocol.PruneDistant {
 		w.Uint8(1)
 		w.Float32(b.lists[i].FarthestDist())
@@ -729,12 +774,12 @@ func (b *builder[T]) onType1(p []byte) {
 		w.Uint8(0)
 	}
 	wire.PutVector(w, b.shard.Vecs[i])
-	b.c.Async(b.owner(u2), b.hType2, w.Bytes())
+	b.c.Async(b.owner(m.b), b.hType2, w.Bytes())
 }
 
-// onType2 runs at owner(u2): compute theta(u1, u2), update u2's list,
-// and in the one-sided flow return the distance to u1 (Type 3) unless
-// redundant (4.3.2) or prunable (4.3.3).
+// onType2 runs at owner(u2): stage theta(u1, u2). At apply time the
+// distance updates u2's list, and in the one-sided flow returns to u1
+// (Type 3) unless redundant (4.3.2) or prunable (4.3.3).
 func (b *builder[T]) onType2(p []byte) {
 	r := wire.NewReader(p)
 	u1 := r.Uint32()
@@ -748,27 +793,29 @@ func (b *builder[T]) onType2(p []byte) {
 	if r.Finish() != nil {
 		panic("core: bad type2")
 	}
-	j := b.localIndex(u2)
-	d := b.evalDistAt(vec1, j)
+	b.stageDist(taskType2, u1, vec1, candMeta{a: u1, b: u2, local: int32(b.localIndex(u2)), d: bound}, b.localIndex(u2))
+}
 
+func (b *builder[T]) applyType2(m *candMeta, d float32) {
+	j := int(m.local)
 	if !b.cfg.Protocol.OneSided {
 		// Two-sided flow: each endpoint updates only its own list.
-		b.updates += int64(b.lists[j].Update(u1, d, true))
+		b.updates += int64(b.lists[j].Update(m.a, d, true))
 		return
 	}
-	alreadyNeighbor := b.lists[j].Contains(u1)
-	b.updates += int64(b.lists[j].Update(u1, d, true))
+	alreadyNeighbor := b.lists[j].Contains(m.a)
+	b.updates += int64(b.lists[j].Update(m.a, d, true))
 	if b.cfg.Protocol.SkipRedundant && alreadyNeighbor {
 		return
 	}
-	if b.cfg.Protocol.PruneDistant && d >= bound {
+	if b.cfg.Protocol.PruneDistant && d >= m.d {
 		return
 	}
 	w := b.replyWriter(12)
-	w.Uint32(u1)
-	w.Uint32(u2)
+	w.Uint32(m.a)
+	w.Uint32(m.b)
 	w.Float32(d)
-	b.c.Async(b.owner(u1), b.hType3, w.Bytes())
+	b.c.Async(b.owner(m.a), b.hType3, w.Bytes())
 }
 
 // onType3 runs at owner(u1): fold the returned distance into u1's list.
@@ -780,7 +827,56 @@ func (b *builder[T]) onType3(p []byte) {
 	if r.Finish() != nil {
 		panic("core: bad type3")
 	}
-	b.updates += int64(b.lists[b.localIndex(u1)].Update(u2, d, true))
+	b.pool.stageApply(taskType3, candMeta{b: u2, local: int32(b.localIndex(u1)), d: d})
+}
+
+// applyTask applies one task's effects on the rank goroutine: all
+// neighbor-list reads/writes, protocol decisions, counters, and reply
+// sends. Tasks apply in submission order, so for a fixed stage
+// sequence the observable behavior is independent of the worker count.
+// The reused replyWriter is safe here for the same reason it is safe
+// in handlers: applies never nest.
+func (b *builder[T]) applyTask(p *workpool[T], t *task[T]) {
+	if t.kind.compute() {
+		b.distEvals += int64(len(t.meta))
+		b.c.AddWork(float64(len(t.query) * len(t.meta)))
+	}
+	switch t.kind {
+	case taskInitReq:
+		b.applyInitReq(t)
+	case taskInitResp:
+		for i := range t.meta {
+			m := &t.meta[i]
+			b.lists[m.local].Update(m.b, m.d, true)
+		}
+	case taskType1:
+		for i := range t.meta {
+			b.applyType1(&t.meta[i])
+		}
+	case taskType2:
+		for i := range t.meta {
+			b.applyType2(&t.meta[i], t.dists[i])
+		}
+	case taskType3:
+		// Consecutive returns for the same vertex fold as one bulk
+		// UpdateMany, amortizing the heap-entry scan.
+		i := 0
+		for i < len(t.meta) {
+			j := i + 1
+			for j < len(t.meta) && t.meta[j].local == t.meta[i].local {
+				j++
+			}
+			ids := p.idScratch[:0]
+			ds := p.dScratch[:0]
+			for k := i; k < j; k++ {
+				ids = append(ids, t.meta[k].b)
+				ds = append(ds, t.meta[k].d)
+			}
+			p.idScratch, p.dScratch = ids, ds
+			b.updates += int64(b.lists[t.meta[i].local].UpdateMany(ids, ds, true))
+			i = j
+		}
+	}
 }
 
 // round executes one NN-Descent iteration and returns the number of
@@ -822,4 +918,6 @@ func (b *builder[T]) collectTotals(res *Result) {
 	t.CheckBytes = t.Type1Bytes + t.Type2Bytes + t.Type3Bytes
 	res.Comm = t
 	res.DistEvals = b.c.AllReduceSum(b.distEvals)
+	res.TasksDeferred = b.c.AllReduceSum(b.pool.tasksStaged)
+	res.KernelTime = time.Duration(b.c.AllReduceSum(b.pool.kernelTime()))
 }

@@ -2,7 +2,9 @@ package core
 
 import (
 	"math/rand"
+	"os"
 	"reflect"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -13,9 +15,23 @@ import (
 )
 
 // buildKernelOnWorld runs a construction over a local world with the
-// named metric and returns rank 0's result.
+// named metric and returns rank 0's result. Tests that leave
+// cfg.Workers at 0 can be re-run at a forced pool width via the
+// DNND_TEST_WORKERS environment variable (the CI race pass uses this to
+// drive the whole suite with helper goroutines active); results are
+// worker-count-independent by construction, so every assertion must
+// hold unchanged.
 func buildKernelOnWorld[T wire.Scalar](t *testing.T, nranks int, data [][]T, kind metric.Kind, cfg Config) *Result {
 	t.Helper()
+	if cfg.Workers == 0 {
+		if s := os.Getenv("DNND_TEST_WORKERS"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				t.Fatalf("bad DNND_TEST_WORKERS=%q: %v", s, err)
+			}
+			cfg.Workers = n
+		}
+	}
 	kern, err := metric.KernelFor[T](kind)
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"dnnd/internal/knng"
 	"dnnd/internal/wire"
 )
@@ -31,46 +33,78 @@ func (b *builder[T]) optimizeGraph() {
 	if limit < 1 {
 		limit = 1
 	}
-	b.final = make([][]knng.Neighbor, b.shard.Len())
-	for i, v := range b.shard.IDs {
-		merged := b.lists[i].Sorted()
-		var extra []knng.Neighbor
-		if b.cfg.Conservative {
-			extra = b.optIn[v]
-		} else {
-			extra = b.optRows[i]
-		}
-		if b.cfg.Conservative {
-			seen := make(map[knng.ID]bool, len(merged)+len(extra))
-			for _, e := range merged {
-				seen[e.ID] = true
-			}
-			for _, e := range extra {
-				if !seen[e.ID] {
-					seen[e.ID] = true
-					merged = append(merged, e)
-				}
-			}
-		} else {
-			epoch := b.visitEpoch()
-			for _, e := range merged {
-				b.mark[e.ID] = epoch
-			}
-			for _, e := range extra {
-				if b.mark[e.ID] != epoch {
-					b.mark[e.ID] = epoch
-					merged = append(merged, e)
-				}
-			}
-		}
-		sortNeighborsByDist(merged)
-		if len(merged) > limit {
-			merged = merged[:limit:limit]
-		}
-		b.final[i] = merged
-	}
+	b.mergeFinal(limit)
 	b.optIn = nil
 	b.optRows = nil
+}
+
+// mergeFinal computes the post-optimization list of every local vertex.
+// The merge/sort/prune is per-vertex pure (reads this vertex's list and
+// reverse-edge row, writes final[i]), so it spreads over the worker
+// pool; the output is identical to the serial loop for every worker
+// count because item order never influences an item's result.
+func (b *builder[T]) mergeFinal(limit int) {
+	b.final = make([][]knng.Neighbor, b.shard.Len())
+	var scratch sync.Pool // per-goroutine dedupe marks (see mergeVertex)
+	scratch.New = func() any { return &mergeScratch{mark: make([]uint32, b.shard.N)} }
+	b.pool.parallelFor(b.shard.Len(), func(i int) {
+		b.final[i] = b.mergeVertex(i, limit, &scratch)
+	})
+}
+
+// mergeScratch is one goroutine's epoch-stamped visited-set for the
+// merge; pooled because the shared builder marks cannot be used
+// concurrently.
+type mergeScratch struct {
+	mark  []uint32
+	epoch uint32
+}
+
+// mergeVertex merges vertex i's reverse edges into its sorted list and
+// prunes to limit. It touches only per-vertex state plus the scratch
+// it checks out, so it is safe to run concurrently for distinct i.
+func (b *builder[T]) mergeVertex(i, limit int, scratch *sync.Pool) []knng.Neighbor {
+	merged := b.lists[i].Sorted()
+	var extra []knng.Neighbor
+	if b.cfg.Conservative {
+		extra = b.optIn[b.shard.IDs[i]]
+	} else {
+		extra = b.optRows[i]
+	}
+	if b.cfg.Conservative {
+		seen := make(map[knng.ID]bool, len(merged)+len(extra))
+		for _, e := range merged {
+			seen[e.ID] = true
+		}
+		for _, e := range extra {
+			if !seen[e.ID] {
+				seen[e.ID] = true
+				merged = append(merged, e)
+			}
+		}
+	} else {
+		sc := scratch.Get().(*mergeScratch)
+		sc.epoch++
+		if sc.epoch == 0 {
+			clear(sc.mark)
+			sc.epoch = 1
+		}
+		for _, e := range merged {
+			sc.mark[e.ID] = sc.epoch
+		}
+		for _, e := range extra {
+			if sc.mark[e.ID] != sc.epoch {
+				sc.mark[e.ID] = sc.epoch
+				merged = append(merged, e)
+			}
+		}
+		scratch.Put(sc)
+	}
+	knng.SortByDist(merged)
+	if len(merged) > limit {
+		merged = merged[:limit:limit]
+	}
+	return merged
 }
 
 func (b *builder[T]) onOptEdge(p []byte) {
@@ -87,18 +121,6 @@ func (b *builder[T]) onOptEdge(p []byte) {
 		return
 	}
 	b.optRows[i] = append(b.optRows[i], knng.Neighbor{ID: v, Dist: d})
-}
-
-func sortNeighborsByDist(ns []knng.Neighbor) {
-	for i := 1; i < len(ns); i++ {
-		x := ns[i]
-		j := i - 1
-		for j >= 0 && (ns[j].Dist > x.Dist || (ns[j].Dist == x.Dist && ns[j].ID > x.ID)) {
-			ns[j+1] = ns[j]
-			j--
-		}
-		ns[j+1] = x
-	}
 }
 
 // gather ships every rank's final lists to rank 0, which assembles the

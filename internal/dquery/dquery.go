@@ -402,10 +402,3 @@ func (e *Engine[T]) onResult(p []byte) {
 	}
 	e.gathered[qid] = ns
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -82,6 +82,16 @@ func (l *NeighborList) Contains(id ID) bool {
 // latter case. It returns 1 when the list changed and 0 otherwise,
 // matching the paper's counter increment.
 func (l *NeighborList) Update(id ID, d float32, isNew bool) int {
+	// Farthest-first rejection: on a full list a candidate at least as
+	// far as the top can never change anything, whether or not it is
+	// already a member, so skip the O(K) membership scan. Observably
+	// identical to checking membership first — both orders return 0 and
+	// leave the heap untouched — but it makes the common steady-state
+	// case (descent resubmitting far candidates) O(1), which is what
+	// lets UpdateMany amortize bulk applies from the worker pool.
+	if len(l.items) == l.k && d >= l.items[0].Dist {
+		return 0
+	}
 	if l.Contains(id) {
 		return 0
 	}
@@ -90,12 +100,24 @@ func (l *NeighborList) Update(id ID, d float32, isNew bool) int {
 		l.siftUp(len(l.items) - 1)
 		return 1
 	}
-	if d >= l.items[0].Dist {
-		return 0
-	}
 	l.items[0] = Neighbor{ID: id, Dist: d, New: isNew}
 	l.siftDown(0)
 	return 1
+}
+
+// UpdateMany applies Update over parallel id/distance slices, returning
+// the number of list changes — exactly the sum of the individual
+// Update returns, applied in slice order, with an identical final heap
+// layout. The worker pool's apply stage batches candidate results per
+// staged task and lands them here; the farthest-first rejection in
+// Update makes the typical all-rejected batch a single bound compare
+// per candidate.
+func (l *NeighborList) UpdateMany(ids []ID, dists []float32, isNew bool) int {
+	n := 0
+	for i, id := range ids {
+		n += l.Update(id, dists[i], isNew)
+	}
+	return n
 }
 
 func (l *NeighborList) siftUp(i int) {
@@ -153,6 +175,12 @@ func (l *NeighborList) MarkOld(id ID) {
 		}
 	}
 }
+
+// SortByDist sorts neighbors in place by ascending distance, ties
+// broken by ID for determinism — the ordering used by Sorted and by
+// the graph-optimization merge. Insertion sort: lists are short
+// (K <= ~150 even after the reverse-edge merge).
+func SortByDist(ns []Neighbor) { sortNeighbors(ns) }
 
 func sortNeighbors(ns []Neighbor) {
 	// Insertion sort: lists are short (K <= ~150 even after merge).

@@ -171,3 +171,97 @@ func TestQuickNeighborListMatchesBruteForce(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// refUpdate is Update as originally written — membership scan first,
+// then the full-list bound check. The shipping Update reorders those
+// checks (farthest-first rejection); this reference pins that the
+// reorder is observably identical: same return value and same exact
+// heap layout after any operation sequence.
+func refUpdate(l *NeighborList, id ID, d float32, isNew bool) int {
+	if l.Contains(id) {
+		return 0
+	}
+	if len(l.items) < l.k {
+		l.items = append(l.items, Neighbor{ID: id, Dist: d, New: isNew})
+		l.siftUp(len(l.items) - 1)
+		return 1
+	}
+	if d >= l.items[0].Dist {
+		return 0
+	}
+	l.items[0] = Neighbor{ID: id, Dist: d, New: isNew}
+	l.siftDown(0)
+	return 1
+}
+
+func sameLayout(a, b *NeighborList) bool {
+	if len(a.items) != len(b.items) {
+		return false
+	}
+	for i := range a.items {
+		if a.items[i] != b.items[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestUpdateFarthestFirstEquivalence(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(8) + 1
+		got, ref := NewNeighborList(k), NewNeighborList(k)
+		for op := 0; op < 300; op++ {
+			// Small id/distance spaces force duplicates, ties with the
+			// farthest entry, and resubmissions of evicted ids.
+			id := ID(rng.Intn(12))
+			d := float32(rng.Intn(6)) / 2
+			isNew := rng.Intn(2) == 0
+			if got.Update(id, d, isNew) != refUpdate(ref, id, d, isNew) {
+				return false
+			}
+			if !sameLayout(got, ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// UpdateMany must be exactly a fold of Update over the slices: same
+// total and same final heap layout, so the worker pool's bulk applies
+// cannot be told apart from the serial path's one-at-a-time updates.
+func TestUpdateManyEquivalence(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(8) + 1
+		bulk, seq := NewNeighborList(k), NewNeighborList(k)
+		for batch := 0; batch < 20; batch++ {
+			n := rng.Intn(10)
+			ids := make([]ID, n)
+			dists := make([]float32, n)
+			for i := range ids {
+				ids[i] = ID(rng.Intn(15))
+				dists[i] = float32(rng.Intn(8)) / 2
+			}
+			isNew := rng.Intn(2) == 0
+			want := 0
+			for i := range ids {
+				want += seq.Update(ids[i], dists[i], isNew)
+			}
+			if bulk.UpdateMany(ids, dists, isNew) != want {
+				return false
+			}
+			if !sameLayout(bulk, seq) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,19 +3,50 @@ package metric
 import "dnnd/internal/wire"
 
 // Kernel bundles a metric with its optional construction-loop fast
-// path. Fn is always set. Norm and FnPre are set together when the
+// paths. Fn is always set. Norm and FnPre are set together when the
 // metric admits a norm-precomputed form (currently cosine over
 // float32): FnPre(a, b, Norm(b)) must be bit-identical to Fn(a, b), so
 // a builder that caches Norm over its local shard computes exactly the
 // same distances as one that does not.
+//
+// ManyPre, when set, is the batched one-query-vs-many form of FnPre:
+// it must write out[i] bit-identical to FnPre(q, cands[i], nbs[i]) for
+// every i, while amortizing the per-call setup (the query's norm is
+// computed once per batch instead of once per pair). The worker pool's
+// distance stage relies on this contract: offloaded batches must land
+// on exactly the float32 values the serial path would have produced.
 type Kernel[T wire.Scalar] struct {
-	Fn    Func[T]
-	Norm  func(v []T) float32
-	FnPre func(a, b []T, nb float32) float32
+	Fn      Func[T]
+	Norm    func(v []T) float32
+	FnPre   func(a, b []T, nb float32) float32
+	ManyPre func(q []T, cands [][]T, nbs []float32, out []float32)
+}
+
+// EvalMany evaluates the metric between one query and many candidates,
+// writing distances into out (which must have len >= len(cands)). When
+// nbs is non-nil it carries the precomputed Norm of each candidate and
+// the norm-cached fast path is used; otherwise the plain kernel runs
+// per pair. Either way every out[i] is bit-identical to what the
+// corresponding per-pair call (Fn or FnPre) would return — EvalMany is
+// a throughput optimization, never a semantic one.
+func (k Kernel[T]) EvalMany(q []T, cands [][]T, nbs []float32, out []float32) {
+	if nbs != nil && k.ManyPre != nil {
+		k.ManyPre(q, cands, nbs, out)
+		return
+	}
+	if nbs != nil && k.FnPre != nil {
+		for i, c := range cands {
+			out[i] = k.FnPre(q, c, nbs[i])
+		}
+		return
+	}
+	for i, c := range cands {
+		out[i] = k.Fn(q, c)
+	}
 }
 
 // KernelFor returns the named metric for element type T together with
-// its fast path, for the construction hot loop. Callers that only need
+// its fast paths, for the construction hot loop. Callers that only need
 // the plain function can keep using For.
 func KernelFor[T wire.Scalar](k Kind) (Kernel[T], error) {
 	fn, err := For[T](k)
@@ -27,6 +58,7 @@ func KernelFor[T wire.Scalar](k Kind) (Kernel[T], error) {
 	if _, ok := any(z).(float32); ok && k == Cosine {
 		kern.Norm = any(SquaredNormFloat32).(func([]T) float32)
 		kern.FnPre = any(CosinePreNormFloat32).(func([]T, []T, float32) float32)
+		kern.ManyPre = any(CosineManyPreNormFloat32).(func([]T, [][]T, []float32, []float32))
 	}
 	return kern, nil
 }

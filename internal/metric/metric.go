@@ -245,6 +245,39 @@ func CosinePreNormFloat32(a, b []float32, nb float32) float32 {
 	return cosineFromParts(dot, na, nb)
 }
 
+// dot2 is the standalone two-lane dot product. Its accumulator
+// structure matches the dot lanes of dotAndNorm/dotAndNorms (see
+// SquaredNormFloat32 on why the cosine family is two-wide), so a dot
+// computed here equals the one computed inline by CosinePreNormFloat32
+// over the same pair, bit for bit.
+func dot2(a, b []float32) float32 {
+	b = b[:len(a)]
+	var d0, d1 float32
+	i := 0
+	for ; i+2 <= len(a); i += 2 {
+		d0 += a[i] * b[i]
+		d1 += a[i+1] * b[i+1]
+	}
+	for ; i < len(a); i++ {
+		d0 += a[i] * b[i]
+	}
+	return d0 + d1
+}
+
+// CosineManyPreNormFloat32 is the batched form of CosinePreNormFloat32:
+// one query against many candidates whose squared norms are already
+// known. The query's |q|^2 is hoisted out of the loop — computed once by
+// SquaredNormFloat32, whose lanes match dotAndNorm's |a|^2 lanes — and
+// each dot comes from dot2, whose lanes match dotAndNorm's dot lanes,
+// so out[i] is bit-identical to CosinePreNormFloat32(q, cands[i],
+// nbs[i]) while skipping a third of the per-pair flops.
+func CosineManyPreNormFloat32(q []float32, cands [][]float32, nbs []float32, out []float32) {
+	nq := SquaredNormFloat32(q)
+	for i, c := range cands {
+		out[i] = cosineFromParts(dot2(q, c), nq, nbs[i])
+	}
+}
+
 // InnerProductFloat32 returns -<a, b>, shifted ordering used for
 // maximum-inner-product search. Not bounded below by zero in general;
 // NN-Descent only compares distances so this is fine.

@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// refFloat32s is the portable reference encoding the bulk fast path
+// must match byte-for-byte: uint32 length prefix, then each element as
+// little-endian IEEE-754 bits.
+func refFloat32s(v []float32) []byte {
+	out := binary.LittleEndian.AppendUint32(nil, uint32(len(v)))
+	for _, x := range v {
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(x))
+	}
+	return out
+}
+
+func refUint32s(v []uint32) []byte {
+	out := binary.LittleEndian.AppendUint32(nil, uint32(len(v)))
+	for _, x := range v {
+		out = binary.LittleEndian.AppendUint32(out, x)
+	}
+	return out
+}
+
+// TestBulkCodecMatchesReference pins the copy-based vector codec to
+// the element-at-a-time little-endian reference, including NaN
+// payloads and negative zero, whose bit patterns must survive intact.
+func TestBulkCodecMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 2, 3, 7, 96, 784} {
+		fs := make([]float32, n)
+		us := make([]uint32, n)
+		for i := range fs {
+			fs[i] = float32(rng.NormFloat64())
+			us[i] = rng.Uint32()
+		}
+		if n > 2 {
+			fs[0] = float32(math.NaN())
+			fs[1] = float32(math.Copysign(0, -1))
+			fs[2] = float32(math.Inf(-1))
+		}
+
+		var w Writer
+		w.Float32s(fs)
+		w.Uint32s(us)
+		want := append(refFloat32s(fs), refUint32s(us)...)
+		if !bytes.Equal(w.Bytes(), want) {
+			t.Fatalf("n=%d: encoded bytes diverge from reference", n)
+		}
+
+		r := NewReader(w.Bytes())
+		gotF := r.Float32s()
+		gotU := r.Uint32s()
+		if err := r.Finish(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if n == 0 {
+			if len(gotF) != 0 || len(gotU) != 0 {
+				t.Fatalf("n=0: got %v %v", gotF, gotU)
+			}
+			continue
+		}
+		for i := range fs {
+			if math.Float32bits(gotF[i]) != math.Float32bits(fs[i]) {
+				t.Fatalf("n=%d: float bits [%d] = %08x, want %08x",
+					n, i, math.Float32bits(gotF[i]), math.Float32bits(fs[i]))
+			}
+		}
+		if !reflect.DeepEqual(gotU, us) {
+			t.Fatalf("n=%d: uint32 round trip diverged", n)
+		}
+	}
+}
+
+// TestBulkDecodeUnalignedSource decodes from a frame whose vector body
+// starts at every offset mod 8, so the byte-view copy is exercised
+// against arbitrarily aligned source bytes.
+func TestBulkDecodeUnalignedSource(t *testing.T) {
+	fs := []float32{1.5, -2.25, 3.125, 0.0625}
+	for pad := 0; pad < 8; pad++ {
+		var w Writer
+		for i := 0; i < pad; i++ {
+			w.Uint8(0xEE)
+		}
+		w.Float32s(fs)
+		r := NewReader(w.Bytes())
+		for i := 0; i < pad; i++ {
+			r.Uint8()
+		}
+		got := r.Float32s()
+		if err := r.Finish(); err != nil {
+			t.Fatalf("pad=%d: %v", pad, err)
+		}
+		if !reflect.DeepEqual(got, fs) {
+			t.Fatalf("pad=%d: got %v, want %v", pad, got, fs)
+		}
+	}
+}
+
+func BenchmarkFloat32sEncode(b *testing.B) {
+	v := make([]float32, 784)
+	for i := range v {
+		v[i] = float32(i) * 0.5
+	}
+	w := NewWriter(4 * len(v))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		w.Float32s(v)
+	}
+}
+
+func BenchmarkFloat32sDecode(b *testing.B) {
+	v := make([]float32, 784)
+	for i := range v {
+		v[i] = float32(i) * 0.5
+	}
+	var w Writer
+	w.Float32s(v)
+	dst := make([]float32, len(v))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(w.Bytes())
+		if r.Float32sInto(dst) == nil {
+			b.Fatal(r.Err())
+		}
+	}
+}

@@ -13,7 +13,28 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"unsafe"
 )
+
+// hostLE reports whether the host stores multi-byte values
+// little-endian. On such hosts the length-prefixed vector codecs can
+// move whole element arrays with copy instead of an element-at-a-time
+// shift loop: the wire format IS the host representation. The scalar
+// loops below remain the portable fallback (and the reference the
+// fast path is pinned to in tests).
+var hostLE = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// byteView reinterprets a scalar slice as its raw bytes. Only valid
+// for bulk copy on little-endian hosts; the view aliases v.
+func byteView[T uint32 | float32](v []T) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 4*len(v))
+}
 
 // ErrShortBuffer is returned when a Reader runs out of bytes mid-value.
 var ErrShortBuffer = errors.New("wire: short buffer")
@@ -113,6 +134,10 @@ func (w *Writer) String(s string) {
 func (w *Writer) Float32s(v []float32) {
 	w.Uint32(uint32(len(v)))
 	p := w.reserve(4 * len(v))
+	if hostLE {
+		copy(p, byteView(v))
+		return
+	}
 	for i, x := range v {
 		binary.LittleEndian.PutUint32(p[4*i:], math.Float32bits(x))
 	}
@@ -125,6 +150,10 @@ func (w *Writer) Uint8s(v []uint8) { w.Bytes32(v) }
 func (w *Writer) Uint32s(v []uint32) {
 	w.Uint32(uint32(len(v)))
 	p := w.reserve(4 * len(v))
+	if hostLE {
+		copy(p, byteView(v))
+		return
+	}
 	for i, x := range v {
 		binary.LittleEndian.PutUint32(p[4*i:], x)
 	}
@@ -296,6 +325,10 @@ func (r *Reader) float32sBody(dst []float32) []float32 {
 	if p == nil {
 		return nil
 	}
+	if hostLE {
+		copy(byteView(dst), p)
+		return dst
+	}
 	for i := range dst {
 		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[4*i:]))
 	}
@@ -347,6 +380,10 @@ func (r *Reader) uint32sBody(dst []uint32) []uint32 {
 	p := r.take(4 * len(dst))
 	if p == nil {
 		return nil
+	}
+	if hostLE {
+		copy(byteView(dst), p)
+		return dst
 	}
 	for i := range dst {
 		dst[i] = binary.LittleEndian.Uint32(p[4*i:])

@@ -53,6 +53,7 @@ func newCoordState(nranks int) *coordState {
 // anywhere. Every rank must call Barrier (SPMD).
 func (c *Comm) Barrier() {
 	c.checkErr()
+	c.assertOwner()
 	c.stats.Barriers++
 	c.epoch++
 	c.inBarrier = true
@@ -60,10 +61,19 @@ func (c *Comm) Barrier() {
 	c.needReport = true
 
 	if c.nranks == 1 {
-		// Single rank: quiescence = drain everything we sent ourselves.
+		// Single rank: quiescence = drain everything we sent ourselves
+		// and apply all deferred local work (which may itself send).
+		// Both steps are deterministic — drainAll empties a FIFO this
+		// goroutine filled, and the local-work driver applies its ring
+		// in submission order — so single-rank runs stay bit-identical
+		// regardless of worker scheduling.
 		for {
 			c.Flush()
-			if !c.drainAll() && c.outboxesEmpty() && c.mbox.empty() {
+			progressed := c.drainAll()
+			if c.runLocalWork() {
+				progressed = true
+			}
+			if !progressed && c.outboxesEmpty() && c.mbox.empty() && !c.localPending() {
 				break
 			}
 		}
@@ -74,12 +84,16 @@ func (c *Comm) Barrier() {
 
 	for !c.released {
 		c.drainAll()
+		// Apply deferred local work before judging idleness: staged
+		// tasks may owe replies that the sent/recv accounting cannot
+		// see until they are sent (see localwork.go).
+		c.runLocalWork()
 		c.Flush()
 		c.checkErr()
 		if c.released {
 			break
 		}
-		if c.mbox.empty() && c.outboxesEmpty() {
+		if c.mbox.empty() && c.outboxesEmpty() && !c.localPending() {
 			if c.needReport {
 				c.needReport = false
 				c.sendIdleReport()
@@ -161,7 +175,7 @@ func handleConfirm(c *Comm, from int, payload []byte) {
 	if r.Finish() != nil {
 		panic("ygm: bad confirm")
 	}
-	idle := c.inBarrier && c.mbox.empty() && c.outboxesEmpty()
+	idle := c.inBarrier && c.mbox.empty() && c.outboxesEmpty() && !c.localPending()
 	w := wire.NewWriter(32)
 	w.Uint64(confirmID)
 	w.Uint64(c.epoch)
@@ -205,7 +219,7 @@ func (c *Comm) coordMaybeRelease(epoch uint64) {
 	self := st.reports[0]
 	if !c.inBarrier || c.epoch != epoch ||
 		c.stats.SentMsgs != self.sent || c.stats.RecvMsgs != self.recv ||
-		!c.outboxesEmpty() {
+		!c.outboxesEmpty() || c.localPending() {
 		st.confirmActive = false
 		return
 	}
@@ -286,6 +300,7 @@ func (c *Comm) allReduceFloat(v float64, op ReduceOp) float64 {
 
 func (c *Comm) allReduce(isInt bool, iv int64, fv float64, op ReduceOp) []byte {
 	c.checkErr()
+	c.assertOwner()
 	c.reduceSeq++
 	seq := c.reduceSeq
 	if c.nranks == 1 {
@@ -314,6 +329,11 @@ func (c *Comm) allReduce(isInt bool, iv int64, fv float64, op ReduceOp) []byte {
 		}
 		c.Flush()
 		if !c.drainAll() {
+			// Waiting on peers anyway: drive deferred local work so
+			// staged replies flow while the collective assembles.
+			if c.runLocalWork() {
+				continue
+			}
 			if res, ok := c.reduceResults[seq]; ok {
 				delete(c.reduceResults, seq)
 				return res

@@ -1,0 +1,7 @@
+//go:build !race
+
+package ygm
+
+// See ownercheck_race.go: the sampled Async ownership assertion runs
+// only under the race detector; collectives always check.
+const ownerCheckAsync = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package ygm
+
+// Under the race detector, Async verifies the ownership rule on its
+// opportunistic-drain tick (every pollInterval-th call). Production
+// builds skip this (see ownercheck_norace.go): the goroutine-ID lookup
+// costs about a microsecond, which is real money on the Async hot path,
+// and the collectives still check unconditionally.
+const ownerCheckAsync = true

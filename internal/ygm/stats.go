@@ -27,7 +27,11 @@ type Stats struct {
 	// inbound queue — the congestion the Section 4.4 batching bounds.
 	PeakMailboxDepth int64
 	PeakMailboxBytes int64
-	PerHandler       []HandlerStats
+	// TasksDeferred counts work items staged onto the intra-rank worker
+	// pool (coalesced tasks, not individual candidate distances); see
+	// Comm.AddTasksDeferred.
+	TasksDeferred int64
+	PerHandler    []HandlerStats
 }
 
 func (s Stats) clone() Stats {
@@ -45,6 +49,7 @@ func (s *Stats) Add(other Stats) {
 	s.RemoteSentBytes += other.RemoteSentBytes
 	s.RecvMsgs += other.RecvMsgs
 	s.Flushes += other.Flushes
+	s.TasksDeferred += other.TasksDeferred
 	if other.Barriers > s.Barriers {
 		s.Barriers = other.Barriers
 	}

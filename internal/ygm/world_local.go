@@ -99,6 +99,7 @@ func (w *World) Run(fn func(c *Comm) error) error {
 					}
 				}
 			}()
+			w.comms[rank].BindOwner()
 			if err := fn(w.comms[rank]); err != nil {
 				errs[rank] = &RankError{Rank: rank, Err: err}
 				for _, c := range w.comms {

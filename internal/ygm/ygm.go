@@ -179,6 +179,12 @@ type Comm struct {
 	inDrain   bool
 	asyncTick int
 
+	// Deferred-local-work hook and single-owner enforcement; see
+	// localwork.go for the rules.
+	localWorkRun     func() bool
+	localWorkPending func() bool
+	owner            uint64 // owning goroutine ID; 0 = unbound
+
 	// Barrier / quiescence state.
 	inBarrier  bool
 	epoch      uint64
@@ -273,6 +279,9 @@ func (c *Comm) Async(dest int, h HandlerID, payload []byte) {
 		c.asyncTick++
 		if c.asyncTick >= pollInterval {
 			c.asyncTick = 0
+			if ownerCheckAsync {
+				c.assertOwner()
+			}
 			c.drainAll()
 		}
 	}

@@ -17,6 +17,9 @@ trap 'rm -f "$tmp"' EXIT
   # End-to-end construction: the hot path vs the Conservative legacy
   # path (identical output graphs; the gap is pure optimization).
   go test -run '^$' -bench '^BenchmarkConstruction$' -benchmem -benchtime 3x "$@" .
+  # Intra-rank worker-pool sweep (identical graphs at every width; see
+  # the offload-frac / modeled-speedup metrics).
+  go test -run '^$' -bench '^BenchmarkConstructionWorkers$' -benchmem -benchtime 3x "$@" .
   # Distance kernels.
   go test -run '^$' -bench . -benchmem "$@" ./internal/metric/
   # Comm substrate (aggregation, delivery, barrier).

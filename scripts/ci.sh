@@ -25,4 +25,11 @@ go test ./...
 echo "== go test -race (comm + core)"
 go test -race ./internal/ygm/ ./internal/core/ ./internal/dquery/
 
+echo "== go test -race (core with worker pools active)"
+# Re-run the core suite with every construction forced onto a 3-wide
+# intra-rank worker pool; results are worker-count-independent, so the
+# same assertions must hold while the race detector watches the
+# stage/claim/apply machinery.
+DNND_TEST_WORKERS=3 go test -race -count=1 ./internal/core/
+
 echo "CI OK"
