@@ -31,7 +31,7 @@ func main() {
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: dnnd-bench [flags] <table1|recall|table2|fig2|fig3|fig4|batch|graphopt|commablate|entry|incr|dquery|workers|all>\n")
+			"usage: dnnd-bench [flags] <table1|recall|table2|fig2|fig3|fig4|batch|graphopt|commablate|entry|incr|dquery|workers|msgs|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -74,9 +74,10 @@ func main() {
 		"incr":       func(o bench.Options) error { _, err := bench.IncrementalAblation(o); return err },
 		"dquery":     func(o bench.Options) error { _, err := bench.DistributedQueryScaling(o); return err },
 		"workers":    func(o bench.Options) error { _, err := bench.WorkersScaling(o); return err },
+		"msgs":       func(o bench.Options) error { _, err := bench.MessageCatalog(o); return err },
 	}
 
-	order := []string{"table1", "recall", "table2", "fig2", "fig3", "fig4", "batch", "graphopt", "commablate", "entry", "incr", "dquery", "workers"}
+	order := []string{"table1", "recall", "table2", "fig2", "fig3", "fig4", "batch", "graphopt", "commablate", "entry", "incr", "dquery", "workers", "msgs"}
 	var todo []string
 	if exp == "all" {
 		todo = order

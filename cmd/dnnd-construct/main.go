@@ -15,11 +15,11 @@ import (
 	"time"
 
 	"dnnd"
+	"dnnd/internal/bootstrap"
 	"dnnd/internal/core"
 	"dnnd/internal/dataset"
 	"dnnd/internal/metric"
 	"dnnd/internal/vecio"
-	"dnnd/internal/ygm"
 )
 
 var (
@@ -106,7 +106,7 @@ func main() {
 
 func construct[T dnnd.Scalar](data [][]T, opts dnnd.BuildOptions, storeDir string) {
 	if *tcpAddrs != "" {
-		constructTCP(data, opts, storeDir, *tcpRank, strings.Split(*tcpAddrs, ","))
+		constructTCP(data, opts, storeDir, *tcpRank, bootstrap.ParseAddrs(*tcpAddrs))
 		return
 	}
 	start := time.Now()
@@ -137,21 +137,17 @@ func fatal(err error) {
 // varying only -tcp-rank. Rank 0 gathers the graph and writes the
 // datastore.
 func constructTCP[T dnnd.Scalar](data [][]T, opts dnnd.BuildOptions, storeDir string, rank int, addrs []string) {
-	if rank < 0 || rank >= len(addrs) {
-		fatal(fmt.Errorf("-tcp-rank %d out of range for %d addresses", rank, len(addrs)))
-	}
 	dist, err := metric.For[T](opts.Metric)
 	if err != nil {
 		fatal(err)
 	}
-	c, err := ygm.NewTCPComm(rank, addrs)
+	// Dial validates the rank, connects the mesh, and binds this
+	// goroutine as the rank's owner for the whole process.
+	c, err := bootstrap.Dial(rank, addrs)
 	if err != nil {
 		fatal(err)
 	}
 	defer c.Close()
-	// This goroutine drives the rank for the whole process; bind it so
-	// misuse from other goroutines fails loudly (see ygm/localwork.go).
-	c.BindOwner()
 
 	cfg := core.DefaultConfig(opts.K)
 	cfg.Seed = opts.Seed

@@ -2,16 +2,17 @@
 // isolated endpoint and all traffic crosses real localhost sockets,
 // demonstrating the hand-rolled RPC layer that substitutes for
 // MPI+YGM. In production each rank would be its own process on its own
-// host; here three ranks share a process but share no memory.
+// host; here three ranks share a process (bootstrap.RunLocal) but
+// share no memory.
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand"
-	"net"
 	"sync"
 
+	"dnnd/internal/bootstrap"
 	"dnnd/internal/core"
 	"dnnd/internal/dquery"
 	"dnnd/internal/knng"
@@ -43,58 +44,44 @@ func main() {
 		return data
 	}
 
-	addrs := freeAddrs(nranks)
-	fmt.Printf("rank listen addresses: %v\n", addrs)
-
-	var wg sync.WaitGroup
-	errs := make([]error, nranks)
+	var mu sync.Mutex
 	results := make([]*core.Result, nranks)
 	queryRes := make([][][]knng.Neighbor, nranks)
-	for rank := 0; rank < nranks; rank++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			c, err := ygm.NewTCPComm(rank, addrs)
-			if err != nil {
-				errs[rank] = err
-				return
-			}
-			defer c.Close()
-			data := makeData()
-			shard := core.Partition(data, rank, nranks)
-			cfg := core.DefaultConfig(k)
-			res, err := core.Build(c, shard, metric.SquaredL2Float32, cfg)
-			if err != nil {
-				errs[rank] = err
-				return
-			}
-			st := c.Stats()
-			fmt.Printf("rank %d: owns %d points, sent %d msgs (%.1f MiB), %d barriers\n",
-				rank, shard.Len(), st.SentMsgs, float64(st.SentBytes)/(1<<20), st.Barriers)
-			results[rank] = res
-
-			// Distributed queries: the graph stays partitioned; query
-			// state machines exchange Expand/Dist messages over the
-			// same TCP mesh.
-			queries := data[:5]
-			eng := dquery.New(c, shard, res.Local, metric.SquaredL2Float32)
-			got, qst, err := eng.Run(queries, dquery.Options{L: 5, Epsilon: 0.1})
-			if err != nil {
-				errs[rank] = err
-				return
-			}
-			if rank == 0 {
-				fmt.Printf("distributed queries: %d dist evals, %d supersteps\n",
-					qst.DistEvals, qst.Supersteps)
-				queryRes[0] = got
-			}
-		}(rank)
-	}
-	wg.Wait()
-	for rank, err := range errs {
+	err := bootstrap.RunLocal(nranks, func(rank int, c *ygm.Comm) error {
+		data := makeData()
+		shard := core.Partition(data, rank, nranks)
+		cfg := core.DefaultConfig(k)
+		res, err := core.Build(c, shard, metric.SquaredL2Float32, cfg)
 		if err != nil {
-			log.Fatalf("rank %d failed: %v", rank, err)
+			return err
 		}
+		st := c.Stats()
+		fmt.Printf("rank %d: owns %d points, sent %d msgs (%.1f MiB), %d barriers\n",
+			rank, shard.Len(), st.SentMsgs, float64(st.SentBytes)/(1<<20), st.Barriers)
+		mu.Lock()
+		results[rank] = res
+		mu.Unlock()
+
+		// Distributed queries: the graph stays partitioned; query
+		// state machines exchange Expand/Dist messages over the
+		// same TCP mesh.
+		queries := data[:5]
+		eng := dquery.New(c, shard, res.Local, metric.SquaredL2Float32)
+		got, qst, err := eng.Run(queries, dquery.Options{L: 5, Epsilon: 0.1})
+		if err != nil {
+			return err
+		}
+		if rank == 0 {
+			fmt.Printf("distributed queries: %d dist evals, %d supersteps\n",
+				qst.DistEvals, qst.Supersteps)
+			mu.Lock()
+			queryRes[0] = got
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	g := results[0].Graph // gathered on rank 0
@@ -113,22 +100,4 @@ func main() {
 		}
 	}
 	fmt.Println("ok: distributed self-queries all returned themselves first")
-}
-
-// freeAddrs reserves distinct localhost ports.
-func freeAddrs(n int) []string {
-	addrs := make([]string, n)
-	lns := make([]net.Listener, n)
-	for i := range addrs {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			log.Fatal(err)
-		}
-		lns[i] = ln
-		addrs[i] = ln.Addr().String()
-	}
-	for _, ln := range lns {
-		ln.Close()
-	}
-	return addrs
 }

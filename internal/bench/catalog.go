@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"dnnd/internal/core"
+	"dnnd/internal/dataset"
+	"dnnd/internal/dquery"
+	"dnnd/internal/engine"
+	"dnnd/internal/metric"
+	"dnnd/internal/ygm"
+)
+
+// CatalogRow is one handler's traffic in a representative run: the
+// stable phase-qualified name pins the wire-protocol position, so rows
+// are comparable across PRs even as internals move.
+type CatalogRow struct {
+	Name  string
+	Phase string
+	Msgs  int64
+	Bytes int64
+	Recv  int64
+}
+
+// MessageCatalog builds the deep stand-in over 4 ranks and runs a
+// query batch against the partitioned result, then prints every
+// registered message handler with its phase-qualified name and traffic
+// — construction (nd.*) and distributed query (dq.*) side by side.
+// Zero-traffic handlers are listed too: a protocol leg that stops
+// firing is as much a regression signal as one that doubles.
+func MessageCatalog(opt Options) ([]CatalogRow, error) {
+	opt.fill()
+	const k = 10
+	const ranks = 4
+	p, err := dataset.ByName("deep")
+	if err != nil {
+		return nil, err
+	}
+	d := dataset.Generate(p, opt.billionN(), opt.Seed)
+	queries := dataset.GenerateQueries(p, opt.queryN(), opt.Seed)
+
+	world := ygm.NewLocalWorld(ranks)
+	var mu sync.Mutex
+	var buildPM, queryPM []engine.MessageStat
+	err = world.Run(func(c *ygm.Comm) error {
+		shard := core.Partition(d.F32, c.Rank(), c.NRanks())
+		cfg := opt.coreConfig(k)
+		res, err := core.Build(c, shard, metric.SquaredL2Float32, cfg)
+		if err != nil {
+			return err
+		}
+		eng := dquery.New(c, shard, res.Local, metric.SquaredL2Float32)
+		_, st, err := eng.Run(queries.F32, dquery.Options{L: k})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			buildPM, queryPM = res.PerMessage, st.PerMessage
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []CatalogRow
+	for _, ms := range append(buildPM, queryPM...) {
+		phase := ms.Name
+		if i := strings.LastIndexByte(phase, '.'); i >= 0 {
+			phase = phase[:i]
+		}
+		rows = append(rows, CatalogRow{
+			Name: ms.Name, Phase: phase,
+			Msgs: ms.SentMsgs, Bytes: ms.SentBytes, Recv: ms.RecvMsgs,
+		})
+	}
+
+	header(opt.Out, "Message catalog: per-handler traffic (deep stand-in, %d ranks, %d queries)",
+		ranks, len(queries.F32))
+	t := newTable("Message", "Phase", "Sent msgs", "Sent bytes", "Recv msgs")
+	for _, r := range rows {
+		t.row(r.Name, r.Phase, fmt.Sprint(r.Msgs), fmt.Sprint(r.Bytes), fmt.Sprint(r.Recv))
+	}
+	t.render(opt.Out)
+	return rows, nil
+}

@@ -1,0 +1,101 @@
+// Package bootstrap holds the TCP rank-bootstrap boilerplate shared by
+// the command-line tools, the examples, and the end-to-end tests:
+// parsing and reserving rank address lists, joining a mesh as one rank,
+// and running a whole multi-rank world in-process (one goroutine per
+// rank, all traffic over real localhost sockets).
+package bootstrap
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"dnnd/internal/ygm"
+)
+
+// ParseAddrs splits a comma-separated rank-address list (one host:port
+// per rank, rank order), trimming whitespace around entries.
+func ParseAddrs(s string) []string {
+	parts := strings.Split(s, ",")
+	addrs := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			addrs = append(addrs, p)
+		}
+	}
+	return addrs
+}
+
+// FreeAddrs reserves n distinct localhost ports and returns their
+// addresses. The listeners are closed before returning, so a later
+// bind can race with other port consumers — fine for examples and
+// tests, not for production deployment (where addresses are assigned).
+func FreeAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range lns[:i] {
+				l.Close()
+			}
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs, nil
+}
+
+// Dial joins a TCP world as one rank: validates the rank against the
+// address list, connects the mesh, and binds the calling goroutine as
+// the rank's owner (so misuse from other goroutines fails loudly — see
+// ygm/localwork.go). The caller owns the Comm and must Close it.
+func Dial(rank int, addrs []string) (*ygm.Comm, error) {
+	if rank < 0 || rank >= len(addrs) {
+		return nil, fmt.Errorf("bootstrap: rank %d out of range for %d addresses", rank, len(addrs))
+	}
+	c, err := ygm.NewTCPComm(rank, addrs)
+	if err != nil {
+		return nil, err
+	}
+	c.BindOwner()
+	return c, nil
+}
+
+// RunLocal runs an nranks-rank TCP world inside this process: fresh
+// localhost ports, one goroutine per rank, each with its own Comm and
+// no shared memory. fn is the rank's whole program (SPMD); its Comm is
+// closed when it returns. RunLocal returns the lowest-rank error.
+func RunLocal(nranks int, fn func(rank int, c *ygm.Comm) error) error {
+	addrs, err := FreeAddrs(nranks)
+	if err != nil {
+		return err
+	}
+	errs := make([]error, nranks)
+	var wg sync.WaitGroup
+	for rank := 0; rank < nranks; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c, err := Dial(rank, addrs)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer c.Close()
+			errs[rank] = fn(rank, c)
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", rank, err)
+		}
+	}
+	return nil
+}

@@ -2,93 +2,28 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
-	"time"
 
+	"dnnd/internal/engine"
 	"dnnd/internal/knng"
 	"dnnd/internal/metric"
 	"dnnd/internal/wire"
 	"dnnd/internal/ygm"
 )
 
-// RoundInfo records one descent round's outcome.
-type RoundInfo struct {
-	// Updates is the global count of successful neighbor-list updates
-	// (the c of Algorithm 1).
-	Updates int64
-	// Checks is the global count of generated neighbor-check pairs.
-	Checks int64
-}
-
-// MessageTotals breaks the world-wide app traffic down by DNND message
-// type, the accounting behind Figure 4.
-type MessageTotals struct {
-	Type1Msgs, Type1Bytes int64 // neighbor-check requests
-	Type2Msgs, Type2Bytes int64 // feature-vector messages (Type 2 / 2+)
-	Type3Msgs, Type3Bytes int64 // distance-return messages
-	InitMsgs, InitBytes   int64 // random-initialization traffic
-	RevMsgs, RevBytes     int64 // reverse old/new matrix exchange
-	OptMsgs, OptBytes     int64 // Section 4.5 reverse-edge merge
-	TotalMsgs, TotalBytes int64 // all app messages incl. gather
-	// CheckMsgs/CheckBytes cover only the neighbor-check phase
-	// (Type 1 + 2 + 3), the quantity Figure 4 plots.
-	CheckMsgs, CheckBytes int64
-}
-
-// PhaseTimings breaks a rank's construction wall time down by
-// algorithm phase — the "further performance profiling" the paper's
-// Section 7 calls for. Times are wall-clock on this rank and include
-// message processing performed while the phase was active.
-type PhaseTimings struct {
-	Init     time.Duration // random initialization (+ warm load)
-	Sample   time.Duration // old/new sampling (local)
-	Reverse  time.Duration // reverse matrix exchange (4.2)
-	Checks   time.Duration // neighbor checks (4.3)
-	Optimize time.Duration // reverse-edge merge + prune (4.5)
-	Gather   time.Duration // final gather to rank 0
-}
-
-// Total sums all phases.
-func (p PhaseTimings) Total() time.Duration {
-	return p.Init + p.Sample + p.Reverse + p.Checks + p.Optimize + p.Gather
-}
-
-// Result is the outcome of a DNND construction on one rank.
-type Result struct {
-	K     int
-	N     int
-	Iters int
-	// Rounds holds per-round convergence data (identical on all ranks).
-	Rounds []RoundInfo
-	// Local maps each owned vertex to its final neighbor list, sorted
-	// by distance. After cfg.Optimize the lists may exceed K (up to
-	// K*PruneFactor).
-	Local map[knng.ID][]knng.Neighbor
-	// Graph is the gathered global graph; non-nil on rank 0 only.
-	Graph *knng.Graph
-	// Comm aggregates message counters over all ranks (identical on
-	// all ranks).
-	Comm MessageTotals
-	// DistEvals is the global number of distance evaluations.
-	DistEvals int64
-	// Workers is the resolved intra-rank worker-pool width on this rank
-	// (Config.Workers after the GOMAXPROCS/nranks default).
-	Workers int
-	// TasksDeferred is the global number of coalesced tasks staged onto
-	// the worker pools (each covers up to taskBatchSize candidates).
-	TasksDeferred int64
-	// KernelTime is the global wall time spent inside batched distance
-	// kernels, summed over ranks and workers (sampled one task in 16
-	// and extrapolated by candidate count — see workpool.kernelTime).
-	// With Workers=W ideally overlapped, the offloadable share of the
-	// critical path is KernelTime/W — the measured basis for the
-	// modeled intra-rank scaling curve when the host has no spare
-	// cores to show it in end-to-end wall time.
-	KernelTime time.Duration
-	// Phases is this rank's per-phase timing breakdown.
-	Phases PhaseTimings
-}
+// The construction is organized as engine phases, one file per phase:
+//
+//	phase_init.go     random initialization (Algorithm 1 lines 2-5)
+//	phase_sample.go   old/new sampling + reverse-sample union (7-16)
+//	phase_reverse.go  reverse matrix exchange (Section 4.2)
+//	phase_checks.go   neighbor checks, Type 1/2/2+/3 (Section 4.3)
+//	phase_optimize.go reverse-edge merge + prune (Section 4.5)
+//	phase_gather.go   final gather to rank 0
+//
+// Wire layouts live in internal/msg; batching, quiescence, worker-pool
+// ordering, and per-phase accounting live in internal/engine. This
+// file owns the builder state, the round loop, and the apply stage
+// that serializes every protocol decision onto the rank goroutine.
 
 type builder[T wire.Scalar] struct {
 	c     *ygm.Comm
@@ -96,6 +31,12 @@ type builder[T wire.Scalar] struct {
 	kern  metric.Kernel[T]
 	shard *Shard[T]
 	rng   *rand.Rand
+
+	eng *engine.Engine
+	// Phases in execution order; handler names are qualified by them
+	// (e.g. "nd.check.type2").
+	phInit, phSample, phReverse *engine.Phase
+	phChecks, phOpt, phGather   *engine.Phase
 
 	lists []*knng.NeighborList // parallel to shard.IDs
 
@@ -129,13 +70,15 @@ type builder[T wire.Scalar] struct {
 	shufScratch  []knng.ID // unionSample shuffle buffer
 	orderScratch []int     // exchangeReverse vertex order
 	norms        []float32 // kern.Norm per local vector (fused cosine)
+	idScratch    []knng.ID // applyTask bulk-update buffers
+	dScratch     []float32
 
 	updates   int64 // successful Updates this round (c of Algorithm 1)
 	distEvals int64
 
 	// pool is the intra-rank worker pool; handlers stage onto it and it
 	// applies effects in submission order on this rank's goroutine.
-	pool *workpool[T]
+	pool *engine.Pool[T]
 
 	gatherInto *knng.Graph // set on the gather root
 	warm       *knng.Graph // prior graph for warm-started builds
@@ -191,6 +134,7 @@ func BuildWarmKernel[T wire.Scalar](c *ygm.Comm, shard *Shard[T], kern metric.Ke
 		w:      wire.NewWriter(256),
 		replyW: wire.NewWriter(256),
 	}
+	b.eng = engine.New(c, cfg.BatchSize)
 	b.register()
 
 	b.lists = make([]*knng.NeighborList, shard.Len())
@@ -214,21 +158,21 @@ func BuildWarmKernel[T wire.Scalar](c *ygm.Comm, shard *Shard[T], kern metric.Ke
 	// hook keeps ygm quiescence honest while staged tasks still owe
 	// replies; it is detached before the pool stops.
 	b.pool = newWorkpool(b, resolveWorkers(cfg.Workers, c.NRanks()))
-	c.SetLocalWork(b.pool.runHook, b.pool.pendingHook)
+	c.SetLocalWork(b.pool.RunHook, b.pool.PendingHook)
 	defer func() {
 		c.SetLocalWork(nil, nil)
-		b.pool.shutdown()
+		b.pool.Shutdown()
 	}()
 
-	res := &Result{K: cfg.K, N: shard.N, Workers: b.pool.workers}
+	res := &Result{K: cfg.K, N: shard.N, Workers: b.pool.Workers()}
 
 	b.warm = prior
-	res.Phases.Init = timed(b.initGraph)
+	b.initGraph()
 
 	threshold := int64(cfg.Delta * float64(cfg.K) * float64(shard.N))
 	for res.Iters < cfg.MaxIters {
 		res.Iters++
-		checks := b.round(&res.Phases)
+		checks := b.round()
 		globalUpdates := c.AllReduceSum(b.updates)
 		globalChecks := c.AllReduceSum(checks)
 		b.updates = 0
@@ -239,7 +183,7 @@ func BuildWarmKernel[T wire.Scalar](c *ygm.Comm, shard *Shard[T], kern metric.Ke
 	}
 
 	if cfg.Optimize {
-		res.Phases.Optimize = timed(b.optimizeGraph)
+		b.optimizeGraph()
 	}
 
 	res.Local = make(map[knng.ID][]knng.Neighbor, shard.Len())
@@ -247,19 +191,13 @@ func BuildWarmKernel[T wire.Scalar](c *ygm.Comm, shard *Shard[T], kern metric.Ke
 		res.Local[id] = b.finalList(i)
 	}
 
-	res.Phases.Gather = timed(func() { b.gather(res) })
+	b.gather(res)
 	b.collectTotals(res)
 	// Final synchronization: after Build returns, no rank awaits any
 	// message from a peer, so callers may immediately exit or close
 	// their transports (important for multi-process TCP worlds).
 	c.Barrier()
 	return res, nil
-}
-
-func timed(fn func()) time.Duration {
-	start := time.Now()
-	fn()
-	return time.Since(start)
 }
 
 // finalList returns vertex i's final neighbors sorted by distance,
@@ -271,19 +209,26 @@ func (b *builder[T]) finalList(i int) []knng.Neighbor {
 	return b.lists[i].Sorted()
 }
 
-// ---- handler registration -------------------------------------------
-
+// register declares the phases and installs every handler under its
+// phase-qualified name. The order is part of the wire protocol: every
+// rank must produce the same HandlerIDs.
 func (b *builder[T]) register() {
-	c := b.c
-	b.hInitReq = c.Register("nd.initreq", func(c *ygm.Comm, from int, p []byte) { b.onInitReq(p) })
-	b.hInitResp = c.Register("nd.initresp", func(c *ygm.Comm, from int, p []byte) { b.onInitResp(p) })
-	b.hRevOld = c.Register("nd.revold", func(c *ygm.Comm, from int, p []byte) { b.onReverse(p, true) })
-	b.hRevNew = c.Register("nd.revnew", func(c *ygm.Comm, from int, p []byte) { b.onReverse(p, false) })
-	b.hType1 = c.Register("nd.type1", func(c *ygm.Comm, from int, p []byte) { b.onType1(p) })
-	b.hType2 = c.Register("nd.type2", func(c *ygm.Comm, from int, p []byte) { b.onType2(p) })
-	b.hType3 = c.Register("nd.type3", func(c *ygm.Comm, from int, p []byte) { b.onType3(p) })
-	b.hOptEdge = c.Register("nd.optedge", func(c *ygm.Comm, from int, p []byte) { b.onOptEdge(p) })
-	b.hGather = c.Register("nd.gather", func(c *ygm.Comm, from int, p []byte) { b.onGather(p) })
+	b.phInit = b.eng.Phase("nd.init")
+	b.phSample = b.eng.Phase("nd.sample")
+	b.phReverse = b.eng.Phase("nd.reverse")
+	b.phChecks = b.eng.Phase("nd.check")
+	b.phOpt = b.eng.Phase("nd.opt")
+	b.phGather = b.eng.Phase("nd.gather")
+
+	b.hInitReq = b.phInit.Register("req", func(c *ygm.Comm, from int, p []byte) { b.onInitReq(p) })
+	b.hInitResp = b.phInit.Register("resp", func(c *ygm.Comm, from int, p []byte) { b.onInitResp(p) })
+	b.hRevOld = b.phReverse.Register("old", func(c *ygm.Comm, from int, p []byte) { b.onReverse(p, true) })
+	b.hRevNew = b.phReverse.Register("new", func(c *ygm.Comm, from int, p []byte) { b.onReverse(p, false) })
+	b.hType1 = b.phChecks.Register("type1", func(c *ygm.Comm, from int, p []byte) { b.onType1(p) })
+	b.hType2 = b.phChecks.Register("type2", func(c *ygm.Comm, from int, p []byte) { b.onType2(p) })
+	b.hType3 = b.phChecks.Register("type3", func(c *ygm.Comm, from int, p []byte) { b.onType3(p) })
+	b.hOptEdge = b.phOpt.Register("edge", func(c *ygm.Comm, from int, p []byte) { b.onOptEdge(p) })
+	b.hGather = b.phGather.Register("row", func(c *ygm.Comm, from int, p []byte) { b.onGather(p) })
 }
 
 func (b *builder[T]) owner(id knng.ID) int { return Owner(id, b.c.NRanks()) }
@@ -303,12 +248,12 @@ func (b *builder[T]) localIndex(id knng.ID) int {
 // when available; all paths are bit-identical by the metric.Kernel
 // contract, so neither the Conservative flag nor the worker count can
 // change any distance.
-func (b *builder[T]) stageDist(kind taskKind, key knng.ID, query []T, m candMeta, j int) {
+func (b *builder[T]) stageDist(kind uint8, key knng.ID, query []T, m engine.Cand, j int) {
 	var norm float32
 	if b.norms != nil {
 		norm = b.norms[j]
 	}
-	b.pool.stageCompute(kind, key, query, m, b.shard.Vecs[j], norm, b.norms != nil)
+	b.pool.StageCompute(kind, key, query, m, b.shard.Vecs[j], norm, b.norms != nil)
 }
 
 // phaseWriter returns the writer for a phase's emit loop: the builder's
@@ -362,562 +307,65 @@ func (b *builder[T]) visitEpoch() uint32 {
 	return b.markEpoch
 }
 
-// ---- batched submission (Section 4.4) --------------------------------
-
-// batched runs emit(i) for every local item i in [0, totalLocal),
-// interleaving a global barrier after each batch so that message
-// volume in flight stays bounded. All ranks execute the same global
-// number of batches (padded with empty ones), keeping barrier calls
-// aligned.
-func (b *builder[T]) batched(totalLocal int, perItemMsgs int, emit func(i int)) {
-	if perItemMsgs < 1 {
-		perItemMsgs = 1
-	}
-	per := int(b.cfg.BatchSize) / (b.c.NRanks() * perItemMsgs)
-	if per < 1 {
-		per = 1
-	}
-	myBatches := (totalLocal + per - 1) / per
-	global := b.c.AllReduceMax(int64(myBatches))
-	idx := 0
-	for r := int64(0); r < global; r++ {
-		end := idx + per
-		if end > totalLocal {
-			end = totalLocal
-		}
-		for ; idx < end; idx++ {
-			emit(idx)
-		}
-		b.c.Barrier()
-	}
-}
-
-// ---- phase 1: random initialization (Algorithm 1 lines 2-5) ----------
-
-func (b *builder[T]) initGraph() {
-	cons := b.cfg.Conservative
-	w := b.phaseWriter(64)
-	b.batched(b.shard.Len(), b.cfg.K, func(i int) {
-		v := b.shard.IDs[i]
-		need := b.cfg.K
-		var seen map[knng.ID]bool
-		var epoch uint32
-		if cons {
-			seen = make(map[knng.ID]bool, b.cfg.K)
-		} else {
-			epoch = b.visitEpoch()
-		}
-		// Warm start: vertices the prior graph covers keep their
-		// lists (distances already known, no communication), flagged
-		// old so they generate no redundant checks on their own.
-		// Partial lists (e.g. after deletions) are topped up with
-		// random candidates below, flagged new, which focuses the
-		// refinement on the affected vertices.
-		if b.warm != nil && int(v) < b.warm.NumVertices() {
-			for _, e := range b.warm.Neighbors[v] {
-				if b.lists[i].Update(e.ID, e.Dist, false) == 1 {
-					if cons {
-						seen[e.ID] = true
-					} else {
-						b.mark[e.ID] = epoch
-					}
-					need--
-				}
-			}
-		}
-		if need <= 0 {
-			return
-		}
-		vec := b.shard.Vecs[i]
-		for need > 0 {
-			u := knng.ID(b.rng.Intn(b.shard.N))
-			if cons {
-				if u == v || seen[u] {
-					continue
-				}
-				seen[u] = true
-			} else {
-				if u == v || b.mark[u] == epoch {
-					continue
-				}
-				b.mark[u] = epoch
-			}
-			need--
-			w.Reset()
-			w.Uint32(v)
-			w.Uint32(u)
-			wire.PutVector(w, vec)
-			b.c.Async(b.owner(u), b.hInitReq, w.Bytes())
-		}
-	})
-}
-
-func (b *builder[T]) onInitReq(p []byte) {
-	r := wire.NewReader(p)
-	v := r.Uint32()
-	u := r.Uint32()
-	vec := b.getVec(r)
-	if r.Finish() != nil {
-		panic("core: bad init request")
-	}
-	b.stageDist(taskInitReq, v, vec, candMeta{a: v, b: u}, b.localIndex(u))
-}
-
-// applyInitReq sends the computed init distances back to the querier.
-func (b *builder[T]) applyInitReq(t *task[T]) {
-	for i := range t.meta {
-		m := &t.meta[i]
-		w := b.replyWriter(12)
-		w.Uint32(m.a)
-		w.Uint32(m.b)
-		w.Float32(t.dists[i])
-		b.c.Async(b.owner(m.a), b.hInitResp, w.Bytes())
-	}
-}
-
-func (b *builder[T]) onInitResp(p []byte) {
-	r := wire.NewReader(p)
-	v := r.Uint32()
-	u := r.Uint32()
-	d := r.Float32()
-	if r.Finish() != nil {
-		panic("core: bad init response")
-	}
-	b.pool.stageApply(taskInitResp, candMeta{b: u, local: int32(b.localIndex(v)), d: d})
-}
-
-// ---- phase 2: sampling and reverse matrices (lines 7-16, Sec 4.2) ----
-
-// sampleLists builds old[v] and new[v] from the flags, marking the
-// sampled new entries old.
-func (b *builder[T]) sampleLists() {
-	sampleN := int(math.Ceil(b.cfg.Rho * float64(b.cfg.K)))
-	for i := range b.lists {
-		items := b.lists[i].Items()
-		old := b.olds[i][:0]
-		var cand []knng.ID
-		if b.cfg.Conservative {
-			cand = make([]knng.ID, 0, len(items))
-		} else {
-			cand = b.candScratch[:0]
-		}
-		for _, it := range items {
-			if it.New {
-				cand = append(cand, it.ID)
-			} else {
-				old = append(old, it.ID)
-			}
-		}
-		b.rng.Shuffle(len(cand), func(a, z int) { cand[a], cand[z] = cand[z], cand[a] })
-		if !b.cfg.Conservative {
-			b.candScratch = cand // keep the (possibly grown) backing array
-		}
-		if len(cand) > sampleN {
-			cand = cand[:sampleN]
-		}
-		nw := b.news[i][:0]
-		for _, id := range cand {
-			b.lists[i].MarkOld(id)
-			nw = append(nw, id)
-		}
-		b.olds[i] = old
-		b.news[i] = nw
-	}
-}
-
-// exchangeReverse sends each (u <- v) relationship to u's owner,
-// visiting local vertices in a shuffled order to avoid synchronized
-// bursts at one destination (Section 4.2).
-func (b *builder[T]) exchangeReverse() {
-	if b.cfg.Conservative {
-		b.oldRev = make(map[knng.ID][]knng.ID)
-		b.newRev = make(map[knng.ID][]knng.ID)
-	} else {
-		if b.oldRevRows == nil {
-			b.oldRevRows = make([][]knng.ID, b.shard.Len())
-			b.newRevRows = make([][]knng.ID, b.shard.Len())
-		}
-		for i := range b.oldRevRows {
-			b.oldRevRows[i] = b.oldRevRows[i][:0]
-			b.newRevRows[i] = b.newRevRows[i][:0]
-		}
-	}
-
-	if cap(b.orderScratch) < b.shard.Len() {
-		b.orderScratch = make([]int, b.shard.Len())
-	}
-	order := b.orderScratch[:b.shard.Len()]
-	for i := range order {
-		order[i] = i
-	}
-	b.rng.Shuffle(len(order), func(a, z int) { order[a], order[z] = order[z], order[a] })
-
-	w := b.phaseWriter(8)
-	perItem := 2 * b.cfg.K
-	b.batched(len(order), perItem, func(oi int) {
-		i := order[oi]
-		v := b.shard.IDs[i]
-		for _, u := range b.olds[i] {
-			w.Reset()
-			w.Uint32(u)
-			w.Uint32(v)
-			b.c.Async(b.owner(u), b.hRevOld, w.Bytes())
-		}
-		for _, u := range b.news[i] {
-			w.Reset()
-			w.Uint32(u)
-			w.Uint32(v)
-			b.c.Async(b.owner(u), b.hRevNew, w.Bytes())
-		}
-	})
-}
-
-func (b *builder[T]) onReverse(p []byte, old bool) {
-	r := wire.NewReader(p)
-	u := r.Uint32()
-	v := r.Uint32()
-	if r.Finish() != nil {
-		panic("core: bad reverse entry")
-	}
-	// Row u of the reversed matrix lives here, at u's owner.
-	i := b.localIndex(u)
-	if b.cfg.Conservative {
-		if old {
-			b.oldRev[u] = append(b.oldRev[u], v)
-		} else {
-			b.newRev[u] = append(b.newRev[u], v)
-		}
-		return
-	}
-	if old {
-		b.oldRevRows[i] = append(b.oldRevRows[i], v)
-	} else {
-		b.newRevRows[i] = append(b.newRevRows[i], v)
-	}
-}
-
-// mergeReverseSamples implements lines 15-16: union rho*K sampled
-// reverse entries into old[v] and new[v], deduplicating.
-func (b *builder[T]) mergeReverseSamples() {
-	sampleN := int(math.Ceil(b.cfg.Rho * float64(b.cfg.K)))
-	for i, v := range b.shard.IDs {
-		var extraOld, extraNew []knng.ID
-		if b.cfg.Conservative {
-			extraOld, extraNew = b.oldRev[v], b.newRev[v]
-		} else {
-			extraOld, extraNew = b.oldRevRows[i], b.newRevRows[i]
-		}
-		b.olds[i] = b.unionSample(b.olds[i], extraOld, sampleN)
-		b.news[i] = b.unionSample(b.news[i], extraNew, sampleN)
-	}
-	b.oldRev = nil
-	b.newRev = nil
-}
-
-// unionSample merges up to sampleN random elements of extra into base
-// (in place), deduplicating the result. extra belongs to the reverse
-// matrix and must not be reordered — its rows persist (and, in earlier
-// revisions, aliased other sampling state) — so the shuffle runs on a
-// scratch copy. rand.Shuffle consumes the same random stream regardless
-// of what the swap closure touches, so the copy leaves the RNG sequence
-// identical to the historical in-place shuffle.
-func (b *builder[T]) unionSample(base, extra []knng.ID, sampleN int) []knng.ID {
-	if len(extra) > sampleN {
-		var scratch []knng.ID
-		if b.cfg.Conservative {
-			scratch = append([]knng.ID(nil), extra...)
-		} else {
-			scratch = append(b.shufScratch[:0], extra...)
-			b.shufScratch = scratch
-		}
-		b.rng.Shuffle(len(scratch), func(a, z int) { scratch[a], scratch[z] = scratch[z], scratch[a] })
-		extra = scratch[:sampleN]
-	}
-	if b.cfg.Conservative {
-		seen := make(map[knng.ID]bool, len(base)+len(extra))
-		out := base[:0]
-		for _, id := range base {
-			if !seen[id] {
-				seen[id] = true
-				out = append(out, id)
-			}
-		}
-		for _, id := range extra {
-			if !seen[id] {
-				seen[id] = true
-				out = append(out, id)
-			}
-		}
-		return out
-	}
-	epoch := b.visitEpoch()
-	out := base[:0]
-	for _, id := range base {
-		if b.mark[id] != epoch {
-			b.mark[id] = epoch
-			out = append(out, id)
-		}
-	}
-	for _, id := range extra {
-		if b.mark[id] != epoch {
-			b.mark[id] = epoch
-			out = append(out, id)
-		}
-	}
-	return out
-}
-
-// ---- phase 3: neighbor checks (lines 17-22, Section 4.3) -------------
-
-// pairCount returns the number of check pairs this rank generates.
-func (b *builder[T]) pairCount() int {
-	total := 0
-	for i := range b.news {
-		nn := len(b.news[i])
-		total += nn*(nn-1)/2 + nn*len(b.olds[i])
-	}
-	return total
-}
-
-// pairAt enumerates check pairs with a flat index so the batched
-// submission helper can drive it. checkPairs precomputes the flat
-// boundaries.
-type pairIter struct {
-	vi, i, j int // vertex index, new index, partner index
-}
-
-// emitChecks walks every (u1, u2) pair from new x new (upper triangle)
-// and new x old, submitting the protocol's initial message(s).
-func (b *builder[T]) emitChecks(it *pairIter) (u1, u2 knng.ID, ok bool) {
-	for it.vi < len(b.news) {
-		nw := b.news[it.vi]
-		od := b.olds[it.vi]
-		if it.i < len(nw) {
-			// Partners: nw[it.i+1:] then od.
-			if it.j < len(nw)-it.i-1 {
-				u1, u2 = nw[it.i], nw[it.i+1+it.j]
-				it.j++
-				if u1 == u2 {
-					continue
-				}
-				return u1, u2, true
-			}
-			if k := it.j - (len(nw) - it.i - 1); k < len(od) {
-				u1, u2 = nw[it.i], od[k]
-				it.j++
-				if u1 == u2 {
-					continue
-				}
-				return u1, u2, true
-			}
-			it.i++
-			it.j = 0
-			continue
-		}
-		it.vi++
-		it.i, it.j = 0, 0
-	}
-	return 0, 0, false
-}
-
-func (b *builder[T]) neighborChecks() int64 {
-	count := b.pairCount()
-	it := &pairIter{}
-	w := b.phaseWriter(8)
-	emitted := int64(0)
-	b.batched(count, 1, func(_ int) {
-		u1, u2, ok := b.emitChecks(it)
-		if !ok {
-			return // duplicate-id pairs were skipped; fewer real pairs
-		}
-		emitted++
-		w.Reset()
-		w.Uint32(u1)
-		w.Uint32(u2)
-		b.c.Async(b.owner(u1), b.hType1, w.Bytes())
-		if !b.cfg.Protocol.OneSided {
-			w.Reset()
-			w.Uint32(u2)
-			w.Uint32(u1)
-			b.c.Async(b.owner(u2), b.hType1, w.Bytes())
-		}
-	})
-	return emitted
-}
-
-// onType1 runs at owner(u1): forward u1's feature vector to u2
-// (Type 2 / Type 2+), unless the pair is redundant (4.3.2). The
-// decision reads u1's list, so it is staged and taken at apply time,
-// in arrival order with the staged list updates.
-func (b *builder[T]) onType1(p []byte) {
-	r := wire.NewReader(p)
-	u1 := r.Uint32()
-	u2 := r.Uint32()
-	if r.Finish() != nil {
-		panic("core: bad type1")
-	}
-	b.pool.stageApply(taskType1, candMeta{a: u1, b: u2, local: int32(b.localIndex(u1))})
-}
-
-func (b *builder[T]) applyType1(m *candMeta) {
-	i := int(m.local)
-	if b.cfg.Protocol.OneSided && b.cfg.Protocol.SkipRedundant && b.lists[i].Contains(m.b) {
-		return
-	}
-	w := b.replyWriter(16 + len(b.shard.Vecs[i])*4)
-	w.Uint32(m.a)
-	w.Uint32(m.b)
-	if b.cfg.Protocol.OneSided && b.cfg.Protocol.PruneDistant {
-		w.Uint8(1)
-		w.Float32(b.lists[i].FarthestDist())
-	} else {
-		w.Uint8(0)
-	}
-	wire.PutVector(w, b.shard.Vecs[i])
-	b.c.Async(b.owner(m.b), b.hType2, w.Bytes())
-}
-
-// onType2 runs at owner(u2): stage theta(u1, u2). At apply time the
-// distance updates u2's list, and in the one-sided flow returns to u1
-// (Type 3) unless redundant (4.3.2) or prunable (4.3.3).
-func (b *builder[T]) onType2(p []byte) {
-	r := wire.NewReader(p)
-	u1 := r.Uint32()
-	u2 := r.Uint32()
-	hasBound := r.Uint8() == 1
-	var bound float32 = math.MaxFloat32
-	if hasBound {
-		bound = r.Float32()
-	}
-	vec1 := b.getVec(r)
-	if r.Finish() != nil {
-		panic("core: bad type2")
-	}
-	b.stageDist(taskType2, u1, vec1, candMeta{a: u1, b: u2, local: int32(b.localIndex(u2)), d: bound}, b.localIndex(u2))
-}
-
-func (b *builder[T]) applyType2(m *candMeta, d float32) {
-	j := int(m.local)
-	if !b.cfg.Protocol.OneSided {
-		// Two-sided flow: each endpoint updates only its own list.
-		b.updates += int64(b.lists[j].Update(m.a, d, true))
-		return
-	}
-	alreadyNeighbor := b.lists[j].Contains(m.a)
-	b.updates += int64(b.lists[j].Update(m.a, d, true))
-	if b.cfg.Protocol.SkipRedundant && alreadyNeighbor {
-		return
-	}
-	if b.cfg.Protocol.PruneDistant && d >= m.d {
-		return
-	}
-	w := b.replyWriter(12)
-	w.Uint32(m.a)
-	w.Uint32(m.b)
-	w.Float32(d)
-	b.c.Async(b.owner(m.a), b.hType3, w.Bytes())
-}
-
-// onType3 runs at owner(u1): fold the returned distance into u1's list.
-func (b *builder[T]) onType3(p []byte) {
-	r := wire.NewReader(p)
-	u1 := r.Uint32()
-	u2 := r.Uint32()
-	d := r.Float32()
-	if r.Finish() != nil {
-		panic("core: bad type3")
-	}
-	b.pool.stageApply(taskType3, candMeta{b: u2, local: int32(b.localIndex(u1)), d: d})
-}
-
 // applyTask applies one task's effects on the rank goroutine: all
 // neighbor-list reads/writes, protocol decisions, counters, and reply
 // sends. Tasks apply in submission order, so for a fixed stage
 // sequence the observable behavior is independent of the worker count.
 // The reused replyWriter is safe here for the same reason it is safe
 // in handlers: applies never nest.
-func (b *builder[T]) applyTask(p *workpool[T], t *task[T]) {
-	if t.kind.compute() {
-		b.distEvals += int64(len(t.meta))
-		b.c.AddWork(float64(len(t.query) * len(t.meta)))
+func (b *builder[T]) applyTask(t *engine.Task[T]) {
+	if t.Compute() {
+		b.distEvals += int64(len(t.Meta))
+		b.c.AddWork(float64(len(t.Query) * len(t.Meta)))
 	}
-	switch t.kind {
+	switch t.Kind {
 	case taskInitReq:
 		b.applyInitReq(t)
 	case taskInitResp:
-		for i := range t.meta {
-			m := &t.meta[i]
-			b.lists[m.local].Update(m.b, m.d, true)
+		for i := range t.Meta {
+			m := &t.Meta[i]
+			b.lists[m.Local].Update(m.B, m.D, true)
 		}
 	case taskType1:
-		for i := range t.meta {
-			b.applyType1(&t.meta[i])
+		for i := range t.Meta {
+			b.applyType1(&t.Meta[i])
 		}
 	case taskType2:
-		for i := range t.meta {
-			b.applyType2(&t.meta[i], t.dists[i])
+		for i := range t.Meta {
+			b.applyType2(&t.Meta[i], t.Dists[i])
 		}
 	case taskType3:
 		// Consecutive returns for the same vertex fold as one bulk
 		// UpdateMany, amortizing the heap-entry scan.
 		i := 0
-		for i < len(t.meta) {
+		for i < len(t.Meta) {
 			j := i + 1
-			for j < len(t.meta) && t.meta[j].local == t.meta[i].local {
+			for j < len(t.Meta) && t.Meta[j].Local == t.Meta[i].Local {
 				j++
 			}
-			ids := p.idScratch[:0]
-			ds := p.dScratch[:0]
+			ids := b.idScratch[:0]
+			ds := b.dScratch[:0]
 			for k := i; k < j; k++ {
-				ids = append(ids, t.meta[k].b)
-				ds = append(ds, t.meta[k].d)
+				ids = append(ids, t.Meta[k].B)
+				ds = append(ds, t.Meta[k].D)
 			}
-			p.idScratch, p.dScratch = ids, ds
-			b.updates += int64(b.lists[t.meta[i].local].UpdateMany(ids, ds, true))
+			b.idScratch, b.dScratch = ids, ds
+			b.updates += int64(b.lists[t.Meta[i].Local].UpdateMany(ids, ds, true))
 			i = j
 		}
 	}
 }
 
 // round executes one NN-Descent iteration and returns the number of
-// check pairs generated locally, accumulating phase timings.
-func (b *builder[T]) round(ph *PhaseTimings) int64 {
+// check pairs generated locally. Phase wall time accumulates on the
+// engine phases.
+func (b *builder[T]) round() int64 {
 	if cap(b.olds) < b.shard.Len() {
 		b.olds = make([][]knng.ID, b.shard.Len())
 		b.news = make([][]knng.ID, b.shard.Len())
 	}
-	ph.Sample += timed(b.sampleLists)
-	ph.Reverse += timed(b.exchangeReverse)
-	ph.Sample += timed(b.mergeReverseSamples)
-	var checks int64
-	ph.Checks += timed(func() { checks = b.neighborChecks() })
-	return checks
-}
-
-// collectTotals aggregates per-handler counters over all ranks.
-func (b *builder[T]) collectTotals(res *Result) {
-	st := b.c.Stats()
-	sum := func(h ygm.HandlerID) (int64, int64) {
-		hs := st.PerHandler[h]
-		return b.c.AllReduceSum(hs.SentMsgs), b.c.AllReduceSum(hs.SentBytes)
-	}
-	var t MessageTotals
-	t.Type1Msgs, t.Type1Bytes = sum(b.hType1)
-	t.Type2Msgs, t.Type2Bytes = sum(b.hType2)
-	t.Type3Msgs, t.Type3Bytes = sum(b.hType3)
-	initReqM, initReqB := sum(b.hInitReq)
-	initRespM, initRespB := sum(b.hInitResp)
-	t.InitMsgs, t.InitBytes = initReqM+initRespM, initReqB+initRespB
-	revOldM, revOldB := sum(b.hRevOld)
-	revNewM, revNewB := sum(b.hRevNew)
-	t.RevMsgs, t.RevBytes = revOldM+revNewM, revOldB+revNewB
-	t.OptMsgs, t.OptBytes = sum(b.hOptEdge)
-	t.TotalMsgs = b.c.AllReduceSum(st.SentMsgs)
-	t.TotalBytes = b.c.AllReduceSum(st.SentBytes)
-	t.CheckMsgs = t.Type1Msgs + t.Type2Msgs + t.Type3Msgs
-	t.CheckBytes = t.Type1Bytes + t.Type2Bytes + t.Type3Bytes
-	res.Comm = t
-	res.DistEvals = b.c.AllReduceSum(b.distEvals)
-	res.TasksDeferred = b.c.AllReduceSum(b.pool.tasksStaged)
-	res.KernelTime = time.Duration(b.c.AllReduceSum(b.pool.kernelTime()))
+	b.phSample.Local(b.sampleLists)
+	b.exchangeReverse()
+	b.phSample.Local(b.mergeReverseSamples)
+	return b.neighborChecks()
 }

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"dnnd/internal/engine"
+	"dnnd/internal/knng"
+	"dnnd/internal/msg"
+	"dnnd/internal/wire"
+)
+
+// Phase 1: random initialization (Algorithm 1 lines 2-5). Each vertex
+// picks K distinct random partners; distances are evaluated at the
+// partner's owner (msg.InitReq) and returned (msg.InitResp).
+
+func (b *builder[T]) initGraph() {
+	cons := b.cfg.Conservative
+	w := b.phaseWriter(64)
+	b.phInit.Run(b.shard.Len(), b.cfg.K, func(i int) {
+		v := b.shard.IDs[i]
+		need := b.cfg.K
+		var seen map[knng.ID]bool
+		var epoch uint32
+		if cons {
+			seen = make(map[knng.ID]bool, b.cfg.K)
+		} else {
+			epoch = b.visitEpoch()
+		}
+		// Warm start: vertices the prior graph covers keep their
+		// lists (distances already known, no communication), flagged
+		// old so they generate no redundant checks on their own.
+		// Partial lists (e.g. after deletions) are topped up with
+		// random candidates below, flagged new, which focuses the
+		// refinement on the affected vertices.
+		if b.warm != nil && int(v) < b.warm.NumVertices() {
+			for _, e := range b.warm.Neighbors[v] {
+				if b.lists[i].Update(e.ID, e.Dist, false) == 1 {
+					if cons {
+						seen[e.ID] = true
+					} else {
+						b.mark[e.ID] = epoch
+					}
+					need--
+				}
+			}
+		}
+		if need <= 0 {
+			return
+		}
+		vec := b.shard.Vecs[i]
+		for need > 0 {
+			u := knng.ID(b.rng.Intn(b.shard.N))
+			if cons {
+				if u == v || seen[u] {
+					continue
+				}
+				seen[u] = true
+			} else {
+				if u == v || b.mark[u] == epoch {
+					continue
+				}
+				b.mark[u] = epoch
+			}
+			need--
+			w.Reset()
+			m := msg.InitReq[T]{V: v, U: u, Vec: vec}
+			m.Encode(w)
+			b.c.Async(b.owner(u), b.hInitReq, w.Bytes())
+		}
+	})
+}
+
+func (b *builder[T]) onInitReq(p []byte) {
+	r := wire.NewReader(p)
+	var m msg.InitReq[T]
+	m.DecodeHead(r)
+	m.Vec = b.getVec(r)
+	if r.Finish() != nil {
+		panic("core: bad init request")
+	}
+	b.stageDist(taskInitReq, m.V, m.Vec, engine.Cand{A: m.V, B: m.U}, b.localIndex(m.U))
+}
+
+// applyInitReq sends the computed init distances back to the querier.
+func (b *builder[T]) applyInitReq(t *engine.Task[T]) {
+	for i := range t.Meta {
+		c := &t.Meta[i]
+		w := b.replyWriter(12)
+		m := msg.InitResp{V: c.A, U: c.B, D: t.Dists[i]}
+		m.Encode(w)
+		b.c.Async(b.owner(c.A), b.hInitResp, w.Bytes())
+	}
+}
+
+func (b *builder[T]) onInitResp(p []byte) {
+	r := wire.NewReader(p)
+	var m msg.InitResp
+	m.Decode(r)
+	if r.Finish() != nil {
+		panic("core: bad init response")
+	}
+	b.pool.StageApply(taskInitResp, engine.Cand{B: m.U, Local: int32(b.localIndex(m.V)), D: m.D})
+}

@@ -4,38 +4,43 @@ import (
 	"sync"
 
 	"dnnd/internal/knng"
+	"dnnd/internal/msg"
 	"dnnd/internal/wire"
 )
 
-// optimizeGraph applies Section 4.5 in the distributed setting: every
-// rank sends each of its edges (v -> u, d) to u's owner, receivers
-// merge the reverse edges into their lists (deduplicating), and each
-// list is pruned to K*PruneFactor closest entries.
+// Phase 4 (optional): graph optimization (Section 4.5). Every rank
+// ships each of its edges (v -> u, d) to u's owner as a msg.OptEdge,
+// receivers merge the reverse edges into their lists (deduplicating),
+// and each list is pruned to the K*PruneFactor closest entries.
+
 func (b *builder[T]) optimizeGraph() {
-	if b.cfg.Conservative {
-		b.optIn = make(map[knng.ID][]knng.Neighbor)
-	} else {
-		b.optRows = make([][]knng.Neighbor, b.shard.Len())
-	}
+	b.phOpt.Local(func() {
+		if b.cfg.Conservative {
+			b.optIn = make(map[knng.ID][]knng.Neighbor)
+		} else {
+			b.optRows = make([][]knng.Neighbor, b.shard.Len())
+		}
+	})
 	w := b.phaseWriter(16)
-	b.batched(b.shard.Len(), b.cfg.K, func(i int) {
+	b.phOpt.Run(b.shard.Len(), b.cfg.K, func(i int) {
 		v := b.shard.IDs[i]
 		for _, e := range b.lists[i].Items() {
 			w.Reset()
-			w.Uint32(e.ID)
-			w.Uint32(v)
-			w.Float32(e.Dist)
+			m := msg.OptEdge{U: e.ID, V: v, D: e.Dist}
+			m.Encode(w)
 			b.c.Async(b.owner(e.ID), b.hOptEdge, w.Bytes())
 		}
 	})
 
-	limit := int(float64(b.cfg.K) * b.cfg.PruneFactor)
-	if limit < 1 {
-		limit = 1
-	}
-	b.mergeFinal(limit)
-	b.optIn = nil
-	b.optRows = nil
+	b.phOpt.Local(func() {
+		limit := int(float64(b.cfg.K) * b.cfg.PruneFactor)
+		if limit < 1 {
+			limit = 1
+		}
+		b.mergeFinal(limit)
+		b.optIn = nil
+		b.optRows = nil
+	})
 }
 
 // mergeFinal computes the post-optimization list of every local vertex.
@@ -47,7 +52,7 @@ func (b *builder[T]) mergeFinal(limit int) {
 	b.final = make([][]knng.Neighbor, b.shard.Len())
 	var scratch sync.Pool // per-goroutine dedupe marks (see mergeVertex)
 	scratch.New = func() any { return &mergeScratch{mark: make([]uint32, b.shard.N)} }
-	b.pool.parallelFor(b.shard.Len(), func(i int) {
+	b.pool.ParallelFor(b.shard.Len(), func(i int) {
 		b.final[i] = b.mergeVertex(i, limit, &scratch)
 	})
 }
@@ -109,57 +114,15 @@ func (b *builder[T]) mergeVertex(i, limit int, scratch *sync.Pool) []knng.Neighb
 
 func (b *builder[T]) onOptEdge(p []byte) {
 	r := wire.NewReader(p)
-	u := r.Uint32()
-	v := r.Uint32()
-	d := r.Float32()
+	var m msg.OptEdge
+	m.Decode(r)
 	if r.Finish() != nil {
 		panic("core: bad optimize edge")
 	}
-	i := b.localIndex(u)
+	i := b.localIndex(m.U)
 	if b.cfg.Conservative {
-		b.optIn[u] = append(b.optIn[u], knng.Neighbor{ID: v, Dist: d})
+		b.optIn[m.U] = append(b.optIn[m.U], knng.Neighbor{ID: m.V, Dist: m.D})
 		return
 	}
-	b.optRows[i] = append(b.optRows[i], knng.Neighbor{ID: v, Dist: d})
-}
-
-// gather ships every rank's final lists to rank 0, which assembles the
-// global knng.Graph.
-func (b *builder[T]) gather(res *Result) {
-	const root = 0
-	if b.c.Rank() == root {
-		b.gatherInto = knng.NewGraph(b.shard.N)
-	}
-	w := b.phaseWriter(256)
-	b.batched(b.shard.Len(), b.cfg.K, func(i int) {
-		v := b.shard.IDs[i]
-		ns := res.Local[v]
-		w.Reset()
-		w.Uint32(v)
-		w.Uint32(uint32(len(ns)))
-		for _, e := range ns {
-			w.Uint32(e.ID)
-			w.Float32(e.Dist)
-		}
-		b.c.Async(root, b.hGather, w.Bytes())
-	})
-	if b.c.Rank() == root {
-		res.Graph = b.gatherInto
-		b.gatherInto = nil
-	}
-}
-
-func (b *builder[T]) onGather(p []byte) {
-	r := wire.NewReader(p)
-	v := r.Uint32()
-	n := int(r.Uint32())
-	ns := make([]knng.Neighbor, n)
-	for i := 0; i < n; i++ {
-		ns[i].ID = r.Uint32()
-		ns[i].Dist = r.Float32()
-	}
-	if r.Finish() != nil {
-		panic("core: bad gather record")
-	}
-	b.gatherInto.Neighbors[v] = ns
+	b.optRows[i] = append(b.optRows[i], knng.Neighbor{ID: m.V, Dist: m.D})
 }

@@ -127,11 +127,11 @@ func mergeTestBuilder(workers int) *builder[float32] {
 // the serial loop produces.
 func TestMergeFinalParallelSerialEquivalence(t *testing.T) {
 	serial := mergeTestBuilder(1)
-	defer serial.pool.shutdown()
+	defer serial.pool.Shutdown()
 	serial.mergeFinal(12)
 
 	par := mergeTestBuilder(4)
-	defer par.pool.shutdown()
+	defer par.pool.Shutdown()
 	par.mergeFinal(12)
 
 	if len(serial.final) != len(par.final) {
@@ -149,10 +149,10 @@ func TestMergeFinalParallelSerialEquivalence(t *testing.T) {
 // index runs exactly once, for sizes around the chunk boundaries.
 func TestParallelForCoversAllItems(t *testing.T) {
 	b := mergeTestBuilder(4)
-	defer b.pool.shutdown()
+	defer b.pool.Shutdown()
 	for _, n := range []int{0, 1, 15, 16, 17, 1000} {
 		counts := make([]atomic.Int32, n)
-		b.pool.parallelFor(n, func(i int) { counts[i].Add(1) })
+		b.pool.ParallelFor(n, func(i int) { counts[i].Add(1) })
 		for i := range counts {
 			if got := counts[i].Load(); got != 1 {
 				t.Fatalf("n=%d: index %d ran %d times", n, i, got)
@@ -167,8 +167,8 @@ func TestParallelForCoversAllItems(t *testing.T) {
 func TestWorkerPanicSurfacesOnRankGoroutine(t *testing.T) {
 	err := ygm.NewLocalWorld(1).Run(func(c *ygm.Comm) error {
 		b := mergeTestBuilder(4)
-		defer b.pool.shutdown()
-		b.pool.parallelFor(64, func(i int) {
+		defer b.pool.Shutdown()
+		b.pool.ParallelFor(64, func(i int) {
 			if i == 33 {
 				panic("boom at 33")
 			}
@@ -203,7 +203,7 @@ func TestResolveWorkers(t *testing.T) {
 // epochs on recycled scratch do not leak state between vertices.
 func TestMergeScratchEpochIsolation(t *testing.T) {
 	b := mergeTestBuilder(1)
-	defer b.pool.shutdown()
+	defer b.pool.Shutdown()
 	var scratch sync.Pool
 	scratch.New = func() any { return &mergeScratch{mark: make([]uint32, b.shard.N)} }
 	first := b.mergeVertex(7, 12, &scratch)

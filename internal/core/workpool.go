@@ -1,65 +1,23 @@
 package core
 
 import (
-	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
-	"time"
 
-	"dnnd/internal/knng"
+	"dnnd/internal/engine"
 	"dnnd/internal/wire"
 )
 
-// The intra-rank worker pool: deterministic fork/join for the descent
-// hot phase.
-//
-// The paper's ranks are MPI processes pinned one-per-core, so the
-// neighbor-check phase runs with full node parallelism; our ranks are
-// single goroutines. The pool spreads the dominant cost — distance
-// kernels — over Config.Workers goroutines per rank while preserving
-// PR 1's bit-determinism guarantee. The discipline:
-//
-//   - Message handlers never touch neighbor-list state and never send.
-//     They only decode and STAGE: append a candidate to a task on a
-//     FIFO ring, coalescing consecutive records that share (kind,
-//     sender) into one task so the sender's query vector is copied
-//     once and evaluated as a batch (metric.Kernel.EvalMany).
-//   - Workers CLAIM sealed compute tasks and fill in the distances.
-//     They see only immutable inputs (the staged query copy, shard
-//     vector views, cached norms) and the task-local output slice;
-//     they never touch the Comm, the lists, or the RNG.
-//   - The owning rank goroutine APPLIES tasks strictly in submission
-//     order: all neighbor-list reads and writes, protocol decisions
-//     (SkipRedundant/PruneDistant), update counters, and reply sends
-//     happen here, serially. If the head task is not computed yet the
-//     applier computes it inline (work-stealing via the same claim
-//     CAS), so Workers=1 simply means "no helper goroutines".
-//
-// Apply points are functions of the STAGE sequence alone, never of
-// worker completion timing: the ring drains to half when it reaches
-// taskRingSize staged tasks, and drains fully whenever the ygm
-// progress engine asks (the barrier/collective local-work hook — see
-// internal/ygm/localwork.go, which also keeps quiescence detection
-// sound while staged tasks still owe replies). On a single rank the
-// stage sequence is deterministic, so the interleaving of applies with
-// dispatches — and therefore RNG consumption, message counts and
-// bytes, round counters, and the final graph — is bit-identical for
-// every worker count on every schedule. Because deferring replies
-// changes the send interleaving relative to inline handling, the ring
-// discipline runs at ALL worker counts and in Conservative mode;
-// "Workers=1 equals Workers=4" holds by construction, not by luck.
-const (
-	defaultTaskRingSize  = 512 // staged-task soft cap before a half-drain
-	defaultTaskBatchSize = 64  // max candidates coalesced into one task
-)
+// The intra-rank worker pool itself lives in internal/engine (Pool);
+// this file binds it to the builder: the construction's task kinds,
+// the ring knobs tests shrink to hammer the drain paths, and the
+// worker-width default.
 
 // Overridable knobs (tests shrink them to hammer the ring). They are
 // part of the apply-point schedule, so two runs only compare equal when
 // built with the same values.
 var (
-	taskRingSize  = defaultTaskRingSize
-	taskBatchSize = defaultTaskBatchSize
+	taskRingSize  = engine.DefaultRingSize
+	taskBatchSize = engine.DefaultBatchSize
 )
 
 // resolveWorkers applies the Config.Workers default: explicit values
@@ -76,495 +34,30 @@ func resolveWorkers(configured, nranks int) int {
 	return w
 }
 
-type taskKind uint8
-
+// The construction's task kinds (engine.Task.Kind values).
 const (
-	taskInitReq  taskKind = iota // compute: init distance request
-	taskInitResp                 // apply-only: init distance return
-	taskType1                    // apply-only: forward decision + Type 2 send
-	taskType2                    // compute: theta(u1,u2) + update + Type 3 decision
-	taskType3                    // apply-only: fold returned distance
+	taskInitReq  uint8 = iota // compute: init distance request
+	taskInitResp              // apply-only: init distance return
+	taskType1                 // apply-only: forward decision + Type 2 send
+	taskType2                 // compute: theta(u1,u2) + update + Type 3 decision
+	taskType3                 // apply-only: fold returned distance
 )
 
-func (k taskKind) compute() bool { return k == taskInitReq || k == taskType2 }
-
-// Task lifecycle, packed into one atomic word as gen<<2|phase. A task
-// starts open (tail under coalescing, invisible to workers), is sealed
-// to ready when the next task begins or a drain starts, claimed by
-// exactly one goroutine via CAS, and done once distances are written.
-// The generation counter increments on recycle so a stale queue item
-// can never claim a reused task (the classic freelist ABA).
-const (
-	stOpen uint64 = iota
-	stReady
-	stClaimed
-	stDone
-)
-
-// candMeta is the per-candidate apply metadata. Field use varies by
-// kind: a/b are the protocol vertex IDs in wire order, local is the
-// shard index of the receiver-side vertex, and d carries the Type 2+
-// prune bound (taskType2) or the already-computed distance
-// (apply-only kinds).
-type candMeta struct {
-	a, b  knng.ID
-	local int32
-	d     float32
-}
-
-type task[T wire.Scalar] struct {
-	state atomic.Uint64
-	kind  taskKind
-	key   knng.ID // coalescing key: the sender vertex whose vector is the query
-	seq   int64   // staging sequence number (drives kernel-time sampling)
-	query []T     // staged copy of the query vector (handler views are transient)
-	vecs  [][]T   // candidate vectors; alias shard storage (immutable)
-	nbs   []float32
-	meta  []candMeta
-	dists []float32
-}
-
-func (t *task[T]) gen() uint64 { return t.state.Load() >> 2 }
-
-// poolItem is one queue entry: either a sealed compute task (with the
-// generation observed at seal time) or a parallelFor job.
-type poolItem[T wire.Scalar] struct {
-	t   *task[T]
-	gen uint64
-	fn  func()
-}
-
-type errBox struct{ err error }
-
-type workpool[T wire.Scalar] struct {
-	b        *builder[T]
-	workers  int
-	ringCap  int
-	batchCap int
-
-	ring  []*task[T] // FIFO of staged tasks; ring[head] applies next
-	head  int
-	free  []*task[T]
-	blank []*task[T] // slab-allocated never-used tasks (see allocTask)
-
-	queue chan poolItem[T]
-	wg    sync.WaitGroup
-
-	applying bool // re-entrancy guard: applies can dispatch, dispatch stages
-	execErr  atomic.Pointer[errBox]
-
-	// Apply-stage scratch for bulk neighbor-list updates (rank
-	// goroutine only).
-	idScratch []knng.ID
-	dScratch  []float32
-
-	// Offload accounting: tasksStaged/candsStaged mirror what was
-	// handed to the ring. kernelNS is wall time spent inside EvalMany
-	// (by workers and by inline applier execution alike) on the
-	// sampled tasks — timing every task costs two clock reads against
-	// kernel batches that can be shorter than the reads, so only
-	// tasks whose staging sequence number is a multiple of
-	// kernelSampleStride are timed, over sampledCands candidates;
-	// kernelTime() extrapolates by candidate count. The sampled set
-	// is a function of the stage sequence, so it is identical for
-	// every worker count.
-	tasksStaged  int64
-	candsStaged  int64
-	kernelNS     atomic.Int64
-	sampledCands atomic.Int64
-}
-
-func newWorkpool[T wire.Scalar](b *builder[T], workers int) *workpool[T] {
-	p := &workpool[T]{
-		b:        b,
-		workers:  workers,
-		ringCap:  taskRingSize,
-		batchCap: taskBatchSize,
-		queue:    make(chan poolItem[T], taskRingSize+64),
+// newWorkpool builds the engine pool for b: distance batches evaluate
+// through the metric kernel (bit-identical on every path by the
+// metric.Kernel contract) and effects land through b.applyTask.
+func newWorkpool[T wire.Scalar](b *builder[T], workers int) *engine.Pool[T] {
+	dim := 0
+	if len(b.shard.Vecs) > 0 {
+		dim = len(b.shard.Vecs[0])
 	}
-	if p.ringCap < 2 {
-		p.ringCap = 2
-	}
-	if p.batchCap < 1 {
-		p.batchCap = 1
-	}
-	for i := 1; i < workers; i++ {
-		p.wg.Add(1)
-		go p.worker()
-	}
-	return p
-}
-
-// shutdown stops the helper goroutines. The ring is expected to be
-// empty on the success path (the final barrier drained it); on error
-// paths leftover tasks are simply dropped with the builder.
-func (p *workpool[T]) shutdown() {
-	close(p.queue)
-	p.wg.Wait()
-}
-
-func (p *workpool[T]) worker() {
-	defer p.wg.Done()
-	for it := range p.queue {
-		if it.fn != nil {
-			p.runSafe(it.fn)
-			continue
-		}
-		if it.t.state.CompareAndSwap(it.gen<<2|stReady, it.gen<<2|stClaimed) {
-			p.execSafe(it.t, it.gen)
-		}
-	}
-}
-
-// execSafe computes a claimed task, converting a panic into a stored
-// error (rethrown on the rank goroutine) and always marking the task
-// done so the applier cannot spin forever.
-func (p *workpool[T]) execSafe(t *task[T], gen uint64) {
-	defer func() {
-		if r := recover(); r != nil {
-			p.setErr(fmt.Errorf("core: worker panic: %v", r))
-		}
-		t.state.Store(gen<<2 | stDone)
-	}()
-	p.exec(t)
-}
-
-func (p *workpool[T]) runSafe(fn func()) {
-	defer func() {
-		if r := recover(); r != nil {
-			p.setErr(fmt.Errorf("core: worker panic: %v", r))
-		}
-	}()
-	fn()
-}
-
-func (p *workpool[T]) setErr(err error) {
-	p.execErr.CompareAndSwap(nil, &errBox{err})
-}
-
-func (p *workpool[T]) checkErr() {
-	if box := p.execErr.Load(); box != nil {
-		panic(box.err)
-	}
-}
-
-// kernelSampleStride picks which compute tasks are wall-timed: those
-// whose staging sequence is a multiple of it (see kernelTime).
-const kernelSampleStride = 16
-
-// exec evaluates one compute task's distance batch.
-func (p *workpool[T]) exec(t *task[T]) {
-	n := len(t.meta)
-	if cap(t.dists) < n {
-		t.dists = make([]float32, n)
-	} else {
-		t.dists = t.dists[:n]
-	}
-	var nbs []float32
-	if len(t.nbs) == n {
-		nbs = t.nbs
-	}
-	if t.seq%kernelSampleStride != 0 {
-		p.b.kern.EvalMany(t.query, t.vecs[:n], nbs, t.dists)
-		return
-	}
-	start := time.Now()
-	p.b.kern.EvalMany(t.query, t.vecs[:n], nbs, t.dists)
-	p.kernelNS.Add(int64(time.Since(start)))
-	p.sampledCands.Add(int64(n))
-}
-
-// kernelTime extrapolates the sampled EvalMany wall time to the whole
-// run by candidate count. Tasks are near-homogeneous (same kernel,
-// batches bounded by batchCap), so the 1-in-kernelSampleStride sample
-// estimates the true kernel share at ~6% of the full-instrumentation
-// clock-read cost.
-func (p *workpool[T]) kernelTime() int64 {
-	ns := p.kernelNS.Load()
-	if sc := p.sampledCands.Load(); sc > 0 && p.candsStaged > sc {
-		ns = int64(float64(ns) * float64(p.candsStaged) / float64(sc))
-	}
-	return ns
-}
-
-// ---- staging (handler side, rank goroutine) --------------------------
-
-func (p *workpool[T]) size() int { return len(p.ring) - p.head }
-
-// tail returns the open coalescing target for (kind, key), or nil.
-func (p *workpool[T]) tail(kind taskKind, key knng.ID, keyed bool) *task[T] {
-	if p.size() == 0 {
-		return nil
-	}
-	t := p.ring[len(p.ring)-1]
-	if t.state.Load()&3 != stOpen || t.kind != kind || len(t.meta) >= p.batchCap {
-		return nil
-	}
-	if keyed && t.key != key {
-		return nil
-	}
-	return t
-}
-
-// allocTask hands out a never-used task from a slab-allocated block:
-// one block allocation pre-sizes the slices of 64 tasks to the
-// coalescing caps, so a task's first life costs no growth
-// reallocations (recycled tasks keep whatever capacity they ratcheted
-// up to). The three-index slab slices pin each task to its region —
-// growing past the cap breaks the alias instead of clobbering a
-// neighbor. Rank-goroutine only.
-func (p *workpool[T]) allocTask() *task[T] {
-	if len(p.blank) == 0 {
-		const blk = 64
-		dim := 0
-		if len(p.b.shard.Vecs) > 0 {
-			dim = len(p.b.shard.Vecs[0])
-		}
-		// meta gets the full coalescing cap: apply-only tasks (Type 1/3
-		// bursts) routinely fill it, and re-ratcheting it on every
-		// first life dominated allocation churn. The vector-side
-		// slices get a small starter — compute batches average a
-		// couple of candidates, so full-cap reservations would cost
-		// ~8x what the median task uses; the rare deep batch ratchets
-		// up via append and keeps the larger backing across recycles.
-		sc := 16
-		if sc > p.batchCap {
-			sc = p.batchCap
-		}
-		bc := p.batchCap
-		ts := make([]task[T], blk)
-		queries := make([]T, blk*dim)
-		vecs := make([][]T, blk*sc)
-		metas := make([]candMeta, blk*bc)
-		nbs := make([]float32, blk*sc)
-		dists := make([]float32, blk*sc)
-		for i := range ts {
-			t := &ts[i]
-			t.query = queries[i*dim : i*dim : (i+1)*dim]
-			t.vecs = vecs[i*sc : i*sc : (i+1)*sc]
-			t.meta = metas[i*bc : i*bc : (i+1)*bc]
-			t.nbs = nbs[i*sc : i*sc : (i+1)*sc]
-			t.dists = dists[i*sc : i*sc : (i+1)*sc]
-			p.blank = append(p.blank, t)
-		}
-	}
-	t := p.blank[len(p.blank)-1]
-	p.blank = p.blank[:len(p.blank)-1]
-	return t
-}
-
-// newTask seals the current tail, takes a task off the freelist (or
-// allocates), and appends it to the ring as the new open tail.
-func (p *workpool[T]) newTask(kind taskKind, key knng.ID) *task[T] {
-	p.sealTail()
-	var t *task[T]
-	if n := len(p.free); n > 0 {
-		t = p.free[n-1]
-		p.free[n-1] = nil
-		p.free = p.free[:n-1]
-	} else {
-		t = p.allocTask()
-	}
-	t.kind = kind
-	t.key = key
-	t.seq = p.tasksStaged
-	t.query = t.query[:0]
-	t.vecs = t.vecs[:0]
-	t.nbs = t.nbs[:0]
-	t.meta = t.meta[:0]
-	p.ring = append(p.ring, t)
-	p.tasksStaged++
-	p.b.c.AddTasksDeferred(1)
-	return t
-}
-
-// sealTail publishes the open tail: compute tasks become claimable and
-// are offered to the helper queue (non-blocking — if the queue is full
-// the applier will compute them inline when their turn comes).
-func (p *workpool[T]) sealTail() {
-	if p.size() == 0 {
-		return
-	}
-	t := p.ring[len(p.ring)-1]
-	s := t.state.Load()
-	if s&3 != stOpen {
-		return
-	}
-	if !t.kind.compute() {
-		return // apply-only tasks are never claimed by workers
-	}
-	gen := s >> 2
-	t.state.Store(gen<<2 | stReady)
-	if p.workers > 1 {
-		select {
-		case p.queue <- poolItem[T]{t: t, gen: gen}:
-		default:
-		}
-	}
-}
-
-// stageCompute appends a distance evaluation (query vs the local
-// vector vec) to the ring, coalescing with the open tail when the
-// sender matches. The query slice may be a transient decode view; it
-// is copied on first use. vec must alias stable storage (the shard).
-func (p *workpool[T]) stageCompute(kind taskKind, key knng.ID, query []T, m candMeta, vec []T, norm float32, hasNorm bool) {
-	t := p.tail(kind, key, true)
-	if t == nil {
-		t = p.newTask(kind, key)
-		t.query = append(t.query, query...)
-	}
-	t.meta = append(t.meta, m)
-	t.vecs = append(t.vecs, vec)
-	if hasNorm {
-		t.nbs = append(t.nbs, norm)
-	}
-	p.candsStaged++
-	p.maybeDrain()
-}
-
-// stageApply appends an apply-only record (no distance to compute),
-// holding its ring slot so effects land in arrival order.
-func (p *workpool[T]) stageApply(kind taskKind, m candMeta) {
-	t := p.tail(kind, 0, false)
-	if t == nil {
-		t = p.newTask(kind, 0)
-	}
-	t.meta = append(t.meta, m)
-	p.maybeDrain()
-}
-
-// maybeDrain applies the ring down to half when it reaches the soft
-// cap. The trigger depends only on staged-task counts — never on
-// worker completion — so it fires at identical points for every worker
-// count. Staging from inside an apply (applies send, sends can
-// dispatch, dispatch stages) must not recurse; the ring simply grows
-// past the cap until the outer apply loop consumes it.
-func (p *workpool[T]) maybeDrain() {
-	if p.size() >= p.ringCap && !p.applying {
-		p.applyDownTo(p.ringCap / 2)
-	}
-}
-
-// ---- applying (rank goroutine only) ----------------------------------
-
-// runHook and pendingHook are the ygm local-work callbacks: the
-// progress engine applies everything whenever the rank would otherwise
-// idle, and quiescence requires an empty ring.
-func (p *workpool[T]) runHook() bool     { return p.applyDownTo(0) }
-func (p *workpool[T]) pendingHook() bool { return p.size() > 0 }
-
-// applyDownTo applies head tasks in submission order until at most
-// target staged tasks remain, returning whether anything was applied.
-// Tasks staged by nested dispatches during the loop are consumed by
-// the same loop when they fit under target.
-func (p *workpool[T]) applyDownTo(target int) bool {
-	if p.applying || p.size() <= target {
-		return false
-	}
-	p.applying = true
-	defer func() { p.applying = false }()
-	p.sealTail() // let helpers start on the backlog we are about to walk
-	applied := false
-	for p.size() > target {
-		t := p.ring[p.head]
-		p.ring[p.head] = nil
-		p.head++
-		p.await(t)
-		p.checkErr()
-		p.b.applyTask(p, t)
-		p.recycle(t)
-		applied = true
-		if p.head >= 64 && p.head*2 >= len(p.ring) {
-			n := copy(p.ring, p.ring[p.head:])
-			p.ring = p.ring[:n]
-			p.head = 0
-		}
-	}
-	return applied
-}
-
-// await makes a compute task's distances available, stealing the work
-// if no helper has: open tasks (only we can see them) and unclaimed
-// ready tasks are computed inline; claimed tasks are spin-waited with
-// Gosched so the claiming worker can finish even on a single core.
-func (p *workpool[T]) await(t *task[T]) {
-	if !t.kind.compute() {
-		return
-	}
-	for {
-		s := t.state.Load()
-		gen := s >> 2
-		switch s & 3 {
-		case stOpen:
-			p.exec(t)
-			t.state.Store(gen<<2 | stDone)
-			return
-		case stReady:
-			if t.state.CompareAndSwap(s, gen<<2|stClaimed) {
-				p.execSafe(t, gen)
-				return
-			}
-		case stClaimed:
-			runtime.Gosched()
-		case stDone:
-			return
-		}
-	}
-}
-
-// recycle returns an applied task to the freelist under a fresh
-// generation, so stale queue items cannot claim its next life.
-func (p *workpool[T]) recycle(t *task[T]) {
-	gen := t.gen()
-	t.state.Store((gen + 1) << 2) // stOpen
-	p.free = append(p.free, t)
-}
-
-// ---- parallelFor (bulk per-item phases, e.g. the 4.5 merge) ----------
-
-// parallelFor runs body(i) for i in [0, n) across the pool. The owner
-// participates; helpers chunk-claim via an atomic cursor. body must be
-// independent per item (no shared mutable state without its own
-// synchronization); item-to-goroutine assignment is nondeterministic,
-// so body's output must not depend on which goroutine runs it.
-func (p *workpool[T]) parallelFor(n int, body func(i int)) {
-	if p.workers <= 1 || n <= 1 {
-		for i := 0; i < n; i++ {
-			body(i)
-		}
-		return
-	}
-	const chunk = 16
-	var next atomic.Int64
-	run := func() {
-		for {
-			hi := next.Add(chunk)
-			lo := hi - chunk
-			if lo >= int64(n) {
-				return
-			}
-			if hi > int64(n) {
-				hi = int64(n)
-			}
-			for i := lo; i < hi; i++ {
-				body(int(i))
-			}
-		}
-	}
-	var wg sync.WaitGroup
-	for w := 1; w < p.workers; w++ {
-		wg.Add(1)
-		item := poolItem[T]{fn: func() {
-			defer wg.Done()
-			run()
-		}}
-		select {
-		case p.queue <- item:
-		default:
-			wg.Done() // queue full: the owner's run() covers the items
-		}
-	}
-	run()
-	wg.Wait()
-	p.checkErr()
+	return engine.NewPool(engine.PoolConfig[T]{
+		Workers:   workers,
+		Dim:       dim,
+		RingSize:  taskRingSize,
+		BatchSize: taskBatchSize,
+		Eval:      b.kern.EvalMany,
+		Apply:     b.applyTask,
+		Comm:      b.c,
+	})
 }

@@ -13,9 +13,13 @@
 // home rank. Query vectors are cached at most once per (query, rank) —
 // the same communication-saving instinct as the paper's Type 2+
 // messages. The engine advances every active query by one expansion
-// wave per superstep; ygm's quiescence barrier guarantees each wave's
-// full cascade (Expand -> ExpandResp -> Dist -> DistResp) completes
-// before the next wave starts.
+// wave per superstep (engine.Phase.Supersteps); ygm's quiescence
+// barrier guarantees each wave's full cascade (Expand -> ExpandResp ->
+// Dist -> DistResp) completes before the next wave starts.
+//
+// Wire layouts live in internal/msg (the dq.* messages); the superstep
+// loop, quiescence points, and per-handler traffic accounting come
+// from the same internal/engine runtime the construction uses.
 package dquery
 
 import (
@@ -23,8 +27,10 @@ import (
 	"math/rand"
 
 	"dnnd/internal/core"
+	"dnnd/internal/engine"
 	"dnnd/internal/knng"
 	"dnnd/internal/metric"
+	"dnnd/internal/msg"
 	"dnnd/internal/wire"
 	"dnnd/internal/ygm"
 )
@@ -69,6 +75,10 @@ type Stats struct {
 	DistEvals  int64 // distance computations (global)
 	Expansions int64 // frontier vertices expanded (global)
 	Supersteps int64 // barrier rounds needed
+	// PerMessage is the world-wide per-message-type traffic catalog
+	// under the phase-qualified handler names ("dq.query.expand", ...),
+	// in registration order — identical on every rank.
+	PerMessage []engine.MessageStat
 }
 
 // qstate is one active query's search state on its home rank.
@@ -88,6 +98,10 @@ type Engine[T wire.Scalar] struct {
 	shard *core.Shard[T]
 	adj   map[knng.ID][]knng.Neighbor
 	dist  metric.Func[T]
+
+	eng      *engine.Engine
+	phQuery  *engine.Phase // the superstep cascade ("dq.query")
+	phGather *engine.Phase // result collection ("dq.gather")
 
 	queries [][]T
 	states  map[int]*qstate[T] // home-owned queries
@@ -114,13 +128,16 @@ func New[T wire.Scalar](c *ygm.Comm, shard *core.Shard[T], adj map[knng.ID][]knn
 		dist:  dist,
 		qvecs: make(map[int][]T),
 	}
-	e.hStart = c.Register("dq.start", func(c *ygm.Comm, from int, p []byte) { e.onStart(p) })
-	e.hEnd = c.Register("dq.end", func(c *ygm.Comm, from int, p []byte) { e.onEnd(p) })
-	e.hExpand = c.Register("dq.expand", func(c *ygm.Comm, from int, p []byte) { e.onExpand(p) })
-	e.hExpandResp = c.Register("dq.expandresp", func(c *ygm.Comm, from int, p []byte) { e.onExpandResp(p) })
-	e.hDist = c.Register("dq.dist", func(c *ygm.Comm, from int, p []byte) { e.onDist(p) })
-	e.hDistResp = c.Register("dq.distresp", func(c *ygm.Comm, from int, p []byte) { e.onDistResp(p) })
-	e.hResult = c.Register("dq.result", func(c *ygm.Comm, from int, p []byte) { e.onResult(p) })
+	e.eng = engine.New(c, 0)
+	e.phQuery = e.eng.Phase("dq.query")
+	e.phGather = e.eng.Phase("dq.gather")
+	e.hStart = e.phQuery.Register("start", func(c *ygm.Comm, from int, p []byte) { e.onStart(p) })
+	e.hEnd = e.phQuery.Register("end", func(c *ygm.Comm, from int, p []byte) { e.onEnd(p) })
+	e.hExpand = e.phQuery.Register("expand", func(c *ygm.Comm, from int, p []byte) { e.onExpand(p) })
+	e.hExpandResp = e.phQuery.Register("expandresp", func(c *ygm.Comm, from int, p []byte) { e.onExpandResp(p) })
+	e.hDist = e.phQuery.Register("dist", func(c *ygm.Comm, from int, p []byte) { e.onDist(p) })
+	e.hDistResp = e.phQuery.Register("distresp", func(c *ygm.Comm, from int, p []byte) { e.onDistResp(p) })
+	e.hResult = e.phGather.Register("result", func(c *ygm.Comm, from int, p []byte) { e.onResult(p) })
 	return e
 }
 
@@ -141,37 +158,37 @@ func (e *Engine[T]) Run(queries [][]T, opt Options) ([][]knng.Neighbor, Stats, e
 
 	n := e.shard.N
 	// Seed every home-owned query.
-	for qid := range queries {
-		if e.home(qid) != e.c.Rank() {
-			continue
-		}
-		q := &qstate[T]{
-			vec:     queries[qid],
-			results: knng.NewNeighborList(min(opt.L, n)),
-			visited: make(map[knng.ID]bool),
-			vecAt:   make([]bool, e.c.NRanks()),
-		}
-		e.states[qid] = q
-		seeds := opt.Seeds
-		if seeds > n {
-			seeds = n
-		}
-		for attempts := 0; seeds > 0 && attempts < 8*opt.Seeds+32; attempts++ {
-			id := knng.ID(rng.Intn(n))
-			if q.visited[id] {
+	e.phQuery.Local(func() {
+		for qid := range queries {
+			if e.home(qid) != e.c.Rank() {
 				continue
 			}
-			q.visited[id] = true
-			seeds--
-			e.sendDist(qid, q, id)
+			q := &qstate[T]{
+				vec:     queries[qid],
+				results: knng.NewNeighborList(min(opt.L, n)),
+				visited: make(map[knng.ID]bool),
+				vecAt:   make([]bool, e.c.NRanks()),
+			}
+			e.states[qid] = q
+			seeds := opt.Seeds
+			if seeds > n {
+				seeds = n
+			}
+			for attempts := 0; seeds > 0 && attempts < 8*opt.Seeds+32; attempts++ {
+				id := knng.ID(rng.Intn(n))
+				if q.visited[id] {
+					continue
+				}
+				q.visited[id] = true
+				seeds--
+				e.sendDist(qid, q, id)
+			}
 		}
-	}
-	e.c.Barrier()
+	})
+	e.phQuery.Drain()
 
-	var steps int64
-	for {
-		steps++
-		active := 0
+	steps := e.phQuery.Supersteps(func() int64 {
+		var active int64
 		for qid, q := range e.states {
 			if q.done {
 				continue
@@ -181,18 +198,18 @@ func (e *Engine[T]) Run(queries [][]T, opt Options) ([][]knng.Neighbor, Stats, e
 				active++
 			}
 		}
-		e.c.Barrier()
-		if e.c.AllReduceSum(int64(active)) == 0 {
-			break
-		}
-	}
+		return active
+	})
 
+	// Gather before the collective stats so the result traffic shows
+	// up in the per-message catalog.
+	results := e.gather(len(queries))
 	stats := Stats{
 		DistEvals:  e.c.AllReduceSum(e.distEvals),
 		Expansions: e.c.AllReduceSum(e.expansions),
 		Supersteps: steps,
+		PerMessage: e.eng.MessageStats(),
 	}
-	results := e.gather(len(queries))
 	return results, stats, nil
 }
 
@@ -216,8 +233,8 @@ func (e *Engine[T]) advance(qid int, q *qstate[T]) {
 		p, _ := q.frontier.Pop()
 		e.expansions++
 		w := wire.NewWriter(16)
-		w.Uint32(uint32(qid))
-		w.Uint32(p)
+		m := msg.QExpand{QID: uint32(qid), P: p}
+		m.Encode(w)
 		e.c.Async(core.Owner(p, e.c.NRanks()), e.hExpand, w.Bytes())
 	}
 	if expanded == 0 {
@@ -238,7 +255,8 @@ const maxFloat64 = 1.7976931348623157e+308
 func (e *Engine[T]) finish(qid int, q *qstate[T]) {
 	q.done = true
 	w := wire.NewWriter(4)
-	w.Uint32(uint32(qid))
+	m := msg.QEnd{QID: uint32(qid)}
+	m.Encode(w)
 	for rank, has := range q.vecAt {
 		if has {
 			e.c.Async(rank, e.hEnd, w.Bytes())
@@ -253,13 +271,13 @@ func (e *Engine[T]) sendDist(qid int, q *qstate[T], id knng.ID) {
 	if !q.vecAt[dest] {
 		q.vecAt[dest] = true
 		w := wire.NewWriter(8 + len(q.vec)*4)
-		w.Uint32(uint32(qid))
-		wire.PutVector(w, q.vec)
+		m := msg.QStart[T]{QID: uint32(qid), Vec: q.vec}
+		m.Encode(w)
 		e.c.Async(dest, e.hStart, w.Bytes())
 	}
 	w := wire.NewWriter(12)
-	w.Uint32(uint32(qid))
-	w.Uint32(id)
+	m := msg.QDist{QID: uint32(qid), ID: id}
+	m.Encode(w)
 	e.c.Async(dest, e.hDist, w.Bytes())
 }
 
@@ -267,122 +285,122 @@ func (e *Engine[T]) sendDist(qid int, q *qstate[T], id knng.ID) {
 
 func (e *Engine[T]) onStart(p []byte) {
 	r := wire.NewReader(p)
-	qid := int(r.Uint32())
-	vec := wire.GetVector[T](r)
+	var m msg.QStart[T]
+	m.Decode(r)
 	if r.Finish() != nil {
 		panic("dquery: bad start")
 	}
-	e.qvecs[qid] = vec
+	e.qvecs[int(m.QID)] = m.Vec
 }
 
 func (e *Engine[T]) onEnd(p []byte) {
 	r := wire.NewReader(p)
-	qid := int(r.Uint32())
+	var m msg.QEnd
+	m.Decode(r)
 	if r.Finish() != nil {
 		panic("dquery: bad end")
 	}
-	delete(e.qvecs, qid)
+	delete(e.qvecs, int(m.QID))
 }
 
 // onExpand runs at the owner of p: return p's adjacency to the home
 // rank.
 func (e *Engine[T]) onExpand(p []byte) {
 	r := wire.NewReader(p)
-	qid := int(r.Uint32())
-	v := r.Uint32()
+	var m msg.QExpand
+	m.Decode(r)
 	if r.Finish() != nil {
 		panic("dquery: bad expand")
 	}
-	ns := e.adj[v]
+	ns := e.adj[m.P]
 	w := wire.NewWriter(8 + 4*len(ns))
-	w.Uint32(uint32(qid))
-	w.Uint32(uint32(len(ns)))
-	for _, nb := range ns {
-		w.Uint32(nb.ID)
+	resp := msg.QExpandResp{QID: m.QID, IDs: idsOf(ns)}
+	resp.Encode(w)
+	e.c.Async(e.home(int(m.QID)), e.hExpandResp, w.Bytes())
+}
+
+// idsOf projects a neighbor list onto its IDs (QExpandResp carries IDs
+// only; distances are evaluated at the vector owners).
+func idsOf(ns []knng.Neighbor) []knng.ID {
+	ids := make([]knng.ID, len(ns))
+	for i, nb := range ns {
+		ids[i] = nb.ID
 	}
-	e.c.Async(e.home(qid), e.hExpandResp, w.Bytes())
+	return ids
 }
 
 // onExpandResp runs at the home rank: fan out distance requests for
 // unvisited candidates.
 func (e *Engine[T]) onExpandResp(p []byte) {
 	r := wire.NewReader(p)
-	qid := int(r.Uint32())
-	cnt := int(r.Uint32())
-	ids := make([]knng.ID, cnt)
-	for i := range ids {
-		ids[i] = r.Uint32()
-	}
+	var m msg.QExpandResp
+	m.Decode(r)
 	if r.Finish() != nil {
 		panic("dquery: bad expand response")
 	}
-	q := e.states[qid]
-	for _, id := range ids {
+	q := e.states[int(m.QID)]
+	for _, id := range m.IDs {
 		if q.visited[id] {
 			continue
 		}
 		q.visited[id] = true
-		e.sendDist(qid, q, id)
+		e.sendDist(int(m.QID), q, id)
 	}
 }
 
 // onDist runs at the owner of the candidate vector.
 func (e *Engine[T]) onDist(p []byte) {
 	r := wire.NewReader(p)
-	qid := int(r.Uint32())
-	id := r.Uint32()
+	var m msg.QDist
+	m.Decode(r)
 	if r.Finish() != nil {
 		panic("dquery: bad dist request")
 	}
-	qvec, ok := e.qvecs[qid]
+	qvec, ok := e.qvecs[int(m.QID)]
 	if !ok {
-		panic(fmt.Sprintf("dquery: rank %d missing query vector %d", e.c.Rank(), qid))
+		panic(fmt.Sprintf("dquery: rank %d missing query vector %d", e.c.Rank(), m.QID))
 	}
 	e.distEvals++
 	e.c.AddWork(float64(len(qvec)))
-	d := e.dist(qvec, e.shard.Vec(id))
+	d := e.dist(qvec, e.shard.Vec(m.ID))
 	w := wire.NewWriter(12)
-	w.Uint32(uint32(qid))
-	w.Uint32(id)
-	w.Float32(d)
-	e.c.Async(e.home(qid), e.hDistResp, w.Bytes())
+	resp := msg.QDistResp{QID: m.QID, ID: m.ID, D: d}
+	resp.Encode(w)
+	e.c.Async(e.home(int(m.QID)), e.hDistResp, w.Bytes())
 }
 
 // onDistResp runs at the home rank: fold the distance into the query
 // state.
 func (e *Engine[T]) onDistResp(p []byte) {
 	r := wire.NewReader(p)
-	qid := int(r.Uint32())
-	id := r.Uint32()
-	d := r.Float32()
+	var m msg.QDistResp
+	m.Decode(r)
 	if r.Finish() != nil {
 		panic("dquery: bad dist response")
 	}
-	q := e.states[qid]
-	if float64(d) < q.limit(e.opt.Epsilon) {
-		q.results.Update(id, d, false)
-		q.frontier.Push(id, d)
+	q := e.states[int(m.QID)]
+	if float64(m.D) < q.limit(e.opt.Epsilon) {
+		q.results.Update(m.ID, m.D, false)
+		q.frontier.Push(m.ID, m.D)
 	}
 }
 
 // gather ships every finished query's result list to rank 0.
 func (e *Engine[T]) gather(nq int) [][]knng.Neighbor {
 	const root = 0
-	if e.c.Rank() == root {
-		e.gathered = make([][]knng.Neighbor, nq)
-	}
-	for qid, q := range e.states {
-		ns := q.results.Sorted()
-		w := wire.NewWriter(8 + 8*len(ns))
-		w.Uint32(uint32(qid))
-		w.Uint32(uint32(len(ns)))
-		for _, nb := range ns {
-			w.Uint32(nb.ID)
-			w.Float32(nb.Dist)
+	e.phGather.Local(func() {
+		if e.c.Rank() == root {
+			e.gathered = make([][]knng.Neighbor, nq)
 		}
-		e.c.Async(root, e.hResult, w.Bytes())
-	}
-	e.c.Barrier()
+		for qid, q := range e.states {
+			ns := q.results.Sorted()
+			w := wire.NewWriter(8 + 8*len(ns))
+			m := msg.QResult{QID: uint32(qid), Neighbors: ns}
+			m.Encode(w)
+			e.c.Async(root, e.hResult, w.Bytes())
+		}
+	})
+	e.phGather.Drain()
 	out := e.gathered
 	e.gathered = nil
 	return out
@@ -390,15 +408,10 @@ func (e *Engine[T]) gather(nq int) [][]knng.Neighbor {
 
 func (e *Engine[T]) onResult(p []byte) {
 	r := wire.NewReader(p)
-	qid := int(r.Uint32())
-	cnt := int(r.Uint32())
-	ns := make([]knng.Neighbor, cnt)
-	for i := range ns {
-		ns[i].ID = r.Uint32()
-		ns[i].Dist = r.Float32()
-	}
+	var m msg.QResult
+	m.Decode(r)
 	if r.Finish() != nil {
 		panic("dquery: bad result record")
 	}
-	e.gathered[qid] = ns
+	e.gathered[int(m.QID)] = m.Neighbors
 }

@@ -1,0 +1,156 @@
+package dquery
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"dnnd/internal/bootstrap"
+	"dnnd/internal/core"
+	"dnnd/internal/knng"
+	"dnnd/internal/metric"
+	"dnnd/internal/ygm"
+)
+
+// e2eOutcome is everything one full build+query run produces that the
+// transport must not influence.
+type e2eOutcome struct {
+	iters   int
+	comm    core.MessageTotals
+	evals   int64
+	graph   [][]knng.Neighbor
+	results [][]knng.Neighbor
+	stats   Stats
+}
+
+// e2eRun executes the full pipeline — core.Build, then dquery over the
+// still-partitioned result — on every rank of the world, returning
+// rank 0's view.
+func e2eRun(t *testing.T, data, queries [][]float32, k int, opt Options,
+	world func(fn func(rank int, c *ygm.Comm) error) error, nranks int) e2eOutcome {
+	t.Helper()
+	var mu sync.Mutex
+	var out e2eOutcome
+	err := world(func(rank int, c *ygm.Comm) error {
+		shard := core.Partition(data, rank, nranks)
+		cfg := core.DefaultConfig(k)
+		res, err := core.Build(c, shard, metric.SquaredL2Float32, cfg)
+		if err != nil {
+			return err
+		}
+		eng := New(c, shard, res.Local, metric.SquaredL2Float32)
+		results, stats, err := eng.Run(queries, opt)
+		if err != nil {
+			return err
+		}
+		if rank == 0 {
+			mu.Lock()
+			defer mu.Unlock()
+			out = e2eOutcome{
+				iters:   res.Iters,
+				comm:    res.Comm,
+				evals:   res.DistEvals,
+				graph:   res.Graph.Neighbors,
+				results: results,
+				stats:   stats,
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func localWorld(nranks int) func(fn func(rank int, c *ygm.Comm) error) error {
+	return func(fn func(rank int, c *ygm.Comm) error) error {
+		return ygm.NewLocalWorld(nranks).Run(func(c *ygm.Comm) error {
+			return fn(c.Rank(), c)
+		})
+	}
+}
+
+func tcpWorld(nranks int) func(fn func(rank int, c *ygm.Comm) error) error {
+	return func(fn func(rank int, c *ygm.Comm) error) error {
+		return bootstrap.RunLocal(nranks, fn)
+	}
+}
+
+// TestEndToEndTCPMatchesLocal runs the full pipeline — construction,
+// then distributed queries over the partitioned result — once over the
+// in-process local transport and once over real TCP sockets, on a
+// single rank, and requires bit-identical outcomes: same rounds, same
+// message totals, same graph, same query results, same stats. Single
+// rank because at higher rank counts message arrival order is
+// scheduling-dependent, which legitimately perturbs outcomes on both
+// transports (see core's golden-test rationale); transport-dependent
+// behavior, by contrast, would show up already at one rank, where the
+// schedule is deterministic.
+func TestEndToEndTCPMatchesLocal(t *testing.T) {
+	data := clusteredData(7, 600, 8)
+	queries := clusteredData(8, 12, 8)
+	const k = 8
+	opt := Options{L: k, Epsilon: 0.2}
+
+	local := e2eRun(t, data, queries, k, opt, localWorld(1), 1)
+	tcp := e2eRun(t, data, queries, k, opt, tcpWorld(1), 1)
+
+	if local.iters != tcp.iters {
+		t.Errorf("iters: local %d, tcp %d", local.iters, tcp.iters)
+	}
+	if local.evals != tcp.evals {
+		t.Errorf("dist evals: local %d, tcp %d", local.evals, tcp.evals)
+	}
+	if local.comm != tcp.comm {
+		t.Errorf("message totals diverge:\nlocal %+v\ntcp   %+v", local.comm, tcp.comm)
+	}
+	if !reflect.DeepEqual(local.graph, tcp.graph) {
+		t.Error("gathered graphs differ between transports")
+	}
+	if !reflect.DeepEqual(local.results, tcp.results) {
+		t.Error("query results differ between transports")
+	}
+	if !reflect.DeepEqual(local.stats, tcp.stats) {
+		t.Errorf("query stats diverge:\nlocal %+v\ntcp   %+v", local.stats, tcp.stats)
+	}
+}
+
+// TestEndToEndTCPMultiRank exercises the same pipeline over a 3-rank
+// TCP mesh (arrival order nondeterministic, so outcomes are checked
+// for validity rather than pinned): the gathered graph must validate,
+// self-queries must return themselves first, and the phase-qualified
+// message catalog must cover the full cascade.
+func TestEndToEndTCPMultiRank(t *testing.T) {
+	data := clusteredData(9, 600, 8)
+	const k = 8
+	queries := data[:6]
+	out := e2eRun(t, data, queries, k, Options{L: k, Epsilon: 0.2}, tcpWorld(3), 3)
+
+	g := knng.Graph{Neighbors: out.graph}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid gathered graph: %v", err)
+	}
+	for qi, ns := range out.results {
+		if len(ns) == 0 || ns[0].ID != knng.ID(qi) {
+			t.Errorf("query %d: top hit not self: %+v", qi, ns)
+		}
+	}
+	if out.stats.DistEvals == 0 || out.stats.Supersteps == 0 {
+		t.Errorf("stats not collected: %+v", out.stats)
+	}
+	want := map[string]bool{
+		"dq.query.start": false, "dq.query.expand": false, "dq.query.expandresp": false,
+		"dq.query.dist": false, "dq.query.distresp": false, "dq.gather.result": false,
+	}
+	for _, ms := range out.stats.PerMessage {
+		if _, ok := want[ms.Name]; ok && ms.SentMsgs > 0 {
+			want[ms.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("message catalog: no %s traffic recorded", name)
+		}
+	}
+}

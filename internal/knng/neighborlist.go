@@ -205,8 +205,8 @@ func encodeNeighbors(w *wire.Writer, ns []Neighbor) {
 }
 
 func decodeNeighbors(r *wire.Reader) []Neighbor {
-	n := int(r.Uint32())
-	if r.Err() != nil || n < 0 || n > wire.MaxVectorLen {
+	n := r.Count(8) // 8 encoded bytes per neighbor (ID + Dist)
+	if r.Err() != nil {
 		return nil
 	}
 	out := make([]Neighbor, n)

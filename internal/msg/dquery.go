@@ -1,0 +1,124 @@
+package msg
+
+import (
+	"dnnd/internal/knng"
+	"dnnd/internal/wire"
+)
+
+// The distributed-query messages, in handler-registration order. QID is
+// the query's index into the (replicated) query set; its home rank
+// drives the greedy search as a message cascade.
+
+// QStart caches the query vector at a rank that is about to receive
+// distance requests for it — sent at most once per (query, rank), the
+// same communication-saving instinct as Type 2+.
+type QStart[T wire.Scalar] struct {
+	QID uint32
+	Vec []T
+}
+
+func (m *QStart[T]) Encode(w *wire.Writer) {
+	w.Uint32(m.QID)
+	wire.PutVector(w, m.Vec)
+}
+
+func (m *QStart[T]) Decode(r *wire.Reader) {
+	m.DecodeHead(r)
+	m.Vec = wire.GetVector[T](r)
+}
+
+// DecodeHead decodes everything before the trailing vector (see
+// InitReq.DecodeHead).
+func (m *QStart[T]) DecodeHead(r *wire.Reader) {
+	m.QID = r.Uint32()
+}
+
+// QEnd releases the cached query vector when the query finishes.
+type QEnd struct {
+	QID uint32
+}
+
+func (m *QEnd) Encode(w *wire.Writer) { w.Uint32(m.QID) }
+
+func (m *QEnd) Decode(r *wire.Reader) { m.QID = r.Uint32() }
+
+// QExpand asks owner(P) for frontier vertex P's adjacency list.
+type QExpand struct {
+	QID, P uint32
+}
+
+func (m *QExpand) Encode(w *wire.Writer) {
+	w.Uint32(m.QID)
+	w.Uint32(m.P)
+}
+
+func (m *QExpand) Decode(r *wire.Reader) {
+	m.QID = r.Uint32()
+	m.P = r.Uint32()
+}
+
+// QExpandResp returns the adjacency's neighbor IDs to the home rank.
+type QExpandResp struct {
+	QID uint32
+	IDs []knng.ID
+}
+
+func (m *QExpandResp) Encode(w *wire.Writer) {
+	w.Uint32(m.QID)
+	w.Uint32s(m.IDs)
+}
+
+func (m *QExpandResp) Decode(r *wire.Reader) {
+	m.QID = r.Uint32()
+	m.IDs = r.Uint32s()
+}
+
+// QDist asks owner(ID) to evaluate theta(query QID, ID) against its
+// cached copy of the query vector.
+type QDist struct {
+	QID, ID uint32
+}
+
+func (m *QDist) Encode(w *wire.Writer) {
+	w.Uint32(m.QID)
+	w.Uint32(m.ID)
+}
+
+func (m *QDist) Decode(r *wire.Reader) {
+	m.QID = r.Uint32()
+	m.ID = r.Uint32()
+}
+
+// QDistResp returns one evaluated distance to the home rank.
+type QDistResp struct {
+	QID, ID uint32
+	D       float32
+}
+
+func (m *QDistResp) Encode(w *wire.Writer) {
+	w.Uint32(m.QID)
+	w.Uint32(m.ID)
+	w.Float32(m.D)
+}
+
+func (m *QDistResp) Decode(r *wire.Reader) {
+	m.QID = r.Uint32()
+	m.ID = r.Uint32()
+	m.D = r.Float32()
+}
+
+// QResult delivers query QID's final neighbor list to rank 0.
+type QResult struct {
+	QID       uint32
+	Neighbors []knng.Neighbor
+}
+
+func (m *QResult) Encode(w *wire.Writer) {
+	w.Uint32(m.QID)
+	putNeighbors(w, m.Neighbors)
+}
+
+func (m *QResult) Decode(r *wire.Reader) {
+	m.QID = r.Uint32()
+	m.Neighbors = getNeighbors(r)
+}

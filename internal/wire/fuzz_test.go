@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBulkCodec holds the bulk little-endian vector codecs (the
+// copy-based fast path on LE hosts) to two properties on arbitrary
+// input:
+//
+//  1. Writer.Uint32s / Writer.Float32s emit exactly the bytes of the
+//     count + per-element scalar loop they replaced — the layout every
+//     message codec is pinned to.
+//  2. Reader.Uint32s / Float32s and their Into variants decode a frame
+//     to the same elements and error state as a scalar-loop decode,
+//     and never allocate past the frame on a corrupt length prefix.
+func FuzzBulkCodec(f *testing.F) {
+	f.Add([]byte{3, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Treat the input both as raw element data to encode and as a
+		// wire frame to decode.
+		n := len(data) / 4
+		u32s := make([]uint32, n)
+		f32s := make([]float32, n)
+		ref := NewReader(data)
+		for i := 0; i < n; i++ {
+			u32s[i] = ref.Uint32()
+		}
+		fr := NewReader(data)
+		for i := 0; i < n; i++ {
+			f32s[i] = fr.Float32()
+		}
+
+		// Property 1: bulk encode == scalar-loop encode, bit for bit.
+		bulk := NewWriter(4 + 4*n)
+		bulk.Uint32s(u32s)
+		loop := NewWriter(4 + 4*n)
+		loop.Uint32(uint32(n))
+		for _, x := range u32s {
+			loop.Uint32(x)
+		}
+		if !bytes.Equal(bulk.Bytes(), loop.Bytes()) {
+			t.Fatalf("Uint32s bulk encode diverges from scalar loop:\nbulk %x\nloop %x",
+				bulk.Bytes(), loop.Bytes())
+		}
+		bulkF := NewWriter(4 + 4*n)
+		bulkF.Float32s(f32s)
+		loopF := NewWriter(4 + 4*n)
+		loopF.Uint32(uint32(n))
+		for _, x := range f32s {
+			loopF.Float32(x)
+		}
+		if !bytes.Equal(bulkF.Bytes(), loopF.Bytes()) {
+			t.Fatalf("Float32s bulk encode diverges from scalar loop:\nbulk %x\nloop %x",
+				bulkF.Bytes(), loopF.Bytes())
+		}
+
+		// Property 2: bulk decode == scalar-loop decode on the raw
+		// input interpreted as a frame (length prefix + elements),
+		// including the error outcome on short or oversize frames.
+		refDecode := func() ([]uint32, error) {
+			r := NewReader(data)
+			m := r.Uint32()
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			if m > MaxVectorLen {
+				return nil, ErrOversize
+			}
+			if int64(m)*4 > int64(r.Remaining()) {
+				return nil, ErrShortBuffer
+			}
+			out := make([]uint32, m)
+			for i := range out {
+				out[i] = r.Uint32()
+			}
+			return out, r.Err()
+		}
+		want, wantErr := refDecode()
+
+		check := func(name string, got []uint32, err error) {
+			t.Helper()
+			if (err == nil) != (wantErr == nil) {
+				t.Fatalf("%s error mismatch: got %v, want %v", name, err, wantErr)
+			}
+			if err != nil {
+				return
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s length mismatch: got %d, want %d", name, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s element %d: got %d, want %d", name, i, got[i], want[i])
+				}
+			}
+		}
+
+		r1 := NewReader(data)
+		check("Uint32s", r1.Uint32s(), r1.Err())
+		r2 := NewReader(data)
+		check("Uint32sInto", r2.Uint32sInto(make([]uint32, 0, 2)), r2.Err())
+		r3 := NewReader(data)
+		gotF := r3.Float32sInto(nil)
+		if (r3.Err() == nil) != (wantErr == nil) {
+			t.Fatalf("Float32sInto error mismatch: got %v, want %v", r3.Err(), wantErr)
+		}
+		if r3.Err() == nil && len(gotF) != len(want) {
+			t.Fatalf("Float32sInto length mismatch: got %d, want %d", len(gotF), len(want))
+		}
+	})
+}

@@ -269,6 +269,28 @@ func (r *Reader) length() int {
 	return int(n)
 }
 
+// Count decodes a uint32 element count for records of the given byte
+// size and validates it against the bytes remaining, so decoders can
+// size an allocation from it safely: a corrupt count that the buffer
+// cannot possibly satisfy fails the Reader here (ErrShortBuffer, as the
+// doomed element reads would have) instead of provoking a huge
+// allocation first.
+func (r *Reader) Count(size int) int {
+	n := r.Uint32()
+	if r.err != nil {
+		return 0
+	}
+	if n > MaxVectorLen {
+		r.err = ErrOversize
+		return 0
+	}
+	if int64(n)*int64(size) > int64(r.Remaining()) {
+		r.fail()
+		return 0
+	}
+	return int(n)
+}
+
 // Bytes32 decodes a length-prefixed byte slice. The returned slice is
 // an owned copy.
 func (r *Reader) Bytes32() []byte {
@@ -299,10 +321,26 @@ func (r *Reader) String() string {
 // Float32s decodes a length-prefixed []float32 into a new slice.
 func (r *Reader) Float32s() []float32 {
 	n := r.length()
-	if r.err != nil {
+	if !r.fits(n, 4) {
 		return nil
 	}
 	return r.float32sBody(make([]float32, n))
+}
+
+// fits reports whether n elements of the given byte size can still be
+// read, failing the Reader otherwise. It guards slice allocations
+// against corrupt length prefixes: without it a hostile count under
+// MaxVectorLen could demand a half-gigabyte allocation that the
+// subsequent take would reject anyway.
+func (r *Reader) fits(n, size int) bool {
+	if r.err != nil {
+		return false
+	}
+	if int64(n)*int64(size) > int64(r.Remaining()) {
+		r.fail()
+		return false
+	}
+	return true
 }
 
 // Float32sInto decodes a length-prefixed []float32 into dst's backing
@@ -311,7 +349,7 @@ func (r *Reader) Float32s() []float32 {
 // error; dst's previous contents are overwritten.
 func (r *Reader) Float32sInto(dst []float32) []float32 {
 	n := r.length()
-	if r.err != nil {
+	if !r.fits(n, 4) {
 		return nil
 	}
 	if cap(dst) < n {
@@ -357,7 +395,7 @@ func (r *Reader) Uint8sInto(dst []uint8) []uint8 {
 // Uint32s decodes a length-prefixed []uint32 into a new slice.
 func (r *Reader) Uint32s() []uint32 {
 	n := r.length()
-	if r.err != nil {
+	if !r.fits(n, 4) {
 		return nil
 	}
 	return r.uint32sBody(make([]uint32, n))
@@ -367,7 +405,7 @@ func (r *Reader) Uint32s() []uint32 {
 // array, allocating only when dst's capacity is insufficient.
 func (r *Reader) Uint32sInto(dst []uint32) []uint32 {
 	n := r.length()
-	if r.err != nil {
+	if !r.fits(n, 4) {
 		return nil
 	}
 	if cap(dst) < n {

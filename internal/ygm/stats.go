@@ -4,8 +4,12 @@ import "time"
 
 // HandlerStats counts traffic for one registered handler, letting the
 // application break totals down by message type (the Type 1 / Type 2 /
-// Type 2+ / Type 3 accounting of the paper's Figure 4).
+// Type 2+ / Type 3 accounting of the paper's Figure 4). Name is the
+// registered handler name, so snapshots stay self-describing after
+// aggregation across ranks — bench reports label message catalogs
+// from it without holding a Comm.
 type HandlerStats struct {
+	Name      string
 	SentMsgs  int64
 	SentBytes int64
 	RecvMsgs  int64
@@ -63,6 +67,9 @@ func (s *Stats) Add(other Stats) {
 		s.PerHandler = append(s.PerHandler, HandlerStats{})
 	}
 	for i, h := range other.PerHandler {
+		if s.PerHandler[i].Name == "" {
+			s.PerHandler[i].Name = h.Name
+		}
 		s.PerHandler[i].SentMsgs += h.SentMsgs
 		s.PerHandler[i].SentBytes += h.SentBytes
 		s.PerHandler[i].RecvMsgs += h.RecvMsgs

@@ -216,8 +216,10 @@ func newComm(rank, nranks int) *Comm {
 	if rank == 0 {
 		c.coord = newCoordState(nranks)
 	}
-	c.registerControlHandlers()
+	// PerHandler must exist before the control handlers register, or
+	// their entries (and names) would be wiped here.
 	c.stats.PerHandler = make([]HandlerStats, 0, 16)
+	c.registerControlHandlers()
 	return c
 }
 
@@ -246,6 +248,7 @@ func (c *Comm) Register(name string, h Handler) HandlerID {
 	for len(c.stats.PerHandler) <= int(id) {
 		c.stats.PerHandler = append(c.stats.PerHandler, HandlerStats{})
 	}
+	c.stats.PerHandler[id].Name = name
 	return id
 }
 

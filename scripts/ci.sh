@@ -25,11 +25,19 @@ go test ./...
 echo "== go test -race (comm + core)"
 go test -race ./internal/ygm/ ./internal/core/ ./internal/dquery/
 
-echo "== go test -race (core with worker pools active)"
-# Re-run the core suite with every construction forced onto a 3-wide
+echo "== go test -race (core + dquery with worker pools active)"
+# Re-run the suites with every construction forced onto a 3-wide
 # intra-rank worker pool; results are worker-count-independent, so the
 # same assertions must hold while the race detector watches the
 # stage/claim/apply machinery.
-DNND_TEST_WORKERS=3 go test -race -count=1 ./internal/core/
+DNND_TEST_WORKERS=3 go test -race -count=1 ./internal/core/ ./internal/dquery/
+
+echo "== fuzz smoke (message codecs + bulk LE codec)"
+# Short native-fuzz bursts over the wire-facing decoders: corpus seeds
+# plus a few seconds of mutation each. Full fuzzing is manual; this
+# catches decoder panics on malformed bytes before they land.
+go test -run='^$' -fuzz='^FuzzCoreMessages$' -fuzztime=2s ./internal/msg/
+go test -run='^$' -fuzz='^FuzzDQueryMessages$' -fuzztime=2s ./internal/msg/
+go test -run='^$' -fuzz='^FuzzBulkCodec$' -fuzztime=2s ./internal/wire/
 
 echo "CI OK"
