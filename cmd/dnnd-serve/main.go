@@ -1,0 +1,132 @@
+// Command dnnd-serve is the online half of the build/serve split: it
+// loads a datastore written by dnnd-construct/dnnd-optimize and
+// answers approximate nearest-neighbor queries over TCP until
+// SIGTERM/SIGINT, when it drains gracefully (in-flight queries finish,
+// new ones get a typed draining rejection). See internal/serve for the
+// protocol and scheduler.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dnnd"
+	"dnnd/internal/serve"
+)
+
+func main() {
+	var (
+		storeDir    = flag.String("store", "", "datastore directory (required)")
+		addr        = flag.String("addr", "127.0.0.1:7741", "listen address")
+		l           = flag.Int("l", 10, "default neighbors per query")
+		epsilon     = flag.Float64("epsilon", 0.1, "default search expansion parameter")
+		queue       = flag.Int("queue", 1024, "admission queue depth (overload beyond it)")
+		batch       = flag.Int("batch", 16, "max queries per micro-batch")
+		batchWait   = flag.Duration("batch-wait", 0, "extra wait for a batch to fill (0 = purely dynamic)")
+		executors   = flag.Int("executors", 2, "micro-batches in flight at once")
+		workers     = flag.Int("workers", 0, "intra-batch workers (0 = GOMAXPROCS)")
+		deadline    = flag.Duration("deadline", 0, "default per-query deadline (0 = none)")
+		maxDeadline = flag.Duration("max-deadline", 0, "cap on client-requested deadlines (0 = uncapped)")
+		warm        = flag.Int("warm", 0, "warm entry-point cache size (0 = disabled)")
+		drainWait   = flag.Duration("drain", 30*time.Second, "graceful-drain budget on shutdown")
+	)
+	flag.Parse()
+	if *storeDir == "" {
+		fatal(fmt.Errorf("-store is required"))
+	}
+	cfg := serve.Config{
+		L:               *l,
+		Epsilon:         *epsilon,
+		QueueDepth:      *queue,
+		BatchMax:        *batch,
+		BatchWait:       *batchWait,
+		Executors:       *executors,
+		Workers:         *workers,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		WarmEntries:     *warm,
+	}
+
+	elem, err := dnnd.StoreElem(*storeDir)
+	if err != nil {
+		fatal(err)
+	}
+	switch elem {
+	case "float32":
+		run[float32](*storeDir, *addr, cfg, *drainWait)
+	case "uint8":
+		run[uint8](*storeDir, *addr, cfg, *drainWait)
+	case "uint32":
+		run[uint32](*storeDir, *addr, cfg, *drainWait)
+	default:
+		fatal(fmt.Errorf("unknown element type %q", elem))
+	}
+}
+
+func run[T dnnd.Scalar](storeDir, addr string, cfg serve.Config, drainWait time.Duration) {
+	ix, refined, err := dnnd.LoadWithMeta[T](storeDir)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := serve.New(serve.Source[T]{
+		Graph:   ix.Graph(),
+		Data:    ix.Data(),
+		Dist:    ix.Dist(),
+		Metric:  string(ix.Metric()),
+		K:       ix.K(),
+		Refined: refined,
+	}, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dnnd-serve: serving %d %s points (metric=%s k=%d refined=%v) on %s\n",
+		ix.Len(), elemOf[T](), ix.Metric(), ix.K(), refined, ln.Addr())
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ln) }()
+
+	select {
+	case sig := <-sigs:
+		fmt.Printf("dnnd-serve: %v, draining (up to %v)\n", sig, drainWait)
+		ctx, cancel := context.WithTimeout(context.Background(), drainWait)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "dnnd-serve: drain incomplete: %v\n", err)
+		}
+		<-serveErr
+	case err := <-serveErr:
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Print(s.Metrics().Dump())
+}
+
+func elemOf[T dnnd.Scalar]() string {
+	var z T
+	switch any(z).(type) {
+	case float32:
+		return "float32"
+	case uint8:
+		return "uint8"
+	default:
+		return "uint32"
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dnnd-serve: %v\n", err)
+	os.Exit(1)
+}

@@ -419,6 +419,13 @@ func (ix *Index[T]) entriesFor(q []T) []ID {
 // Graph exposes the underlying adjacency.
 func (ix *Index[T]) Graph() *Graph { return ix.graph }
 
+// Data exposes the indexed dataset. The slice is shared with the
+// index, not copied; callers must treat it as read-only.
+func (ix *Index[T]) Data() [][]T { return ix.data }
+
+// Dist returns the index's distance function.
+func (ix *Index[T]) Dist() metric.Func[T] { return ix.dist }
+
 // K returns the construction k recorded for the index.
 func (ix *Index[T]) K() int { return ix.k }
 

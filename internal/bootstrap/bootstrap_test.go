@@ -1,0 +1,58 @@
+package bootstrap
+
+import (
+	"net"
+	"sync"
+	"testing"
+)
+
+// TestFreeAddrsConcurrent: parallel callers (the serve e2e suite
+// allocates ports while other tests do the same) each get the number
+// of addresses they asked for, every address is well-formed localhost,
+// and the addresses within one reservation are distinct. (Cross-call
+// uniqueness is deliberately not guaranteed: listeners are released on
+// return, so the OS may recycle a port for a later caller.)
+func TestFreeAddrsConcurrent(t *testing.T) {
+	const callers, perCall = 8, 8
+	results := make([][]string, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g], errs[g] = FreeAddrs(perCall)
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", g, err)
+		}
+	}
+	for g, addrs := range results {
+		if len(addrs) != perCall {
+			t.Fatalf("caller %d got %d addrs, want %d", g, len(addrs), perCall)
+		}
+		seen := make(map[string]bool, perCall)
+		for _, a := range addrs {
+			host, port, err := net.SplitHostPort(a)
+			if err != nil || host != "127.0.0.1" || port == "0" {
+				t.Fatalf("caller %d: bad address %q (%v)", g, a, err)
+			}
+			if seen[a] {
+				t.Fatalf("caller %d: duplicate address %q within one call", g, a)
+			}
+			seen[a] = true
+		}
+	}
+	// The ports are released on return by design; at minimum each one
+	// must be bindable again afterwards.
+	for _, a := range results[0] {
+		ln, err := net.Listen("tcp", a)
+		if err != nil {
+			t.Fatalf("reserved address %q not bindable after release: %v", a, err)
+		}
+		ln.Close()
+	}
+}

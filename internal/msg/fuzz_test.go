@@ -78,6 +78,30 @@ func FuzzCoreMessages(f *testing.F) {
 	})
 }
 
+func FuzzServeMessages(f *testing.F) {
+	for sel := byte(0); sel < 5; sel++ {
+		f.Add([]byte{sel, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0})
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		sel, frame := data[0], data[1:]
+		switch sel % 5 {
+		case 0:
+			checkCodec(t, &SHelloReply{}, frame)
+		case 1:
+			checkCodec(t, &SQuery[float32]{}, frame)
+		case 2:
+			checkCodec(t, &SQuery[uint8]{}, frame)
+		case 3:
+			checkCodec(t, &SQuery[uint32]{}, frame)
+		case 4:
+			checkCodec(t, &SResult{}, frame)
+		}
+	})
+}
+
 func FuzzDQueryMessages(f *testing.F) {
 	for sel := byte(0); sel < 7; sel++ {
 		f.Add([]byte{sel, 4, 0, 0, 0, 2, 0, 0, 0, 7, 0, 0, 0, 9, 0, 0, 0})

@@ -1,0 +1,169 @@
+package msg
+
+import (
+	"dnnd/internal/knng"
+	"dnnd/internal/wire"
+)
+
+// The dnnd-serve online query protocol (internal/serve). Frames on the
+// wire are length-prefixed: uint32 little-endian frame length counting
+// the op byte and the payload, then the op byte, then the payload
+// encoded by the codecs below. Every request frame is answered by
+// exactly one reply frame carrying the same op.
+
+// Serve protocol op codes. Stats and health replies carry plain UTF-8
+// text as the whole payload (no codec); everything else uses the
+// structs below.
+const (
+	SOpHello  uint8 = 1 // empty request -> SHelloReply
+	SOpQuery  uint8 = 2 // SQuery -> SResult
+	SOpStats  uint8 = 3 // empty request -> metrics dump (plain text)
+	SOpHealth uint8 = 4 // empty request -> health probe (plain text)
+)
+
+// SResult status codes. Everything except SStatusOK and SStatusPartial
+// is a typed rejection: the query was not (fully) executed and the
+// Neighbors list explains nothing beyond what Status already says.
+const (
+	// SStatusOK: the query ran to completion.
+	SStatusOK uint8 = 0
+	// SStatusOverloaded: the admission queue was full; the query was
+	// rejected immediately without queueing (backpressure signal).
+	SStatusOverloaded uint8 = 1
+	// SStatusDraining: the server is shutting down and admits no new
+	// queries; in-flight ones still complete.
+	SStatusDraining uint8 = 2
+	// SStatusDeadline: the query's deadline expired while it was still
+	// queued; it was dropped before execution.
+	SStatusDeadline uint8 = 3
+	// SStatusPartial: the deadline expired mid-traversal; Neighbors
+	// holds the best results found so far.
+	SStatusPartial uint8 = 4
+	// SStatusBadRequest: malformed query (wrong dimensionality, L < 1).
+	SStatusBadRequest uint8 = 5
+)
+
+// SStatusName returns the human label used in reports and metrics.
+func SStatusName(s uint8) string {
+	switch s {
+	case SStatusOK:
+		return "ok"
+	case SStatusOverloaded:
+		return "overloaded"
+	case SStatusDraining:
+		return "draining"
+	case SStatusDeadline:
+		return "deadline"
+	case SStatusPartial:
+		return "partial"
+	case SStatusBadRequest:
+		return "bad_request"
+	default:
+		return "unknown"
+	}
+}
+
+// SFlagWarm asks the server to seed the search with its warm
+// entry-point cache (recent good results) in addition to the random
+// entry points. Results then depend on server history, so exact-replay
+// clients leave it unset.
+const SFlagWarm uint8 = 1
+
+// SHelloReply describes the served index so clients (the loadgen in
+// particular) can shape queries without out-of-band configuration.
+type SHelloReply struct {
+	Elem           string // "float32" | "uint8" | "uint32"
+	Metric         string
+	N, Dim, K      uint32
+	Refined        bool
+	DefaultL       uint32
+	DefaultEpsilon float32
+}
+
+func (m *SHelloReply) Encode(w *wire.Writer) {
+	w.String(m.Elem)
+	w.String(m.Metric)
+	w.Uint32(m.N)
+	w.Uint32(m.Dim)
+	w.Uint32(m.K)
+	w.Bool(m.Refined)
+	w.Uint32(m.DefaultL)
+	w.Float32(m.DefaultEpsilon)
+}
+
+func (m *SHelloReply) Decode(r *wire.Reader) {
+	m.Elem = r.String()
+	m.Metric = r.String()
+	m.N = r.Uint32()
+	m.Dim = r.Uint32()
+	m.K = r.Uint32()
+	m.Refined = r.Bool()
+	m.DefaultL = r.Uint32()
+	m.DefaultEpsilon = r.Float32()
+}
+
+// SQuery is one approximate-nearest-neighbor request. Seed drives the
+// server-side entry-point RNG, so a client that sets Seed to
+// batchSeed*1_000_003 + i reproduces search.Batch(..., Seed:
+// batchSeed) exactly, query for query — the property the e2e suite
+// pins. L and Epsilon of 0 select the server's defaults.
+type SQuery[T wire.Scalar] struct {
+	ID             uint64
+	Seed           int64
+	L              uint32
+	Epsilon        float32
+	DeadlineMicros uint32 // 0 = server default; capped by the server
+	Flags          uint8  // SFlagWarm
+	Vec            []T
+}
+
+func (m *SQuery[T]) Encode(w *wire.Writer) {
+	w.Uint64(m.ID)
+	w.Int64(m.Seed)
+	w.Uint32(m.L)
+	w.Float32(m.Epsilon)
+	w.Uint32(m.DeadlineMicros)
+	w.Uint8(m.Flags)
+	wire.PutVector(w, m.Vec)
+}
+
+func (m *SQuery[T]) Decode(r *wire.Reader) {
+	m.ID = r.Uint64()
+	m.Seed = r.Int64()
+	m.L = r.Uint32()
+	m.Epsilon = r.Float32()
+	m.DeadlineMicros = r.Uint32()
+	m.Flags = r.Uint8()
+	m.Vec = wire.GetVector[T](r)
+}
+
+// SResult answers one SQuery. QueueMicros and ExecMicros are the
+// server-side wait and execution times (saturating at ~71 minutes),
+// included so load generators can split client-observed latency into
+// network, queue, and compute shares.
+type SResult struct {
+	ID          uint64
+	Status      uint8
+	DistEvals   int64
+	QueueMicros uint32
+	ExecMicros  uint32
+	Neighbors   []knng.Neighbor
+}
+
+func (m *SResult) Encode(w *wire.Writer) {
+	w.Uint64(m.ID)
+	w.Uint8(m.Status)
+	w.Int64(m.DistEvals)
+	w.Uint32(m.QueueMicros)
+	w.Uint32(m.ExecMicros)
+	putNeighbors(w, m.Neighbors)
+}
+
+func (m *SResult) Decode(r *wire.Reader) {
+	m.ID = r.Uint64()
+	m.Status = r.Uint8()
+	m.DistEvals = r.Int64()
+	m.QueueMicros = r.Uint32()
+	m.ExecMicros = r.Uint32()
+	m.Neighbors = getNeighbors(r)
+}

@@ -1,0 +1,125 @@
+package msg
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"dnnd/internal/knng"
+	"dnnd/internal/wire"
+)
+
+func TestServeCodecsRoundTrip(t *testing.T) {
+	hello := SHelloReply{
+		Elem: "float32", Metric: "sql2",
+		N: 20000, Dim: 96, K: 10, Refined: true,
+		DefaultL: 10, DefaultEpsilon: 0.1,
+	}
+	w := wire.NewWriter(64)
+	hello.Encode(w)
+	var hello2 SHelloReply
+	r := wire.NewReader(w.Bytes())
+	hello2.Decode(r)
+	if err := r.Finish(); err != nil {
+		t.Fatalf("hello decode: %v", err)
+	}
+	if !reflect.DeepEqual(hello, hello2) {
+		t.Fatalf("hello round trip: %+v != %+v", hello2, hello)
+	}
+
+	q := SQuery[float32]{
+		ID: 7, Seed: -3, L: 20, Epsilon: 0.25,
+		DeadlineMicros: 5000, Flags: SFlagWarm,
+		Vec: []float32{1, -2, float32(math.Inf(1))},
+	}
+	w.Reset()
+	q.Encode(w)
+	var q2 SQuery[float32]
+	r = wire.NewReader(w.Bytes())
+	q2.Decode(r)
+	if err := r.Finish(); err != nil {
+		t.Fatalf("query decode: %v", err)
+	}
+	if !reflect.DeepEqual(q, q2) {
+		t.Fatalf("query round trip: %+v != %+v", q2, q)
+	}
+
+	res := SResult{
+		ID: 7, Status: SStatusPartial, DistEvals: 1234,
+		QueueMicros: 17, ExecMicros: 250,
+		Neighbors: []knng.Neighbor{{ID: 3, Dist: 0.5}, {ID: 9, Dist: 1.25}},
+	}
+	w.Reset()
+	res.Encode(w)
+	var res2 SResult
+	r = wire.NewReader(w.Bytes())
+	res2.Decode(r)
+	if err := r.Finish(); err != nil {
+		t.Fatalf("result decode: %v", err)
+	}
+	if !reflect.DeepEqual(res, res2) {
+		t.Fatalf("result round trip: %+v != %+v", res2, res)
+	}
+}
+
+// TestServeQueryGolden pins the SQuery byte layout: little-endian
+// fields in declaration order, then the length-prefixed vector. A
+// layout change breaks deployed client/server pairs, so it must be
+// deliberate.
+func TestServeQueryGolden(t *testing.T) {
+	q := SQuery[float32]{
+		ID: 1, Seed: 2, L: 3, Epsilon: 0.5, DeadlineMicros: 4, Flags: 1,
+		Vec: []float32{1},
+	}
+	w := wire.NewWriter(64)
+	q.Encode(w)
+	want := []byte{
+		1, 0, 0, 0, 0, 0, 0, 0, // ID
+		2, 0, 0, 0, 0, 0, 0, 0, // Seed
+		3, 0, 0, 0, // L
+		0, 0, 0, 0x3f, // Epsilon = 0.5
+		4, 0, 0, 0, // DeadlineMicros
+		1,          // Flags
+		1, 0, 0, 0, // vec length
+		0, 0, 0x80, 0x3f, // 1.0f
+	}
+	if !bytes.Equal(w.Bytes(), want) {
+		t.Fatalf("SQuery layout drifted:\ngot  %x\nwant %x", w.Bytes(), want)
+	}
+}
+
+// TestServeResultGolden pins the SResult byte layout, including the
+// shared count+(ID,Dist) neighbor-list tail.
+func TestServeResultGolden(t *testing.T) {
+	res := SResult{
+		ID: 1, Status: SStatusOK, DistEvals: 2, QueueMicros: 3, ExecMicros: 4,
+		Neighbors: []knng.Neighbor{{ID: 5, Dist: 1}},
+	}
+	w := wire.NewWriter(64)
+	res.Encode(w)
+	want := []byte{
+		1, 0, 0, 0, 0, 0, 0, 0, // ID
+		0,                      // Status
+		2, 0, 0, 0, 0, 0, 0, 0, // DistEvals
+		3, 0, 0, 0, // QueueMicros
+		4, 0, 0, 0, // ExecMicros
+		1, 0, 0, 0, // neighbor count
+		5, 0, 0, 0, // neighbor ID
+		0, 0, 0x80, 0x3f, // dist 1.0f
+	}
+	if !bytes.Equal(w.Bytes(), want) {
+		t.Fatalf("SResult layout drifted:\ngot  %x\nwant %x", w.Bytes(), want)
+	}
+}
+
+func TestSStatusName(t *testing.T) {
+	for s := uint8(0); s <= SStatusBadRequest; s++ {
+		if SStatusName(s) == "unknown" {
+			t.Errorf("status %d has no name", s)
+		}
+	}
+	if SStatusName(99) != "unknown" {
+		t.Errorf("unnamed status should map to unknown")
+	}
+}

@@ -5,6 +5,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"runtime"
@@ -32,6 +33,12 @@ type Options struct {
 	// EntriesFunc, when set, provides per-query starting points to
 	// Batch (it overrides Entries there).
 	EntriesFunc func(queryIndex int) []knng.ID
+	// Interrupt, when non-nil, is polled during the traversal (once per
+	// expanded vertex); when it returns true the query stops early and
+	// returns the best results found so far, with Stats.Truncated set.
+	// It must be cheap and must not consume the query's RNG — online
+	// servers use it to cut off straggler queries at their deadline.
+	Interrupt func() bool
 }
 
 // minSeedPoints floors the number of random entry points per query.
@@ -43,6 +50,9 @@ type Stats struct {
 	DistEvals int64
 	// Visited counts vertices whose neighbor lists were expanded.
 	Visited int64
+	// Truncated counts queries stopped early by Options.Interrupt or a
+	// canceled BatchContext (0 or 1 for a single Query).
+	Truncated int64
 }
 
 // bitset tracks visited vertices densely.
@@ -117,6 +127,10 @@ func Query[T wire.Scalar](g *knng.Graph, data [][]T, dist metric.Func[T], q []T,
 	}
 
 	for !front.Empty() {
+		if opt.Interrupt != nil && opt.Interrupt() {
+			st.Truncated = 1
+			break
+		}
 		p, pd := front.Pop()
 		// Stop when the closest frontier point is already beyond the
 		// (epsilon-relaxed) result horizon.
@@ -145,6 +159,19 @@ func Query[T wire.Scalar](g *knng.Graph, data [][]T, dist metric.Func[T], q []T,
 // points are derived deterministically from opt.Seed and the query
 // index.
 func Batch[T wire.Scalar](g *knng.Graph, data [][]T, dist metric.Func[T], queries [][]T, opt Options, workers int) ([][]knng.Neighbor, Stats) {
+	out, st, _ := BatchContext(context.Background(), g, data, dist, queries, opt, workers)
+	return out, st
+}
+
+// BatchContext is Batch with cancellation: when ctx is done, queries
+// not yet started are skipped (their result rows stay nil) and running
+// ones are interrupted at their next expansion, so the call returns
+// promptly with whatever completed plus partial stats
+// (Stats.Truncated counts the interrupted queries). The returned error
+// is ctx.Err() — nil on a full run. An online server uses this to
+// bound a whole batch; per-query deadlines go through
+// Options.Interrupt, which composes with ctx here.
+func BatchContext[T wire.Scalar](ctx context.Context, g *knng.Graph, data [][]T, dist metric.Func[T], queries [][]T, opt Options, workers int) ([][]knng.Neighbor, Stats, error) {
 	out := make([][]knng.Neighbor, len(queries))
 	stats := make([]Stats, len(queries))
 	if workers <= 0 {
@@ -153,6 +180,28 @@ func Batch[T wire.Scalar](g *knng.Graph, data [][]T, dist metric.Func[T], querie
 	if workers > len(queries) {
 		workers = len(queries)
 	}
+	done := ctx.Done()
+	canceled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	// Compose ctx with a caller-supplied Interrupt. With a Background
+	// context and no Interrupt this stays nil, keeping the hot loop's
+	// per-expansion check free.
+	interrupt := opt.Interrupt
+	if done != nil {
+		base := opt.Interrupt
+		interrupt = func() bool {
+			if canceled() {
+				return true
+			}
+			return base != nil && base()
+		}
+	}
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -160,8 +209,12 @@ func Batch[T wire.Scalar](g *knng.Graph, data [][]T, dist metric.Func[T], querie
 		go func() {
 			defer wg.Done()
 			for qi := range next {
+				if done != nil && canceled() {
+					continue // leave out[qi] nil: never started
+				}
 				rng := rand.New(rand.NewSource(opt.Seed*1_000_003 + int64(qi)))
 				qopt := opt
+				qopt.Interrupt = interrupt
 				if opt.EntriesFunc != nil {
 					qopt.Entries = opt.EntriesFunc(qi)
 				}
@@ -169,8 +222,13 @@ func Batch[T wire.Scalar](g *knng.Graph, data [][]T, dist metric.Func[T], querie
 			}
 		}()
 	}
+feed:
 	for qi := range queries {
-		next <- qi
+		select {
+		case next <- qi:
+		case <-done:
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
@@ -178,8 +236,9 @@ func Batch[T wire.Scalar](g *knng.Graph, data [][]T, dist metric.Func[T], querie
 	for _, s := range stats {
 		total.DistEvals += s.DistEvals
 		total.Visited += s.Visited
+		total.Truncated += s.Truncated
 	}
-	return out, total
+	return out, total, ctx.Err()
 }
 
 // IDs extracts the neighbor IDs from a batch result, the recall

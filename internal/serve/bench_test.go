@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"dnnd/internal/msg"
+)
+
+// benchServer starts a server over a small in-memory index on a
+// loopback listener and returns its address plus a stopper.
+func benchServer(b *testing.B, cfg Config) (string, func()) {
+	b.Helper()
+	s, err := New(testSource(b, 2000, 16, 10), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go s.Serve(ln)
+	return ln.Addr().String(), func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}
+}
+
+// BenchmarkServeRoundTrip measures one synchronous query round trip
+// over loopback TCP (protocol + scheduling + search), the per-request
+// floor of the serving stack.
+func BenchmarkServeRoundTrip(b *testing.B) {
+	addr, stop := benchServer(b, Config{L: 10, Epsilon: 0.1})
+	defer stop()
+	c, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	queries := randData(64, 16, 18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := msg.SQuery[float32]{ID: uint64(i), Seed: int64(i), Vec: queries[i%len(queries)]}
+		res, err := Do(c, &q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Status != msg.SStatusOK {
+			b.Fatalf("status %s", msg.SStatusName(res.Status))
+		}
+	}
+}
+
+// BenchmarkServeClosedLoop8 measures sustained closed-loop throughput
+// with 8 concurrent clients, the configuration results/serve.md
+// records.
+func BenchmarkServeClosedLoop8(b *testing.B) {
+	addr, stop := benchServer(b, Config{L: 10, Epsilon: 0.1})
+	defer stop()
+	queries := randData(256, 16, 19)
+	b.ResetTimer()
+	rep, err := RunLoad[float32](LoadConfig{
+		Addr: addr, Requests: b.N, Concurrency: 8, Seed: 1,
+	}, queries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if rep.Errors != 0 {
+		b.Fatalf("transport errors: %d", rep.Errors)
+	}
+	b.ReportMetric(rep.QPS, "qps")
+	b.ReportMetric(rep.Latency.P50, "p50-usec")
+	b.ReportMetric(rep.Latency.P99, "p99-usec")
+}

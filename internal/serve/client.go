@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dnnd/internal/msg"
+	"dnnd/internal/wire"
+)
+
+// Client is a synchronous protocol client for dnnd-serve: one round
+// trip at a time per connection, serialized by a mutex so a Client is
+// safe to share (the load generator instead gives every worker its
+// own Client, which is how the concurrency is meant to be achieved).
+type Client struct {
+	mu   sync.Mutex
+	c    net.Conn
+	br   *bufio.Reader
+	wbuf []byte
+}
+
+// Dial connects to a dnnd-serve address. A non-positive timeout
+// defaults to 5s.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c, br: bufio.NewReaderSize(c, 64<<10)}, nil
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.c.Close() }
+
+func (c *Client) roundTrip(op uint8, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.wbuf = appendFrame(c.wbuf[:0], op, payload)
+	if _, err := c.c.Write(c.wbuf); err != nil {
+		return nil, err
+	}
+	gotOp, reply, err := readFrame(c.br)
+	if err != nil {
+		return nil, err
+	}
+	if gotOp != op {
+		return nil, fmt.Errorf("serve: reply op %d to request op %d", gotOp, op)
+	}
+	return reply, nil
+}
+
+// Hello fetches the served index's description.
+func (c *Client) Hello() (*msg.SHelloReply, error) {
+	reply, err := c.roundTrip(msg.SOpHello, nil)
+	if err != nil {
+		return nil, err
+	}
+	var h msg.SHelloReply
+	r := wire.NewReader(reply)
+	h.Decode(r)
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Health fetches the plain-text health probe line.
+func (c *Client) Health() (string, error) {
+	reply, err := c.roundTrip(msg.SOpHealth, nil)
+	return string(reply), err
+}
+
+// Stats fetches the /metrics-style plain-text dump.
+func (c *Client) Stats() (string, error) {
+	reply, err := c.roundTrip(msg.SOpStats, nil)
+	return string(reply), err
+}
+
+// Do runs one query round trip. Rejections (overload, draining,
+// deadline, bad request) are not errors: they come back as a typed
+// SResult.Status; err is reserved for transport failures.
+func Do[T wire.Scalar](c *Client, q *msg.SQuery[T]) (*msg.SResult, error) {
+	var w wire.Writer
+	q.Encode(&w)
+	reply, err := c.roundTrip(msg.SOpQuery, w.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	var res msg.SResult
+	r := wire.NewReader(reply)
+	res.Decode(r)
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}

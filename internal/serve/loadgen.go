@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnnd/internal/msg"
+	"dnnd/internal/wire"
+)
+
+// LoadConfig shapes one load-generation run against a dnnd-serve
+// address. QPS selects the loop discipline: 0 is a closed loop
+// (Concurrency workers fire back-to-back, the classic
+// throughput-ceiling probe), positive is an open loop (arrivals at a
+// fixed rate regardless of completions, the latency-under-load probe —
+// when the server can't keep up, queueing shows in the tail instead of
+// silently throttling the offered rate).
+type LoadConfig struct {
+	Addr        string
+	Requests    int
+	Concurrency int
+	QPS         float64       // 0 = closed loop
+	L           int           // 0 = server default
+	Epsilon     float64       // 0 = server default
+	Deadline    time.Duration // 0 = server default
+	Seed        int64
+	Warm        bool // set SFlagWarm on every query
+	DialTimeout time.Duration
+	// Collect, when non-nil, receives every reply with its request
+	// index (used by the e2e suite to compare against ground truth).
+	// It is called concurrently from worker goroutines.
+	Collect func(i int, res *msg.SResult)
+}
+
+// LatencySummary is an exact (sample-sorted) latency digest in
+// microseconds.
+type LatencySummary struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+func summarize(us []float64) LatencySummary {
+	p50, p90, p95, p99, mean, max := quantiles(us)
+	return LatencySummary{P50: p50, P90: p90, P95: p95, P99: p99, Mean: mean, Max: max}
+}
+
+// Report is the JSON-ready result of a load run. Latency is measured
+// client-side around each round trip; QueueWait and Exec are the
+// server-reported shares, so Latency − QueueWait − Exec approximates
+// protocol and network overhead.
+type Report struct {
+	Requests    int            `json:"requests"`
+	Concurrency int            `json:"concurrency"`
+	TargetQPS   float64        `json:"target_qps,omitempty"` // open loop only
+	WallSeconds float64        `json:"wall_seconds"`
+	QPS         float64        `json:"qps"` // achieved completion rate
+	ByStatus    map[string]int `json:"by_status"`
+	Errors      int            `json:"errors"` // transport failures
+	Latency     LatencySummary `json:"latency_usec"`
+	QueueWait   LatencySummary `json:"queue_wait_usec"`
+	Exec        LatencySummary `json:"exec_usec"`
+	DistEvals   float64        `json:"dist_evals_per_query"`
+}
+
+// RunLoad drives cfg.Requests queries (cycling over the supplied
+// query vectors) and returns the aggregated report. Request i carries
+// seed cfg.Seed*1_000_003 + i — the seed search.Batch{Seed: cfg.Seed}
+// would use for query i — so a closed-loop run over exactly
+// len(queries) requests reproduces a Batch call result-for-result.
+func RunLoad[T wire.Scalar](cfg LoadConfig, queries [][]T) (*Report, error) {
+	if len(queries) == 0 {
+		return nil, errors.New("serve: no query vectors")
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = len(queries)
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+
+	lat := make([]float64, cfg.Requests) // indexed by request, no lock
+	results := make([]*msg.SResult, cfg.Requests)
+	var errCount atomic.Int64
+	var next atomic.Int64
+
+	// Open loop: a feeder emits arrival tokens at the target rate; the
+	// buffer is sized so a slow server delays service, never arrivals.
+	// Arrivals follow an absolute schedule (start + i*interval) rather
+	// than a ticker: when the feeder oversleeps it catches up with a
+	// burst instead of silently lowering the offered rate.
+	var tokens chan struct{}
+	if cfg.QPS > 0 {
+		tokens = make(chan struct{}, cfg.Requests)
+		go func() {
+			interval := time.Duration(float64(time.Second) / cfg.QPS)
+			start := time.Now()
+			for i := 0; i < cfg.Requests; i++ {
+				if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+					time.Sleep(d)
+				}
+				tokens <- struct{}{}
+			}
+			close(tokens)
+		}()
+	}
+
+	worker := func() error {
+		c, err := Dial(cfg.Addr, cfg.DialTimeout)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		for {
+			if tokens != nil {
+				if _, ok := <-tokens; !ok {
+					return nil
+				}
+			}
+			i := int(next.Add(1)) - 1
+			if i >= cfg.Requests {
+				return nil
+			}
+			q := msg.SQuery[T]{
+				ID:      uint64(i),
+				Seed:    cfg.Seed*1_000_003 + int64(i),
+				L:       uint32(cfg.L),
+				Epsilon: float32(cfg.Epsilon),
+				Vec:     queries[i%len(queries)],
+			}
+			if cfg.Deadline > 0 {
+				q.DeadlineMicros = saturatingMicros(cfg.Deadline)
+			}
+			if cfg.Warm {
+				q.Flags |= msg.SFlagWarm
+			}
+			t0 := time.Now()
+			res, err := Do(c, &q)
+			lat[i] = float64(time.Since(t0).Microseconds())
+			if err != nil {
+				errCount.Add(1)
+				// The connection is suspect after a transport error;
+				// redial once and keep going so one hiccup doesn't
+				// silently shrink the worker pool.
+				c.Close()
+				if c, err = Dial(cfg.Addr, cfg.DialTimeout); err != nil {
+					return err
+				}
+				continue
+			}
+			results[i] = res
+			if cfg.Collect != nil {
+				cfg.Collect(i, res)
+			}
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Concurrency)
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = worker()
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	rep := &Report{
+		Requests:    cfg.Requests,
+		Concurrency: cfg.Concurrency,
+		TargetQPS:   cfg.QPS,
+		WallSeconds: wall.Seconds(),
+		ByStatus:    make(map[string]int),
+		Errors:      int(errCount.Load()),
+	}
+	var qwait, exec []float64
+	var evals, answered int64
+	okLat := lat[:0]
+	for i, res := range results {
+		if res == nil {
+			continue
+		}
+		rep.ByStatus[msg.SStatusName(res.Status)]++
+		okLat = append(okLat, lat[i])
+		qwait = append(qwait, float64(res.QueueMicros))
+		exec = append(exec, float64(res.ExecMicros))
+		if res.Status == msg.SStatusOK || res.Status == msg.SStatusPartial {
+			evals += res.DistEvals
+			answered++
+		}
+	}
+	rep.QPS = float64(len(okLat)) / wall.Seconds()
+	rep.Latency = summarize(okLat)
+	rep.QueueWait = summarize(qwait)
+	rep.Exec = summarize(exec)
+	if answered > 0 {
+		rep.DistEvals = float64(evals) / float64(answered)
+	}
+	return rep, nil
+}

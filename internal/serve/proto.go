@@ -1,0 +1,59 @@
+// Package serve is the online query-serving subsystem: a long-lived
+// TCP server answering approximate-nearest-neighbor queries over a
+// persisted index through internal/search, with production scheduler
+// behaviors — bounded admission with typed overload rejections,
+// per-request deadlines, dynamic micro-batching onto an
+// internal/engine worker pool, a warm entry-point cache, graceful
+// drain, and a /metrics-style observability surface. The package also
+// ships the protocol client and a closed-/open-loop load generator
+// (cmd/dnnd-serve and cmd/dnnd-loadgen are thin wrappers).
+//
+// Wire protocol: length-prefixed frames over TCP. Each frame is a
+// little-endian uint32 length (counting the op byte and payload),
+// one op byte (msg.SOp*), and the payload encoded by the
+// internal/msg serve codecs. Every request frame receives exactly one
+// reply frame with the same op; replies to pipelined requests on one
+// connection may arrive out of order, matched by SQuery.ID/SResult.ID
+// (the bundled Client serializes instead, one round trip at a time).
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// maxFrame bounds accepted frame lengths on both sides: large enough
+// for any plausible query vector or stats dump, small enough that a
+// corrupt length prefix cannot provoke a giant allocation.
+const maxFrame = 1 << 24
+
+const frameHeaderLen = 5 // uint32 length + op byte
+
+// appendFrame appends a framed message to buf and returns the
+// extended slice (the caller owns buf and reuses it across frames).
+func appendFrame(buf []byte, op uint8, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = op
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// readFrame reads one frame, returning the op byte and the payload.
+// The payload is freshly allocated and owned by the caller.
+func readFrame(r io.Reader) (uint8, []byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n < 1 || n > maxFrame {
+		return 0, nil, fmt.Errorf("serve: bad frame length %d", n)
+	}
+	payload := make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}

@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"bufio"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"dnnd/internal/knng"
+	"dnnd/internal/msg"
+	"dnnd/internal/search"
+	"dnnd/internal/wire"
+)
+
+func newConnReader(c net.Conn) *bufio.Reader { return bufio.NewReaderSize(c, 64<<10) }
+
+// dispatch assembles micro-batches from the admission queue. The
+// batching is dynamic: after the first (blocking) take, whatever else
+// is already queued is drained greedily up to BatchMax, so batch size
+// tracks instantaneous load — singleton batches when idle (no added
+// latency), full batches under pressure (amortized scheduling and
+// better cache behavior in the worker pool). A non-zero BatchWait
+// adds a bounded wait for the batch to fill, trading tail latency for
+// larger batches.
+func (s *Server[T]) dispatch() {
+	defer s.loopWG.Done()
+	defer close(s.execCh)
+	for {
+		var first *request[T]
+		select {
+		case first = <-s.queue:
+		case <-s.stop:
+			return // stop closes only after the queue drained (see Shutdown)
+		}
+		batch := make([]*request[T], 1, s.cfg.BatchMax)
+		batch[0] = first
+	greedy:
+		for len(batch) < s.cfg.BatchMax {
+			select {
+			case r := <-s.queue:
+				batch = append(batch, r)
+			default:
+				break greedy
+			}
+		}
+		if s.cfg.BatchWait > 0 && len(batch) < s.cfg.BatchMax {
+			timer := time.NewTimer(s.cfg.BatchWait)
+		window:
+			for len(batch) < s.cfg.BatchMax {
+				select {
+				case r := <-s.queue:
+					batch = append(batch, r)
+				case <-timer.C:
+					break window
+				case <-s.stop:
+					break window
+				}
+			}
+			timer.Stop()
+		}
+		s.m.Batches.Add(1)
+		s.m.BatchSize.Observe(int64(len(batch)))
+		select {
+		case s.execCh <- batch:
+		case <-s.stop:
+			// Only reachable on a forced (deadline-expired) shutdown:
+			// a graceful drain closes stop strictly after every
+			// admitted request is replied, so no batch can be in hand
+			// then. Reply so admission slots are released.
+			for _, r := range batch {
+				s.m.RejectedDraining.Add(1)
+				s.finish(r, &msg.SResult{ID: r.id, Status: msg.SStatusDraining})
+			}
+			return
+		}
+	}
+}
+
+// executor runs micro-batches until the dispatcher closes execCh.
+func (s *Server[T]) executor() {
+	defer s.loopWG.Done()
+	for batch := range s.execCh {
+		s.runBatch(batch)
+	}
+}
+
+// runBatch drops queries whose deadline expired while queued, then
+// evaluates the rest in parallel on the engine worker pool. Every
+// request in the batch gets exactly one reply.
+func (s *Server[T]) runBatch(batch []*request[T]) {
+	if s.cfg.execHook != nil {
+		s.cfg.execHook()
+	}
+	now := time.Now()
+	live := batch[:0]
+	for _, r := range batch {
+		if !r.deadline.IsZero() && now.After(r.deadline) {
+			s.m.DeadlineDropped.Add(1)
+			s.finish(r, &msg.SResult{
+				ID: r.id, Status: msg.SStatusDeadline,
+				QueueMicros: saturatingMicros(now.Sub(r.enq)),
+			})
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	// Snapshot the warm cache once per batch; queries opt in per
+	// request via SFlagWarm.
+	var warmSnap []knng.ID
+	if s.warm != nil {
+		warmSnap = s.warm.snapshot()
+	}
+	s.pool.ParallelFor(len(live), func(i int) {
+		s.runOne(live[i], warmSnap)
+	})
+}
+
+// runOne executes a single query (on a pool worker or the executor
+// goroutine) and writes its reply.
+func (s *Server[T]) runOne(r *request[T], warmSnap []knng.ID) {
+	start := time.Now()
+	opt := search.Options{L: r.l, Epsilon: r.eps}
+	if r.warm && len(warmSnap) > 0 {
+		opt.Entries = warmSnap
+		s.m.WarmServed.Add(1)
+	}
+	if !r.deadline.IsZero() {
+		dl := r.deadline
+		opt.Interrupt = func() bool { return time.Now().After(dl) }
+	}
+	rng := rand.New(rand.NewSource(r.seed))
+	ns, st := search.Query(s.src.Graph, s.src.Data, s.src.Dist, r.vec, opt, rng)
+	s.m.DistEvals.Add(st.DistEvals)
+	status := msg.SStatusOK
+	if st.Truncated > 0 {
+		status = msg.SStatusPartial
+		s.m.DeadlineTruncated.Add(1)
+	} else {
+		s.m.CompletedOK.Add(1)
+	}
+	if s.warm != nil {
+		s.warm.feed(ns)
+	}
+	exec := time.Since(start)
+	s.finish(r, &msg.SResult{
+		ID:          r.id,
+		Status:      status,
+		DistEvals:   st.DistEvals,
+		QueueMicros: saturatingMicros(start.Sub(r.enq)),
+		ExecMicros:  saturatingMicros(exec),
+		Neighbors:   ns,
+	})
+	s.m.LatQueue.ObserveDuration(start.Sub(r.enq))
+	s.m.LatExec.ObserveDuration(exec)
+}
+
+// finish writes the reply for an admitted request and releases its
+// admission slot. A write failure (client went away) is counted but
+// never blocks the drain: the request is still "answered".
+func (s *Server[T]) finish(r *request[T], res *msg.SResult) {
+	var w wire.Writer
+	res.Encode(&w)
+	if err := r.conn.writeFrame(msg.SOpQuery, w.Bytes()); err != nil {
+		s.m.WriteErrors.Add(1)
+	}
+	s.m.LatTotal.ObserveDuration(time.Since(r.enq))
+	s.m.Completed.Add(1)
+	s.m.InFlight.Add(-1)
+	s.gate.leave()
+}
+
+func saturatingMicros(d time.Duration) uint32 {
+	us := d.Microseconds()
+	if us < 0 {
+		return 0
+	}
+	if us > int64(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(us)
+}
+
+// warmCache is a small ring of recently-returned good neighbor IDs,
+// served as extra search entry points to queries that ask for them
+// (SFlagWarm). Fresh results displace the oldest entries; the
+// snapshot handed to a batch is a copy, so searches never hold the
+// lock.
+type warmCache struct {
+	mu   sync.Mutex
+	ids  []knng.ID
+	next int
+	full bool
+}
+
+func newWarmCache(capacity int) *warmCache {
+	return &warmCache{ids: make([]knng.ID, capacity)}
+}
+
+// feed records the best few results of a completed query.
+func (w *warmCache) feed(ns []knng.Neighbor) {
+	take := 2
+	if take > len(ns) {
+		take = len(ns)
+	}
+	if take == 0 {
+		return
+	}
+	w.mu.Lock()
+	for i := 0; i < take; i++ {
+		w.ids[w.next] = ns[i].ID
+		w.next++
+		if w.next == len(w.ids) {
+			w.next = 0
+			w.full = true
+		}
+	}
+	w.mu.Unlock()
+}
+
+// snapshot copies the current entries (deduplicated lazily by the
+// search's visited set, so duplicates here are harmless).
+func (w *warmCache) snapshot() []knng.ID {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := w.next
+	if w.full {
+		n = len(w.ids)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]knng.ID, n)
+	copy(out, w.ids[:n])
+	return out
+}
+
+// size reports the number of cached entries (a gauge).
+func (w *warmCache) size() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.full {
+		return len(w.ids)
+	}
+	return w.next
+}

@@ -1,0 +1,486 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"dnnd/internal/engine"
+	"dnnd/internal/knng"
+	"dnnd/internal/metric"
+	"dnnd/internal/msg"
+	"dnnd/internal/wire"
+)
+
+// Source is the read-only index a Server answers queries against —
+// the graph, its dataset, and the metric they were built with. The
+// command-line server fills it from a persisted datastore
+// (dnnd.LoadWithMeta); tests fill it from an in-memory build.
+type Source[T wire.Scalar] struct {
+	Graph   *knng.Graph
+	Data    [][]T
+	Dist    metric.Func[T]
+	Metric  string
+	K       int
+	Refined bool
+}
+
+// Config tunes the request scheduler. The zero value of every field
+// selects a production-reasonable default (see New).
+type Config struct {
+	// L and Epsilon are the search defaults for queries that do not
+	// specify their own (defaults 10 and 0.1).
+	L       int
+	Epsilon float64
+	// QueueDepth bounds the admission queue; a query arriving at a
+	// full queue is rejected immediately with SStatusOverloaded
+	// (default 1024). This is the backpressure signal: clients seeing
+	// overload rejections must slow down.
+	QueueDepth int
+	// BatchMax caps the number of queued queries coalesced into one
+	// micro-batch (default 16).
+	BatchMax int
+	// BatchWait is the optional assembly window: after taking the
+	// first query of a batch and greedily draining whatever else is
+	// queued, the dispatcher waits up to BatchWait for the batch to
+	// fill. The default of 0 is purely dynamic batching — batch size
+	// tracks queue depth with zero added latency when idle.
+	BatchWait time.Duration
+	// Executors is the number of micro-batches in flight at once
+	// (default 2): one keeps latency lowest, two overlap a small
+	// batch's reply writes with the next batch's compute.
+	Executors int
+	// Workers is the intra-batch worker-pool width used to evaluate a
+	// batch's queries in parallel (default GOMAXPROCS), reusing
+	// internal/engine's pool.
+	Workers int
+	// DefaultDeadline applies to queries that do not carry their own
+	// (0 = no deadline). MaxDeadline caps client-requested deadlines
+	// (0 = uncapped). A query whose deadline expires while queued is
+	// dropped with SStatusDeadline; one that expires mid-traversal
+	// returns its best-so-far results with SStatusPartial.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// WarmEntries is the capacity of the warm entry-point cache fed by
+	// recent query results and served to queries that set SFlagWarm
+	// (0 disables the cache).
+	WarmEntries int
+	// WriteTimeout bounds each reply write (default 30s), so a client
+	// that stops reading cannot wedge an executor — or a drain —
+	// behind a full TCP send buffer.
+	WriteTimeout time.Duration
+	// execHook, when non-nil, runs at the start of every batch
+	// execution. Tests use it to stall the executors and force
+	// deterministic queue overflow; it is deliberately unexported.
+	execHook func()
+}
+
+func (c Config) withDefaults() Config {
+	if c.L <= 0 {
+		c.L = 10
+	}
+	if c.Epsilon < 0 {
+		c.Epsilon = 0
+	} else if c.Epsilon == 0 {
+		c.Epsilon = 0.1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 16
+	}
+	if c.Executors <= 0 {
+		c.Executors = 2
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// request is one admitted query flowing through the scheduler.
+type request[T wire.Scalar] struct {
+	conn     *serverConn
+	id       uint64
+	seed     int64
+	l        int
+	eps      float64
+	warm     bool
+	vec      []T
+	deadline time.Time // zero = none
+	enq      time.Time
+}
+
+// serverConn wraps one client connection: reads happen on the
+// connection's reader goroutine, reply writes are serialized by wmu
+// (executor goroutines write completions, the reader writes
+// rejections and control replies).
+type serverConn struct {
+	c        net.Conn
+	wtimeout time.Duration
+	wmu      sync.Mutex
+	wbuf     []byte
+}
+
+func (sc *serverConn) writeFrame(op uint8, payload []byte) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	if sc.wtimeout > 0 {
+		sc.c.SetWriteDeadline(time.Now().Add(sc.wtimeout))
+	}
+	sc.wbuf = appendFrame(sc.wbuf[:0], op, payload)
+	_, err := sc.c.Write(sc.wbuf)
+	return err
+}
+
+// drainGate atomically couples the draining flag with the count of
+// admitted-but-unanswered requests. A WaitGroup cannot express this:
+// Add racing with Wait at counter zero is a data race, and the
+// draining check and the increment have to be one atomic step anyway
+// so that a request admitted concurrently with a drain is always
+// waited for.
+type drainGate struct {
+	mu       sync.Mutex
+	n        int64
+	draining bool
+	idle     chan struct{} // closed once draining && n == 0
+}
+
+func newDrainGate() *drainGate {
+	return &drainGate{idle: make(chan struct{})}
+}
+
+// enter admits one request; it reports false if the gate is draining.
+func (g *drainGate) enter() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return false
+	}
+	g.n++
+	return true
+}
+
+// leave retires one admitted request. Exactly one of leave and drain
+// observes the final draining && n == 0 state, so idle is closed once.
+func (g *drainGate) leave() {
+	g.mu.Lock()
+	g.n--
+	if g.draining && g.n == 0 {
+		close(g.idle)
+	}
+	g.mu.Unlock()
+}
+
+// drain flips the gate shut and returns a channel that is closed once
+// every admitted request has left.
+func (g *drainGate) drain() <-chan struct{} {
+	g.mu.Lock()
+	if !g.draining {
+		g.draining = true
+		if g.n == 0 {
+			close(g.idle)
+		}
+	}
+	g.mu.Unlock()
+	return g.idle
+}
+
+func (g *drainGate) isDraining() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.draining
+}
+
+// Server is a long-lived query server over one index. Create with
+// New, run with Serve, stop with Shutdown.
+type Server[T wire.Scalar] struct {
+	cfg  Config
+	src  Source[T]
+	dim  int
+	elem string
+
+	m    *Metrics
+	warm *warmCache
+
+	queue  chan *request[T]
+	execCh chan []*request[T]
+	pool   *engine.Pool[T]
+
+	gate     *drainGate
+	stop     chan struct{}  // closed after the queue fully drains
+	loopWG   sync.WaitGroup // dispatcher + executors
+	connWG   sync.WaitGroup
+	connMu   sync.Mutex
+	conns    map[*serverConn]struct{}
+	ln       net.Listener
+	lnMu     sync.Mutex
+	shutOnce sync.Once
+}
+
+// New builds a Server over src. It validates the source and spins up
+// the scheduler (dispatcher, executors, worker pool); the server
+// starts accepting connections when Serve is called.
+func New[T wire.Scalar](src Source[T], cfg Config) (*Server[T], error) {
+	if src.Graph == nil || src.Dist == nil {
+		return nil, errors.New("serve: Source needs a Graph and a Dist")
+	}
+	if src.Graph.NumVertices() != len(src.Data) {
+		return nil, fmt.Errorf("serve: graph has %d vertices but dataset has %d rows",
+			src.Graph.NumVertices(), len(src.Data))
+	}
+	if len(src.Data) == 0 {
+		return nil, errors.New("serve: empty dataset")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server[T]{
+		cfg:    cfg,
+		src:    src,
+		dim:    len(src.Data[0]),
+		elem:   elemName[T](),
+		m:      &Metrics{},
+		queue:  make(chan *request[T], cfg.QueueDepth),
+		execCh: make(chan []*request[T], cfg.Executors),
+		gate:   newDrainGate(),
+		stop:   make(chan struct{}),
+		conns:  make(map[*serverConn]struct{}),
+	}
+	s.m.QueueCap = cfg.QueueDepth
+	s.m.QueueDepth = func() int { return len(s.queue) }
+	if cfg.WarmEntries > 0 {
+		s.warm = newWarmCache(cfg.WarmEntries)
+		s.m.WarmCacheSize = s.warm.size
+	}
+	s.pool = engine.NewPool(engine.PoolConfig[T]{Workers: cfg.Workers, Dim: s.dim})
+	s.loopWG.Add(1)
+	go s.dispatch()
+	for i := 0; i < cfg.Executors; i++ {
+		s.loopWG.Add(1)
+		go s.executor()
+	}
+	return s, nil
+}
+
+func elemName[T wire.Scalar]() string {
+	var z T
+	switch any(z).(type) {
+	case float32:
+		return "float32"
+	case uint8:
+		return "uint8"
+	default:
+		return "uint32"
+	}
+}
+
+// Metrics exposes the server's observability surface.
+func (s *Server[T]) Metrics() *Metrics { return s.m }
+
+// Serve accepts connections on ln until Shutdown closes it. It
+// returns nil on a clean shutdown.
+func (s *Server[T]) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if s.gate.isDraining() {
+				return nil
+			}
+			return err
+		}
+		sc := &serverConn{c: c, wtimeout: s.cfg.WriteTimeout}
+		s.connMu.Lock()
+		s.conns[sc] = struct{}{}
+		s.connMu.Unlock()
+		s.m.Conns.Add(1)
+		s.m.ConnsTotal.Add(1)
+		s.connWG.Add(1)
+		go s.handleConn(sc)
+	}
+}
+
+// handleConn is the per-connection reader loop.
+func (s *Server[T]) handleConn(sc *serverConn) {
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, sc)
+		s.connMu.Unlock()
+		s.m.Conns.Add(-1)
+		sc.c.Close()
+		s.connWG.Done()
+	}()
+	br := newConnReader(sc.c)
+	var w wire.Writer
+	for {
+		op, payload, err := readFrame(br)
+		if err != nil {
+			return // EOF, client reset, or garbage framing: drop the conn
+		}
+		switch op {
+		case msg.SOpHello:
+			s.m.Hellos.Add(1)
+			reply := msg.SHelloReply{
+				Elem:           s.elem,
+				Metric:         s.src.Metric,
+				N:              uint32(len(s.src.Data)),
+				Dim:            uint32(s.dim),
+				K:              uint32(s.src.K),
+				Refined:        s.src.Refined,
+				DefaultL:       uint32(s.cfg.L),
+				DefaultEpsilon: float32(s.cfg.Epsilon),
+			}
+			w.Reset()
+			reply.Encode(&w)
+			if sc.writeFrame(msg.SOpHello, w.Bytes()) != nil {
+				return
+			}
+		case msg.SOpHealth:
+			s.m.HealthProbes.Add(1)
+			if sc.writeFrame(msg.SOpHealth, []byte(s.healthText())) != nil {
+				return
+			}
+		case msg.SOpStats:
+			s.m.StatsDumps.Add(1)
+			if sc.writeFrame(msg.SOpStats, []byte(s.m.Dump())) != nil {
+				return
+			}
+		case msg.SOpQuery:
+			if !s.handleQuery(sc, payload) {
+				return
+			}
+		default:
+			return // unknown op: protocol error, drop the conn
+		}
+	}
+}
+
+// handleQuery decodes and admits one query; it reports whether the
+// connection is still usable.
+func (s *Server[T]) handleQuery(sc *serverConn, payload []byte) bool {
+	var q msg.SQuery[T]
+	r := wire.NewReader(payload)
+	q.Decode(r)
+	if r.Finish() != nil || len(q.Vec) != s.dim || int64(q.L) > int64(len(s.src.Data)) {
+		s.m.RejectedBad.Add(1)
+		return s.reject(sc, q.ID, msg.SStatusBadRequest)
+	}
+	now := time.Now()
+	req := &request[T]{
+		conn: sc,
+		id:   q.ID,
+		seed: q.Seed,
+		l:    int(q.L),
+		eps:  float64(q.Epsilon),
+		warm: q.Flags&msg.SFlagWarm != 0 && s.warm != nil,
+		vec:  q.Vec,
+		enq:  now,
+	}
+	if req.l == 0 {
+		req.l = s.cfg.L
+	}
+	if q.Epsilon == 0 {
+		req.eps = s.cfg.Epsilon
+	}
+	dl := s.cfg.DefaultDeadline
+	if q.DeadlineMicros > 0 {
+		dl = time.Duration(q.DeadlineMicros) * time.Microsecond
+		if s.cfg.MaxDeadline > 0 && dl > s.cfg.MaxDeadline {
+			dl = s.cfg.MaxDeadline
+		}
+	}
+	if dl > 0 {
+		req.deadline = now.Add(dl)
+	}
+
+	// Admission. The gate makes the draining check and the in-flight
+	// increment one atomic step: a request it admits is guaranteed to
+	// be waited for by a concurrent drain (see Shutdown), so an
+	// admitted query is never dropped.
+	if !s.gate.enter() {
+		s.m.RejectedDraining.Add(1)
+		return s.reject(sc, q.ID, msg.SStatusDraining)
+	}
+	select {
+	case s.queue <- req:
+		s.m.Accepted.Add(1)
+		s.m.InFlight.Add(1)
+		if d := int64(len(s.queue)); d > s.m.QueueMax.Load() {
+			s.m.QueueMax.Store(d) // racy max: close enough for a gauge
+		}
+		return true
+	default:
+		// Queue full: typed overload rejection, never a block and
+		// never silence. The client reads this as backpressure.
+		s.gate.leave()
+		s.m.RejectedOverload.Add(1)
+		return s.reject(sc, q.ID, msg.SStatusOverloaded)
+	}
+}
+
+// reject writes an immediate no-result reply; it reports whether the
+// connection survived the write.
+func (s *Server[T]) reject(sc *serverConn, id uint64, status uint8) bool {
+	var w wire.Writer
+	res := msg.SResult{ID: id, Status: status}
+	res.Encode(&w)
+	return sc.writeFrame(msg.SOpQuery, w.Bytes()) == nil
+}
+
+func (s *Server[T]) healthText() string {
+	state := "ok"
+	if s.gate.isDraining() {
+		state = "draining"
+	}
+	return fmt.Sprintf("%s n=%d dim=%d elem=%s metric=%s inflight=%d queue=%d/%d\n",
+		state, len(s.src.Data), s.dim, s.elem, s.src.Metric,
+		s.m.InFlight.Load(), len(s.queue), s.cfg.QueueDepth)
+}
+
+// Shutdown gracefully drains the server (the SIGTERM path): stop
+// accepting connections, reject new queries with SStatusDraining,
+// wait until every admitted query has been answered, then stop the
+// scheduler and close all connections. Zero admitted requests are
+// dropped. ctx bounds the wait; on expiry the server stops hard and
+// ctx.Err() is returned.
+func (s *Server[T]) Shutdown(ctx context.Context) error {
+	var err error
+	s.shutOnce.Do(func() {
+		drained := s.gate.drain()
+		s.lnMu.Lock()
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		s.lnMu.Unlock()
+
+		select {
+		case <-drained:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+
+		// The queue is empty now (or we gave up waiting): stop the
+		// dispatcher, let executors drain execCh, stop the pool.
+		close(s.stop)
+		s.loopWG.Wait()
+		s.pool.Shutdown()
+
+		// Finally drop the client connections; their readers exit.
+		s.connMu.Lock()
+		for sc := range s.conns {
+			sc.c.Close()
+		}
+		s.connMu.Unlock()
+		s.connWG.Wait()
+	})
+	return err
+}

@@ -24,6 +24,9 @@ trap 'rm -f "$tmp"' EXIT
   go test -run '^$' -bench . -benchmem "$@" ./internal/metric/
   # Comm substrate (aggregation, delivery, barrier).
   go test -run '^$' -bench . -benchmem "$@" ./internal/ygm/
+  # Online serving: loopback round-trip floor + closed-loop throughput
+  # (server and loadgen in-process; see results/serve.md).
+  go test -run '^$' -bench '^BenchmarkServe' -benchmem "$@" ./internal/serve/
 } | tee "$tmp"
 
 go run ./cmd/benchjson < "$tmp" > "$out"

@@ -15,6 +15,10 @@ fi
 
 echo "== go vet"
 go vet ./...
+# The serving binaries are vetted above with everything else; this
+# explicit pass guarantees they stay vet-clean even if the package
+# list above is ever narrowed.
+go vet ./cmd/dnnd-serve/ ./cmd/dnnd-loadgen/
 
 echo "== go build"
 go build ./...
@@ -24,6 +28,12 @@ go test ./...
 
 echo "== go test -race (comm + core)"
 go test -race ./internal/ygm/ ./internal/core/ ./internal/dquery/
+
+echo "== go test -race (online serving: server + loadgen in-process)"
+# The serve e2e suite runs the whole subsystem — admission, batching,
+# drain, loadgen — in-process on loopback; the race detector watches
+# the scheduler, the connection writers, and the metrics.
+go test -race -count=1 ./internal/serve/ ./internal/bootstrap/
 
 echo "== go test -race (core + dquery with worker pools active)"
 # Re-run the suites with every construction forced onto a 3-wide
@@ -38,6 +48,7 @@ echo "== fuzz smoke (message codecs + bulk LE codec)"
 # catches decoder panics on malformed bytes before they land.
 go test -run='^$' -fuzz='^FuzzCoreMessages$' -fuzztime=2s ./internal/msg/
 go test -run='^$' -fuzz='^FuzzDQueryMessages$' -fuzztime=2s ./internal/msg/
+go test -run='^$' -fuzz='^FuzzServeMessages$' -fuzztime=2s ./internal/msg/
 go test -run='^$' -fuzz='^FuzzBulkCodec$' -fuzztime=2s ./internal/wire/
 
 echo "CI OK"

@@ -16,6 +16,28 @@ const (
 	objDataset = "dataset"
 )
 
+// storeVersion is the on-disk format version written by Save and
+// required by Load.
+const storeVersion = 1
+
+// MismatchError reports a typed incompatibility between a persisted
+// datastore and what the caller asked for: an unknown format version,
+// or an element type different from the requested instantiation.
+// Callers distinguish the two via Field ("version" or "elem") and can
+// recover — e.g. the serve and query commands re-dispatch on
+// StoreElem after an elem mismatch.
+type MismatchError struct {
+	Dir   string // datastore directory
+	Field string // "version" | "elem"
+	Got   string // what the store holds
+	Want  string // what this build understands / the caller requested
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("dnnd: store %s: %s mismatch: have %s, want %s",
+		e.Dir, e.Field, e.Got, e.Want)
+}
+
 // storeMeta describes a persisted index (JSON inside the datastore).
 type storeMeta struct {
 	Version int        `json:"version"`
@@ -48,7 +70,7 @@ func Save[T Scalar](dir string, ix *Index[T], refined bool) error {
 		return err
 	}
 	meta := storeMeta{
-		Version: 1,
+		Version: storeVersion,
 		K:       ix.k,
 		Metric:  ix.kind,
 		Elem:    elemName[T](),
@@ -95,9 +117,16 @@ func LoadWithMeta[T Scalar](dir string) (*Index[T], bool, error) {
 	if err := json.Unmarshal(rawMeta, &meta); err != nil {
 		return nil, false, fmt.Errorf("dnnd: bad store metadata: %w", err)
 	}
+	if meta.Version != storeVersion {
+		return nil, false, &MismatchError{
+			Dir: dir, Field: "version",
+			Got: fmt.Sprintf("%d", meta.Version), Want: fmt.Sprintf("%d", storeVersion),
+		}
+	}
 	if meta.Elem != elemName[T]() {
-		return nil, false, fmt.Errorf("dnnd: store holds %s data, requested %s",
-			meta.Elem, elemName[T]())
+		return nil, false, &MismatchError{
+			Dir: dir, Field: "elem", Got: meta.Elem, Want: elemName[T](),
+		}
 	}
 
 	rawGraph, err := mgr.Get(objGraph)

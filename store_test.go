@@ -1,0 +1,195 @@
+package dnnd
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"dnnd/internal/brute"
+	"dnnd/internal/metall"
+	"dnnd/internal/metric"
+)
+
+// saveLoadRoundTrip persists a small brute-force index and reloads it,
+// checking the graph, the dataset, and every storeMeta field survive.
+func saveLoadRoundTrip[T Scalar](t *testing.T, data [][]T, kind MetricKind, refined bool) {
+	t.Helper()
+	const k = 4
+	dist, err := metricFor[T](kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := brute.KNNGraph(data, k, dist, 0)
+	ix, err := NewIndex(g, data, kind, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := Save(dir, ix, refined); err != nil {
+		t.Fatal(err)
+	}
+
+	if elem, err := StoreElem(dir); err != nil || elem != elemName[T]() {
+		t.Fatalf("StoreElem = %q, %v; want %q", elem, err, elemName[T]())
+	}
+	lx, gotRefined, err := LoadWithMeta[T](dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRefined != refined {
+		t.Fatalf("Refined round-trip: got %v, want %v", gotRefined, refined)
+	}
+	if lx.K() != k || lx.Metric() != kind || lx.Len() != len(data) {
+		t.Fatalf("meta round-trip: k=%d metric=%q n=%d", lx.K(), lx.Metric(), lx.Len())
+	}
+	for i, row := range lx.Data() {
+		if len(row) != len(data[i]) {
+			t.Fatalf("dataset row %d: %d elems, want %d", i, len(row), len(data[i]))
+		}
+		for j := range row {
+			if row[j] != data[i][j] {
+				t.Fatalf("dataset[%d][%d] = %v, want %v", i, j, row[j], data[i][j])
+			}
+		}
+	}
+	for v := range data {
+		got, want := lx.Graph().Neighbors[v], g.Neighbors[v]
+		if len(got) != len(want) {
+			t.Fatalf("vertex %d: %d neighbors, want %d", v, len(got), len(want))
+		}
+		for j := range want {
+			if got[j].ID != want[j].ID || got[j].Dist != want[j].Dist {
+				t.Fatalf("vertex %d neighbor %d: got %+v, want %+v", v, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestStoreRoundTripAllElems(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n, dim = 40, 6
+
+	f32 := make([][]float32, n)
+	for i := range f32 {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = rng.Float32()
+		}
+		f32[i] = v
+	}
+	u8 := make([][]uint8, n)
+	for i := range u8 {
+		v := make([]uint8, dim)
+		for j := range v {
+			v[j] = uint8(rng.Intn(256))
+		}
+		u8[i] = v
+	}
+	// uint32 rows are sorted distinct sets (Jaccard data).
+	u32 := make([][]uint32, n)
+	for i := range u32 {
+		v := make([]uint32, 0, dim)
+		for x := uint32(0); x < 4*dim; x++ {
+			if rng.Intn(4) == 0 && len(v) < dim {
+				v = append(v, x)
+			}
+		}
+		if len(v) == 0 {
+			v = append(v, uint32(i))
+		}
+		u32[i] = v
+	}
+
+	t.Run("float32", func(t *testing.T) { saveLoadRoundTrip(t, f32, metric.SquaredL2, false) })
+	t.Run("float32Refined", func(t *testing.T) { saveLoadRoundTrip(t, f32, metric.SquaredL2, true) })
+	t.Run("uint8", func(t *testing.T) { saveLoadRoundTrip(t, u8, metric.L2, true) })
+	t.Run("uint32", func(t *testing.T) { saveLoadRoundTrip(t, u32, metric.Jaccard, false) })
+}
+
+// TestStoreElemMismatchTyped: loading with the wrong element
+// instantiation surfaces a *MismatchError a server can branch on, not
+// an opaque formatted error.
+func TestStoreElemMismatchTyped(t *testing.T) {
+	data := [][]float32{{0, 1}, {1, 0}, {1, 1}, {0, 0}, {2, 2}}
+	dist, err := metricFor[float32](metric.SquaredL2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := brute.KNNGraph(data, 2, dist, 0)
+	ix, err := NewIndex(g, data, metric.SquaredL2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := Save(dir, ix, false); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err = LoadWithMeta[uint8](dir)
+	var mm *MismatchError
+	if !errors.As(err, &mm) {
+		t.Fatalf("elem mismatch returned %T (%v), want *MismatchError", err, err)
+	}
+	if mm.Field != "elem" || mm.Got != "float32" || mm.Want != "uint8" || mm.Dir != dir {
+		t.Fatalf("mismatch detail: %+v", mm)
+	}
+	if mm.Error() == "" {
+		t.Fatalf("empty error text")
+	}
+}
+
+// TestStoreVersionMismatchTyped: a datastore from a future format
+// version is refused with a typed version mismatch instead of being
+// misread.
+func TestStoreVersionMismatchTyped(t *testing.T) {
+	data := [][]float32{{0, 1}, {1, 0}, {1, 1}, {0, 0}, {2, 2}}
+	dist, err := metricFor[float32](metric.SquaredL2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := brute.KNNGraph(data, 2, dist, 0)
+	ix, err := NewIndex(g, data, metric.SquaredL2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := Save(dir, ix, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tamper: bump the stored version.
+	mgr, err := metall.OpenOrCreate(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := mgr.Get(objMeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta storeMeta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		t.Fatal(err)
+	}
+	meta.Version = storeVersion + 1
+	raw, err = json.Marshal(&meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Put(objMeta, raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err = LoadWithMeta[float32](dir)
+	var mm *MismatchError
+	if !errors.As(err, &mm) {
+		t.Fatalf("version mismatch returned %T (%v), want *MismatchError", err, err)
+	}
+	if mm.Field != "version" || mm.Got != "2" || mm.Want != "1" {
+		t.Fatalf("mismatch detail: %+v", mm)
+	}
+}
