@@ -10,6 +10,7 @@ import (
 	"io"
 	"testing"
 
+	"dnnd"
 	"dnnd/internal/bench"
 	"dnnd/internal/core"
 	"dnnd/internal/dataset"
@@ -91,6 +92,52 @@ func BenchmarkConstructionWorkers(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkConstructionTracer measures the observability tax: the same
+// end-to-end build with no tracer attached and with a live tracer
+// capturing the full span timeline (phases, supersteps, barriers,
+// flushes, mailbox counters). The off variant is the guarantee that the
+// obs layer costs nothing when unused — its ns/op must track
+// BenchmarkConstruction — and the on/off gap is the (small) price of a
+// recorded timeline. scripts/bench.sh snapshots both into
+// BENCH_PR<N>.json.
+func BenchmarkConstructionTracer(b *testing.B) {
+	p, err := dataset.ByName("deep")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := dataset.Generate(p, 2000, 1)
+	for _, mode := range []struct {
+		name   string
+		traced bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opt := dnnd.BuildOptions{K: 10, Metric: p.Metric, Ranks: 4, Seed: 1}
+				var tr *dnnd.Tracer
+				if mode.traced {
+					tr = dnnd.NewTracer()
+					opt.Tracer = tr
+				}
+				res, err := dnnd.Build(d.F32, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(res.DistEvals), "dist-evals")
+					if mode.traced {
+						events := 0
+						for _, track := range tr.Tracks() {
+							events += track.Len()
+						}
+						b.ReportMetric(float64(events), "trace-events")
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -19,12 +19,15 @@ import (
 	"dnnd/internal/core"
 	"dnnd/internal/dataset"
 	"dnnd/internal/metric"
+	"dnnd/internal/obs"
 	"dnnd/internal/vecio"
 )
 
 var (
-	tcpRank  = flag.Int("tcp-rank", -1, "this process's rank for multi-process TCP construction")
-	tcpAddrs = flag.String("tcp-addrs", "", "comma-separated rank addresses (host:port per rank) for TCP construction")
+	tcpRank   = flag.Int("tcp-rank", -1, "this process's rank for multi-process TCP construction")
+	tcpAddrs  = flag.String("tcp-addrs", "", "comma-separated rank addresses (host:port per rank) for TCP construction")
+	traceOut  = flag.String("trace", "", "write the build's span timeline to this file (Perfetto-loadable JSON)")
+	debugAddr = flag.String("debug-addr", "", "serve pprof + /metrics + /trace on this address while building")
 )
 
 func main() {
@@ -104,17 +107,57 @@ func main() {
 	}
 }
 
+// setupObs wires the opt-in observability flags: a tracer when -trace
+// or -debug-addr asks for one, a metrics registry, and the debug
+// listener. The returned finish writes the trace file after the build.
+func setupObs() (tr *dnnd.Tracer, reg *dnnd.Registry, finish func()) {
+	if *traceOut != "" || *debugAddr != "" {
+		tr = dnnd.NewTracer()
+	}
+	reg = dnnd.NewRegistry()
+	var dbg *obs.DebugServer
+	if *debugAddr != "" {
+		var err error
+		dbg, err = obs.ServeDebug(*debugAddr, reg, tr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dnnd-construct: debug listener on http://%s (pprof, /metrics, /trace)\n", dbg.Addr())
+	}
+	return tr, reg, func() {
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := tr.WriteJSON(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("dnnd-construct: trace written to %s\n", *traceOut)
+		}
+		if dbg != nil {
+			dbg.Close()
+		}
+	}
+}
+
 func construct[T dnnd.Scalar](data [][]T, opts dnnd.BuildOptions, storeDir string) {
 	if *tcpAddrs != "" {
 		constructTCP(data, opts, storeDir, *tcpRank, bootstrap.ParseAddrs(*tcpAddrs))
 		return
 	}
+	var finish func()
+	opts.Tracer, opts.Metrics, finish = setupObs()
 	start := time.Now()
 	res, err := dnnd.Build(data, opts)
 	if err != nil {
 		fatal(err)
 	}
 	wall := time.Since(start)
+	finish()
 	ix, err := dnnd.NewIndex(res.Graph, data, res.Metric, res.K)
 	if err != nil {
 		fatal(err)
@@ -148,6 +191,15 @@ func constructTCP[T dnnd.Scalar](data [][]T, opts dnnd.BuildOptions, storeDir st
 		fatal(err)
 	}
 	defer c.Close()
+
+	// Each TCP process traces its own rank's track; the per-process
+	// trace files can be concatenated in Perfetto for a global view.
+	tracer, reg, finishObs := setupObs()
+	if tracer != nil {
+		c.SetTrace(tracer.Track(fmt.Sprintf("rank %d", rank), rank))
+	}
+	c.PublishMetrics(reg)
+	defer finishObs()
 
 	cfg := core.DefaultConfig(opts.K)
 	cfg.Seed = opts.Seed

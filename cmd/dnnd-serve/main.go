@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"dnnd"
+	"dnnd/internal/obs"
 	"dnnd/internal/serve"
 )
 
@@ -35,6 +36,7 @@ func main() {
 		maxDeadline = flag.Duration("max-deadline", 0, "cap on client-requested deadlines (0 = uncapped)")
 		warm        = flag.Int("warm", 0, "warm entry-point cache size (0 = disabled)")
 		drainWait   = flag.Duration("drain", 30*time.Second, "graceful-drain budget on shutdown")
+		debugAddr   = flag.String("debug-addr", "", "serve pprof + /metrics + /trace on this address")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -59,31 +61,45 @@ func main() {
 	}
 	switch elem {
 	case "float32":
-		run[float32](*storeDir, *addr, cfg, *drainWait)
+		run[float32](*storeDir, *addr, *debugAddr, cfg, *drainWait)
 	case "uint8":
-		run[uint8](*storeDir, *addr, cfg, *drainWait)
+		run[uint8](*storeDir, *addr, *debugAddr, cfg, *drainWait)
 	case "uint32":
-		run[uint32](*storeDir, *addr, cfg, *drainWait)
+		run[uint32](*storeDir, *addr, *debugAddr, cfg, *drainWait)
 	default:
 		fatal(fmt.Errorf("unknown element type %q", elem))
 	}
 }
 
-func run[T dnnd.Scalar](storeDir, addr string, cfg serve.Config, drainWait time.Duration) {
+func run[T dnnd.Scalar](storeDir, addr, debugAddr string, cfg serve.Config, drainWait time.Duration) {
 	ix, refined, err := dnnd.LoadWithMeta[T](storeDir)
 	if err != nil {
 		fatal(err)
 	}
-	s, err := serve.New(serve.Source[T]{
+	src := serve.Source[T]{
 		Graph:   ix.Graph(),
 		Data:    ix.Data(),
 		Dist:    ix.Dist(),
 		Metric:  string(ix.Metric()),
 		K:       ix.K(),
 		Refined: refined,
-	}, cfg)
+	}
+	var tracer *obs.Tracer
+	if debugAddr != "" {
+		tracer = obs.NewTracer(0)
+		cfg.Trace = tracer.Track("serve", 0)
+	}
+	s, err := serve.New(src, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if debugAddr != "" {
+		dbg, err := obs.ServeDebug(debugAddr, s.Metrics().Registry(), tracer)
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Printf("dnnd-serve: debug listener on http://%s (pprof, /metrics, /trace)\n", dbg.Addr())
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -1,0 +1,123 @@
+// Command tracecheck validates a trace file written by -trace or the
+// /trace debug endpoint: it must decode as Chrome trace-event JSON and
+// every track's synchronous spans must nest properly (the invariant
+// Perfetto's timeline rendering assumes). It prints a one-line summary
+// of tracks, spans, and counters, and exits non-zero on any violation
+// — the CI trace smoke runs it over a real 3-rank build's output.
+//
+// Usage: tracecheck [-require name]... trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"dnnd/internal/obs"
+)
+
+// requireFlag collects repeated -require values.
+type requireFlag []string
+
+func (r *requireFlag) String() string     { return strings.Join(*r, ",") }
+func (r *requireFlag) Set(s string) error { *r = append(*r, s); return nil }
+
+func main() {
+	var require requireFlag
+	flag.Var(&require, "require", "fail unless a span with this name prefix is present (repeatable)")
+	summary := flag.Bool("summary", false, "print a per-span-name time breakdown after validating")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require name]... trace.json")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	doc, err := obs.DecodeTrace(raw)
+	if err != nil {
+		fatal(fmt.Errorf("%s does not decode: %w", flag.Arg(0), err))
+	}
+	nspans, err := doc.Validate()
+	if err != nil {
+		fatal(fmt.Errorf("%s does not validate: %w", flag.Arg(0), err))
+	}
+
+	spans := doc.SpanNames()
+	async := doc.AsyncSpanNames()
+	counters := doc.CounterNames()
+	for _, want := range require {
+		found := false
+		for name := range spans {
+			if strings.HasPrefix(name, want) {
+				found = true
+				break
+			}
+		}
+		for name := range async {
+			if strings.HasPrefix(name, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fatal(fmt.Errorf("%s: no span named %s* (have %v)", flag.Arg(0), want, names(spans)))
+		}
+	}
+	fmt.Printf("tracecheck: %s ok — %d spans (%d names), %d async, %d counter tracks\n",
+		flag.Arg(0), nspans, len(spans), len(async), len(counters))
+	if *summary {
+		printSummary(doc)
+	}
+}
+
+// printSummary aggregates the synchronous spans by name: count, total
+// time summed over all tracks, and mean duration. Note nested spans
+// double-count their parents' time — the table reads per-name, not as
+// a partition of the wall clock.
+func printSummary(doc *obs.TraceDoc) {
+	type agg struct {
+		name  string
+		n     int
+		total float64 // microseconds
+	}
+	byName := map[string]*agg{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		a := byName[ev.Name]
+		if a == nil {
+			a = &agg{name: ev.Name}
+			byName[ev.Name] = a
+		}
+		a.n++
+		a.total += ev.Dur
+	}
+	rows := make([]*agg, 0, len(byName))
+	for _, a := range byName {
+		rows = append(rows, a)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].total > rows[j].total })
+	fmt.Printf("%-24s %8s %12s %12s\n", "span", "count", "total ms", "mean µs")
+	for _, a := range rows {
+		fmt.Printf("%-24s %8d %12.2f %12.1f\n", a.name, a.n, a.total/1e3, a.total/float64(a.n))
+	}
+}
+
+func names(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+	os.Exit(1)
+}

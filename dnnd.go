@@ -9,6 +9,7 @@ import (
 	"dnnd/internal/core"
 	"dnnd/internal/knng"
 	"dnnd/internal/metric"
+	"dnnd/internal/obs"
 	"dnnd/internal/rptree"
 	"dnnd/internal/search"
 	"dnnd/internal/ygm"
@@ -37,6 +38,26 @@ type MetricKind = metric.Kind
 
 // Kinds lists the supported metric names.
 func Kinds() []MetricKind { return metric.Kinds() }
+
+// Tracer captures a span timeline of a build: one track per rank with
+// nested phase/superstep/barrier/flush spans and mailbox-congestion
+// counter tracks. Attach via BuildOptions.Tracer and export with
+// WriteJSON (Chrome trace-event JSON, loadable in Perfetto). Tracing
+// changes no protocol decision; a nil *Tracer records nothing.
+type Tracer = obs.Tracer
+
+// NewTracer returns an enabled tracer with the default per-track
+// event capacity.
+func NewTracer() *Tracer { return obs.NewTracer(0) }
+
+// Registry is the shared metrics registry (text and JSON dump formats
+// common to dnnd-bench, dnnd-construct, and dnnd-serve). Attach via
+// BuildOptions.Metrics to sample live communication counters during a
+// build, e.g. from a debug listener.
+type Registry = obs.Registry
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
 
 // BuildOptions configures Build. The zero value of optional fields
 // picks the paper's defaults (rho=0.8, delta=0.001, optimized
@@ -72,6 +93,14 @@ type BuildOptions struct {
 	// evaluation (default: GOMAXPROCS divided among the ranks). Results
 	// are identical for every width; see core.Config.Workers.
 	Workers int
+	// Tracer, when non-nil, records the build's span timeline (one
+	// track per rank; export with Tracer.WriteJSON). The graph and
+	// every protocol decision are identical with or without it.
+	Tracer *Tracer
+	// Metrics, when non-nil, receives live per-rank ygm_* communication
+	// counters, refreshed at every barrier exit — the registry a debug
+	// listener serves while the build runs.
+	Metrics *Registry
 }
 
 func (o BuildOptions) coreConfig() core.Config {
@@ -143,6 +172,10 @@ func Build[T Scalar](data [][]T, opt BuildOptions) (*BuildResult, error) {
 	}
 
 	world := ygm.NewLocalWorld(ranks)
+	world.SetTracer(opt.Tracer)
+	if opt.Metrics != nil {
+		world.PublishMetrics(opt.Metrics)
+	}
 	var mu sync.Mutex
 	var root *core.Result
 	err = world.Run(func(c *ygm.Comm) error {
@@ -281,6 +314,10 @@ func buildWithPrior[T Scalar](data [][]T, prior *Graph, opt BuildOptions) (*Buil
 		return nil, err
 	}
 	world := ygm.NewLocalWorld(ranks)
+	world.SetTracer(opt.Tracer)
+	if opt.Metrics != nil {
+		world.PublishMetrics(opt.Metrics)
+	}
 	var mu sync.Mutex
 	var root *core.Result
 	err = world.Run(func(c *ygm.Comm) error {

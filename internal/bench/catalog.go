@@ -10,6 +10,7 @@ import (
 	"dnnd/internal/dquery"
 	"dnnd/internal/engine"
 	"dnnd/internal/metric"
+	"dnnd/internal/obs"
 	"dnnd/internal/ygm"
 )
 
@@ -86,5 +87,18 @@ func MessageCatalog(opt Options) ([]CatalogRow, error) {
 		t.row(r.Name, r.Phase, fmt.Sprint(r.Msgs), fmt.Sprint(r.Bytes), fmt.Sprint(r.Recv))
 	}
 	t.render(opt.Out)
+
+	// The same rows in the shared registry text format (one
+	// `name{labels} value` line per sample), so the catalog is directly
+	// diffable against dnnd-serve's /metrics and a build's debug dump.
+	reg := obs.NewRegistry()
+	for i := range rows {
+		r := rows[i]
+		reg.Sample(fmt.Sprintf("dnnd_handler_sent_msgs{handler=%q}", r.Name), func() int64 { return r.Msgs })
+		reg.Sample(fmt.Sprintf("dnnd_handler_sent_bytes{handler=%q}", r.Name), func() int64 { return r.Bytes })
+		reg.Sample(fmt.Sprintf("dnnd_handler_recv_msgs{handler=%q}", r.Name), func() int64 { return r.Recv })
+	}
+	header(opt.Out, "Message catalog: registry text dump")
+	reg.DumpText(opt.Out)
 	return rows, nil
 }

@@ -172,11 +172,13 @@ func BuildWarmKernel[T wire.Scalar](c *ygm.Comm, shard *Shard[T], kern metric.Ke
 	threshold := int64(cfg.Delta * float64(cfg.K) * float64(shard.N))
 	for res.Iters < cfg.MaxIters {
 		res.Iters++
+		rsp := c.Trace().BeginArg("nd.round", int64(res.Iters))
 		checks := b.round()
 		globalUpdates := c.AllReduceSum(b.updates)
 		globalChecks := c.AllReduceSum(checks)
 		b.updates = 0
 		res.Rounds = append(res.Rounds, RoundInfo{Updates: globalUpdates, Checks: globalChecks})
+		rsp.End()
 		if globalUpdates < threshold {
 			break
 		}

@@ -59,5 +59,6 @@ func newWorkpool[T wire.Scalar](b *builder[T], workers int) *engine.Pool[T] {
 		Eval:      b.kern.EvalMany,
 		Apply:     b.applyTask,
 		Comm:      b.c,
+		Trace:     b.c.Trace(),
 	})
 }

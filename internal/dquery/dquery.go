@@ -79,6 +79,16 @@ type Stats struct {
 	// under the phase-qualified handler names ("dq.query.expand", ...),
 	// in registration order — identical on every rank.
 	PerMessage []engine.MessageStat
+	// PerSuperstep attributes this rank's query traffic to expansion
+	// waves: entry s is the rank-LOCAL per-handler delta between the
+	// end of wave s+1 and the end of wave s (entry 0 additionally
+	// includes the seeding fan-out that precedes the first wave). It is
+	// collected incrementally after each wave's quiescence barrier —
+	// not once at the end like PerMessage, whose collective only runs
+	// after the final gather — so partial runs still have attribution.
+	// Summing PerSuperstep over all ranks and waves reproduces the
+	// PerMessage totals for the dq.query.* handlers.
+	PerSuperstep [][]engine.MessageStat
 }
 
 // qstate is one active query's search state on its home rank.
@@ -157,6 +167,11 @@ func (e *Engine[T]) Run(queries [][]T, opt Options) ([][]knng.Neighbor, Stats, e
 	rng := rand.New(rand.NewSource(opt.Seed*31 + int64(e.c.Rank())))
 
 	n := e.shard.N
+	// Baseline for the incremental per-wave attribution: taken before
+	// the seeding fan-out so wave 1's delta covers it.
+	prevLocal := e.eng.LocalMessageStats()
+	var perStep [][]engine.MessageStat
+
 	// Seed every home-owned query.
 	e.phQuery.Local(func() {
 		for qid := range queries {
@@ -187,7 +202,7 @@ func (e *Engine[T]) Run(queries [][]T, opt Options) ([][]knng.Neighbor, Stats, e
 	})
 	e.phQuery.Drain()
 
-	steps := e.phQuery.Supersteps(func() int64 {
+	steps := e.phQuery.SuperstepsHook(func() int64 {
 		var active int64
 		for qid, q := range e.states {
 			if q.done {
@@ -199,18 +214,38 @@ func (e *Engine[T]) Run(queries [][]T, opt Options) ([][]knng.Neighbor, Stats, e
 			}
 		}
 		return active
+	}, func(step int64) {
+		cur := e.eng.LocalMessageStats()
+		perStep = append(perStep, diffMessageStats(cur, prevLocal))
+		prevLocal = cur
 	})
 
 	// Gather before the collective stats so the result traffic shows
 	// up in the per-message catalog.
 	results := e.gather(len(queries))
 	stats := Stats{
-		DistEvals:  e.c.AllReduceSum(e.distEvals),
-		Expansions: e.c.AllReduceSum(e.expansions),
-		Supersteps: steps,
-		PerMessage: e.eng.MessageStats(),
+		DistEvals:    e.c.AllReduceSum(e.distEvals),
+		Expansions:   e.c.AllReduceSum(e.expansions),
+		Supersteps:   steps,
+		PerMessage:   e.eng.MessageStats(),
+		PerSuperstep: perStep,
 	}
 	return results, stats, nil
+}
+
+// diffMessageStats returns cur - prev entrywise (both are in engine
+// registration order, so entries align by index).
+func diffMessageStats(cur, prev []engine.MessageStat) []engine.MessageStat {
+	out := make([]engine.MessageStat, len(cur))
+	for i, c := range cur {
+		out[i] = c
+		if i < len(prev) {
+			out[i].SentMsgs -= prev[i].SentMsgs
+			out[i].SentBytes -= prev[i].SentBytes
+			out[i].RecvMsgs -= prev[i].RecvMsgs
+		}
+	}
+	return out
 }
 
 // advance expands up to Beam frontier vertices of one query, or

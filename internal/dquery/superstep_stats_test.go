@@ -1,0 +1,87 @@
+package dquery
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"dnnd/internal/core"
+	"dnnd/internal/engine"
+	"dnnd/internal/metric"
+	"dnnd/internal/ygm"
+)
+
+// TestPerSuperstepStats pins the incremental traffic attribution: the
+// per-wave deltas are collected after each superstep's quiescence
+// barrier (not once at the end), so one entry exists per superstep,
+// every delta is non-negative, and summing the deltas over all ranks
+// and waves reproduces the collective PerMessage totals for every
+// dq.query.* handler.
+func TestPerSuperstepStats(t *testing.T) {
+	data := clusteredData(3, 600, 6)
+	queries := clusteredData(4, 30, 6)[:30]
+	const k = 8
+	const nranks = 3
+
+	w := ygm.NewLocalWorld(nranks)
+	var mu sync.Mutex
+	allStats := make([]Stats, nranks)
+	err := w.Run(func(c *ygm.Comm) error {
+		shard := core.Partition(data, c.Rank(), c.NRanks())
+		res, err := core.Build(c, shard, metric.SquaredL2Float32, core.DefaultConfig(k))
+		if err != nil {
+			return err
+		}
+		eng := New(c, shard, res.Local, metric.SquaredL2Float32)
+		_, st, err := eng.Run(queries, Options{L: k, Epsilon: 0.2})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		allStats[c.Rank()] = st
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sum := map[string]engine.MessageStat{}
+	for rank, st := range allStats {
+		if int64(len(st.PerSuperstep)) != st.Supersteps {
+			t.Fatalf("rank %d: %d per-superstep entries for %d supersteps",
+				rank, len(st.PerSuperstep), st.Supersteps)
+		}
+		for wave, stats := range st.PerSuperstep {
+			for _, m := range stats {
+				if m.SentMsgs < 0 || m.SentBytes < 0 || m.RecvMsgs < 0 {
+					t.Fatalf("rank %d wave %d: negative delta for %s: %+v", rank, wave, m.Name, m)
+				}
+				s := sum[m.Name]
+				s.SentMsgs += m.SentMsgs
+				s.SentBytes += m.SentBytes
+				s.RecvMsgs += m.RecvMsgs
+				sum[m.Name] = s
+			}
+		}
+	}
+
+	checked := 0
+	for _, m := range allStats[0].PerMessage {
+		if !strings.HasPrefix(m.Name, "dq.query.") {
+			continue
+		}
+		checked++
+		s := sum[m.Name]
+		if s.SentMsgs != m.SentMsgs || s.SentBytes != m.SentBytes || s.RecvMsgs != m.RecvMsgs {
+			t.Errorf("%s: per-superstep sum %+v != collective total {Sent:%d Bytes:%d Recv:%d}",
+				m.Name, s, m.SentMsgs, m.SentBytes, m.RecvMsgs)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no dq.query.* handlers in PerMessage")
+	}
+	if sum["dq.query.expand"].SentMsgs == 0 {
+		t.Error("no expand traffic attributed to any superstep")
+	}
+}

@@ -24,6 +24,8 @@
 package engine
 
 import (
+	"context"
+	rtrace "runtime/trace"
 	"time"
 
 	"dnnd/internal/ygm"
@@ -63,9 +65,18 @@ func New(c *ygm.Comm, batchSize int64) *Engine {
 func (e *Engine) Comm() *ygm.Comm { return e.c }
 
 // Phase declares a named phase. Like handler registration, every rank
-// must declare the same phases in the same order.
+// must declare the same phases in the same order. Span names for the
+// phase's loops are precomputed here so the hot paths never build
+// strings.
 func (e *Engine) Phase(name string) *Phase {
-	p := &Phase{e: e, name: name}
+	p := &Phase{
+		e:         e,
+		name:      name,
+		spanLocal: name + ".local",
+		spanRun:   name + ".run",
+		spanDrain: name + ".drain",
+		spanStep:  name + ".step",
+	}
 	e.phases = append(e.phases, p)
 	return p
 }
@@ -80,6 +91,8 @@ type Phase struct {
 	e       *Engine
 	name    string
 	elapsed time.Duration
+	// Precomputed span / runtime-trace region names (see Engine.Phase).
+	spanLocal, spanRun, spanDrain, spanStep string
 }
 
 // Name returns the phase's name.
@@ -102,9 +115,13 @@ func (p *Phase) Register(short string, h ygm.Handler) ygm.HandlerID {
 // Local runs fn under the phase's clock: purely rank-local work
 // (sampling, merging) that needs no communication.
 func (p *Phase) Local(fn func()) {
+	sp := p.e.c.Trace().Begin(p.spanLocal)
+	reg := rtrace.StartRegion(context.Background(), p.spanLocal)
 	start := time.Now()
 	fn()
 	p.elapsed += time.Since(start)
+	reg.End()
+	sp.End()
 }
 
 // Run executes the batched-submission loop of Section 4.4: emit(i) for
@@ -115,6 +132,8 @@ func (p *Phase) Local(fn func()) {
 // and by the rank count. All ranks execute the same global number of
 // batches (padded with empty ones), keeping barrier calls aligned.
 func (p *Phase) Run(totalLocal, perItemMsgs int, emit func(i int)) {
+	sp := p.e.c.Trace().BeginArg(p.spanRun, int64(totalLocal))
+	reg := rtrace.StartRegion(context.Background(), p.spanRun)
 	start := time.Now()
 	if perItemMsgs < 1 {
 		perItemMsgs = 1
@@ -138,15 +157,19 @@ func (p *Phase) Run(totalLocal, perItemMsgs int, emit func(i int)) {
 		c.Barrier()
 	}
 	p.elapsed += time.Since(start)
+	reg.End()
+	sp.End()
 }
 
 // Drain is an explicit quiescence point under the phase's clock: it
 // returns once every in-flight message world-wide (including handler
 // cascades) has been processed.
 func (p *Phase) Drain() {
+	sp := p.e.c.Trace().Begin(p.spanDrain)
 	start := time.Now()
 	p.e.c.Barrier()
 	p.elapsed += time.Since(start)
+	sp.End()
 }
 
 // Supersteps runs the barrier-per-wave loop of frontier algorithms:
@@ -156,18 +179,38 @@ func (p *Phase) Drain() {
 // active count reaches zero. Returns the number of supersteps
 // executed (identical on every rank).
 func (p *Phase) Supersteps(body func() int64) int64 {
+	return p.SuperstepsHook(body, nil)
+}
+
+// SuperstepsHook is Supersteps with a per-wave observation point: when
+// after is non-nil it runs on this rank once per superstep — after the
+// wave's quiescence barrier and all-done reduction, so the wave's full
+// message cascade is reflected in local counters — with the 1-based
+// step number. It runs at an aligned point on every rank but must not
+// communicate (it is not a collective context).
+func (p *Phase) SuperstepsHook(body func() int64, after func(step int64)) int64 {
+	sp := p.e.c.Trace().Begin(p.spanRun)
+	reg := rtrace.StartRegion(context.Background(), p.spanRun)
 	start := time.Now()
 	c := p.e.c
 	var steps int64
 	for {
 		steps++
+		ss := c.Trace().BeginArg(p.spanStep, steps)
 		active := body()
 		c.Barrier()
-		if c.AllReduceSum(active) == 0 {
+		done := c.AllReduceSum(active) == 0
+		ss.End()
+		if after != nil {
+			after(steps)
+		}
+		if done {
 			break
 		}
 	}
 	p.elapsed += time.Since(start)
+	reg.End()
+	sp.End()
 	return steps
 }
 
@@ -179,6 +222,27 @@ type MessageStat struct {
 	SentMsgs  int64
 	SentBytes int64
 	RecvMsgs  int64
+}
+
+// LocalMessageStats returns this rank's per-handler counters for every
+// handler registered through this engine's phases, in registration
+// order. Unlike MessageStats it involves no collectives, so it may be
+// called at any point on the owning goroutine — e.g. once per
+// superstep to attribute traffic to waves incrementally.
+func (e *Engine) LocalMessageStats() []MessageStat {
+	st := e.c.Stats()
+	out := make([]MessageStat, 0, len(e.handlers))
+	for _, h := range e.handlers {
+		hs := st.PerHandler[h.ID]
+		out = append(out, MessageStat{
+			ID:        h.ID,
+			Name:      h.Name,
+			SentMsgs:  hs.SentMsgs,
+			SentBytes: hs.SentBytes,
+			RecvMsgs:  hs.RecvMsgs,
+		})
+	}
+	return out
 }
 
 // MessageStats aggregates per-handler counters over all ranks for

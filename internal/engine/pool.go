@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dnnd/internal/obs"
 	"dnnd/internal/wire"
 	"dnnd/internal/ygm"
 )
@@ -137,6 +138,9 @@ type PoolConfig[T wire.Scalar] struct {
 	// Comm, when non-nil, receives deferred-task accounting
 	// (Stats.TasksDeferred).
 	Comm *ygm.Comm
+	// Trace, when non-nil, records a span per ring drain (the apply
+	// loop on the owning goroutine). Nil-safe; leave nil to opt out.
+	Trace *obs.Track
 }
 
 // Pool is the deterministic intra-rank worker pool. All staging and
@@ -473,6 +477,8 @@ func (p *Pool[T]) applyDownTo(target int) bool {
 	if p.applying || p.size() <= target {
 		return false
 	}
+	sp := p.cfg.Trace.BeginArg("pool.drain", int64(p.size()-target))
+	defer sp.End()
 	p.applying = true
 	defer func() { p.applying = false }()
 	p.sealTail() // let helpers start on the backlog we are about to walk

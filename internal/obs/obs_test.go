@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerSpansAndExport(t *testing.T) {
+	tr := NewTracer(1024)
+	r0 := tr.Track("rank 0", 0)
+	r1 := tr.Track("rank 1", 1)
+
+	outer := r0.Begin("phase.outer")
+	inner := r0.BeginArg("phase.inner", 3)
+	time.Sleep(time.Millisecond)
+	inner.End()
+	outer.End()
+	r0.Counter("mailbox.depth", 7)
+	r1.Instant("marker")
+	a := r1.BeginAsync("req", 42)
+	a.End()
+
+	if r0.Len() != 3 || r1.Len() != 2 {
+		t.Fatalf("event counts: r0=%d r1=%d", r0.Len(), r1.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := DecodeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("decode: %v\n%s", err, buf.String())
+	}
+	if _, err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	spans := doc.SpanNames()
+	if spans["phase.outer"] != 1 || spans["phase.inner"] != 1 {
+		t.Fatalf("span names missing: %v", spans)
+	}
+	if doc.CounterNames()["mailbox.depth"] != 1 {
+		t.Fatalf("counter missing: %v", doc.CounterNames())
+	}
+	// Async pair present.
+	var b, e int
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "req" && ev.Ph == "b" {
+			b++
+		}
+		if ev.Name == "req" && ev.Ph == "e" {
+			e++
+		}
+	}
+	if b != 1 || e != 1 {
+		t.Fatalf("async pair: b=%d e=%d", b, e)
+	}
+	// Track names exported as thread_name metadata.
+	if !strings.Contains(buf.String(), `"rank 1"`) {
+		t.Fatalf("thread_name metadata missing:\n%s", buf.String())
+	}
+	// Inner span nests within outer.
+	var iv, ov TraceEvent
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "phase.inner" {
+			iv = ev
+		}
+		if ev.Name == "phase.outer" {
+			ov = ev
+		}
+	}
+	if iv.Ts < ov.Ts || iv.Ts+iv.Dur > ov.Ts+ov.Dur {
+		t.Fatalf("inner [%g,%g] not within outer [%g,%g]", iv.Ts, iv.Ts+iv.Dur, ov.Ts, ov.Ts+ov.Dur)
+	}
+}
+
+func TestTrackByNameReturnsSame(t *testing.T) {
+	tr := NewTracer(16)
+	a := tr.Track("rank 0", 0)
+	b := tr.Track("rank 0", 0)
+	if a != b {
+		t.Fatal("Track by same name returned a different track")
+	}
+	if len(tr.Tracks()) != 1 {
+		t.Fatalf("tracks = %d, want 1", len(tr.Tracks()))
+	}
+}
+
+func TestNilAndDisabledTracerNoOps(t *testing.T) {
+	var nilTracer *Tracer
+	if nilTracer.Enabled() {
+		t.Fatal("nil tracer enabled")
+	}
+	ntr := nilTracer.Track("x", 0)
+	if ntr != nil {
+		t.Fatal("nil tracer returned a track")
+	}
+	s := ntr.Begin("a")
+	s.End()
+	ntr.Counter("c", 1)
+	ntr.Instant("i")
+	var buf bytes.Buffer
+	if err := nilTracer.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("nil tracer JSON invalid: %v", err)
+	}
+
+	tr := NewTracer(16)
+	track := tr.Track("rank 0", 0)
+	tr.SetEnabled(false)
+	track.Begin("off").End()
+	track.Counter("off", 1)
+	if track.Len() != 0 {
+		t.Fatalf("disabled tracer recorded %d events", track.Len())
+	}
+}
+
+// TestDisabledPathAllocFree pins the "zero allocation and a single
+// atomic check when disabled" contract: the golden determinism suite
+// and the bench baselines run with tracing off, so the disabled path
+// must stay free.
+func TestDisabledPathAllocFree(t *testing.T) {
+	tr := NewTracer(16)
+	track := tr.Track("rank 0", 0)
+	tr.SetEnabled(false)
+	allocs := testing.AllocsPerRun(1000, func() {
+		track.Begin("x").End()
+		track.Counter("c", 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocates %v per op", allocs)
+	}
+	var nilTrack *Track
+	allocs = testing.AllocsPerRun(1000, func() {
+		nilTrack.Begin("x").End()
+		nilTrack.Counter("c", 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil track allocates %v per op", allocs)
+	}
+}
+
+// TestEnabledPathAllocFree: recording itself must not allocate either
+// (events land in the preallocated buffer).
+func TestEnabledPathAllocFree(t *testing.T) {
+	tr := NewTracer(1 << 16)
+	track := tr.Track("rank 0", 0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		track.Begin("x").End()
+		track.Counter("c", 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled tracer allocates %v per op", allocs)
+	}
+}
+
+func TestTrackOverflowDrops(t *testing.T) {
+	tr := NewTracer(8)
+	track := tr.Track("rank 0", 0)
+	for i := 0; i < 20; i++ {
+		track.Counter("c", int64(i))
+	}
+	if track.Len() != 8 {
+		t.Fatalf("len = %d, want capacity 8", track.Len())
+	}
+	if track.Drops() != 12 {
+		t.Fatalf("drops = %d, want 12", track.Drops())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := DecodeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.CounterNames()["obs.dropped_events"] != 1 {
+		t.Fatalf("dropped_events counter missing: %v", doc.CounterNames())
+	}
+}
+
+// TestTrackConcurrentWriters: many goroutines record onto one track
+// while another exports — the lock-free claim must neither lose
+// published events nor trip the race detector.
+func TestTrackConcurrentWriters(t *testing.T) {
+	tr := NewTracer(1 << 16)
+	track := tr.Track("shared", 0)
+	var wg sync.WaitGroup
+	const goroutines = 8
+	const per = 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				track.BeginAsync("req", id*per+int64(i)).End()
+				track.Counter("inflight", int64(i))
+			}
+		}(int64(g))
+	}
+	stop := make(chan struct{})
+	go func() {
+		defer close(stop)
+		for i := 0; i < 20; i++ {
+			var buf bytes.Buffer
+			if err := tr.WriteJSON(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := DecodeTrace(buf.Bytes()); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-stop
+	if track.Len() != goroutines*per*2 {
+		t.Fatalf("len = %d, want %d", track.Len(), goroutines*per*2)
+	}
+}
+
+func TestValidateRejectsMalformedNesting(t *testing.T) {
+	bad := []byte(`{"traceEvents":[
+		{"name":"a","ph":"X","pid":0,"tid":0,"ts":0,"dur":10},
+		{"name":"b","ph":"X","pid":0,"tid":0,"ts":5,"dur":10}
+	]}`)
+	doc, err := DecodeTrace(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doc.Validate(); err == nil {
+		t.Fatal("overlapping non-nested spans passed validation")
+	}
+	badPhase := []byte(`{"traceEvents":[{"name":"a","ph":"?","pid":0,"tid":0,"ts":0}]}`)
+	doc, err = DecodeTrace(badPhase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doc.Validate(); err == nil {
+		t.Fatal("unknown phase passed validation")
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	tr := NewTracer(16)
+	track := tr.Track("rank 0", 0)
+	tr.SetEnabled(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		track.Begin("x").End()
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := NewTracer(1 << 20)
+	track := tr.Track("rank 0", 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i&(1<<20-1) == 0 {
+			track.next.Store(0) // reuse the buffer so we measure record, not drop
+		}
+		track.Begin("x").End()
+	}
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is the shared metrics surface: named counters, dump-time
+// samples (gauges or externally-maintained counters), and histograms,
+// dumped in one text format (`name{labels} value` lines, the format
+// the serve stats endpoint has always spoken) or as a JSON object.
+// Registration order is dump order. All methods are safe for
+// concurrent use; samples run at dump time and must be safe to call
+// from the dumping goroutine (read atomics or take their own locks —
+// never touch single-owner rank state directly; see ygm's
+// PublishMetrics for the snapshot pattern).
+type Registry struct {
+	mu    sync.Mutex
+	items []regItem
+	names map[string]int
+}
+
+type regItem struct {
+	name    string
+	counter *Counter
+	sample  func() int64
+	hist    *Hist
+}
+
+// Counter is a monotonic atomic counter handed out by the registry.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]int)}
+}
+
+// Counter registers (or returns, by name) a registry-owned counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.names[name]; ok && r.items[i].counter != nil {
+		return r.items[i].counter
+	}
+	c := &Counter{}
+	r.add(regItem{name: name, counter: c})
+	return c
+}
+
+// Sample registers a dump-time sample: fn runs on every dump and must
+// be concurrency-safe. Use for gauges and for counters maintained
+// elsewhere (atomic fields, snapshot slots).
+func (r *Registry) Sample(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.names[name]; ok {
+		r.items[i].sample = fn
+		r.items[i].counter = nil
+		r.items[i].hist = nil
+		return
+	}
+	r.add(regItem{name: name, sample: fn})
+}
+
+// Hist registers (or returns, by name) a registry-owned histogram.
+func (r *Registry) Hist(name string) *Hist {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.names[name]; ok && r.items[i].hist != nil {
+		return r.items[i].hist
+	}
+	h := &Hist{}
+	r.add(regItem{name: name, hist: h})
+	return h
+}
+
+// RegisterHist adopts an externally-owned histogram under name.
+func (r *Registry) RegisterHist(name string, h *Hist) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.names[name]; ok {
+		r.items[i].hist = h
+		r.items[i].counter = nil
+		r.items[i].sample = nil
+		return
+	}
+	r.add(regItem{name: name, hist: h})
+}
+
+// add appends one item; caller holds r.mu.
+func (r *Registry) add(it regItem) {
+	r.names[it.name] = len(r.items)
+	r.items = append(r.items, it)
+}
+
+// snapshot copies the item list so dumps run without the lock.
+func (r *Registry) snapshot() []regItem {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]regItem, len(r.items))
+	copy(out, r.items)
+	return out
+}
+
+// histQuantiles are the quantile lines every histogram dump emits.
+var histQuantiles = []float64{0.5, 0.95, 0.99}
+
+// DumpText writes the `name{labels} value` text form: integers for
+// counters and samples; histograms expand to _count/_mean/_max plus
+// quantile lines, exactly the format the serve stats endpoint emits.
+func (r *Registry) DumpText(w io.Writer) error {
+	for _, it := range r.snapshot() {
+		var err error
+		switch {
+		case it.counter != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", it.name, it.counter.Load())
+		case it.sample != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", it.name, it.sample())
+		case it.hist != nil:
+			err = dumpHistText(w, it.name, it.hist)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func dumpHistText(w io.Writer, name string, h *Hist) error {
+	if _, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_mean %.1f\n", name, h.Mean()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_max %d\n", name, h.Max()); err != nil {
+		return err
+	}
+	for _, q := range histQuantiles {
+		if _, err := fmt.Fprintf(w, "%s{quantile=%q} %.1f\n", name, fmt.Sprintf("%g", q), h.Quantile(q)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DumpString returns DumpText as a string.
+func (r *Registry) DumpString() string {
+	var b strings.Builder
+	r.DumpText(&b)
+	return b.String()
+}
+
+// DumpJSON writes a flat JSON object: counters and samples as
+// integers, histograms as {count,mean,max,p50,p95,p99}. Key order
+// follows Go's JSON map marshaling (sorted), so the output is stable.
+func (r *Registry) DumpJSON(w io.Writer) error {
+	out := make(map[string]any)
+	for _, it := range r.snapshot() {
+		switch {
+		case it.counter != nil:
+			out[it.name] = it.counter.Load()
+		case it.sample != nil:
+			out[it.name] = it.sample()
+		case it.hist != nil:
+			h := it.hist
+			out[it.name] = map[string]any{
+				"count": h.Count(),
+				"mean":  h.Mean(),
+				"max":   h.Max(),
+				"p50":   h.Quantile(0.5),
+				"p95":   h.Quantile(0.95),
+				"p99":   h.Quantile(0.99),
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

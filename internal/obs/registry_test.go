@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRegistryDumpText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`dnnd_serve_queries_total{status="ok"}`).Add(3)
+	r.Sample("dnnd_serve_inflight", func() int64 { return 2 })
+	h := r.Hist("dnnd_serve_latency_us")
+	h.Observe(100)
+	h.Observe(200)
+
+	got := r.DumpString()
+	for _, want := range []string{
+		"dnnd_serve_queries_total{status=\"ok\"} 3\n",
+		"dnnd_serve_inflight 2\n",
+		"dnnd_serve_latency_us_count 2\n",
+		"dnnd_serve_latency_us_mean 150.0\n",
+		"dnnd_serve_latency_us_max 200\n",
+		"dnnd_serve_latency_us{quantile=\"0.5\"}",
+		"dnnd_serve_latency_us{quantile=\"0.95\"}",
+		"dnnd_serve_latency_us{quantile=\"0.99\"}",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("dump missing %q:\n%s", want, got)
+		}
+	}
+	// Registration order is dump order.
+	if strings.Index(got, "queries_total") > strings.Index(got, "inflight") {
+		t.Fatalf("dump not in registration order:\n%s", got)
+	}
+}
+
+func TestRegistryIdempotentHandles(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("c") != r.Counter("c") {
+		t.Fatal("Counter by same name returned distinct counters")
+	}
+	if r.Hist("h") != r.Hist("h") {
+		t.Fatal("Hist by same name returned distinct histograms")
+	}
+	var external Hist
+	external.Observe(9)
+	r.RegisterHist("h", &external)
+	if r.Hist("h") != &external {
+		t.Fatal("RegisterHist did not replace the registry-owned hist")
+	}
+}
+
+func TestRegistryDumpJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(5)
+	r.Sample("g", func() int64 { return -1 })
+	r.Hist("lat").Observe(64)
+
+	var buf bytes.Buffer
+	if err := r.DumpJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("DumpJSON not valid JSON: %v\n%s", err, buf.String())
+	}
+	if string(out["a"]) != "5" || string(out["g"]) != "-1" {
+		t.Fatalf("scalar values wrong: %v", out)
+	}
+	var lat struct {
+		Count int64   `json:"count"`
+		Max   int64   `json:"max"`
+		P50   float64 `json:"p50"`
+	}
+	if err := json.Unmarshal(out["lat"], &lat); err != nil {
+		t.Fatal(err)
+	}
+	if lat.Count != 1 || lat.Max != 64 {
+		t.Fatalf("hist JSON wrong: %+v", lat)
+	}
+}

@@ -3,102 +3,18 @@ package serve
 import (
 	"fmt"
 	"math"
-	"math/bits"
 	"sort"
-	"strings"
+	"sync"
 	"sync/atomic"
-	"time"
+
+	"dnnd/internal/obs"
 )
 
-// histBuckets is the number of power-of-two histogram buckets. Bucket
-// i holds observations v with 2^(i-1) <= v < 2^i (bucket 0 holds v <=
-// 1), so 40 buckets cover 1 unit up to ~2^39 — comfortably past an
-// hour in microseconds and past any plausible batch size.
-const histBuckets = 40
-
-// Hist is a lock-free log-bucketed histogram. Observations are
-// non-negative integers (latency in microseconds, batch sizes).
-// Quantiles are estimated from the bucket boundaries: the reported
-// value is the geometric midpoint of the bucket holding the quantile,
-// so the error is bounded by the bucket's power-of-two width — plenty
-// for p50/p95/p99 dashboards, and cheap enough for the query hot path.
-type Hist struct {
-	buckets [histBuckets]atomic.Int64
-	count   atomic.Int64
-	sum     atomic.Int64
-	max     atomic.Int64
-}
-
-func bucketOf(v int64) int {
-	if v < 0 {
-		v = 0
-	}
-	b := bits.Len64(uint64(v))
-	if b >= histBuckets {
-		b = histBuckets - 1
-	}
-	return b
-}
-
-// Observe records one value.
-func (h *Hist) Observe(v int64) {
-	h.buckets[bucketOf(v)].Add(1)
-	h.count.Add(1)
-	h.sum.Add(v)
-	for {
-		old := h.max.Load()
-		if v <= old || h.max.CompareAndSwap(old, v) {
-			return
-		}
-	}
-}
-
-// ObserveDuration records a duration in microseconds.
-func (h *Hist) ObserveDuration(d time.Duration) { h.Observe(d.Microseconds()) }
-
-// Count returns the number of observations.
-func (h *Hist) Count() int64 { return h.count.Load() }
-
-// Mean returns the exact mean of all observations.
-func (h *Hist) Mean() float64 {
-	c := h.count.Load()
-	if c == 0 {
-		return 0
-	}
-	return float64(h.sum.Load()) / float64(c)
-}
-
-// Max returns the exact maximum observation.
-func (h *Hist) Max() int64 { return h.max.Load() }
-
-// Quantile estimates the p-quantile (p in [0,1]) from the buckets.
-func (h *Hist) Quantile(p float64) float64 {
-	var counts [histBuckets]int64
-	var total int64
-	for i := range counts {
-		counts[i] = h.buckets[i].Load()
-		total += counts[i]
-	}
-	if total == 0 {
-		return 0
-	}
-	rank := int64(math.Ceil(p * float64(total)))
-	if rank < 1 {
-		rank = 1
-	}
-	var seen int64
-	for i, c := range counts {
-		seen += c
-		if seen >= rank {
-			if i == 0 {
-				return 1
-			}
-			lo := float64(int64(1) << (i - 1))
-			return lo * math.Sqrt2 // geometric midpoint of [2^(i-1), 2^i)
-		}
-	}
-	return float64(h.max.Load())
-}
+// Hist is the shared log-bucketed histogram (promoted to internal/obs
+// so every subsystem — serve, bench, the debug listener — speaks one
+// implementation and one dump format). The alias keeps the serve API
+// and tests unchanged.
+type Hist = obs.Hist
 
 // Metrics is the server's observability surface: monotonic counters,
 // instantaneous gauges (closures, sampled at dump time), and latency /
@@ -137,69 +53,68 @@ type Metrics struct {
 	LatQueue  Hist // admission to execution start
 	LatExec   Hist // execution only
 	BatchSize Hist // requests per executed micro-batch
+
+	regOnce sync.Once
+	reg     *obs.Registry
 }
 
-// statusCount returns the counter for one reply status name, for the
-// queries_total lines of the dump.
-func (m *Metrics) statusCounts() []struct {
-	name string
-	v    int64
-} {
-	return []struct {
-		name string
-		v    int64
-	}{
-		{"ok", m.CompletedOK.Load()},
-		{"partial", m.DeadlineTruncated.Load()},
-		{"deadline", m.DeadlineDropped.Load()},
-		{"overloaded", m.RejectedOverload.Load()},
-		{"draining", m.RejectedDraining.Load()},
-		{"bad_request", m.RejectedBad.Load()},
-	}
+// Registry lazily builds (once) the obs.Registry view of these
+// metrics, with every counter, gauge, and histogram registered under
+// its dnnd_serve_* name in the dump order the stats endpoint has
+// always used. The same registry backs Dump, the wire-protocol stats
+// op, and the debug listener's /metrics endpoints. Call it after the
+// gauge closures (QueueDepth, WarmCacheSize) are assigned — i.e. any
+// time after New returns.
+func (m *Metrics) Registry() *obs.Registry {
+	m.regOnce.Do(func() {
+		r := obs.NewRegistry()
+		for _, sc := range []struct {
+			status string
+			c      *atomic.Int64
+		}{
+			{"ok", &m.CompletedOK},
+			{"partial", &m.DeadlineTruncated},
+			{"deadline", &m.DeadlineDropped},
+			{"overloaded", &m.RejectedOverload},
+			{"draining", &m.RejectedDraining},
+			{"bad_request", &m.RejectedBad},
+		} {
+			r.Sample(fmt.Sprintf("dnnd_serve_queries_total{status=%q}", sc.status), sc.c.Load)
+		}
+		r.Sample("dnnd_serve_accepted_total", m.Accepted.Load)
+		r.Sample("dnnd_serve_completed_total", m.Completed.Load)
+		r.Sample("dnnd_serve_write_errors_total", m.WriteErrors.Load)
+		r.Sample("dnnd_serve_dist_evals_total", m.DistEvals.Load)
+		r.Sample("dnnd_serve_batches_total", m.Batches.Load)
+		r.Sample("dnnd_serve_warm_served_total", m.WarmServed.Load)
+		r.Sample("dnnd_serve_hello_total", m.Hellos.Load)
+		r.Sample("dnnd_serve_stats_total", m.StatsDumps.Load)
+		r.Sample("dnnd_serve_health_total", m.HealthProbes.Load)
+		r.Sample("dnnd_serve_inflight", m.InFlight.Load)
+		r.Sample("dnnd_serve_connections", m.Conns.Load)
+		r.Sample("dnnd_serve_connections_total", m.ConnsTotal.Load)
+		if m.QueueDepth != nil {
+			r.Sample("dnnd_serve_queue_depth", func() int64 { return int64(m.QueueDepth()) })
+		}
+		r.Sample("dnnd_serve_queue_depth_max", m.QueueMax.Load)
+		r.Sample("dnnd_serve_queue_cap", func() int64 { return int64(m.QueueCap) })
+		if m.WarmCacheSize != nil {
+			r.Sample("dnnd_serve_warm_cache_size", func() int64 { return int64(m.WarmCacheSize()) })
+		}
+		r.RegisterHist("dnnd_serve_latency_usec", &m.LatTotal)
+		r.RegisterHist("dnnd_serve_queue_wait_usec", &m.LatQueue)
+		r.RegisterHist("dnnd_serve_exec_usec", &m.LatExec)
+		r.RegisterHist("dnnd_serve_batch_size", &m.BatchSize)
+		m.reg = r
+	})
+	return m.reg
 }
 
 // Dump renders the metrics in a /metrics-style plain-text format: one
 // `name{labels} value` line per sample, floats for quantiles,
-// integers for counters and gauges.
+// integers for counters and gauges — the obs.Registry text format.
 func (m *Metrics) Dump() string {
-	var b strings.Builder
-	line := func(name string, v int64) { fmt.Fprintf(&b, "%s %d\n", name, v) }
-	for _, sc := range m.statusCounts() {
-		fmt.Fprintf(&b, "dnnd_serve_queries_total{status=%q} %d\n", sc.name, sc.v)
-	}
-	line("dnnd_serve_accepted_total", m.Accepted.Load())
-	line("dnnd_serve_completed_total", m.Completed.Load())
-	line("dnnd_serve_write_errors_total", m.WriteErrors.Load())
-	line("dnnd_serve_dist_evals_total", m.DistEvals.Load())
-	line("dnnd_serve_batches_total", m.Batches.Load())
-	line("dnnd_serve_warm_served_total", m.WarmServed.Load())
-	line("dnnd_serve_hello_total", m.Hellos.Load())
-	line("dnnd_serve_stats_total", m.StatsDumps.Load())
-	line("dnnd_serve_health_total", m.HealthProbes.Load())
-	line("dnnd_serve_inflight", m.InFlight.Load())
-	line("dnnd_serve_connections", m.Conns.Load())
-	line("dnnd_serve_connections_total", m.ConnsTotal.Load())
-	if m.QueueDepth != nil {
-		line("dnnd_serve_queue_depth", int64(m.QueueDepth()))
-	}
-	line("dnnd_serve_queue_depth_max", m.QueueMax.Load())
-	line("dnnd_serve_queue_cap", int64(m.QueueCap))
-	if m.WarmCacheSize != nil {
-		line("dnnd_serve_warm_cache_size", int64(m.WarmCacheSize()))
-	}
-	hist := func(name string, h *Hist) {
-		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count())
-		fmt.Fprintf(&b, "%s_mean %.1f\n", name, h.Mean())
-		fmt.Fprintf(&b, "%s_max %d\n", name, h.Max())
-		for _, q := range []float64{0.5, 0.95, 0.99} {
-			fmt.Fprintf(&b, "%s{quantile=%q} %.1f\n", name, fmt.Sprintf("%g", q), h.Quantile(q))
-		}
-	}
-	hist("dnnd_serve_latency_usec", &m.LatTotal)
-	hist("dnnd_serve_queue_wait_usec", &m.LatQueue)
-	hist("dnnd_serve_exec_usec", &m.LatExec)
-	hist("dnnd_serve_batch_size", &m.BatchSize)
-	return b.String()
+	return m.Registry().DumpString()
 }
 
 // quantiles computes exact client-side quantiles from a latency sample

@@ -169,7 +169,8 @@ func (s *Server[T]) finish(r *request[T], res *msg.SResult) {
 	}
 	s.m.LatTotal.ObserveDuration(time.Since(r.enq))
 	s.m.Completed.Add(1)
-	s.m.InFlight.Add(-1)
+	r.span.End()
+	s.cfg.Trace.Counter("serve.inflight", s.m.InFlight.Add(-1))
 	s.gate.leave()
 }
 

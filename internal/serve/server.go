@@ -13,6 +13,7 @@ import (
 	"dnnd/internal/knng"
 	"dnnd/internal/metric"
 	"dnnd/internal/msg"
+	"dnnd/internal/obs"
 	"dnnd/internal/wire"
 )
 
@@ -73,6 +74,12 @@ type Config struct {
 	// that stops reading cannot wedge an executor — or a drain —
 	// behind a full TCP send buffer.
 	WriteTimeout time.Duration
+	// Trace, when non-nil, receives the server's span timeline:
+	// "serve.query" async spans covering each admitted request from
+	// admission to reply (async because requests overlap freely across
+	// executors) and a "serve.inflight" counter track. A nil Track
+	// costs one nil check per request.
+	Trace *obs.Track
 	// execHook, when non-nil, runs at the start of every batch
 	// execution. Tests use it to stall the executors and force
 	// deterministic queue overflow; it is deliberately unexported.
@@ -117,6 +124,7 @@ type request[T wire.Scalar] struct {
 	vec      []T
 	deadline time.Time // zero = none
 	enq      time.Time
+	span     obs.Span // serve.query async span, ended by finish
 }
 
 // serverConn wraps one client connection: reads happen on the
@@ -410,10 +418,15 @@ func (s *Server[T]) handleQuery(sc *serverConn, payload []byte) bool {
 		s.m.RejectedDraining.Add(1)
 		return s.reject(sc, q.ID, msg.SStatusDraining)
 	}
+	// The span must be attached before the enqueue: once the request
+	// is on the queue an executor may finish (and End the span) at any
+	// moment. A span that is never Ended (the overload branch) records
+	// nothing.
+	req.span = s.cfg.Trace.BeginAsync("serve.query", int64(req.id))
 	select {
 	case s.queue <- req:
 		s.m.Accepted.Add(1)
-		s.m.InFlight.Add(1)
+		s.cfg.Trace.Counter("serve.inflight", s.m.InFlight.Add(1))
 		if d := int64(len(s.queue)); d > s.m.QueueMax.Load() {
 			s.m.QueueMax.Store(d) // racy max: close enough for a gauge
 		}

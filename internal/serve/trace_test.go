@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"dnnd/internal/obs"
+)
+
+// TestServeRequestTracing pins the server's span timeline: admitted
+// requests record overlapping "serve.query" async spans (one per
+// request, admission to reply) plus a "serve.inflight" counter track,
+// and the export validates as Perfetto JSON.
+func TestServeRequestTracing(t *testing.T) {
+	const nq = 64
+	src := testSource(t, 600, 8, 6)
+	tr := obs.NewTracer(1 << 12)
+	track := tr.Track("serve", 0)
+
+	s, err := New(src, Config{
+		L: 10, QueueDepth: 256, BatchMax: 8, Executors: 2, Workers: 2,
+		Trace: track,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	defer s.Shutdown(context.Background())
+
+	queries := randData(nq, 8, 77)
+	rep, err := RunLoad[float32](LoadConfig{
+		Addr:        ln.Addr().String(),
+		Requests:    nq,
+		Concurrency: 16,
+		L:           10,
+		Seed:        1,
+		DialTimeout: 5 * time.Second,
+	}, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ByStatus["ok"] != nq {
+		t.Fatalf("load report: %+v", rep.ByStatus)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := obs.DecodeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("trace does not decode: %v", err)
+	}
+	if _, err := doc.Validate(); err != nil {
+		t.Fatalf("trace does not validate: %v", err)
+	}
+	if got := doc.AsyncSpanNames()["serve.query"]; got != nq {
+		t.Errorf("serve.query spans = %d, want %d", got, nq)
+	}
+	// Two counter samples per admitted request (admission and reply).
+	if got := doc.CounterNames()["serve.inflight"]; got != 2*nq {
+		t.Errorf("serve.inflight samples = %d, want %d", got, 2*nq)
+	}
+}

@@ -54,6 +54,7 @@ func newCoordState(nranks int) *coordState {
 func (c *Comm) Barrier() {
 	c.checkErr()
 	c.assertOwner()
+	sp := c.trace.Begin("ygm.barrier")
 	c.stats.Barriers++
 	c.epoch++
 	c.inBarrier = true
@@ -78,6 +79,7 @@ func (c *Comm) Barrier() {
 			}
 		}
 		c.inBarrier = false
+		sp.End()
 		c.recordInterval()
 		return
 	}
@@ -108,6 +110,7 @@ func (c *Comm) Barrier() {
 		}
 	}
 	c.inBarrier = false
+	sp.End()
 	c.recordInterval()
 }
 

@@ -45,7 +45,15 @@ func (s Stats) clone() Stats {
 	return out
 }
 
-// Add accumulates other into s (for world-level aggregation).
+// Add accumulates other into s (for world-level aggregation). Traffic
+// counters (messages, bytes, flushes, deferred tasks, per-handler
+// entries) sum across ranks — each rank contributes distinct traffic.
+// Barriers instead takes the MAX: Barrier is collective, so in an
+// SPMD run every rank records the same count and summing would
+// multiply the world's barrier count by the rank count. Max also does
+// the right thing when a rank died early (the survivors' larger count
+// wins). PeakMailboxDepth/Bytes are high-water marks, so they too take
+// the max — a world-level "worst congestion anywhere" figure.
 func (s *Stats) Add(other Stats) {
 	s.SentMsgs += other.SentMsgs
 	s.SentBytes += other.SentBytes

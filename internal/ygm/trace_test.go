@@ -1,0 +1,136 @@
+package ygm
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dnnd/internal/obs"
+)
+
+// TestStatsAddBarriersMax pins the aggregation semantics documented on
+// Stats.Add: Barrier is collective, so every rank of an SPMD run
+// reports the same count and world aggregation must take the max, not
+// the sum (summing would report nranks times too many barriers).
+func TestStatsAddBarriersMax(t *testing.T) {
+	var world Stats
+	for rank := 0; rank < 4; rank++ {
+		world.Add(Stats{Barriers: 7, SentMsgs: 10})
+	}
+	if world.Barriers != 7 {
+		t.Errorf("Barriers = %d after aggregating 4 ranks, want 7 (max, not sum)", world.Barriers)
+	}
+	if world.SentMsgs != 40 {
+		t.Errorf("SentMsgs = %d, want 40 (sum)", world.SentMsgs)
+	}
+	// A straggler that died early reports fewer barriers; the
+	// survivors' larger count wins.
+	world.Add(Stats{Barriers: 3})
+	if world.Barriers != 7 {
+		t.Errorf("Barriers = %d after adding straggler, want 7", world.Barriers)
+	}
+	// High-water marks also take the max.
+	world.Add(Stats{PeakMailboxDepth: 9, PeakMailboxBytes: 100})
+	world.Add(Stats{PeakMailboxDepth: 2, PeakMailboxBytes: 400})
+	if world.PeakMailboxDepth != 9 || world.PeakMailboxBytes != 400 {
+		t.Errorf("peaks = %d/%d, want 9/400", world.PeakMailboxDepth, world.PeakMailboxBytes)
+	}
+}
+
+// TestWorldTracing runs a traced 3-rank world and checks that the
+// exported timeline has one track per rank with barrier and flush
+// spans plus mailbox counter samples.
+func TestWorldTracing(t *testing.T) {
+	const n = 3
+	tr := obs.NewTracer(4096)
+	w := NewLocalWorld(n)
+	w.SetTracer(tr)
+	err := w.Run(func(c *Comm) error {
+		h := c.Register("ping", func(c *Comm, from int, payload []byte) {})
+		c.Barrier()
+		for dest := 0; dest < n; dest++ {
+			c.Async(dest, h, []byte("x"))
+		}
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := obs.DecodeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doc.Validate(); err != nil {
+		t.Fatalf("invalid trace: %v", err)
+	}
+	spans := doc.SpanNames()
+	if spans["ygm.barrier"] != 2*n {
+		t.Errorf("ygm.barrier spans = %d, want %d", spans["ygm.barrier"], 2*n)
+	}
+	if spans["ygm.flush"] == 0 {
+		t.Error("no ygm.flush spans recorded")
+	}
+	counters := doc.CounterNames()
+	if counters["ygm.mailbox.depth"] == 0 || counters["ygm.mailbox.peak_depth"] == 0 {
+		t.Errorf("mailbox counters missing: %v", counters)
+	}
+	for _, want := range []string{`"rank 0"`, `"rank 1"`, `"rank 2"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("track %s missing from export", want)
+		}
+	}
+}
+
+// TestPublishMetrics: registry samples read barrier-exit snapshots of
+// the single-owner rank counters, so a dump after the run matches the
+// rank's own Stats.
+func TestPublishMetrics(t *testing.T) {
+	const n = 2
+	reg := obs.NewRegistry()
+	w := NewLocalWorld(n)
+	err := w.Run(func(c *Comm) error {
+		h := c.Register("ping", func(c *Comm, from int, payload []byte) {})
+		c.PublishMetrics(reg)
+		for dest := 0; dest < n; dest++ {
+			c.Async(dest, h, []byte("hello"))
+		}
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := reg.DumpString()
+	for rank := 0; rank < n; rank++ {
+		c := w.Comm(rank)
+		st := c.Stats()
+		for _, want := range []struct {
+			name string
+			val  int64
+		}{
+			{`ygm_sent_msgs{rank="RANK"}`, st.SentMsgs},
+			{`ygm_recv_msgs{rank="RANK"}`, st.RecvMsgs},
+			{`ygm_barriers{rank="RANK"}`, st.Barriers},
+			{`ygm_handler_sent_msgs{rank="RANK",handler="ping"}`, 2},
+		} {
+			name := strings.ReplaceAll(want.name, "RANK", string(rune('0'+rank)))
+			line := name + " "
+			idx := strings.Index(dump, line)
+			if idx < 0 {
+				t.Fatalf("dump missing %q:\n%s", line, dump)
+			}
+			rest := dump[idx+len(line):]
+			end := strings.IndexByte(rest, '\n')
+			got := rest[:end]
+			if got != strconv.FormatInt(want.val, 10) {
+				t.Errorf("%s = %s, want %d", name, got, want.val)
+			}
+		}
+	}
+}

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"dnnd/internal/obs"
 )
 
 // HandlerID identifies a registered message handler. Like YGM, handler
@@ -197,6 +199,10 @@ type Comm struct {
 	reduceResults map[uint64][]byte
 	reduceAccum   map[uint64]*reduceAccum
 
+	// Observability hooks (both optional; see trace.go).
+	trace *obs.Track
+	pub   *pubMetrics
+
 	// err records a transport failure; surfaced by Barrier/Async panics.
 	err error
 }
@@ -339,11 +345,13 @@ func (c *Comm) flushDest(dest int) {
 	if len(buf) == 0 {
 		return
 	}
+	sp := c.trace.BeginArg("ygm.flush", int64(len(buf)))
 	c.out[dest] = nil
 	c.stats.Flushes++
 	if err := c.tp.Send(dest, buf); err != nil && c.err == nil {
 		c.err = err
 	}
+	sp.End()
 }
 
 // Flush pushes all aggregation buffers to the transport without
@@ -457,8 +465,10 @@ func (c *Comm) checkErr() {
 	}
 }
 
-// recordInterval snapshots counters at a barrier exit.
+// recordInterval snapshots counters at a barrier exit (and refreshes
+// the published metrics snapshot / trace counter tracks, if attached).
 func (c *Comm) recordInterval() {
+	c.publishSnapshot()
 	cur := IntervalStats{
 		SentMsgs:  c.stats.SentMsgs,
 		SentBytes: c.stats.SentBytes,

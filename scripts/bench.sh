@@ -20,6 +20,9 @@ trap 'rm -f "$tmp"' EXIT
   # Intra-rank worker-pool sweep (identical graphs at every width; see
   # the offload-frac / modeled-speedup metrics).
   go test -run '^$' -bench '^BenchmarkConstructionWorkers$' -benchmem -benchtime 3x "$@" .
+  # Observability tax: the same build with the tracer off (must track
+  # BenchmarkConstruction) and on (the cost of a full span timeline).
+  go test -run '^$' -bench '^BenchmarkConstructionTracer$' -benchmem -benchtime 3x "$@" .
   # Distance kernels.
   go test -run '^$' -bench . -benchmem "$@" ./internal/metric/
   # Comm substrate (aggregation, delivery, barrier).

@@ -35,6 +35,12 @@ echo "== go test -race (online serving: server + loadgen in-process)"
 # the scheduler, the connection writers, and the metrics.
 go test -race -count=1 ./internal/serve/ ./internal/bootstrap/
 
+echo "== go test -race (observability: tracks, registry, histograms)"
+# Concurrent writers record onto lock-free tracks while an exporter
+# snapshots them; histograms merge under concurrent Observe. The obs
+# suite exercises all of it under the race detector.
+go test -race -count=1 ./internal/obs/
+
 echo "== go test -race (core + dquery with worker pools active)"
 # Re-run the suites with every construction forced onto a 3-wide
 # intra-rank worker pool; results are worker-count-independent, so the
@@ -50,5 +56,19 @@ go test -run='^$' -fuzz='^FuzzCoreMessages$' -fuzztime=2s ./internal/msg/
 go test -run='^$' -fuzz='^FuzzDQueryMessages$' -fuzztime=2s ./internal/msg/
 go test -run='^$' -fuzz='^FuzzServeMessages$' -fuzztime=2s ./internal/msg/
 go test -run='^$' -fuzz='^FuzzBulkCodec$' -fuzztime=2s ./internal/wire/
+go test -run='^$' -fuzz='^FuzzTraceDecode$' -fuzztime=2s ./internal/obs/
+
+echo "== trace smoke (3-rank traced build round-trips through the decoder)"
+# A real traced construction must emit Perfetto-loadable JSON: decode,
+# validate nesting, and find every construction phase plus the runtime
+# spans — the executable form of the PR-5 acceptance criterion.
+tracedir="$(mktemp -d)"
+trap 'rm -rf "$tracedir"' EXIT
+go run ./cmd/dnnd-construct -preset deep -n 1200 -k 8 -ranks 3 \
+  -store "$tracedir/store" -trace "$tracedir/trace.json"
+go run ./cmd/tracecheck \
+  -require nd.init -require nd.sample -require nd.reverse -require nd.check \
+  -require nd.round -require ygm.barrier -require ygm.flush \
+  "$tracedir/trace.json"
 
 echo "CI OK"
