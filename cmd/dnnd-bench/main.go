@@ -7,7 +7,7 @@
 //	dnnd-bench [flags] <experiment>
 //
 // Experiments: table1, recall, table2, fig2, fig3, fig4, batch,
-// graphopt, commablate, all.
+// graphopt, commablate, kernels, all.
 package main
 
 import (
@@ -31,7 +31,7 @@ func main() {
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: dnnd-bench [flags] <table1|recall|table2|fig2|fig3|fig4|batch|graphopt|commablate|entry|incr|dquery|workers|msgs|all>\n")
+			"usage: dnnd-bench [flags] <table1|recall|table2|fig2|fig3|fig4|batch|graphopt|commablate|entry|incr|dquery|workers|msgs|kernels|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -75,9 +75,10 @@ func main() {
 		"dquery":     func(o bench.Options) error { _, err := bench.DistributedQueryScaling(o); return err },
 		"workers":    func(o bench.Options) error { _, err := bench.WorkersScaling(o); return err },
 		"msgs":       func(o bench.Options) error { _, err := bench.MessageCatalog(o); return err },
+		"kernels":    func(o bench.Options) error { _, err := bench.Kernels(o); return err },
 	}
 
-	order := []string{"table1", "recall", "table2", "fig2", "fig3", "fig4", "batch", "graphopt", "commablate", "entry", "incr", "dquery", "workers", "msgs"}
+	order := []string{"table1", "recall", "table2", "fig2", "fig3", "fig4", "batch", "graphopt", "commablate", "entry", "incr", "dquery", "workers", "msgs", "kernels"}
 	var todo []string
 	if exp == "all" {
 		todo = order

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"dnnd"
+	"dnnd/internal/metric/quant"
 	"dnnd/internal/obs"
 	"dnnd/internal/serve"
 )
@@ -37,6 +38,7 @@ func main() {
 		warm        = flag.Int("warm", 0, "warm entry-point cache size (0 = disabled)")
 		drainWait   = flag.Duration("drain", 30*time.Second, "graceful-drain budget on shutdown")
 		debugAddr   = flag.String("debug-addr", "", "serve pprof + /metrics + /trace on this address")
+		quantOn     = flag.Bool("quant", false, "score traversal candidates by quantized (uint8) code distance with an exact re-rank of the survivors (l2/sql2 only)")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -61,17 +63,17 @@ func main() {
 	}
 	switch elem {
 	case "float32":
-		run[float32](*storeDir, *addr, *debugAddr, cfg, *drainWait)
+		run[float32](*storeDir, *addr, *debugAddr, cfg, *drainWait, *quantOn)
 	case "uint8":
-		run[uint8](*storeDir, *addr, *debugAddr, cfg, *drainWait)
+		run[uint8](*storeDir, *addr, *debugAddr, cfg, *drainWait, *quantOn)
 	case "uint32":
-		run[uint32](*storeDir, *addr, *debugAddr, cfg, *drainWait)
+		run[uint32](*storeDir, *addr, *debugAddr, cfg, *drainWait, *quantOn)
 	default:
 		fatal(fmt.Errorf("unknown element type %q", elem))
 	}
 }
 
-func run[T dnnd.Scalar](storeDir, addr, debugAddr string, cfg serve.Config, drainWait time.Duration) {
+func run[T dnnd.Scalar](storeDir, addr, debugAddr string, cfg serve.Config, drainWait time.Duration, quantOn bool) {
 	ix, refined, err := dnnd.LoadWithMeta[T](storeDir)
 	if err != nil {
 		fatal(err)
@@ -83,6 +85,20 @@ func run[T dnnd.Scalar](storeDir, addr, debugAddr string, cfg serve.Config, drai
 		Metric:  string(ix.Metric()),
 		K:       ix.K(),
 		Refined: refined,
+	}
+	if quantOn {
+		if !quant.Supported(ix.Metric()) {
+			fatal(quant.ErrUnsupported(ix.Metric()))
+		}
+		dim := 0
+		if ix.Len() > 0 {
+			dim = len(ix.Data()[0])
+		}
+		view, err := quant.NewView(ix.Data(), dim)
+		if err != nil {
+			fatal(err)
+		}
+		src.Quant = view
 	}
 	var tracer *obs.Tracer
 	if debugAddr != "" {

@@ -9,6 +9,7 @@ import (
 	"dnnd/internal/core"
 	"dnnd/internal/knng"
 	"dnnd/internal/metric"
+	"dnnd/internal/metric/quant"
 	"dnnd/internal/obs"
 	"dnnd/internal/rptree"
 	"dnnd/internal/search"
@@ -93,6 +94,17 @@ type BuildOptions struct {
 	// evaluation (default: GOMAXPROCS divided among the ranks). Results
 	// are identical for every width; see core.Config.Workers.
 	Workers int
+	// Quant enables the quantized first-pass filter for check-phase
+	// distance evaluations: candidates whose code-distance lower bound
+	// proves them irrelevant skip the exact kernel. The built graph is
+	// bit-identical to the exact build (the filter only discards
+	// provable no-ops; see core.Config.Quant). Requires an L2-family
+	// Metric and the optimized protocol (not Unoptimized).
+	Quant bool
+	// TileTasks caps how many queued distance tasks fuse into one
+	// cache-blocked tiled kernel call (0 = engine default). Any value
+	// produces bit-identical results.
+	TileTasks int
 	// Tracer, when non-nil, records the build's span timeline (one
 	// track per rank; export with Tracer.WriteJSON). The graph and
 	// every protocol decision are identical with or without it.
@@ -130,6 +142,13 @@ func (o BuildOptions) coreConfig() core.Config {
 	if o.Workers > 0 {
 		cfg.Workers = o.Workers
 	}
+	if o.Quant {
+		cfg.Quant = true
+		cfg.QuantMetric = o.Metric
+	}
+	if o.TileTasks > 0 {
+		cfg.TileTasks = o.TileTasks
+	}
 	return cfg
 }
 
@@ -144,8 +163,12 @@ type BuildResult struct {
 	Metric MetricKind
 	// Iters is the number of NN-Descent rounds run.
 	Iters int
-	// DistEvals is the total number of distance computations.
+	// DistEvals is the total number of exact distance computations.
 	DistEvals int64
+	// QuantApprox / QuantPruned report the quantized filter's work when
+	// BuildOptions.Quant is set: candidates screened by code distance
+	// and the subset discarded without an exact evaluation.
+	QuantApprox, QuantPruned int64
 	// Messages and MessageBytes count all application-level messages
 	// exchanged between ranks.
 	Messages, MessageBytes int64
@@ -201,6 +224,8 @@ func Build[T Scalar](data [][]T, opt BuildOptions) (*BuildResult, error) {
 		Metric:       opt.Metric,
 		Iters:        root.Iters,
 		DistEvals:    root.DistEvals,
+		QuantApprox:  root.QuantApprox,
+		QuantPruned:  root.QuantPruned,
 		Messages:     st.SentMsgs,
 		MessageBytes: st.SentBytes,
 	}, nil
@@ -343,6 +368,8 @@ func buildWithPrior[T Scalar](data [][]T, prior *Graph, opt BuildOptions) (*Buil
 		Metric:       opt.Metric,
 		Iters:        root.Iters,
 		DistEvals:    root.DistEvals,
+		QuantApprox:  root.QuantApprox,
+		QuantPruned:  root.QuantPruned,
 		Messages:     st.SentMsgs,
 		MessageBytes: st.SentBytes,
 	}, nil
@@ -390,6 +417,9 @@ type Index[T Scalar] struct {
 	// forest, when non-nil, returns rp-tree entry candidates for a
 	// query (see BuildEntryForest).
 	forest func(q []T) []ID
+	// quant, when non-nil, routes queries through the quantized
+	// first-pass traversal (see EnableQuant).
+	quant *quant.View
 }
 
 // NewIndex creates a query index from a graph, its dataset, and the
@@ -444,6 +474,28 @@ func (ix *Index[T]) BuildEntryForest(trees int) error {
 	return nil
 }
 
+// EnableQuant attaches a scalar-quantized view of the dataset and
+// routes subsequent queries through quantized first-pass scoring: the
+// graph traversal ranks candidates by uint8 code distance and only the
+// over-fetched survivors get exact distances in a final re-rank —
+// cheaper per candidate at a small recall cost (none for native uint8
+// data, whose view is lossless). L2-family metrics only.
+func (ix *Index[T]) EnableQuant() error {
+	if !quant.Supported(ix.kind) {
+		return quant.ErrUnsupported(ix.kind)
+	}
+	dim := 0
+	if len(ix.data) > 0 {
+		dim = len(ix.data[0])
+	}
+	v, err := quant.NewView(ix.data, dim)
+	if err != nil {
+		return err
+	}
+	ix.quant = v
+	return nil
+}
+
 // entriesFor returns rp-tree entry candidates for q, or nil when no
 // forest is attached.
 func (ix *Index[T]) entriesFor(q []T) []ID {
@@ -481,9 +533,12 @@ func (ix *Index[T]) Search(q []T, l int, epsilon float64) []Neighbor {
 	seed := ix.seed
 	ix.seedMu.Unlock()
 	rng := rand.New(rand.NewSource(seed))
-	res, _ := search.Query(ix.graph, ix.data, ix.dist, q, search.Options{
-		L: l, Epsilon: epsilon, Entries: ix.entriesFor(q),
-	}, rng)
+	opt := search.Options{L: l, Epsilon: epsilon, Entries: ix.entriesFor(q)}
+	if ix.quant != nil {
+		res, _ := search.QueryQuant(ix.graph, ix.data, ix.dist, ix.quant, q, opt, rng)
+		return res
+	}
+	res, _ := search.Query(ix.graph, ix.data, ix.dist, q, opt, rng)
 	return res
 }
 
@@ -493,6 +548,10 @@ func (ix *Index[T]) SearchBatch(queries [][]T, l int, epsilon float64, workers i
 	opt := search.Options{L: l, Epsilon: epsilon, Seed: 1}
 	if ix.forest != nil {
 		opt.EntriesFunc = func(qi int) []ID { return ix.entriesFor(queries[qi]) }
+	}
+	if ix.quant != nil {
+		res, st := search.BatchQuant(ix.graph, ix.data, ix.dist, ix.quant, queries, opt, workers)
+		return res, st.DistEvals
 	}
 	res, st := search.Batch(ix.graph, ix.data, ix.dist, queries, opt, workers)
 	return res, st.DistEvals

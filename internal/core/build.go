@@ -38,7 +38,7 @@ type builder[T wire.Scalar] struct {
 	phInit, phSample, phReverse *engine.Phase
 	phChecks, phOpt, phGather   *engine.Phase
 
-	lists []*knng.NeighborList // parallel to shard.IDs
+	lists []knng.NeighborList // parallel to shard.IDs, one contiguous slab
 
 	// Per-round state.
 	olds, news [][]knng.ID       // parallel to shard.IDs
@@ -63,6 +63,7 @@ type builder[T wire.Scalar] struct {
 	// massive N this wants sharding, but it is exact and O(1) per test
 	// where the former map[ID]bool allocated per vertex per round).
 	w, replyW    *wire.Writer // phase-loop writer / handler-reply writer
+	r            *wire.Reader // handler decode reader (handlers never nest)
 	vecScratch   []T          // wire-vector decode target (Type 2, init)
 	mark         []uint32     // epoch-stamped marks, lazily sized to N
 	markEpoch    uint32
@@ -72,6 +73,20 @@ type builder[T wire.Scalar] struct {
 	norms        []float32 // kern.Norm per local vector (fused cosine)
 	idScratch    []knng.ID // applyTask bulk-update buffers
 	dScratch     []float32
+
+	// vecs are the candidate-vector views the check phase evaluates
+	// against: panel-blocked contiguous copies on the hot path (one
+	// slab, prefetch-friendly candidate walks), the caller's original
+	// slices in Conservative mode. Values are identical either way.
+	vecs [][]T
+
+	// qf is the quantized first-pass check filter (Config.Quant); nil
+	// when quantization is off. quantApprox counts candidates screened
+	// by the code kernel, quantPruned those it discarded; exact
+	// evaluations are the difference.
+	qf          *quantFilter[T]
+	quantApprox int64
+	quantPruned int64
 
 	updates   int64 // successful Updates this round (c of Algorithm 1)
 	distEvals int64
@@ -133,14 +148,31 @@ func BuildWarmKernel[T wire.Scalar](c *ygm.Comm, shard *Shard[T], kern metric.Ke
 		rng:    rand.New(rand.NewSource(cfg.Seed*7919 + int64(c.Rank()))),
 		w:      wire.NewWriter(256),
 		replyW: wire.NewWriter(256),
+		r:      wire.NewReader(nil),
 	}
 	b.eng = engine.New(c, cfg.BatchSize)
 	b.register()
 
-	b.lists = make([]*knng.NeighborList, shard.Len())
-	for i := range b.lists {
-		b.lists[i] = knng.NewNeighborList(cfg.K)
+	if cfg.Conservative {
+		b.vecs = shard.Vecs
+	} else {
+		// Hot path: dense O(1) ID→index routing and a panel-blocked
+		// contiguous copy of the local vectors, so check-phase
+		// candidate walks stream one slab instead of chasing per-row
+		// allocations. Row values are identical, so every distance —
+		// and therefore every result — is unchanged.
+		shard.ensureDense()
+		b.vecs = metric.NewBlocked(shard.Vecs, 0).Rows()
 	}
+	if cfg.Quant {
+		qf, err := newQuantFilter(shard, cfg.QuantMetric)
+		if err != nil {
+			return nil, err
+		}
+		b.qf = qf
+	}
+
+	b.lists = knng.MakeNeighborLists(shard.Len(), cfg.K)
 	b.olds = make([][]knng.ID, shard.Len())
 	b.news = make([][]knng.ID, shard.Len())
 
@@ -178,6 +210,10 @@ func BuildWarmKernel[T wire.Scalar](c *ygm.Comm, shard *Shard[T], kern metric.Ke
 		globalChecks := c.AllReduceSum(checks)
 		b.updates = 0
 		res.Rounds = append(res.Rounds, RoundInfo{Updates: globalUpdates, Checks: globalChecks})
+		if b.qf != nil {
+			c.Trace().Counter("nd.quant.approx", b.quantApprox)
+			c.Trace().Counter("nd.quant.pruned", b.quantPruned)
+		}
 		rsp.End()
 		if globalUpdates < threshold {
 			break
@@ -235,8 +271,18 @@ func (b *builder[T]) register() {
 
 func (b *builder[T]) owner(id knng.ID) int { return Owner(id, b.c.NRanks()) }
 
-// localIndex returns the shard index of an owned vertex.
+// localIndex returns the shard index of an owned vertex, through the
+// dense table on the hot path (this is the single hottest map lookup
+// in the build otherwise — every Type 1/2/3 message routes through it).
 func (b *builder[T]) localIndex(id knng.ID) int {
+	if d := b.shard.dense; d != nil {
+		if int(id) < len(d) {
+			if i := d[id]; i >= 0 {
+				return int(i)
+			}
+		}
+		panic("core: message routed to non-owner rank")
+	}
 	i, ok := b.shard.index[id]
 	if !ok {
 		panic("core: message routed to non-owner rank")
@@ -255,7 +301,7 @@ func (b *builder[T]) stageDist(kind uint8, key knng.ID, query []T, m engine.Cand
 	if b.norms != nil {
 		norm = b.norms[j]
 	}
-	b.pool.StageCompute(kind, key, query, m, b.shard.Vecs[j], norm, b.norms != nil)
+	b.pool.StageCompute(kind, key, query, m, b.vecs[j], norm, b.norms != nil)
 }
 
 // phaseWriter returns the writer for a phase's emit loop: the builder's
@@ -279,6 +325,19 @@ func (b *builder[T]) replyWriter(capacity int) *wire.Writer {
 	}
 	b.replyW.Reset()
 	return b.replyW
+}
+
+// handlerReader returns the reader for a handler's decode: the
+// builder's reused reader on the hot path, a fresh one in Conservative
+// mode. Safe for the same reason the reused replyWriter is: handlers
+// never nest, and nothing borrowed from the reader outlives the
+// handler invocation.
+func (b *builder[T]) handlerReader(p []byte) *wire.Reader {
+	if b.cfg.Conservative {
+		return wire.NewReader(p)
+	}
+	b.r.Reset(p)
+	return b.r
 }
 
 // getVec decodes a wire vector: a borrowed view / reused scratch on the
@@ -317,7 +376,13 @@ func (b *builder[T]) visitEpoch() uint32 {
 // in handlers: applies never nest.
 func (b *builder[T]) applyTask(t *engine.Task[T]) {
 	if t.Compute() {
+		// Charge the whole batch as exact evaluations up front; the
+		// Type 2 applier refunds quant-pruned slots (which cost only a
+		// code-distance screen) as it recognizes their +Inf marker.
 		b.distEvals += int64(len(t.Meta))
+		if b.qf != nil && t.Kind == taskType2 {
+			b.quantApprox += int64(len(t.Meta))
+		}
 		b.c.AddWork(float64(len(t.Query) * len(t.Meta)))
 	}
 	switch t.Kind {

@@ -9,6 +9,9 @@ package core
 import (
 	"errors"
 	"fmt"
+
+	"dnnd/internal/metric"
+	"dnnd/internal/metric/quant"
 )
 
 // Protocol selects the neighbor-check communication pattern of
@@ -73,6 +76,25 @@ type Config struct {
 	// ranks share the machine instead of oversubscribing it.
 	Workers int
 
+	// Quant enables the quantized first-pass filter for Type 2 distance
+	// evaluations: each rank trains a uint8 scalar-quantized view of its
+	// shard, screens candidates by a sound code-distance lower bound
+	// against the stage-time pruning threshold, and runs the exact
+	// kernel only on survivors (see quant.go). Requires QuantMetric in
+	// the L2 family and the OneSided+PruneDistant protocol (the
+	// threshold's soundness argument needs both). Off by default; when
+	// off, no result bit changes versus earlier releases.
+	Quant bool
+	// QuantMetric names the metric kind the build's kernel computes, so
+	// the quantized filter can check support and pick the right domain
+	// (l2 vs sql2). Only consulted when Quant is set.
+	QuantMetric metric.Kind
+	// TileTasks caps how many queued same-kind compute tasks the
+	// applier fuses into one cache-blocked tiled kernel call. 0 selects
+	// the engine default. Unlike BatchSize it is NOT part of the apply
+	// schedule: any tile size produces bit-identical results.
+	TileTasks int
+
 	// Optimize applies the Section 4.5 post-processing (reverse-edge
 	// merge and degree pruning to K*PruneFactor) to the final graph.
 	Optimize bool
@@ -129,6 +151,17 @@ func (cfg *Config) Validate(n int) error {
 	}
 	if cfg.Workers < 0 {
 		return fmt.Errorf("core: Workers=%d must be >= 0", cfg.Workers)
+	}
+	if cfg.TileTasks < 0 {
+		return fmt.Errorf("core: TileTasks=%d must be >= 0", cfg.TileTasks)
+	}
+	if cfg.Quant {
+		if !quant.Supported(cfg.QuantMetric) {
+			return quant.ErrUnsupported(cfg.QuantMetric)
+		}
+		if !cfg.Protocol.OneSided || !cfg.Protocol.PruneDistant {
+			return errors.New("core: Quant requires the one-sided protocol with distant-pair pruning (the filter threshold is only sound with both)")
+		}
 	}
 	if cfg.MaxIters <= 0 {
 		cfg.MaxIters = 30

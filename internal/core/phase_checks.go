@@ -94,7 +94,7 @@ func (b *builder[T]) neighborChecks() int64 {
 // decision reads u1's list, so it is staged and taken at apply time,
 // in arrival order with the staged list updates.
 func (b *builder[T]) onType1(p []byte) {
-	r := wire.NewReader(p)
+	r := b.handlerReader(p)
 	var m msg.Type1
 	m.Decode(r)
 	if r.Finish() != nil {
@@ -108,14 +108,32 @@ func (b *builder[T]) applyType1(c *engine.Cand) {
 	if b.cfg.Protocol.OneSided && b.cfg.Protocol.SkipRedundant && b.lists[i].Contains(c.B) {
 		return
 	}
-	w := b.replyWriter(16 + len(b.shard.Vecs[i])*4)
-	m := msg.Type2[T]{U1: c.A, U2: c.B, Vec: b.shard.Vecs[i]}
+	// b.vecs is the panel-blocked slab on the hot path: encoding from
+	// it reads one contiguous region instead of a scattered per-vertex
+	// allocation (same values either way, so the bytes sent are
+	// identical).
+	vec := b.vecs[i]
+	m := msg.Type2[T]{U1: c.A, U2: c.B, Vec: vec}
 	if b.cfg.Protocol.OneSided && b.cfg.Protocol.PruneDistant {
 		m.HasBound = true
 		m.Bound = b.lists[i].FarthestDist()
 	}
+	if b.cfg.Conservative {
+		w := b.replyWriter(16 + len(vec)*4)
+		m.Encode(w)
+		b.c.Async(b.owner(c.B), b.hType2, w.Bytes())
+		return
+	}
+	// Type 2 dominates the build's traffic (it carries a feature
+	// vector per check pair), so it encodes straight into the comm's
+	// aggregation buffer — one copy instead of scratch-then-enqueue.
+	n := 9 + wire.VectorBytes[T](len(vec))
+	if m.HasBound {
+		n += 4
+	}
+	w := b.c.AsyncWriter(b.owner(c.B), b.hType2, n)
 	m.Encode(w)
-	b.c.Async(b.owner(c.B), b.hType2, w.Bytes())
+	b.c.FinishAsyncWriter(w)
 }
 
 // onType2 runs at owner(u2): stage theta(u1, u2). At apply time the
@@ -124,26 +142,56 @@ func (b *builder[T]) applyType1(c *engine.Cand) {
 // leaves Bound at MaxFloat32 for plain Type 2 messages, which is what
 // the prune comparison wants.
 func (b *builder[T]) onType2(p []byte) {
-	r := wire.NewReader(p)
+	r := b.handlerReader(p)
 	var m msg.Type2[T]
 	m.DecodeHead(r)
 	m.Vec = b.getVec(r)
 	if r.Finish() != nil {
 		panic("core: bad type2")
 	}
-	b.stageDist(taskType2, m.U1, m.Vec,
-		engine.Cand{A: m.U1, B: m.U2, Local: int32(b.localIndex(m.U2)), D: m.Bound}, b.localIndex(m.U2))
+	j := b.localIndex(m.U2)
+	c := engine.Cand{A: m.U1, B: m.U2, Local: int32(j), D: m.Bound}
+	if b.qf != nil {
+		// Stage-time pruning threshold for the quantized filter: a
+		// pair is a provable no-op once its distance reaches BOTH the
+		// Type 2+ bound (no Type 3 reply) and u2's farthest neighbor
+		// (no list change). Both only shrink between stage and apply,
+		// so the larger of the two, read here on the rank goroutine,
+		// is a sound and worker-count-independent threshold.
+		c.Aux = m.Bound
+		if far := b.lists[j].FarthestDist(); far > c.Aux {
+			c.Aux = far
+		}
+	}
+	b.stageDist(taskType2, m.U1, m.Vec, c, j)
 }
 
 func (b *builder[T]) applyType2(c *engine.Cand, d float32) {
 	j := int(c.Local)
+	if b.qf != nil && d == quantPrunedDist {
+		// The quantized filter proved this pair effect-free (its
+		// lower bound cleared the stage-time threshold, which only
+		// shrinks by apply time): no exact distance was computed, no
+		// list change or Type 3 reply is possible. Undo the blanket
+		// exact-eval count applyTask charged for the batch.
+		b.quantPruned++
+		b.distEvals--
+		return
+	}
 	if !b.cfg.Protocol.OneSided {
 		// Two-sided flow: each endpoint updates only its own list.
 		b.updates += int64(b.lists[j].Update(c.A, d, true))
 		return
 	}
-	alreadyNeighbor := b.lists[j].Contains(c.A)
-	b.updates += int64(b.lists[j].Update(c.A, d, true))
+	// Fast reject: when d can neither enter u2's list nor survive the
+	// 4.3.3 prune, membership is irrelevant — Update would return 0
+	// and no Type 3 would be sent — so skip the scan entirely. This is
+	// the steady-state majority case of a converged descent.
+	if b.cfg.Protocol.PruneDistant && d >= c.D && !b.lists[j].Accepts(d) {
+		return
+	}
+	changed, alreadyNeighbor := b.lists[j].UpdateCheck(c.A, d, true)
+	b.updates += int64(changed)
 	if b.cfg.Protocol.SkipRedundant && alreadyNeighbor {
 		return
 	}
@@ -158,7 +206,7 @@ func (b *builder[T]) applyType2(c *engine.Cand, d float32) {
 
 // onType3 runs at owner(u1): fold the returned distance into u1's list.
 func (b *builder[T]) onType3(p []byte) {
-	r := wire.NewReader(p)
+	r := b.handlerReader(p)
 	var m msg.Type3
 	m.Decode(r)
 	if r.Finish() != nil {

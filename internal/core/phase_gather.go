@@ -3,7 +3,6 @@ package core
 import (
 	"dnnd/internal/knng"
 	"dnnd/internal/msg"
-	"dnnd/internal/wire"
 )
 
 // Phase 5: final gather. Every rank ships its final lists to rank 0 as
@@ -31,7 +30,7 @@ func (b *builder[T]) gather(res *Result) {
 }
 
 func (b *builder[T]) onGather(p []byte) {
-	r := wire.NewReader(p)
+	r := b.handlerReader(p)
 	var m msg.GatherRow
 	m.Decode(r)
 	if r.Finish() != nil {

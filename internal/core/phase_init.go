@@ -4,7 +4,6 @@ import (
 	"dnnd/internal/engine"
 	"dnnd/internal/knng"
 	"dnnd/internal/msg"
-	"dnnd/internal/wire"
 )
 
 // Phase 1: random initialization (Algorithm 1 lines 2-5). Each vertex
@@ -69,7 +68,7 @@ func (b *builder[T]) initGraph() {
 }
 
 func (b *builder[T]) onInitReq(p []byte) {
-	r := wire.NewReader(p)
+	r := b.handlerReader(p)
 	var m msg.InitReq[T]
 	m.DecodeHead(r)
 	m.Vec = b.getVec(r)
@@ -91,7 +90,7 @@ func (b *builder[T]) applyInitReq(t *engine.Task[T]) {
 }
 
 func (b *builder[T]) onInitResp(p []byte) {
-	r := wire.NewReader(p)
+	r := b.handlerReader(p)
 	var m msg.InitResp
 	m.Decode(r)
 	if r.Finish() != nil {

@@ -5,7 +5,6 @@ import (
 
 	"dnnd/internal/knng"
 	"dnnd/internal/msg"
-	"dnnd/internal/wire"
 )
 
 // Phase 4 (optional): graph optimization (Section 4.5). Every rank
@@ -113,7 +112,7 @@ func (b *builder[T]) mergeVertex(i, limit int, scratch *sync.Pool) []knng.Neighb
 }
 
 func (b *builder[T]) onOptEdge(p []byte) {
-	r := wire.NewReader(p)
+	r := b.handlerReader(p)
 	var m msg.OptEdge
 	m.Decode(r)
 	if r.Finish() != nil {

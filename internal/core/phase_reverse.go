@@ -3,7 +3,6 @@ package core
 import (
 	"dnnd/internal/knng"
 	"dnnd/internal/msg"
-	"dnnd/internal/wire"
 )
 
 // Phase 2b: reverse matrix exchange (Section 4.2). Each (u <- v)
@@ -60,7 +59,7 @@ func (b *builder[T]) exchangeReverse() {
 }
 
 func (b *builder[T]) onReverse(p []byte, old bool) {
-	r := wire.NewReader(p)
+	r := b.handlerReader(p)
 	var m msg.Reverse
 	m.Decode(r)
 	if r.Finish() != nil {

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"dnnd/internal/engine"
+	"dnnd/internal/metric"
+	"dnnd/internal/metric/quant"
+	"dnnd/internal/wire"
+)
+
+// The quantized first-pass filter for the check phase (Config.Quant).
+//
+// Each rank trains a quant.View over its local shard once per build.
+// Type 2 evaluations then run in two passes inside the worker-pool
+// Eval callback: the candidate's code distance against the query's
+// code gives a SOUND lower bound on the exact distance (quant package
+// contract), and candidates whose bound already exceeds the staged
+// pruning threshold are marked pruned (+Inf) without ever touching
+// their float vectors; survivors get the exact kernel.
+//
+// The threshold (engine.Cand.Aux) is fixed at STAGE time on the rank
+// goroutine: max(Type 2+ bound, u2's farthest-neighbor distance). Both
+// terms only shrink between stage and apply (lists never loosen), and
+// a pair is a complete no-op in the exact build iff its distance
+// reaches both the 4.3.3 bound (no Type 3) and u2's farthest (no list
+// change). A pruned pair is therefore provably effect-free in the
+// exact build — the quantized build can only skip work, never change
+// a decision it would have kept. Because staging happens on the rank
+// goroutine in message-arrival order, the filter decisions are also
+// independent of the worker count, preserving the width-determinism
+// contract. For native uint8 datasets the view is a lossless
+// passthrough: the "approximate" distance is computed by the exact
+// integer kernel itself, so -quant changes no result bit at all.
+type quantFilter[T wire.Scalar] struct {
+	view *quant.View
+	// sq: the metric is sql2, so thresholds live in the squared domain.
+	sq bool
+	// exact: lossless passthrough view; the code distance is the true
+	// distance and survivors need no second evaluation.
+	exact bool
+	// scratch pools query-code buffers: Eval runs on worker
+	// goroutines, so encode scratch cannot live on the builder.
+	scratch sync.Pool
+}
+
+// newQuantFilter builds the per-rank filter. kind must already have
+// passed quant.Supported (Config.Validate).
+func newQuantFilter[T wire.Scalar](shard *Shard[T], kind metric.Kind) (*quantFilter[T], error) {
+	dim := 0
+	if len(shard.Vecs) > 0 {
+		dim = len(shard.Vecs[0])
+	}
+	view, err := quant.NewView(shard.Vecs, dim)
+	if err != nil {
+		return nil, err
+	}
+	f := &quantFilter[T]{
+		view:  view,
+		sq:    kind == metric.SquaredL2,
+		exact: view.Exact,
+	}
+	f.scratch.New = func() any {
+		s := make([]uint8, dim)
+		return &s
+	}
+	return f, nil
+}
+
+// quantPrunedDist marks a filtered-out candidate in the task's Dists.
+// Real distances are finite (finite inputs through the L2 family), so
+// the applier can recognize pruned slots unambiguously.
+var quantPrunedDist = float32(math.Inf(1))
+
+// filterMany evaluates one query's candidate batch through the filter:
+// code-distance screen first, exact kernel only for survivors. meta[i]
+// carries the stage-time threshold in Aux; vecs[i] is the candidate's
+// float vector and meta[i].Local its shard row (= view row).
+func (f *quantFilter[T]) filterMany(kern *metric.Kernel[T], q []T, vecs [][]T, meta []engine.Cand, dists []float32) {
+	sp := f.scratch.Get().(*[]uint8)
+	code, qerr := quant.Encode(f.view, q, sp)
+	for i := range meta {
+		row := int(meta[i].Local)
+		if f.exact {
+			// Passthrough: the integer kernel over the codes IS the
+			// exact metric (same function, same bits), so compare the
+			// true distance and keep it for survivors.
+			cd := metric.SquaredL2Uint8(code, f.view.Code(row))
+			d := cd
+			if !f.sq {
+				d = float32(math.Sqrt(float64(cd)))
+			}
+			if d >= meta[i].Aux {
+				dists[i] = quantPrunedDist
+			} else {
+				dists[i] = d
+			}
+			continue
+		}
+		lb := f.view.LowerBoundL2(code, qerr, row)
+		if f.sq {
+			lb = lb * lb
+		}
+		if lb >= meta[i].Aux {
+			dists[i] = quantPrunedDist
+			continue
+		}
+		dists[i] = kern.Fn(q, vecs[i])
+	}
+	f.scratch.Put(sp)
+}

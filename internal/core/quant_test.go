@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dnnd/internal/metric"
+)
+
+// TestTileSizeEquivalence pins the tile pre-pass contract: TileTasks is
+// an execution detail, not part of the apply schedule, so every tile
+// width must produce results bit-identical to per-task evaluation
+// (tiles disabled via width 1 still run single-task exec) — including
+// the exact DistEvals count. Covers the plain float32 path, the
+// norm-cached cosine path, and helper workers racing the applier's
+// tile claims.
+func TestTileSizeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	fdata := clusteredData(rng, 300, 12, 8)
+
+	for _, kind := range []metric.Kind{metric.SquaredL2, metric.Cosine} {
+		t.Run(string(kind), func(t *testing.T) {
+			build := func(tiles, workers int) *Result {
+				cfg := DefaultConfig(6)
+				cfg.Seed = 777
+				cfg.TileTasks = tiles
+				cfg.Workers = workers
+				return buildKernelOnWorld(t, 1, fdata, kind, cfg)
+			}
+			base := build(1, 1)
+			for _, tiles := range []int{2, 5, 64} {
+				for _, workers := range []int{1, 4} {
+					got := build(tiles, workers)
+					assertIdenticalResults(t, base, got)
+					if t.Failed() {
+						t.Fatalf("tiles=%d workers=%d diverged from untiled build", tiles, workers)
+					}
+				}
+			}
+		})
+	}
+}
+
+// assertQuantEffectFree compares a quantized build against the exact
+// build it must shadow: identical traffic, rounds, and gathered graph,
+// with the only difference being exact evaluations traded for
+// code-distance screens (DistEvals conservation law).
+func assertQuantEffectFree(t *testing.T, exact, quant *Result) {
+	t.Helper()
+	if exact.Comm != quant.Comm {
+		t.Errorf("message totals differ:\nexact = %+v\nquant = %+v", exact.Comm, quant.Comm)
+	}
+	if !reflect.DeepEqual(exact.Rounds, quant.Rounds) {
+		t.Errorf("round counters differ:\nexact = %+v\nquant = %+v", exact.Rounds, quant.Rounds)
+	}
+	for v := range exact.Graph.Neighbors {
+		if !reflect.DeepEqual(exact.Graph.Neighbors[v], quant.Graph.Neighbors[v]) {
+			t.Fatalf("vertex %d neighbor list differs:\nexact = %+v\nquant = %+v",
+				v, exact.Graph.Neighbors[v], quant.Graph.Neighbors[v])
+		}
+	}
+	if quant.QuantPruned == 0 {
+		t.Error("quantized filter pruned nothing; test exercises no filtering")
+	}
+	if exact.QuantApprox != 0 || exact.QuantPruned != 0 {
+		t.Errorf("exact build reported quant counters: %d/%d", exact.QuantApprox, exact.QuantPruned)
+	}
+	if got := quant.DistEvals + quant.QuantPruned; got != exact.DistEvals {
+		t.Errorf("eval conservation broken: quant exact %d + pruned %d = %d, want %d",
+			quant.DistEvals, quant.QuantPruned, got, exact.DistEvals)
+	}
+}
+
+// TestQuantFloat32EffectFree is the soundness pin for the lossy filter:
+// on float32 data the quantized build may only skip pairs that are
+// provable no-ops, so the gathered graph, every message counter, and
+// every round outcome must be bit-identical to the exact build.
+func TestQuantFloat32EffectFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	fdata := clusteredData(rng, 300, 12, 8)
+
+	for _, kind := range []metric.Kind{metric.L2, metric.SquaredL2} {
+		t.Run(string(kind), func(t *testing.T) {
+			build := func(on bool) *Result {
+				cfg := DefaultConfig(6)
+				cfg.Seed = 99
+				cfg.Quant = on
+				cfg.QuantMetric = kind
+				return buildKernelOnWorld(t, 1, fdata, kind, cfg)
+			}
+			assertQuantEffectFree(t, build(false), build(true))
+		})
+	}
+}
+
+// TestQuantUint8Passthrough: native uint8 data uses the lossless view
+// (codes ARE the vectors), so -quant must change no bit while still
+// pruning via the threshold screen.
+func TestQuantUint8Passthrough(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	data := make([][]uint8, 300)
+	for i := range data {
+		base := uint8(rng.Intn(8)) * 30
+		v := make([]uint8, 12)
+		for j := range v {
+			v[j] = base + uint8(rng.Intn(20))
+		}
+		data[i] = v
+	}
+	for _, kind := range []metric.Kind{metric.L2, metric.SquaredL2} {
+		t.Run(string(kind), func(t *testing.T) {
+			build := func(on bool) *Result {
+				cfg := DefaultConfig(5)
+				cfg.Seed = 3
+				cfg.Quant = on
+				cfg.QuantMetric = kind
+				return buildKernelOnWorld(t, 1, data, kind, cfg)
+			}
+			assertQuantEffectFree(t, build(false), build(true))
+		})
+	}
+}
+
+// TestQuantWorkerWidthEquivalence: the filter decides prunes from
+// stage-time thresholds fixed on the rank goroutine, so quantized
+// builds keep the width-determinism contract — including the prune
+// counters themselves.
+func TestQuantWorkerWidthEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	fdata := clusteredData(rng, 300, 12, 8)
+	build := func(workers int) *Result {
+		cfg := DefaultConfig(6)
+		cfg.Seed = 31
+		cfg.Workers = workers
+		cfg.Quant = true
+		cfg.QuantMetric = metric.SquaredL2
+		return buildKernelOnWorld(t, 1, fdata, metric.SquaredL2, cfg)
+	}
+	serial := build(1)
+	for _, workers := range []int{2, 4} {
+		got := build(workers)
+		assertIdenticalResults(t, serial, got)
+		if serial.QuantApprox != got.QuantApprox || serial.QuantPruned != got.QuantPruned {
+			t.Errorf("workers=%d quant counters differ: %d/%d vs serial %d/%d",
+				workers, got.QuantApprox, got.QuantPruned, serial.QuantApprox, serial.QuantPruned)
+		}
+	}
+}
+
+// TestQuantConfigValidation pins the guard rails: the filter is only
+// sound for L2-family metrics under the one-sided pruning protocol.
+func TestQuantConfigValidation(t *testing.T) {
+	reject := []func(*Config){
+		func(c *Config) { c.Quant = true; c.QuantMetric = metric.Cosine },
+		func(c *Config) { c.Quant = true; c.QuantMetric = metric.L2; c.Protocol = Unoptimized() },
+		func(c *Config) {
+			c.Quant = true
+			c.QuantMetric = metric.L2
+			c.Protocol.PruneDistant = false
+		},
+		func(c *Config) { c.TileTasks = -1 },
+	}
+	for i, mutate := range reject {
+		cfg := DefaultConfig(10)
+		mutate(&cfg)
+		if err := cfg.Validate(100); err == nil {
+			t.Errorf("case %d: invalid quant config accepted", i)
+		}
+	}
+	cfg := DefaultConfig(10)
+	cfg.Quant = true
+	cfg.QuantMetric = metric.SquaredL2
+	if err := cfg.Validate(100); err != nil {
+		t.Errorf("valid quant config rejected: %v", err)
+	}
+}

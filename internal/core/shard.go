@@ -37,6 +37,27 @@ type Shard[T wire.Scalar] struct {
 	Vecs [][]T
 
 	index map[knng.ID]int
+	// dense is the O(1) ID→shard-index table the hot path uses in
+	// place of the map: dense[id] is the shard index of an owned id,
+	// -1 otherwise. Built lazily by ensureDense (one int32 per global
+	// point, the same footprint as the builder's visited-mark array);
+	// the map stays authoritative for the Conservative path.
+	dense []int32
+}
+
+// ensureDense builds the dense ID→index table if absent.
+func (s *Shard[T]) ensureDense() {
+	if s.dense != nil {
+		return
+	}
+	d := make([]int32, s.N)
+	for i := range d {
+		d[i] = -1
+	}
+	for i, id := range s.IDs {
+		d[id] = int32(i)
+	}
+	s.dense = d
 }
 
 // Partition splits a full dataset into the shard owned by rank. Every

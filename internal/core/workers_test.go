@@ -104,10 +104,9 @@ func mergeTestBuilder(workers int) *builder[float32] {
 		ids[i] = knng.ID(i)
 	}
 	b.shard = &Shard[float32]{N: n, IDs: ids}
-	b.lists = make([]*knng.NeighborList, n)
+	b.lists = knng.MakeNeighborLists(n, k)
 	b.optRows = make([][]knng.Neighbor, n)
 	for i := range b.lists {
-		b.lists[i] = knng.NewNeighborList(k)
 		for j := 0; j < 2*k; j++ {
 			b.lists[i].Update(knng.ID(rng.Intn(n)), rng.Float32(), j%2 == 0)
 		}

@@ -33,6 +33,13 @@ type Neighbor struct {
 type NeighborList struct {
 	k     int
 	items []Neighbor // max-heap by Dist; items[0] is the farthest
+	// far caches FarthestDist(): items[0].Dist on a full list,
+	// maxFloat32 otherwise. The check phase's accept/prune decisions
+	// read this bound once per candidate on lists scattered across the
+	// heap; the inline copy answers them without chasing items. It is
+	// refreshed by the sift helpers, through which every heap mutation
+	// passes.
+	far float32
 }
 
 // NewNeighborList returns an empty list with capacity k.
@@ -41,7 +48,23 @@ func NewNeighborList(k int) *NeighborList {
 	if k <= 0 {
 		panic("knng: neighbor list capacity must be positive")
 	}
-	return &NeighborList{k: k, items: make([]Neighbor, 0, k)}
+	return &NeighborList{k: k, items: make([]Neighbor, 0, k), far: maxFloat32}
+}
+
+// MakeNeighborLists returns n empty lists of capacity k with all their
+// entry storage carved from one contiguous slab, so the construction
+// hot loop's random per-vertex list accesses stay within one compact
+// region instead of n scattered allocations.
+func MakeNeighborLists(n, k int) []NeighborList {
+	if k <= 0 {
+		panic("knng: neighbor list capacity must be positive")
+	}
+	slab := make([]Neighbor, n*k)
+	lists := make([]NeighborList, n)
+	for i := range lists {
+		lists[i] = NeighborList{k: k, items: slab[i*k : i*k : (i+1)*k], far: maxFloat32}
+	}
+	return lists
 }
 
 // K returns the list's capacity.
@@ -57,12 +80,7 @@ func (l *NeighborList) Full() bool { return len(l.items) == l.k }
 // On a non-full list it returns +Inf semantics via MaxFloat behaviour:
 // callers that prune on this bound must treat a non-full list as
 // unbounded, so we return the largest float32.
-func (l *NeighborList) FarthestDist() float32 {
-	if len(l.items) < l.k {
-		return maxFloat32
-	}
-	return l.items[0].Dist
-}
+func (l *NeighborList) FarthestDist() float32 { return l.far }
 
 const maxFloat32 = 3.4028234663852886e+38
 
@@ -89,7 +107,7 @@ func (l *NeighborList) Update(id ID, d float32, isNew bool) int {
 	// leave the heap untouched — but it makes the common steady-state
 	// case (descent resubmitting far candidates) O(1), which is what
 	// lets UpdateMany amortize bulk applies from the worker pool.
-	if len(l.items) == l.k && d >= l.items[0].Dist {
+	if len(l.items) == l.k && d >= l.far {
 		return 0
 	}
 	if l.Contains(id) {
@@ -103,6 +121,42 @@ func (l *NeighborList) Update(id ID, d float32, isNew bool) int {
 	l.items[0] = Neighbor{ID: id, Dist: d, New: isNew}
 	l.siftDown(0)
 	return 1
+}
+
+// Accepts reports whether a candidate at distance d could change the
+// list, ignoring membership: the list is not full, or d beats the
+// farthest entry. When it returns false, Update(id, d, ...) is a
+// guaranteed no-op for every id — the check-phase fast-reject path
+// uses this to skip the membership scan entirely.
+func (l *NeighborList) Accepts(d float32) bool {
+	return len(l.items) < l.k || d < l.far
+}
+
+// UpdateCheck is Contains(id) fused with Update(id, d, isNew): it
+// returns Update's change count together with whether id was already a
+// member BEFORE the update, using a single membership scan where the
+// separate calls would scan twice. The results are exactly those of
+// calling Contains(id) then Update(id, d, isNew) — the check-phase
+// apply loop needs both (membership drives the 4.3.2 redundancy
+// decision, the change count drives Algorithm 1's counter), and the
+// scan is its hottest non-kernel cost.
+func (l *NeighborList) UpdateCheck(id ID, d float32, isNew bool) (changed int, wasPresent bool) {
+	if len(l.items) == l.k && d >= l.far {
+		// Bound-rejected: the heap cannot change, but the caller still
+		// needs membership.
+		return 0, l.Contains(id)
+	}
+	if l.Contains(id) {
+		return 0, true
+	}
+	if len(l.items) < l.k {
+		l.items = append(l.items, Neighbor{ID: id, Dist: d, New: isNew})
+		l.siftUp(len(l.items) - 1)
+		return 1, false
+	}
+	l.items[0] = Neighbor{ID: id, Dist: d, New: isNew}
+	l.siftDown(0)
+	return 1, false
 }
 
 // UpdateMany applies Update over parallel id/distance slices, returning
@@ -120,15 +174,27 @@ func (l *NeighborList) UpdateMany(ids []ID, dists []float32, isNew bool) int {
 	return n
 }
 
+// refreshFar re-derives the cached farthest bound from the heap root.
+// Every heap mutation ends in a sift, so the sift helpers are the one
+// place that must call it.
+func (l *NeighborList) refreshFar() {
+	if len(l.items) == l.k {
+		l.far = l.items[0].Dist
+	} else {
+		l.far = maxFloat32
+	}
+}
+
 func (l *NeighborList) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
 		if l.items[parent].Dist >= l.items[i].Dist {
-			return
+			break
 		}
 		l.items[parent], l.items[i] = l.items[i], l.items[parent]
 		i = parent
 	}
+	l.refreshFar()
 }
 
 func (l *NeighborList) siftDown(i int) {
@@ -143,11 +209,12 @@ func (l *NeighborList) siftDown(i int) {
 			largest = right
 		}
 		if largest == i {
-			return
+			break
 		}
 		l.items[i], l.items[largest] = l.items[largest], l.items[i]
 		i = largest
 	}
+	l.refreshFar()
 }
 
 // Items returns the stored neighbors in heap order. The slice aliases

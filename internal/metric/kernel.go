@@ -15,20 +15,28 @@ import "dnnd/internal/wire"
 // computed once per batch instead of once per pair). The worker pool's
 // distance stage relies on this contract: offloaded batches must land
 // on exactly the float32 values the serial path would have produced.
+//
+// ManyMany, when set, is the tiled many-queries-vs-many-candidates
+// form used by EvalTile; see EvalTile for its contract.
 type Kernel[T wire.Scalar] struct {
-	Fn      Func[T]
-	Norm    func(v []T) float32
-	FnPre   func(a, b []T, nb float32) float32
-	ManyPre func(q []T, cands [][]T, nbs []float32, out []float32)
+	Fn       Func[T]
+	Norm     func(v []T) float32
+	FnPre    func(a, b []T, nb float32) float32
+	ManyPre  func(q []T, cands [][]T, nbs []float32, out []float32)
+	ManyMany func(qs [][]T, offs []int32, cands [][]T, nbs []float32, out []float32)
 }
 
 // EvalMany evaluates the metric between one query and many candidates,
 // writing distances into out (which must have len >= len(cands)). When
 // nbs is non-nil it carries the precomputed Norm of each candidate and
-// the norm-cached fast path is used; otherwise the plain kernel runs
-// per pair. Either way every out[i] is bit-identical to what the
-// corresponding per-pair call (Fn or FnPre) would return — EvalMany is
-// a throughput optimization, never a semantic one.
+// the norm-cached fast path is used, provided the kernel has one
+// (ManyPre or FnPre). A kernel without a pre-norm form (Norm, FnPre
+// and ManyPre all nil — every kind except cosine/float32 today) has no
+// norms for callers to cache in the first place; passing nbs anyway is
+// not an error, but the values are ignored and the plain Fn path runs.
+// Either way every out[i] is bit-identical to what the corresponding
+// per-pair call (Fn or FnPre) would return — EvalMany is a throughput
+// optimization, never a semantic one.
 func (k Kernel[T]) EvalMany(q []T, cands [][]T, nbs []float32, out []float32) {
 	if nbs != nil && k.ManyPre != nil {
 		k.ManyPre(q, cands, nbs, out)
@@ -45,6 +53,37 @@ func (k Kernel[T]) EvalMany(q []T, cands [][]T, nbs []float32, out []float32) {
 	}
 }
 
+// EvalTile evaluates a tile of queries against a tile of candidates:
+// query qs[i] owns the candidate segment cands[offs[i]:offs[i+1]] and
+// its distances land in out over the same index range. offs must have
+// len(qs)+1 entries with offs[0] == 0 and offs[len(qs)] == len(cands);
+// segments may be empty, and a tile with no queries is a no-op. When
+// nbs is non-nil it is aligned with cands and carries precomputed
+// candidate norms, exactly as in EvalMany.
+//
+// Like EvalMany, EvalTile is a throughput optimization only: every
+// out[j] is bit-identical to the corresponding per-pair Fn/FnPre call.
+// A ManyMany fast path may reorder which PAIR is visited when (that is
+// where the cache blocking lives) but must never restructure the
+// accumulation within a pair.
+func (k Kernel[T]) EvalTile(qs [][]T, offs []int32, cands [][]T, nbs []float32, out []float32) {
+	if k.ManyMany != nil {
+		k.ManyMany(qs, offs, cands, nbs, out)
+		return
+	}
+	for i, q := range qs {
+		lo, hi := offs[i], offs[i+1]
+		if lo == hi {
+			continue
+		}
+		var seg []float32
+		if nbs != nil {
+			seg = nbs[lo:hi]
+		}
+		k.EvalMany(q, cands[lo:hi], seg, out[lo:hi])
+	}
+}
+
 // KernelFor returns the named metric for element type T together with
 // its fast paths, for the construction hot loop. Callers that only need
 // the plain function can keep using For.
@@ -55,10 +94,26 @@ func KernelFor[T wire.Scalar](k Kind) (Kernel[T], error) {
 	}
 	kern := Kernel[T]{Fn: fn}
 	var z T
-	if _, ok := any(z).(float32); ok && k == Cosine {
-		kern.Norm = any(SquaredNormFloat32).(func([]T) float32)
-		kern.FnPre = any(CosinePreNormFloat32).(func([]T, []T, float32) float32)
-		kern.ManyPre = any(CosineManyPreNormFloat32).(func([]T, [][]T, []float32, []float32))
+	switch any(z).(type) {
+	case float32:
+		switch k {
+		case Cosine:
+			kern.Norm = any(SquaredNormFloat32).(func([]T) float32)
+			kern.FnPre = any(CosinePreNormFloat32).(func([]T, []T, float32) float32)
+			kern.ManyPre = any(CosineManyPreNormFloat32).(func([]T, [][]T, []float32, []float32))
+			kern.ManyMany = any(cosineManyManyFloat32).(func([][]T, []int32, [][]T, []float32, []float32))
+		case L2:
+			kern.ManyMany = any(L2Float32ManyMany).(func([][]T, []int32, [][]T, []float32, []float32))
+		case SquaredL2:
+			kern.ManyMany = any(SquaredL2Float32ManyMany).(func([][]T, []int32, [][]T, []float32, []float32))
+		}
+	case uint8:
+		switch k {
+		case L2:
+			kern.ManyMany = any(L2Uint8ManyMany).(func([][]T, []int32, [][]T, []float32, []float32))
+		case SquaredL2:
+			kern.ManyMany = any(SquaredL2Uint8ManyMany).(func([][]T, []int32, [][]T, []float32, []float32))
+		}
 	}
 	return kern, nil
 }

@@ -146,6 +146,41 @@ func TestEvalManyJaccardBitIdentical(t *testing.T) {
 	}
 }
 
+// EvalMany's documented fallthrough: a kernel with no pre-norm form
+// (Norm/FnPre/ManyPre all nil) ignores a non-nil nbs and runs the plain
+// Fn path — the values cannot mean anything to a kernel that never
+// defined a Norm. Pin that the nbs contents are genuinely inert, even
+// when they are garbage.
+func TestEvalManyNoPreNormIgnoresNbs(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	kern, err := KernelFor[uint8](SquaredL2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kern.Norm != nil || kern.FnPre != nil || kern.ManyPre != nil {
+		t.Fatal("sql2/uint8 unexpectedly grew a pre-norm path; update this test")
+	}
+	d := 64
+	gen := func() []uint8 {
+		v := make([]uint8, d)
+		for i := range v {
+			v[i] = uint8(rng.Intn(256))
+		}
+		return v
+	}
+	q := gen()
+	cands := [][]uint8{gen(), gen(), gen()}
+	garbage := []float32{float32(math.NaN()), float32(math.Inf(1)), -12345}
+	out := make([]float32, len(cands))
+	kern.EvalMany(q, cands, garbage, out)
+	for i, c := range cands {
+		if want := kern.Fn(q, c); math.Float32bits(out[i]) != math.Float32bits(want) {
+			t.Errorf("cand %d: nbs-carrying call %x, Fn %x",
+				i, math.Float32bits(out[i]), math.Float32bits(want))
+		}
+	}
+}
+
 // CosineManyPreNormFloat32 skips the per-pair |q|^2 recomputation; its
 // hoisted SquaredNormFloat32(q) must land on the same bits dotAndNorm's
 // query lanes produce, on adversarial values too.

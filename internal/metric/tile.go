@@ -1,0 +1,272 @@
+package metric
+
+import (
+	"math"
+	"unsafe"
+
+	"dnnd/internal/wire"
+)
+
+// This file holds the tiled (many-queries × many-candidates) side of
+// the kernel subsystem: the Blocked contiguous panel layout for
+// candidate vectors and the ManyMany fast paths behind
+// Kernel.EvalTile. The design rule, stated once here and relied on
+// everywhere: a tiled kernel may reorder which PAIR it visits when —
+// that is where the cache blocking lives — but must never restructure
+// the accumulation WITHIN a pair. Integer kernels are exact, so any
+// rewrite is automatically bit-identical; float32 kernels keep the
+// per-pair lane structure documented in metric.go.
+
+// DefaultPanelBytes sizes a candidate panel to half a typical L2 slice
+// so one panel plus a tile of queries and accumulators stays resident
+// while the tile sweeps it.
+const DefaultPanelBytes = 128 << 10
+
+// Blocked stores a set of vectors in one contiguous slab, grouped into
+// cache-sized panels of consecutive rows. Rows keep their row-major
+// element order (so a row view is drop-in for the original slice and
+// every kernel result is bit-identical); the win is purely locality —
+// candidate walks during a tile evaluation touch one hardware-friendly
+// sequential region instead of len(vecs) scattered allocations, and
+// rows of the same panel share L2 residency across the tile's queries.
+type Blocked[T wire.Scalar] struct {
+	rows    [][]T
+	slab    []T
+	perPane int // rows per panel (uniform-dim case); 0 when dims vary
+}
+
+// NewBlocked copies vecs into a fresh panel-blocked slab. panelBytes
+// <= 0 selects DefaultPanelBytes. The input slices are not retained.
+func NewBlocked[T wire.Scalar](vecs [][]T, panelBytes int) *Blocked[T] {
+	if panelBytes <= 0 {
+		panelBytes = DefaultPanelBytes
+	}
+	var z T
+	elem := int(unsafe.Sizeof(z))
+	total := 0
+	uniform := true
+	for _, v := range vecs {
+		total += len(v)
+		if len(v) != len(vecs[0]) {
+			uniform = false
+		}
+	}
+	b := &Blocked[T]{
+		rows: make([][]T, len(vecs)),
+		slab: make([]T, 0, total),
+	}
+	if uniform && len(vecs) > 0 && len(vecs[0]) > 0 {
+		rowBytes := len(vecs[0]) * elem
+		b.perPane = panelBytes / rowBytes
+		if b.perPane < 1 {
+			b.perPane = 1
+		}
+	}
+	for i, v := range vecs {
+		start := len(b.slab)
+		b.slab = append(b.slab, v...)
+		// Full-capacity reslice so appends elsewhere can never alias
+		// into a neighboring row.
+		b.rows[i] = b.slab[start : start+len(v) : start+len(v)]
+	}
+	return b
+}
+
+// Row returns the blocked view of vector i. The slice aliases the
+// shared slab; callers must treat it as read-only.
+func (b *Blocked[T]) Row(i int) []T { return b.rows[i] }
+
+// Rows returns all row views, indexed like the constructor's input.
+func (b *Blocked[T]) Rows() [][]T { return b.rows }
+
+// Len returns the number of rows.
+func (b *Blocked[T]) Len() int { return len(b.rows) }
+
+// PanelOf returns the panel index of row i (rows of one panel are
+// consecutive and span at most the panel byte budget). With
+// variable-length rows the whole slab is a single panel.
+func (b *Blocked[T]) PanelOf(i int) int {
+	if b.perPane == 0 {
+		return 0
+	}
+	return i / b.perPane
+}
+
+// squaredL2Float32Pair2 evaluates one query against two candidates in
+// a single dimension sweep, loading each query element once. Each pair
+// keeps its own four accumulator lanes combined as (s0+s1)+(s2+s3) with
+// the tail folding into lane 0 — exactly SquaredL2Float32's structure —
+// so both results are bit-identical to the per-pair kernel.
+func squaredL2Float32Pair2(q, c0, c1 []float32) (float32, float32) {
+	c0 = c0[:len(q)]
+	c1 = c1[:len(q)]
+	var a0, a1, a2, a3 float32
+	var b0, b1, b2, b3 float32
+	i := 0
+	for ; i+4 <= len(q); i += 4 {
+		q0, q1, q2, q3 := q[i], q[i+1], q[i+2], q[i+3]
+		d0 := q0 - c0[i]
+		d1 := q1 - c0[i+1]
+		d2 := q2 - c0[i+2]
+		d3 := q3 - c0[i+3]
+		a0 += d0 * d0
+		a1 += d1 * d1
+		a2 += d2 * d2
+		a3 += d3 * d3
+		e0 := q0 - c1[i]
+		e1 := q1 - c1[i+1]
+		e2 := q2 - c1[i+2]
+		e3 := q3 - c1[i+3]
+		b0 += e0 * e0
+		b1 += e1 * e1
+		b2 += e2 * e2
+		b3 += e3 * e3
+	}
+	for ; i < len(q); i++ {
+		qi := q[i]
+		d := qi - c0[i]
+		a0 += d * d
+		e := qi - c1[i]
+		b0 += e * e
+	}
+	return (a0 + a1) + (a2 + a3), (b0 + b1) + (b2 + b3)
+}
+
+// squaredL2Uint8Pair2 is the uint8 analogue of squaredL2Float32Pair2:
+// one query, two candidates, one sweep. Integer arithmetic makes the
+// results exactly equal to SquaredL2Uint8 whatever the lane layout; the
+// chunked int64 fold mirrors SquaredL2Uint8's overflow bound.
+func squaredL2Uint8Pair2(q, c0, c1 []uint8) (float32, float32) {
+	c0 = c0[:len(q)]
+	c1 = c1[:len(q)]
+	var t0, t1 int64
+	for base := 0; base < len(q); base += sqUint8ChunkLen {
+		end := base + sqUint8ChunkLen
+		if end > len(q) {
+			end = len(q)
+		}
+		var a0, a1, a2, a3, b0, b1, b2, b3 int32
+		i := base
+		for ; i+4 <= end; i += 4 {
+			q0, q1, q2, q3 := int32(q[i]), int32(q[i+1]), int32(q[i+2]), int32(q[i+3])
+			d0 := q0 - int32(c0[i])
+			d1 := q1 - int32(c0[i+1])
+			d2 := q2 - int32(c0[i+2])
+			d3 := q3 - int32(c0[i+3])
+			a0 += d0 * d0
+			a1 += d1 * d1
+			a2 += d2 * d2
+			a3 += d3 * d3
+			e0 := q0 - int32(c1[i])
+			e1 := q1 - int32(c1[i+1])
+			e2 := q2 - int32(c1[i+2])
+			e3 := q3 - int32(c1[i+3])
+			b0 += e0 * e0
+			b1 += e1 * e1
+			b2 += e2 * e2
+			b3 += e3 * e3
+		}
+		for ; i < end; i++ {
+			qi := int32(q[i])
+			d := qi - int32(c0[i])
+			a0 += d * d
+			e := qi - int32(c1[i])
+			b0 += e * e
+		}
+		t0 += int64((a0 + a1) + (a2 + a3))
+		t1 += int64((b0 + b1) + (b2 + b3))
+	}
+	return float32(t0), float32(t1)
+}
+
+// Pair-2 dimension cutoffs. The two-candidate sweep halves query loads
+// but carries twice the live accumulators, and measured throughput
+// (dnnd-bench kernels, this container's single core) says where each
+// side wins: float32 pair-2 beats the per-pair loop up to a few hundred
+// dims and loses on very wide vectors; uint8 pair-2 only wins on narrow
+// vectors (the widening int32 ALU chain saturates the core by itself at
+// larger dims). The branch depends ONLY on the query's dimension, so
+// kernel-form selection is deterministic and — both forms being
+// bit-identical per pair — invisible in the output.
+const (
+	pair2MaxDimFloat32 = 512
+	pair2MaxDimUint8   = 64
+)
+
+// SquaredL2Float32ManyMany is the tiled squared-L2 kernel over float32:
+// each query sweeps its candidate segment two candidates at a time,
+// halving query-element loads. Bit-identical to per-pair
+// SquaredL2Float32 (see squaredL2Float32Pair2).
+func SquaredL2Float32ManyMany(qs [][]float32, offs []int32, cands [][]float32, _ []float32, out []float32) {
+	for i, q := range qs {
+		j, hi := int(offs[i]), int(offs[i+1])
+		if len(q) > pair2MaxDimFloat32 {
+			for ; j < hi; j++ {
+				out[j] = SquaredL2Float32(q, cands[j])
+			}
+			continue
+		}
+		for ; j+2 <= hi; j += 2 {
+			out[j], out[j+1] = squaredL2Float32Pair2(q, cands[j], cands[j+1])
+		}
+		if j < hi {
+			out[j] = SquaredL2Float32(q, cands[j])
+		}
+	}
+}
+
+// L2Float32ManyMany is SquaredL2Float32ManyMany followed by the same
+// sqrt L2Float32 applies, so each out[j] matches L2Float32 bitwise.
+func L2Float32ManyMany(qs [][]float32, offs []int32, cands [][]float32, nbs []float32, out []float32) {
+	SquaredL2Float32ManyMany(qs, offs, cands, nbs, out)
+	for j := range out[:offs[len(qs)]] {
+		out[j] = float32(math.Sqrt(float64(out[j])))
+	}
+}
+
+// SquaredL2Uint8ManyMany is the tiled squared-L2 kernel over uint8.
+func SquaredL2Uint8ManyMany(qs [][]uint8, offs []int32, cands [][]uint8, _ []float32, out []float32) {
+	for i, q := range qs {
+		j, hi := int(offs[i]), int(offs[i+1])
+		if len(q) > pair2MaxDimUint8 {
+			for ; j < hi; j++ {
+				out[j] = SquaredL2Uint8(q, cands[j])
+			}
+			continue
+		}
+		for ; j+2 <= hi; j += 2 {
+			out[j], out[j+1] = squaredL2Uint8Pair2(q, cands[j], cands[j+1])
+		}
+		if j < hi {
+			out[j] = SquaredL2Uint8(q, cands[j])
+		}
+	}
+}
+
+// L2Uint8ManyMany is SquaredL2Uint8ManyMany plus L2Uint8's sqrt.
+func L2Uint8ManyMany(qs [][]uint8, offs []int32, cands [][]uint8, nbs []float32, out []float32) {
+	SquaredL2Uint8ManyMany(qs, offs, cands, nbs, out)
+	for j := range out[:offs[len(qs)]] {
+		out[j] = float32(math.Sqrt(float64(out[j])))
+	}
+}
+
+// cosineManyManyFloat32 tiles the cosine kernel. With candidate norms
+// it reduces per segment to CosineManyPreNormFloat32 (one |q|² per
+// query instead of one per pair); without norms it falls back to the
+// per-pair kernel. Either way the per-pair lane structure is untouched.
+func cosineManyManyFloat32(qs [][]float32, offs []int32, cands [][]float32, nbs []float32, out []float32) {
+	for i, q := range qs {
+		lo, hi := offs[i], offs[i+1]
+		if lo == hi {
+			continue
+		}
+		if nbs != nil {
+			CosineManyPreNormFloat32(q, cands[lo:hi], nbs[lo:hi], out[lo:hi])
+			continue
+		}
+		for j := lo; j < hi; j++ {
+			out[j] = CosineFloat32(q, cands[j])
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package metric_test
+
+// Kernel-axis regression benches for scripts/bench.sh: the tiled
+// (EvalTile) form and the quantized code screen at the two anchor
+// shapes (deep float32 dim 96, bigann uint8 dim 128), alongside the
+// per-pair benches in metric_bench_test.go. An external test package
+// so the quant import does not cycle. The interactive grid across
+// dims 32-960 lives in `dnnd-bench kernels` (results/kernels.md);
+// these pin the anchor points in BENCH_PR<N>.json.
+
+import (
+	"math/rand"
+	"testing"
+
+	"dnnd/internal/metric"
+	"dnnd/internal/metric/quant"
+)
+
+const (
+	benchTileQueries = 8
+	benchTileCands   = 64
+)
+
+func benchTileF32(dim int) (qs, cands [][]float32) {
+	rng := rand.New(rand.NewSource(3))
+	qs = make([][]float32, benchTileQueries)
+	cands = make([][]float32, benchTileQueries*benchTileCands)
+	for i := range qs {
+		qs[i] = make([]float32, dim)
+		for d := range qs[i] {
+			qs[i][d] = rng.Float32()
+		}
+	}
+	for i := range cands {
+		cands[i] = make([]float32, dim)
+		for d := range cands[i] {
+			cands[i][d] = rng.Float32()
+		}
+	}
+	return qs, cands
+}
+
+func benchTileU8(dim int) (qs, cands [][]uint8) {
+	rng := rand.New(rand.NewSource(4))
+	qs = make([][]uint8, benchTileQueries)
+	cands = make([][]uint8, benchTileQueries*benchTileCands)
+	for i := range qs {
+		qs[i] = make([]uint8, dim)
+		for d := range qs[i] {
+			qs[i][d] = uint8(rng.Intn(256))
+		}
+	}
+	for i := range cands {
+		cands[i] = make([]uint8, dim)
+		for d := range cands[i] {
+			cands[i][d] = uint8(rng.Intn(256))
+		}
+	}
+	return qs, cands
+}
+
+func tileOffs() []int32 {
+	offs := make([]int32, benchTileQueries+1)
+	for i := range offs {
+		offs[i] = int32(i * benchTileCands)
+	}
+	return offs
+}
+
+var benchSink float32
+
+func benchEvalTile[T interface{ float32 | uint8 }](b *testing.B, qs, cands [][]T) {
+	kern, err := metric.KernelFor[T](metric.SquaredL2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	offs := tileOffs()
+	out := make([]float32, len(cands))
+	pairs := int64(len(cands))
+	b.SetBytes(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kern.EvalTile(qs, offs, cands, nil, out)
+	}
+	b.StopTimer()
+	benchSink += out[0]
+	b.ReportMetric(float64(pairs*int64(b.N))/b.Elapsed().Seconds(), "pairs/s")
+}
+
+func BenchmarkTileSquaredL2Deep(b *testing.B) {
+	qs, cands := benchTileF32(96)
+	benchEvalTile(b, qs, cands)
+}
+
+func BenchmarkTileSquaredL2BigANN(b *testing.B) {
+	qs, cands := benchTileU8(128)
+	benchEvalTile(b, qs, cands)
+}
+
+func benchQuantScreen[T interface{ float32 | uint8 }](b *testing.B, qs, cands [][]T, view *quant.View) {
+	var scratch []uint8
+	pairs := int64(len(cands))
+	perQ := len(cands) / len(qs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for qi, q := range qs {
+			code, qerr := quant.Encode(view, q, &scratch)
+			for j := 0; j < perQ; j++ {
+				benchSink += view.LowerBoundL2(code, qerr, qi*perQ+j)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(pairs*int64(b.N))/b.Elapsed().Seconds(), "pairs/s")
+}
+
+func BenchmarkQuantScreenDeep(b *testing.B) {
+	qs, cands := benchTileF32(96)
+	benchQuantScreen(b, qs, cands, quant.NewViewFloat32(cands, 96))
+}
+
+func BenchmarkQuantScreenBigANN(b *testing.B) {
+	qs, cands := benchTileU8(128)
+	benchQuantScreen(b, qs, cands, quant.NewViewUint8(cands, 128))
+}

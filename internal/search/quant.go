@@ -1,0 +1,71 @@
+package search
+
+import (
+	"context"
+	"math/rand"
+
+	"dnnd/internal/knng"
+	"dnnd/internal/metric"
+	"dnnd/internal/metric/quant"
+	"dnnd/internal/wire"
+)
+
+// quantOverFetch widens the traversal's result list under approximate
+// scoring: the walk keeps 2L candidates so that quantization error in
+// the ordering near the horizon cannot evict a true top-L neighbor
+// before the exact re-rank sees it.
+const quantOverFetch = 2
+
+// QueryQuant answers a query with quantized first-pass scoring: the
+// greedy traversal ranks candidates by code distance against view
+// (one uint8 kernel pass per candidate instead of a float32 one),
+// over-fetching quantOverFetch*L results, and only the surviving
+// candidates get exact distances in a final re-rank. The traversal
+// route may differ from Query's — this is the lossy, fast path; the
+// recall contract is pinned by tests, not bit-identity. For native
+// uint8 data the view is lossless, so only the re-rank is extra work.
+//
+// dist must be in the L2 family (the code-space bound is an L2 bound);
+// sql2 works because x -> x² preserves the traversal ordering.
+func QueryQuant[T wire.Scalar](g *knng.Graph, data [][]T, dist metric.Func[T], view *quant.View, q []T, opt Options, rng *rand.Rand) ([]knng.Neighbor, Stats) {
+	n := g.NumVertices()
+	if n == 0 || opt.L < 1 {
+		return nil, Stats{}
+	}
+	var st Stats
+	var scratch []uint8
+	code, _ := quant.Encode(view, q, &scratch)
+	score := func(id knng.ID) float32 {
+		st.ApproxEvals++
+		return view.ApproxL2(code, int(id))
+	}
+	cands := traverse(g, score, quantOverFetch*opt.L, opt, rng, &st)
+
+	l := opt.L
+	if l > n {
+		l = n
+	}
+	results := knng.NewNeighborList(l)
+	for _, e := range cands.Sorted() {
+		d := dist(q, data[e.ID])
+		st.DistEvals++
+		results.Update(e.ID, d, false)
+	}
+	return results.Sorted(), st
+}
+
+// BatchQuant answers many queries in parallel through QueryQuant; the
+// same contract as Batch otherwise.
+func BatchQuant[T wire.Scalar](g *knng.Graph, data [][]T, dist metric.Func[T], view *quant.View, queries [][]T, opt Options, workers int) ([][]knng.Neighbor, Stats) {
+	out, st, _ := BatchQuantContext(context.Background(), g, data, dist, view, queries, opt, workers)
+	return out, st
+}
+
+// BatchQuantContext is BatchQuant with cancellation, mirroring
+// BatchContext.
+func BatchQuantContext[T wire.Scalar](ctx context.Context, g *knng.Graph, data [][]T, dist metric.Func[T], view *quant.View, queries [][]T, opt Options, workers int) ([][]knng.Neighbor, Stats, error) {
+	return batchCore(ctx, len(queries), opt, workers,
+		func(qi int, qopt Options, rng *rand.Rand) ([]knng.Neighbor, Stats) {
+			return QueryQuant(g, data, dist, view, queries[qi], qopt, rng)
+		})
+}

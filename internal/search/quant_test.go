@@ -1,0 +1,109 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"dnnd/internal/brute"
+	"dnnd/internal/metric"
+	"dnnd/internal/metric/quant"
+	"dnnd/internal/recall"
+)
+
+// TestQueryQuantRecallMatchesExact is the recall acceptance pin for
+// the quantized query path: batch recall@10 with code-distance
+// traversal plus exact re-rank must stay within 1% of the exact
+// traversal's recall on the same graph.
+func TestQueryQuantRecallMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n, dim := 1200, 12
+	data := make([][]float32, n)
+	for i := range data {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = rng.Float32() * 4
+		}
+		data[i] = v
+	}
+	g := brute.KNNGraph(data, 10, metric.SquaredL2Float32, 0)
+	g.Optimize(10, 1.5)
+
+	queries := make([][]float32, 60)
+	for i := range queries {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = rng.Float32() * 4
+		}
+		queries[i] = v
+	}
+	truth := brute.TruthIDs(brute.QueryKNN(data, queries, 10, metric.SquaredL2Float32, 0))
+	opt := Options{L: 10, Epsilon: 0.2, Seed: 7}
+
+	exact, est := Batch(g, data, metric.SquaredL2Float32, queries, opt, 2)
+	exactR := recall.AtK(IDs(exact), truth, 10)
+
+	view := quant.NewViewFloat32(data, dim)
+	approx, ast := BatchQuant(g, data, metric.SquaredL2Float32, view, queries, opt, 2)
+	approxR := recall.AtK(IDs(approx), truth, 10)
+
+	t.Logf("recall@10 exact=%.3f quant=%.3f (exact evals %d vs %d, approx evals %d)",
+		exactR, approxR, est.DistEvals, ast.DistEvals, ast.ApproxEvals)
+	if approxR < 0.99*exactR {
+		t.Errorf("quantized recall %.3f below 99%% of exact recall %.3f", approxR, exactR)
+	}
+	if ast.ApproxEvals == 0 {
+		t.Error("quantized batch recorded no approximate evaluations")
+	}
+	if est.ApproxEvals != 0 {
+		t.Errorf("exact batch recorded %d approximate evaluations", est.ApproxEvals)
+	}
+	// The re-rank touches only the over-fetched survivors, so exact
+	// evaluations must collapse versus the exact traversal.
+	if ast.DistEvals >= est.DistEvals {
+		t.Errorf("quantized path did %d exact evals, not fewer than exact path's %d",
+			ast.DistEvals, est.DistEvals)
+	}
+}
+
+// TestQueryQuantUint8Lossless: for native uint8 data the view is a
+// lossless passthrough, so the approximate traversal scores with the
+// true distance and recall must match the exact path's on the same
+// over-fetched width.
+func TestQueryQuantUint8Lossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, dim := 800, 12
+	data := make([][]uint8, n)
+	for i := range data {
+		v := make([]uint8, dim)
+		for j := range v {
+			v[j] = uint8(rng.Intn(256))
+		}
+		data[i] = v
+	}
+	g := brute.KNNGraph(data, 10, metric.L2Uint8, 0)
+	g.Optimize(10, 1.5)
+	queries := make([][]uint8, 40)
+	for i := range queries {
+		v := make([]uint8, dim)
+		for j := range v {
+			v[j] = uint8(rng.Intn(256))
+		}
+		queries[i] = v
+	}
+	truth := brute.TruthIDs(brute.QueryKNN(data, queries, 10, metric.L2Uint8, 0))
+	opt := Options{L: 10, Epsilon: 0.2, Seed: 7}
+
+	exact, _ := Batch(g, data, metric.L2Uint8, queries, opt, 2)
+	exactR := recall.AtK(IDs(exact), truth, 10)
+
+	view := quant.NewViewUint8(data, dim)
+	if !view.Exact {
+		t.Fatal("uint8 view not marked exact")
+	}
+	approx, _ := BatchQuant(g, data, metric.L2Uint8, view, queries, opt, 2)
+	approxR := recall.AtK(IDs(approx), truth, 10)
+	t.Logf("recall@10 exact=%.3f quant=%.3f", exactR, approxR)
+	if approxR < exactR {
+		t.Errorf("lossless quantized recall %.3f below exact %.3f", approxR, exactR)
+	}
+}

@@ -46,8 +46,11 @@ const minSeedPoints = 16
 
 // Stats reports the cost of one query (or the sum over a batch).
 type Stats struct {
-	// DistEvals counts distance computations.
+	// DistEvals counts exact distance computations.
 	DistEvals int64
+	// ApproxEvals counts quantized code-distance computations (the
+	// QueryQuant traversal); zero on exact queries.
+	ApproxEvals int64
 	// Visited counts vertices whose neighbor lists were expanded.
 	Visited int64
 	// Truncated counts queries stopped early by Options.Interrupt or a
@@ -75,11 +78,24 @@ func Query[T wire.Scalar](g *knng.Graph, data [][]T, dist metric.Func[T], q []T,
 	if n == 0 || opt.L < 1 {
 		return nil, Stats{}
 	}
-	l := opt.L
+	var st Stats
+	score := func(id knng.ID) float32 {
+		st.DistEvals++
+		return dist(q, data[id])
+	}
+	results := traverse(g, score, opt.L, opt, rng, &st)
+	return results.Sorted(), st
+}
+
+// traverse is the greedy best-first graph walk shared by the exact and
+// quantized query paths: score is the (counted) distance oracle, l the
+// result-list width. Stats fields other than the caller's eval counter
+// are updated in place.
+func traverse(g *knng.Graph, score func(knng.ID) float32, l int, opt Options, rng *rand.Rand, st *Stats) *knng.NeighborList {
+	n := g.NumVertices()
 	if l > n {
 		l = n
 	}
-	var st Stats
 	results := knng.NewNeighborList(l)
 	var front knng.MinQueue
 	visited := newBitset(n)
@@ -101,8 +117,7 @@ func Query[T wire.Scalar](g *knng.Graph, data [][]T, dist metric.Func[T], q []T,
 			continue
 		}
 		seeded++
-		d := dist(q, data[id])
-		st.DistEvals++
+		d := score(id)
 		results.Update(id, d, false)
 		front.Push(id, d)
 	}
@@ -112,8 +127,7 @@ func Query[T wire.Scalar](g *knng.Graph, data [][]T, dist metric.Func[T], q []T,
 			continue
 		}
 		seeded++
-		d := dist(q, data[id])
-		st.DistEvals++
+		d := score(id)
 		results.Update(id, d, false)
 		front.Push(id, d)
 	}
@@ -142,8 +156,7 @@ func Query[T wire.Scalar](g *knng.Graph, data [][]T, dist metric.Func[T], q []T,
 			if visited.testAndSet(e.ID) {
 				continue
 			}
-			d := dist(q, data[e.ID])
-			st.DistEvals++
+			d := score(e.ID)
 			lim := limit()
 			if float64(d) < lim {
 				results.Update(e.ID, d, false)
@@ -151,7 +164,7 @@ func Query[T wire.Scalar](g *knng.Graph, data [][]T, dist metric.Func[T], q []T,
 			}
 		}
 	}
-	return results.Sorted(), st
+	return results
 }
 
 // Batch answers many queries in parallel (workers <= 0 means
@@ -172,13 +185,23 @@ func Batch[T wire.Scalar](g *knng.Graph, data [][]T, dist metric.Func[T], querie
 // bound a whole batch; per-query deadlines go through
 // Options.Interrupt, which composes with ctx here.
 func BatchContext[T wire.Scalar](ctx context.Context, g *knng.Graph, data [][]T, dist metric.Func[T], queries [][]T, opt Options, workers int) ([][]knng.Neighbor, Stats, error) {
-	out := make([][]knng.Neighbor, len(queries))
-	stats := make([]Stats, len(queries))
+	return batchCore(ctx, len(queries), opt, workers,
+		func(qi int, qopt Options, rng *rand.Rand) ([]knng.Neighbor, Stats) {
+			return Query(g, data, dist, queries[qi], qopt, rng)
+		})
+}
+
+// batchCore is the worker-pool skeleton shared by the exact and
+// quantized batch entry points: per-query RNG derivation, entry-point
+// hooks, context cancellation composed with Options.Interrupt.
+func batchCore(ctx context.Context, nq int, opt Options, workers int, run func(qi int, qopt Options, rng *rand.Rand) ([]knng.Neighbor, Stats)) ([][]knng.Neighbor, Stats, error) {
+	out := make([][]knng.Neighbor, nq)
+	stats := make([]Stats, nq)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(queries) {
-		workers = len(queries)
+	if workers > nq {
+		workers = nq
 	}
 	done := ctx.Done()
 	canceled := func() bool {
@@ -218,12 +241,12 @@ func BatchContext[T wire.Scalar](ctx context.Context, g *knng.Graph, data [][]T,
 				if opt.EntriesFunc != nil {
 					qopt.Entries = opt.EntriesFunc(qi)
 				}
-				out[qi], stats[qi] = Query(g, data, dist, queries[qi], qopt, rng)
+				out[qi], stats[qi] = run(qi, qopt, rng)
 			}
 		}()
 	}
 feed:
-	for qi := range queries {
+	for qi := 0; qi < nq; qi++ {
 		select {
 		case next <- qi:
 		case <-done:
@@ -235,6 +258,7 @@ feed:
 	var total Stats
 	for _, s := range stats {
 		total.DistEvals += s.DistEvals
+		total.ApproxEvals += s.ApproxEvals
 		total.Visited += s.Visited
 		total.Truncated += s.Truncated
 	}

@@ -133,8 +133,15 @@ func (s *Server[T]) runOne(r *request[T], warmSnap []knng.ID) {
 		opt.Interrupt = func() bool { return time.Now().After(dl) }
 	}
 	rng := rand.New(rand.NewSource(r.seed))
-	ns, st := search.Query(s.src.Graph, s.src.Data, s.src.Dist, r.vec, opt, rng)
+	var ns []knng.Neighbor
+	var st search.Stats
+	if s.src.Quant != nil {
+		ns, st = search.QueryQuant(s.src.Graph, s.src.Data, s.src.Dist, s.src.Quant, r.vec, opt, rng)
+	} else {
+		ns, st = search.Query(s.src.Graph, s.src.Data, s.src.Dist, r.vec, opt, rng)
+	}
 	s.m.DistEvals.Add(st.DistEvals)
+	s.m.ApproxEvals.Add(st.ApproxEvals)
 	status := msg.SStatusOK
 	if st.Truncated > 0 {
 		status = msg.SStatusPartial

@@ -12,6 +12,7 @@ import (
 	"dnnd/internal/engine"
 	"dnnd/internal/knng"
 	"dnnd/internal/metric"
+	"dnnd/internal/metric/quant"
 	"dnnd/internal/msg"
 	"dnnd/internal/obs"
 	"dnnd/internal/wire"
@@ -28,6 +29,11 @@ type Source[T wire.Scalar] struct {
 	Metric  string
 	K       int
 	Refined bool
+	// Quant, when non-nil, routes queries through the quantized
+	// first-pass traversal (code-distance scoring + exact re-rank of
+	// the over-fetched candidates; see search.QueryQuant). Build one
+	// with quant.NewView over Data. L2-family metrics only.
+	Quant *quant.View
 }
 
 // Config tunes the request scheduler. The zero value of every field

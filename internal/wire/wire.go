@@ -67,6 +67,14 @@ func (w *Writer) Len() int { return len(w.buf) }
 // Reset truncates the buffer, retaining capacity.
 func (w *Writer) Reset() { w.buf = w.buf[:0] }
 
+// Wrap points the Writer at caller-provided storage (typically a
+// zero-length slice of some larger buffer's tail), so encodes land in
+// place. Writes beyond the slice's capacity fall back to the usual
+// geometric growth, detaching from the provided storage — callers
+// wrapping a shared buffer must size it for the full message (see
+// ygm.Comm.AsyncWriter, which checks this).
+func (w *Writer) Wrap(buf []byte) { w.buf = buf }
+
 // reserve extends the buffer by n bytes and returns the new span for
 // the caller to fill, growing the backing array geometrically.
 func (w *Writer) reserve(n int) []byte {
@@ -171,6 +179,11 @@ type Reader struct {
 
 // NewReader returns a Reader over p. The Reader does not copy p.
 func NewReader(p []byte) *Reader { return &Reader{buf: p} }
+
+// Reset repoints the Reader at p and clears its position and error,
+// so a message handler can reuse one Reader across payloads instead of
+// allocating per message.
+func (r *Reader) Reset(p []byte) { r.buf, r.off, r.err = p, 0, nil }
 
 // Err returns the first decoding error, or nil.
 func (r *Reader) Err() error { return r.err }

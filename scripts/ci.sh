@@ -57,6 +57,7 @@ go test -run='^$' -fuzz='^FuzzDQueryMessages$' -fuzztime=2s ./internal/msg/
 go test -run='^$' -fuzz='^FuzzServeMessages$' -fuzztime=2s ./internal/msg/
 go test -run='^$' -fuzz='^FuzzBulkCodec$' -fuzztime=2s ./internal/wire/
 go test -run='^$' -fuzz='^FuzzTraceDecode$' -fuzztime=2s ./internal/obs/
+go test -run='^$' -fuzz='^FuzzQuantRoundTrip$' -fuzztime=2s ./internal/metric/quant/
 
 echo "== trace smoke (3-rank traced build round-trips through the decoder)"
 # A real traced construction must emit Perfetto-loadable JSON: decode,
