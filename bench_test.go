@@ -14,6 +14,7 @@ import (
 	"dnnd/internal/bench"
 	"dnnd/internal/core"
 	"dnnd/internal/dataset"
+	"dnnd/internal/metric"
 )
 
 func quickOpts() bench.Options {
@@ -50,6 +51,53 @@ func BenchmarkConstruction(b *testing.B) {
 					}
 					if i == 0 {
 						b.ReportMetric(float64(out.Result.DistEvals), "dist-evals")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkConstructionQuant anchors the quantized check-phase filter
+// where it pays and where it doesn't: "gist" (the 960-dim float32
+// anchor of ROADMAP item 3 — exact evaluations are ~7.5x a deep/96
+// one, so the uint8 code screen wins) against "bigann" (native uint8,
+// the honest negative: screening byte codes costs nearly as much as
+// evaluating them). The on/off builds produce bit-identical graphs
+// (the filter only skips provable no-ops), so the ns/op gap is the
+// filter's net value and quant-pruned-frac is the share of screened
+// Type 2 candidates it proved skippable.
+func BenchmarkConstructionQuant(b *testing.B) {
+	for _, name := range []string{"gist", "bigann"} {
+		p, err := dataset.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := dataset.Generate(p, 2000, 1)
+		for _, mode := range []struct {
+			name  string
+			quant bool
+		}{{"exact", false}, {"quant", true}} {
+			b.Run(name+"/"+mode.name, func(b *testing.B) {
+				cfg := core.DefaultConfig(10)
+				cfg.Seed = 1
+				if mode.quant {
+					cfg.Quant = true
+					cfg.QuantMetric = metric.SquaredL2
+				}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					out, err := bench.BuildDNND(d, 4, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						b.ReportMetric(float64(out.Result.DistEvals), "dist-evals")
+						if mode.quant && out.Result.QuantApprox > 0 {
+							b.ReportMetric(
+								float64(out.Result.QuantPruned)/float64(out.Result.QuantApprox),
+								"quant-pruned-frac")
+						}
 					}
 				}
 			})

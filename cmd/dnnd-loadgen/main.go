@@ -24,6 +24,7 @@ func main() {
 		addr        = flag.String("addr", "127.0.0.1:7741", "dnnd-serve address")
 		requests    = flag.Int("n", 1000, "total requests")
 		concurrency = flag.Int("c", 8, "concurrent workers (closed-loop width)")
+		conns       = flag.Int("conns", 0, "pipelined connections shared by the workers (0 = one connection per worker)")
 		qps         = flag.Float64("qps", 0, "open-loop arrival rate (0 = closed loop)")
 		nq          = flag.Int("queries", 256, "distinct synthetic query vectors")
 		queryFile   = flag.String("query-file", "", "query vector file (.fvecs/.bvecs/.ivecs) instead of synthetic")
@@ -52,6 +53,7 @@ func main() {
 		Addr:        *addr,
 		Requests:    *requests,
 		Concurrency: *concurrency,
+		Conns:       *conns,
 		QPS:         *qps,
 		L:           *l,
 		Epsilon:     *epsilon,

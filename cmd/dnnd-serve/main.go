@@ -31,8 +31,9 @@ func main() {
 		queue       = flag.Int("queue", 1024, "admission queue depth (overload beyond it)")
 		batch       = flag.Int("batch", 16, "max queries per micro-batch")
 		batchWait   = flag.Duration("batch-wait", 0, "extra wait for a batch to fill (0 = purely dynamic)")
-		executors   = flag.Int("executors", 2, "micro-batches in flight at once")
-		workers     = flag.Int("workers", 0, "intra-batch workers (0 = GOMAXPROCS)")
+		lanes       = flag.Int("lanes", 0, "independent dispatch lanes, each with its own queue shard and worker pool (0 = -executors)")
+		executors   = flag.Int("executors", 2, "legacy batch-parallelism knob; seeds the -lanes default")
+		workers     = flag.Int("workers", 0, "per-lane intra-batch workers (0 = GOMAXPROCS/lanes)")
 		deadline    = flag.Duration("deadline", 0, "default per-query deadline (0 = none)")
 		maxDeadline = flag.Duration("max-deadline", 0, "cap on client-requested deadlines (0 = uncapped)")
 		warm        = flag.Int("warm", 0, "warm entry-point cache size (0 = disabled)")
@@ -50,6 +51,7 @@ func main() {
 		QueueDepth:      *queue,
 		BatchMax:        *batch,
 		BatchWait:       *batchWait,
+		Lanes:           *lanes,
 		Executors:       *executors,
 		Workers:         *workers,
 		DefaultDeadline: *deadline,
@@ -104,6 +106,7 @@ func run[T dnnd.Scalar](storeDir, addr, debugAddr string, cfg serve.Config, drai
 	if debugAddr != "" {
 		tracer = obs.NewTracer(0)
 		cfg.Trace = tracer.Track("serve", 0)
+		cfg.Tracer = tracer // per-lane serve.batch span tracks
 	}
 	s, err := serve.New(src, cfg)
 	if err != nil {

@@ -3,7 +3,6 @@ package dnnd
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 
 	"dnnd/internal/core"
@@ -532,13 +531,12 @@ func (ix *Index[T]) Search(q []T, l int, epsilon float64) []Neighbor {
 	ix.seed++
 	seed := ix.seed
 	ix.seedMu.Unlock()
-	rng := rand.New(rand.NewSource(seed))
 	opt := search.Options{L: l, Epsilon: epsilon, Entries: ix.entriesFor(q)}
 	if ix.quant != nil {
-		res, _ := search.QueryQuant(ix.graph, ix.data, ix.dist, ix.quant, q, opt, rng)
+		res, _ := search.QueryQuant(ix.graph, ix.data, ix.dist, ix.quant, q, opt, seed)
 		return res
 	}
-	res, _ := search.Query(ix.graph, ix.data, ix.dist, q, opt, rng)
+	res, _ := search.Query(ix.graph, ix.data, ix.dist, q, opt, seed)
 	return res
 }
 

@@ -58,20 +58,19 @@ type builder[T wire.Scalar] struct {
 	optIn   map[knng.ID][]knng.Neighbor
 
 	// Hot-path scratch, all reused across rounds so the steady-state
-	// descent allocates nothing. mark is an epoch-stamped visited-set
+	// descent allocates nothing. visited is an epoch-stamped visited-set
 	// over the global ID space (one uint32 per vertex per rank; at truly
 	// massive N this wants sharding, but it is exact and O(1) per test
 	// where the former map[ID]bool allocated per vertex per round).
-	w, replyW    *wire.Writer // phase-loop writer / handler-reply writer
-	r            *wire.Reader // handler decode reader (handlers never nest)
-	vecScratch   []T          // wire-vector decode target (Type 2, init)
-	mark         []uint32     // epoch-stamped marks, lazily sized to N
-	markEpoch    uint32
-	candScratch  []knng.ID // sampleLists candidate buffer
-	shufScratch  []knng.ID // unionSample shuffle buffer
-	orderScratch []int     // exchangeReverse vertex order
-	norms        []float32 // kern.Norm per local vector (fused cosine)
-	idScratch    []knng.ID // applyTask bulk-update buffers
+	w, replyW    *wire.Writer  // phase-loop writer / handler-reply writer
+	r            *wire.Reader  // handler decode reader (handlers never nest)
+	vecScratch   []T           // wire-vector decode target (Type 2, init)
+	visited      knng.VisitSet // epoch-stamped marks, lazily sized to N
+	candScratch  []knng.ID     // sampleLists candidate buffer
+	shufScratch  []knng.ID     // unionSample shuffle buffer
+	orderScratch []int         // exchangeReverse vertex order
+	norms        []float32     // kern.Norm per local vector (fused cosine)
+	idScratch    []knng.ID     // applyTask bulk-update buffers
 	dScratch     []float32
 
 	// vecs are the candidate-vector views the check phase evaluates
@@ -352,20 +351,11 @@ func (b *builder[T]) getVec(r *wire.Reader) []T {
 	return v
 }
 
-// visitEpoch starts a fresh visited-mark generation and returns its
-// stamp; b.mark[id] == stamp means "seen this generation". The array is
-// sized to the global N on first use and cleared only when the uint32
-// epoch wraps (once per 2^32 generations).
-func (b *builder[T]) visitEpoch() uint32 {
-	if b.mark == nil {
-		b.mark = make([]uint32, b.shard.N)
-	}
-	b.markEpoch++
-	if b.markEpoch == 0 {
-		clear(b.mark)
-		b.markEpoch = 1
-	}
-	return b.markEpoch
+// beginVisit starts a fresh generation of the builder's shared visited
+// set over the global ID space. The epoch-stamp mechanics live in
+// knng.VisitSet, shared with the search path's pooled contexts.
+func (b *builder[T]) beginVisit() {
+	b.visited.Begin(b.shard.N)
 }
 
 // applyTask applies one task's effects on the rank goroutine: all

@@ -17,11 +17,10 @@ func (b *builder[T]) initGraph() {
 		v := b.shard.IDs[i]
 		need := b.cfg.K
 		var seen map[knng.ID]bool
-		var epoch uint32
 		if cons {
 			seen = make(map[knng.ID]bool, b.cfg.K)
 		} else {
-			epoch = b.visitEpoch()
+			b.beginVisit()
 		}
 		// Warm start: vertices the prior graph covers keep their
 		// lists (distances already known, no communication), flagged
@@ -35,7 +34,7 @@ func (b *builder[T]) initGraph() {
 					if cons {
 						seen[e.ID] = true
 					} else {
-						b.mark[e.ID] = epoch
+						b.visited.Mark(e.ID)
 					}
 					need--
 				}
@@ -53,10 +52,9 @@ func (b *builder[T]) initGraph() {
 				}
 				seen[u] = true
 			} else {
-				if u == v || b.mark[u] == epoch {
+				if u == v || !b.visited.Visit(u) {
 					continue
 				}
-				b.mark[u] = epoch
 			}
 			need--
 			w.Reset()

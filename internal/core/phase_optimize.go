@@ -50,18 +50,10 @@ func (b *builder[T]) optimizeGraph() {
 func (b *builder[T]) mergeFinal(limit int) {
 	b.final = make([][]knng.Neighbor, b.shard.Len())
 	var scratch sync.Pool // per-goroutine dedupe marks (see mergeVertex)
-	scratch.New = func() any { return &mergeScratch{mark: make([]uint32, b.shard.N)} }
+	scratch.New = func() any { return new(knng.VisitSet) }
 	b.pool.ParallelFor(b.shard.Len(), func(i int) {
 		b.final[i] = b.mergeVertex(i, limit, &scratch)
 	})
-}
-
-// mergeScratch is one goroutine's epoch-stamped visited-set for the
-// merge; pooled because the shared builder marks cannot be used
-// concurrently.
-type mergeScratch struct {
-	mark  []uint32
-	epoch uint32
 }
 
 // mergeVertex merges vertex i's reverse edges into its sorted list and
@@ -87,18 +79,13 @@ func (b *builder[T]) mergeVertex(i, limit int, scratch *sync.Pool) []knng.Neighb
 			}
 		}
 	} else {
-		sc := scratch.Get().(*mergeScratch)
-		sc.epoch++
-		if sc.epoch == 0 {
-			clear(sc.mark)
-			sc.epoch = 1
-		}
+		sc := scratch.Get().(*knng.VisitSet)
+		sc.Begin(b.shard.N)
 		for _, e := range merged {
-			sc.mark[e.ID] = sc.epoch
+			sc.Mark(e.ID)
 		}
 		for _, e := range extra {
-			if sc.mark[e.ID] != sc.epoch {
-				sc.mark[e.ID] = sc.epoch
+			if sc.Visit(e.ID) {
 				merged = append(merged, e)
 			}
 		}

@@ -100,17 +100,15 @@ func (b *builder[T]) unionSample(base, extra []knng.ID, sampleN int) []knng.ID {
 		}
 		return out
 	}
-	epoch := b.visitEpoch()
+	b.beginVisit()
 	out := base[:0]
 	for _, id := range base {
-		if b.mark[id] != epoch {
-			b.mark[id] = epoch
+		if b.visited.Visit(id) {
 			out = append(out, id)
 		}
 	}
 	for _, id := range extra {
-		if b.mark[id] != epoch {
-			b.mark[id] = epoch
+		if b.visited.Visit(id) {
 			out = append(out, id)
 		}
 	}

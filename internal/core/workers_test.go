@@ -204,7 +204,7 @@ func TestMergeScratchEpochIsolation(t *testing.T) {
 	b := mergeTestBuilder(1)
 	defer b.pool.Shutdown()
 	var scratch sync.Pool
-	scratch.New = func() any { return &mergeScratch{mark: make([]uint32, b.shard.N)} }
+	scratch.New = func() any { return new(knng.VisitSet) }
 	first := b.mergeVertex(7, 12, &scratch)
 	for i := 0; i < 100; i++ {
 		b.mergeVertex(i%b.shard.Len(), 12, &scratch)

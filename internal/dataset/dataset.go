@@ -59,9 +59,24 @@ var Presets = []Preset{
 	{Name: "bigann", Dim: 128, PaperEntries: 1_000_000_000, DefaultEntries: 20000, Metric: metric.L2, Elem: ElemUint8, Clusters: 64, Billion: true},
 }
 
-// ByName returns the named preset.
+// Extras lists supplementary anchor presets outside Table 1. "gist"
+// is the float32-heavy anchor (the GIST1M shape: 960-dim float32
+// descriptors under L2): exact float32 distances there cost ~7.5x a
+// deep/96 evaluation, so it is where the quantized code screen pays
+// for itself — unlike bigann, whose native uint8 codes are nearly as
+// cheap to compare exactly as the 8-bit screen itself.
+var Extras = []Preset{
+	{Name: "gist", Dim: 960, PaperEntries: 1_000_000, DefaultEntries: 4000, Metric: metric.L2, Elem: ElemFloat32, Clusters: 32},
+}
+
+// ByName returns the named preset, searching Table 1 then Extras.
 func ByName(name string) (Preset, error) {
 	for _, p := range Presets {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	for _, p := range Extras {
 		if p.Name == name {
 			return p, nil
 		}

@@ -52,6 +52,29 @@ func TestByName(t *testing.T) {
 	}
 }
 
+// TestGistExtraPreset pins the float32-heavy anchor outside Table 1:
+// ByName must resolve it (CLIs and the quant bench depend on that), it
+// must generate valid high-dim float32 data, and it must NOT appear in
+// Presets or Small(), which are Table 1's.
+func TestGistExtraPreset(t *testing.T) {
+	p, err := ByName("gist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dim != 960 || p.Elem != ElemFloat32 || p.Metric != metric.L2 {
+		t.Fatalf("gist preset = %+v", p)
+	}
+	d := Generate(p, 50, 1)
+	if len(d.F32) != 50 || len(d.F32[0]) != 960 {
+		t.Fatalf("gist shape %dx%d", len(d.F32), len(d.F32[0]))
+	}
+	for _, q := range Presets {
+		if q.Name == "gist" {
+			t.Fatal("gist leaked into the Table 1 preset list")
+		}
+	}
+}
+
 func TestGenerateDeterministic(t *testing.T) {
 	p, _ := ByName("glove-25")
 	a := Generate(p, 50, 7)

@@ -687,15 +687,26 @@ func (p *Pool[T]) recycle(t *Task[T]) {
 // synchronization); item-to-goroutine assignment is nondeterministic,
 // so body's output must not depend on which goroutine runs it.
 func (p *Pool[T]) ParallelFor(n int, body func(i int)) {
+	p.ParallelForWorker(n, func(_, i int) { body(i) })
+}
+
+// ParallelForWorker is ParallelFor with a stable worker index: body
+// runs as body(w, i) where w identifies the executing goroutine — 0
+// for the owner, 1..Workers-1 for helpers — and no two items with the
+// same w ever run concurrently within one call. Callers use w to hand
+// each goroutine its own reusable scratch (e.g. a pooled
+// search.Context) without locking. Item-to-worker assignment remains
+// nondeterministic, so body's output must not depend on w.
+func (p *Pool[T]) ParallelForWorker(n int, body func(worker, i int)) {
 	if p.workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			body(i)
+			body(0, i)
 		}
 		return
 	}
 	const chunk = 16
 	var next atomic.Int64
-	run := func() {
+	run := func(w int) {
 		for {
 			hi := next.Add(chunk)
 			lo := hi - chunk
@@ -706,16 +717,17 @@ func (p *Pool[T]) ParallelFor(n int, body func(i int)) {
 				hi = int64(n)
 			}
 			for i := lo; i < hi; i++ {
-				body(int(i))
+				body(w, int(i))
 			}
 		}
 	}
 	var wg sync.WaitGroup
 	for w := 1; w < p.workers; w++ {
+		w := w
 		wg.Add(1)
 		item := poolItem[T]{fn: func() {
 			defer wg.Done()
-			run()
+			run(w)
 		}}
 		select {
 		case p.queue <- item:
@@ -723,7 +735,7 @@ func (p *Pool[T]) ParallelFor(n int, body func(i int)) {
 			wg.Done() // queue full: the owner's run() covers the items
 		}
 	}
-	run()
+	run(0)
 	wg.Wait()
 	p.checkErr()
 }

@@ -11,6 +11,13 @@ type MinQueue struct {
 // Len returns the number of queued entries.
 func (h *MinQueue) Len() int { return len(h.ids) }
 
+// Reset empties the queue, keeping its storage for reuse across
+// traversals.
+func (h *MinQueue) Reset() {
+	h.ids = h.ids[:0]
+	h.dists = h.dists[:0]
+}
+
 // Empty reports whether the queue is empty.
 func (h *MinQueue) Empty() bool { return len(h.ids) == 0 }
 

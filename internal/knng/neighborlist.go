@@ -67,6 +67,22 @@ func MakeNeighborLists(n, k int) []NeighborList {
 	return lists
 }
 
+// Reset empties the list and sets its capacity to k, reusing the entry
+// storage when it is already large enough. Pooled search contexts reset
+// one list per query instead of allocating a fresh NeighborList.
+// k must be positive.
+func (l *NeighborList) Reset(k int) {
+	if k <= 0 {
+		panic("knng: neighbor list capacity must be positive")
+	}
+	if cap(l.items) < k {
+		l.items = make([]Neighbor, 0, k)
+	}
+	l.k = k
+	l.items = l.items[:0]
+	l.far = maxFloat32
+}
+
 // K returns the list's capacity.
 func (l *NeighborList) K() int { return l.k }
 
@@ -229,6 +245,15 @@ func (l *NeighborList) Sorted() []Neighbor {
 	copy(out, l.items)
 	sortNeighbors(out)
 	return out
+}
+
+// SortedInto writes the neighbors in Sorted's order into dst[:0] and
+// returns the result, allocating only when dst lacks capacity. The
+// returned slice orders exactly as Sorted.
+func (l *NeighborList) SortedInto(dst []Neighbor) []Neighbor {
+	dst = append(dst[:0], l.items...)
+	sortNeighbors(dst)
+	return dst
 }
 
 // MarkOld clears the New flag on the neighbor with the given id, if

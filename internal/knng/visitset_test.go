@@ -1,0 +1,103 @@
+package knng
+
+import (
+	"testing"
+)
+
+func TestVisitSetGenerations(t *testing.T) {
+	var v VisitSet
+	v.Begin(8)
+	if v.Seen(3) {
+		t.Fatal("fresh generation reports id seen")
+	}
+	if !v.Visit(3) {
+		t.Fatal("first Visit(3) should report newly visited")
+	}
+	if v.Visit(3) {
+		t.Fatal("second Visit(3) should report already seen")
+	}
+	if !v.Seen(3) || v.Seen(4) {
+		t.Fatal("Seen disagrees with Visit")
+	}
+	v.Mark(4)
+	if !v.Seen(4) {
+		t.Fatal("Mark(4) not visible")
+	}
+	// A new generation forgets everything in O(1).
+	v.Begin(8)
+	if v.Seen(3) || v.Seen(4) {
+		t.Fatal("new generation leaked marks from the previous one")
+	}
+}
+
+func TestVisitSetGrowsAcrossBegins(t *testing.T) {
+	var v VisitSet
+	v.Begin(4)
+	v.Mark(1)
+	v.Begin(16) // larger universe: must resize without panicking
+	if v.Seen(1) || v.Seen(15) {
+		t.Fatal("grown set reports stale marks")
+	}
+	v.Mark(15)
+	if !v.Seen(15) {
+		t.Fatal("mark lost after growth")
+	}
+}
+
+func TestVisitSetEpochWrap(t *testing.T) {
+	v := VisitSet{mark: make([]uint8, 4), epoch: ^uint8(0) - 1}
+	v.Begin(4) // epoch becomes MaxUint32
+	v.Mark(2)
+	v.Begin(4) // wraps: must clear and restart at 1
+	if v.epoch != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1", v.epoch)
+	}
+	if v.Seen(2) {
+		t.Fatal("wrap leaked a mark from the previous generation")
+	}
+}
+
+func TestNeighborListResetAndSortedInto(t *testing.T) {
+	l := NewNeighborList(4)
+	for i, d := range []float32{9, 3, 7, 1, 5} {
+		l.Update(ID(i), d, false)
+	}
+	want := l.Sorted()
+	var buf []Neighbor
+	buf = l.SortedInto(buf)
+	if len(buf) != len(want) {
+		t.Fatalf("SortedInto len = %d, want %d", len(buf), len(want))
+	}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("SortedInto[%d] = %+v, want %+v", i, buf[i], want[i])
+		}
+	}
+	// Reset to a smaller k reuses storage and restores the unbounded far.
+	l.Reset(2)
+	if l.Len() != 0 || l.K() != 2 || l.FarthestDist() != maxFloat32 {
+		t.Fatalf("after Reset: len=%d k=%d far=%v", l.Len(), l.K(), l.FarthestDist())
+	}
+	l.Update(7, 2, false)
+	l.Update(8, 1, false)
+	l.Update(9, 9, false) // rejected: full and farther
+	got := l.SortedInto(buf)
+	if len(got) != 2 || got[0].ID != 8 || got[1].ID != 7 {
+		t.Fatalf("after Reset+Update: %+v", got)
+	}
+}
+
+func TestMinQueueReset(t *testing.T) {
+	var q MinQueue
+	q.Push(1, 5)
+	q.Push(2, 3)
+	q.Reset()
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatal("Reset left entries behind")
+	}
+	q.Push(4, 2)
+	q.Push(5, 1)
+	if id, d := q.Pop(); id != 5 || d != 1 {
+		t.Fatalf("Pop after Reset = (%d, %v), want (5, 1)", id, d)
+	}
+}

@@ -137,6 +137,22 @@ func (m *SQuery[T]) Decode(r *wire.Reader) {
 	m.Vec = wire.GetVector[T](r)
 }
 
+// DecodeBorrow is Decode without the vector allocation: Vec either
+// aliases the Reader's frame bytes (uint8, zero copy) or is decoded
+// into scratch (wider scalars), per wire.GetVectorBorrow. Vec is valid
+// only until the frame buffer or scratch is reused; the (possibly
+// grown) scratch is returned for the caller's next call.
+func (m *SQuery[T]) DecodeBorrow(r *wire.Reader, scratch []T) []T {
+	m.ID = r.Uint64()
+	m.Seed = r.Int64()
+	m.L = r.Uint32()
+	m.Epsilon = r.Float32()
+	m.DeadlineMicros = r.Uint32()
+	m.Flags = r.Uint8()
+	m.Vec, scratch = wire.GetVectorBorrow(r, scratch)
+	return scratch
+}
+
 // SResult answers one SQuery. QueueMicros and ExecMicros are the
 // server-side wait and execution times (saturating at ~71 minutes),
 // included so load generators can split client-observed latency into

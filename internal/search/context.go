@@ -1,0 +1,152 @@
+package search
+
+import (
+	"sync"
+
+	"dnnd/internal/knng"
+	"dnnd/internal/metric"
+	"dnnd/internal/metric/quant"
+	"dnnd/internal/wire"
+)
+
+// Context is the reusable per-worker scratch state of a query: the
+// epoch-marked visited set (the PR 1 construction pattern, via
+// knng.VisitSet), the frontier and result heaps, the sorted-output
+// buffer, a reseedable RNG, and the quantized-path code scratch. A
+// context pooled per worker makes SearchCtx/SearchQuantCtx
+// allocation-free at steady state — the dense visited bitset the
+// one-shot path used to allocate per query (~N/8 bytes, the serve hot
+// path's dominant GC load) becomes a once-per-context array cleared in
+// O(1) by epoch bump.
+//
+// A Context is not safe for concurrent use; results returned by the
+// *Ctx entry points alias its scratch and are valid only until the
+// next query on the same context.
+type Context[T wire.Scalar] struct {
+	visited knng.VisitSet
+	front   knng.MinQueue
+	results knng.NeighborList // traversal result heap
+	rerank  knng.NeighborList // quantized-path exact re-rank heap
+	out     []knng.Neighbor   // sorted output scratch (returned view)
+	cand    []knng.Neighbor   // quantized-path sorted-candidates scratch
+	rng     rng               // seeded per query by the entry points (see rng.go)
+	code    []uint8           // quantized query-code scratch
+
+	// Per-query state read by the pre-bound score closures. Binding the
+	// closures once at construction (over these mutable fields) is what
+	// keeps the traversal's score oracle off the per-query heap.
+	q     []T
+	data  [][]T
+	dist  metric.Func[T]
+	view  *quant.View
+	qcode []uint8
+	st    Stats
+
+	scoreExact  func(knng.ID) float32
+	scoreApprox func(knng.ID) float32
+}
+
+// NewContext returns an empty context; its buffers grow on first use
+// and are retained across queries.
+func NewContext[T wire.Scalar]() *Context[T] {
+	sc := &Context[T]{}
+	sc.scoreExact = func(id knng.ID) float32 {
+		sc.st.DistEvals++
+		return sc.dist(sc.q, sc.data[id])
+	}
+	sc.scoreApprox = func(id knng.ID) float32 {
+		sc.st.ApproxEvals++
+		return sc.view.ApproxL2(sc.qcode, int(id))
+	}
+	return sc
+}
+
+// SearchCtx is Query on pooled scratch: bit-identical results for the
+// same (graph, data, dist, q, opt, seed), but allocation-free at
+// steady state. The returned slice aliases sc's scratch — copy it out
+// before the next query on sc.
+func SearchCtx[T wire.Scalar](sc *Context[T], g *knng.Graph, data [][]T, dist metric.Func[T], q []T, opt Options, seed int64) ([]knng.Neighbor, Stats) {
+	sc.rng.seed(seed)
+	return searchOn(sc, g, data, dist, q, opt)
+}
+
+// SearchQuantCtx is QueryQuant on pooled scratch, with the same
+// aliasing contract as SearchCtx.
+func SearchQuantCtx[T wire.Scalar](sc *Context[T], g *knng.Graph, data [][]T, dist metric.Func[T], view *quant.View, q []T, opt Options, seed int64) ([]knng.Neighbor, Stats) {
+	sc.rng.seed(seed)
+	return quantOn(sc, g, data, dist, view, q, opt)
+}
+
+// searchOn runs the exact query on sc's scratch; the caller has
+// already seeded sc.rng for this query.
+func searchOn[T wire.Scalar](sc *Context[T], g *knng.Graph, data [][]T, dist metric.Func[T], q []T, opt Options) ([]knng.Neighbor, Stats) {
+	n := g.NumVertices()
+	if n == 0 || opt.L < 1 {
+		return nil, Stats{}
+	}
+	sc.st = Stats{}
+	sc.q, sc.data, sc.dist = q, data, dist
+	results := traverse(sc, g, sc.scoreExact, opt.L, opt)
+	sc.out = results.SortedInto(sc.out)
+	return sc.out, sc.st
+}
+
+// quantOn runs the quantized-first-pass query on sc's scratch: code
+// distances order the traversal at quantOverFetch*L width, then the
+// survivors get exact distances in a re-rank, exactly as QueryQuant.
+func quantOn[T wire.Scalar](sc *Context[T], g *knng.Graph, data [][]T, dist metric.Func[T], view *quant.View, q []T, opt Options) ([]knng.Neighbor, Stats) {
+	n := g.NumVertices()
+	if n == 0 || opt.L < 1 {
+		return nil, Stats{}
+	}
+	sc.st = Stats{}
+	sc.q, sc.data, sc.dist, sc.view = q, data, dist, view
+	sc.qcode, _ = quant.Encode(view, q, &sc.code)
+	cands := traverse(sc, g, sc.scoreApprox, quantOverFetch*opt.L, opt)
+
+	l := opt.L
+	if l > n {
+		l = n
+	}
+	rerank := &sc.rerank
+	rerank.Reset(l)
+	sc.cand = cands.SortedInto(sc.cand)
+	for _, e := range sc.cand {
+		sc.st.DistEvals++
+		rerank.Update(e.ID, dist(q, data[e.ID]), false)
+	}
+	sc.out = rerank.SortedInto(sc.out)
+	return sc.out, sc.st
+}
+
+// Package-level context pools backing the thin one-shot wrappers
+// (Query, Batch, ...): one pool per scalar instantiation, so repeated
+// one-shot calls reuse scratch instead of re-allocating the visited
+// set. Long-lived callers (the serve lanes) hold their own contexts.
+var ctxPools [3]sync.Pool
+
+func ctxPool[T wire.Scalar]() *sync.Pool {
+	var z T
+	switch any(z).(type) {
+	case uint8:
+		return &ctxPools[0]
+	case uint32:
+		return &ctxPools[1]
+	default:
+		return &ctxPools[2]
+	}
+}
+
+func getCtx[T wire.Scalar]() *Context[T] {
+	if sc, ok := ctxPool[T]().Get().(*Context[T]); ok {
+		return sc
+	}
+	return NewContext[T]()
+}
+
+func putCtx[T wire.Scalar](sc *Context[T]) {
+	// Drop dataset references so a pooled context does not pin a store
+	// the caller has released.
+	sc.q, sc.data, sc.dist, sc.view, sc.qcode = nil, nil, nil, nil, nil
+	ctxPool[T]().Put(sc)
+}

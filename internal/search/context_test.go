@@ -1,0 +1,138 @@
+package search
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"dnnd/internal/brute"
+	"dnnd/internal/knng"
+	"dnnd/internal/metric"
+	"dnnd/internal/metric/quant"
+)
+
+func ctxTestData(n, dim int, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([][]float32, n)
+	for i := range data {
+		v := make([]float32, dim)
+		for d := range v {
+			v[d] = rng.Float32()
+		}
+		data[i] = v
+	}
+	return data
+}
+
+// SearchCtx with seed s must return bit-identical results to Query
+// with the same seed — the contract that lets the serve path switch to
+// pooled contexts without changing a single reply. The same context is
+// reused across every query to prove no state leaks.
+func TestSearchCtxMatchesQuery(t *testing.T) {
+	data := ctxTestData(600, 12, 41)
+	g := brute.KNNGraph(data, 8, metric.L2Float32, 0)
+	view := quant.NewViewFloat32(data, 12)
+	sc := NewContext[float32]()
+	opt := Options{L: 10, Epsilon: 0.25}
+	queries := ctxTestData(64, 12, 43)
+	for qi, q := range queries {
+		seed := int64(977)*1_000_003 + int64(qi)
+		want, wantSt := Query(g, data, metric.L2Float32, q, opt, seed)
+		got, gotSt := SearchCtx(sc, g, data, metric.L2Float32, q, opt, seed)
+		if !reflect.DeepEqual(want, []knng.Neighbor(got)) {
+			t.Fatalf("query %d: SearchCtx diverged from Query:\nctx   = %v\nquery = %v", qi, got, want)
+		}
+		if wantSt != gotSt {
+			t.Fatalf("query %d: stats diverged: ctx=%+v query=%+v", qi, gotSt, wantSt)
+		}
+		wantQ, wantQSt := QueryQuant(g, data, metric.L2Float32, view, q, opt, seed)
+		gotQ, gotQSt := SearchQuantCtx(sc, g, data, metric.L2Float32, view, q, opt, seed)
+		if !reflect.DeepEqual(wantQ, []knng.Neighbor(gotQ)) {
+			t.Fatalf("query %d: SearchQuantCtx diverged from QueryQuant", qi)
+		}
+		if wantQSt != gotQSt {
+			t.Fatalf("query %d: quant stats diverged: ctx=%+v query=%+v", qi, gotQSt, wantQSt)
+		}
+	}
+}
+
+// Batch results must be identical at every worker width and through
+// caller-owned contexts — per-query seeding makes the claim order
+// irrelevant.
+func TestBatchCtxMatchesBatch(t *testing.T) {
+	data := ctxTestData(500, 10, 51)
+	g := brute.KNNGraph(data, 8, metric.L2Float32, 0)
+	queries := ctxTestData(40, 10, 53)
+	opt := Options{L: 8, Epsilon: 0.2, Seed: 12}
+	want, wantSt := Batch(g, data, metric.L2Float32, queries, opt, 1)
+	for _, workers := range []int{2, 3} {
+		got, st := Batch(g, data, metric.L2Float32, queries, opt, workers)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d: batch results diverged", workers)
+		}
+		if st != wantSt {
+			t.Fatalf("workers=%d: stats diverged: %+v vs %+v", workers, st, wantSt)
+		}
+	}
+	ctxs := []*Context[float32]{NewContext[float32](), NewContext[float32]()}
+	got, st, err := BatchCtx(context.Background(), g, data, metric.L2Float32, queries, opt, ctxs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("BatchCtx results diverged from Batch")
+	}
+	if st != wantSt {
+		t.Fatalf("BatchCtx stats diverged: %+v vs %+v", st, wantSt)
+	}
+}
+
+// The tentpole contract: after warm-up, a context-based query allocates
+// nothing — the visited set, heaps, result scratch, and RNG are all
+// reused, and the score closures were bound at construction.
+func TestSearchCtxZeroAlloc(t *testing.T) {
+	data := ctxTestData(800, 16, 61)
+	g := brute.KNNGraph(data, 8, metric.L2Float32, 0)
+	view := quant.NewViewFloat32(data, 16)
+	sc := NewContext[float32]()
+	q := data[123]
+	opt := Options{L: 10, Epsilon: 0.25}
+	// Warm up: grow every scratch buffer once.
+	SearchCtx(sc, g, data, metric.L2Float32, q, opt, 1)
+	SearchQuantCtx(sc, g, data, metric.L2Float32, view, q, opt, 1)
+
+	var seed int64
+	if avg := testing.AllocsPerRun(200, func() {
+		seed++
+		SearchCtx(sc, g, data, metric.L2Float32, q, opt, seed)
+	}); avg != 0 {
+		t.Errorf("SearchCtx allocates %.2f allocs/query at steady state, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		seed++
+		SearchQuantCtx(sc, g, data, metric.L2Float32, view, q, opt, seed)
+	}); avg != 0 {
+		t.Errorf("SearchQuantCtx allocates %.2f allocs/query at steady state, want 0", avg)
+	}
+}
+
+// Options.Deadline must truncate exactly like an Interrupt closure
+// reading the same clock.
+func TestDeadlineTruncates(t *testing.T) {
+	data := ctxTestData(2000, 16, 71)
+	g := brute.KNNGraph(data, 8, metric.L2Float32, 0)
+	sc := NewContext[float32]()
+	opt := Options{L: 20, Epsilon: 0.4}
+	opt.Deadline = time.Now().Add(-time.Millisecond)
+	_, st := SearchCtx(sc, g, data, metric.L2Float32, data[0], opt, 3)
+	if st.Truncated != 1 {
+		t.Fatalf("expired deadline did not truncate: %+v", st)
+	}
+	// An expired deadline still returns the seeded best-so-far.
+	res, _ := SearchCtx(sc, g, data, metric.L2Float32, data[0], opt, 3)
+	if len(res) == 0 {
+		t.Fatal("truncated query returned no seeds")
+	}
+}

@@ -2,7 +2,6 @@ package search
 
 import (
 	"context"
-	"math/rand"
 
 	"dnnd/internal/knng"
 	"dnnd/internal/metric"
@@ -27,31 +26,15 @@ const quantOverFetch = 2
 //
 // dist must be in the L2 family (the code-space bound is an L2 bound);
 // sql2 works because x -> x² preserves the traversal ordering.
-func QueryQuant[T wire.Scalar](g *knng.Graph, data [][]T, dist metric.Func[T], view *quant.View, q []T, opt Options, rng *rand.Rand) ([]knng.Neighbor, Stats) {
-	n := g.NumVertices()
-	if n == 0 || opt.L < 1 {
-		return nil, Stats{}
-	}
-	var st Stats
-	var scratch []uint8
-	code, _ := quant.Encode(view, q, &scratch)
-	score := func(id knng.ID) float32 {
-		st.ApproxEvals++
-		return view.ApproxL2(code, int(id))
-	}
-	cands := traverse(g, score, quantOverFetch*opt.L, opt, rng, &st)
-
-	l := opt.L
-	if l > n {
-		l = n
-	}
-	results := knng.NewNeighborList(l)
-	for _, e := range cands.Sorted() {
-		d := dist(q, data[e.ID])
-		st.DistEvals++
-		results.Update(e.ID, d, false)
-	}
-	return results.Sorted(), st
+// QueryQuant is a thin wrapper over a pooled Context, like Query;
+// long-lived callers should hold a Context and use SearchQuantCtx.
+func QueryQuant[T wire.Scalar](g *knng.Graph, data [][]T, dist metric.Func[T], view *quant.View, q []T, opt Options, seed int64) ([]knng.Neighbor, Stats) {
+	sc := getCtx[T]()
+	sc.rng.seed(seed)
+	ns, st := quantOn(sc, g, data, dist, view, q, opt)
+	out := append([]knng.Neighbor(nil), ns...)
+	putCtx(sc)
+	return out, st
 }
 
 // BatchQuant answers many queries in parallel through QueryQuant; the
@@ -64,8 +47,16 @@ func BatchQuant[T wire.Scalar](g *knng.Graph, data [][]T, dist metric.Func[T], v
 // BatchQuantContext is BatchQuant with cancellation, mirroring
 // BatchContext.
 func BatchQuantContext[T wire.Scalar](ctx context.Context, g *knng.Graph, data [][]T, dist metric.Func[T], view *quant.View, queries [][]T, opt Options, workers int) ([][]knng.Neighbor, Stats, error) {
-	return batchCore(ctx, len(queries), opt, workers,
-		func(qi int, qopt Options, rng *rand.Rand) ([]knng.Neighbor, Stats) {
-			return QueryQuant(g, data, dist, view, queries[qi], qopt, rng)
+	ctxs := borrowCtxs[T](workers, len(queries))
+	defer releaseCtxs(ctxs)
+	return BatchQuantCtx(ctx, g, data, dist, view, queries, opt, ctxs)
+}
+
+// BatchQuantCtx is BatchQuantContext over caller-owned contexts,
+// mirroring BatchCtx.
+func BatchQuantCtx[T wire.Scalar](ctx context.Context, g *knng.Graph, data [][]T, dist metric.Func[T], view *quant.View, queries [][]T, opt Options, ctxs []*Context[T]) ([][]knng.Neighbor, Stats, error) {
+	return batchCore(ctx, len(queries), opt, ctxs,
+		func(sc *Context[T], qi int, qopt Options) ([]knng.Neighbor, Stats) {
+			return quantOn(sc, g, data, dist, view, queries[qi], qopt)
 		})
 }

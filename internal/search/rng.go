@@ -1,0 +1,32 @@
+package search
+
+// rng is the query's entry-point RNG: an 8-byte splitmix64 stream
+// seeded once per query. A query draws only a handful of ints (random
+// entry points in traverse), but the serve hot path seeds a fresh
+// stream for every request, and math/rand's lagged-Fibonacci source
+// pays a 607-word (4.9 KB) state initialization per Seed call — a
+// measurable fraction of a sub-100 us query and a cache-line flood
+// right before the traversal's pointer-chasing loop. splitmix64 keeps
+// the whole generator in one register-sized word.
+//
+// The stream is a pure function of the seed, which is what the
+// determinism contracts need: SearchCtx(seed) == Query(..., seed), and
+// Batch's per-query derivation (Seed*1_000_003 + qi) stays bit-exact
+// at any worker width or claim order.
+type rng struct{ s uint64 }
+
+func (r *rng) seed(s int64) { r.s = uint64(s) }
+
+// intn returns a pseudo-random int in [0, n); n must be positive. The
+// modulo bias is at most n/2^64 — irrelevant for entry-point
+// sampling.
+func (r *rng) intn(n int) int {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(n))
+}

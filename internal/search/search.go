@@ -7,9 +7,9 @@ package search
 import (
 	"context"
 	"math"
-	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"dnnd/internal/knng"
 	"dnnd/internal/metric"
@@ -39,6 +39,11 @@ type Options struct {
 	// It must be cheap and must not consume the query's RNG — online
 	// servers use it to cut off straggler queries at their deadline.
 	Interrupt func() bool
+	// Deadline, when non-zero, truncates the traversal like Interrupt
+	// once time.Now passes it — the declarative form servers use so the
+	// hot path needs no per-query closure. Composes with Interrupt
+	// (either one stops the query).
+	Deadline time.Time
 }
 
 // minSeedPoints floors the number of random entry points per query.
@@ -58,47 +63,48 @@ type Stats struct {
 	Truncated int64
 }
 
-// bitset tracks visited vertices densely.
-type bitset []uint64
-
-func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
-
-func (b bitset) testAndSet(i knng.ID) bool {
-	w, bit := i/64, uint64(1)<<(i%64)
-	old := b[w]&bit != 0
-	b[w] |= bit
-	return old
-}
-
 // Query finds the L approximate nearest neighbors of q in the graph.
 // data must be the dataset the graph was built over. The returned list
-// is sorted by ascending distance.
-func Query[T wire.Scalar](g *knng.Graph, data [][]T, dist metric.Func[T], q []T, opt Options, rng *rand.Rand) ([]knng.Neighbor, Stats) {
-	n := g.NumVertices()
-	if n == 0 || opt.L < 1 {
-		return nil, Stats{}
+// is sorted by ascending distance. seed drives entry-point selection;
+// the same seed reproduces the same traversal bit for bit.
+//
+// Query is a thin wrapper over a pooled Context; long-lived callers
+// that issue many queries per worker should hold a Context and use
+// SearchCtx to skip the result-copy this wrapper makes.
+func Query[T wire.Scalar](g *knng.Graph, data [][]T, dist metric.Func[T], q []T, opt Options, seed int64) ([]knng.Neighbor, Stats) {
+	sc := getCtx[T]()
+	sc.rng.seed(seed)
+	ns, st := searchOn(sc, g, data, dist, q, opt)
+	out := append([]knng.Neighbor(nil), ns...)
+	putCtx(sc)
+	return out, st
+}
+
+// horizon is the epsilon-relaxed result bound: frontier points and
+// candidates beyond it cannot improve the result list. eps1 is
+// 1+Options.Epsilon.
+func horizon(results *knng.NeighborList, eps1 float64) float64 {
+	if !results.Full() {
+		return math.Inf(1)
 	}
-	var st Stats
-	score := func(id knng.ID) float32 {
-		st.DistEvals++
-		return dist(q, data[id])
-	}
-	results := traverse(g, score, opt.L, opt, rng, &st)
-	return results.Sorted(), st
+	return eps1 * float64(results.FarthestDist())
 }
 
 // traverse is the greedy best-first graph walk shared by the exact and
-// quantized query paths: score is the (counted) distance oracle, l the
-// result-list width. Stats fields other than the caller's eval counter
-// are updated in place.
-func traverse(g *knng.Graph, score func(knng.ID) float32, l int, opt Options, rng *rand.Rand, st *Stats) *knng.NeighborList {
+// quantized query paths: score is the (counted) distance oracle —
+// one of sc's pre-bound closures — and l the result-list width. All
+// working state (visited set, frontier, result heap, stats) lives on
+// sc, so the walk allocates nothing once the context has warmed up.
+func traverse[T wire.Scalar](sc *Context[T], g *knng.Graph, score func(knng.ID) float32, l int, opt Options) *knng.NeighborList {
 	n := g.NumVertices()
 	if l > n {
 		l = n
 	}
-	results := knng.NewNeighborList(l)
-	var front knng.MinQueue
-	visited := newBitset(n)
+	results := &sc.results
+	results.Reset(l)
+	front := &sc.front
+	front.Reset()
+	sc.visited.Begin(n)
 
 	// Seed with entry points: caller-provided ones first (e.g. rp-tree
 	// leaf members), then random points up to a floor (Section 3.3
@@ -113,7 +119,7 @@ func traverse(g *knng.Graph, score func(knng.ID) float32, l int, opt Options, rn
 	}
 	seeded := 0
 	for _, id := range opt.Entries {
-		if int(id) >= n || visited.testAndSet(id) {
+		if int(id) >= n || !sc.visited.Visit(id) {
 			continue
 		}
 		seeded++
@@ -122,8 +128,8 @@ func traverse(g *knng.Graph, score func(knng.ID) float32, l int, opt Options, rn
 		front.Push(id, d)
 	}
 	for attempts := 0; seeded < seeds && attempts < 4*seeds+16; attempts++ {
-		id := knng.ID(rng.Intn(n))
-		if visited.testAndSet(id) {
+		id := knng.ID(sc.rng.intn(n))
+		if !sc.visited.Visit(id) {
 			continue
 		}
 		seeded++
@@ -132,33 +138,30 @@ func traverse(g *knng.Graph, score func(knng.ID) float32, l int, opt Options, rn
 		front.Push(id, d)
 	}
 
-	limit := func() float64 {
-		dmax := results.FarthestDist()
-		if !results.Full() {
-			return math.Inf(1)
-		}
-		return (1 + opt.Epsilon) * float64(dmax)
-	}
-
+	eps1 := 1 + opt.Epsilon
+	hasDeadline := !opt.Deadline.IsZero()
 	for !front.Empty() {
 		if opt.Interrupt != nil && opt.Interrupt() {
-			st.Truncated = 1
+			sc.st.Truncated = 1
+			break
+		}
+		if hasDeadline && time.Now().After(opt.Deadline) {
+			sc.st.Truncated = 1
 			break
 		}
 		p, pd := front.Pop()
 		// Stop when the closest frontier point is already beyond the
 		// (epsilon-relaxed) result horizon.
-		if float64(pd) > limit() {
+		if float64(pd) > horizon(results, eps1) {
 			break
 		}
-		st.Visited++
+		sc.st.Visited++
 		for _, e := range g.Neighbors[p] {
-			if visited.testAndSet(e.ID) {
+			if !sc.visited.Visit(e.ID) {
 				continue
 			}
 			d := score(e.ID)
-			lim := limit()
-			if float64(d) < lim {
+			if float64(d) < horizon(results, eps1) {
 				results.Update(e.ID, d, false)
 				front.Push(e.ID, d)
 			}
@@ -185,24 +188,58 @@ func Batch[T wire.Scalar](g *knng.Graph, data [][]T, dist metric.Func[T], querie
 // bound a whole batch; per-query deadlines go through
 // Options.Interrupt, which composes with ctx here.
 func BatchContext[T wire.Scalar](ctx context.Context, g *knng.Graph, data [][]T, dist metric.Func[T], queries [][]T, opt Options, workers int) ([][]knng.Neighbor, Stats, error) {
-	return batchCore(ctx, len(queries), opt, workers,
-		func(qi int, qopt Options, rng *rand.Rand) ([]knng.Neighbor, Stats) {
-			return Query(g, data, dist, queries[qi], qopt, rng)
+	ctxs := borrowCtxs[T](workers, len(queries))
+	defer releaseCtxs(ctxs)
+	return BatchCtx(ctx, g, data, dist, queries, opt, ctxs)
+}
+
+// BatchCtx is BatchContext over caller-owned contexts: worker w reuses
+// ctxs[w] for all its queries, so a serving layer keeping contexts
+// pooled per worker pays no per-query scratch allocation. Results are
+// detached copies — they never alias context scratch.
+func BatchCtx[T wire.Scalar](ctx context.Context, g *knng.Graph, data [][]T, dist metric.Func[T], queries [][]T, opt Options, ctxs []*Context[T]) ([][]knng.Neighbor, Stats, error) {
+	return batchCore(ctx, len(queries), opt, ctxs,
+		func(sc *Context[T], qi int, qopt Options) ([]knng.Neighbor, Stats) {
+			return searchOn(sc, g, data, dist, queries[qi], qopt)
 		})
 }
 
-// batchCore is the worker-pool skeleton shared by the exact and
-// quantized batch entry points: per-query RNG derivation, entry-point
-// hooks, context cancellation composed with Options.Interrupt.
-func batchCore(ctx context.Context, nq int, opt Options, workers int, run func(qi int, qopt Options, rng *rand.Rand) ([]knng.Neighbor, Stats)) ([][]knng.Neighbor, Stats, error) {
-	out := make([][]knng.Neighbor, nq)
-	stats := make([]Stats, nq)
+// borrowCtxs resolves a worker count exactly as the historical batch
+// entry points did (<= 0 means GOMAXPROCS, capped at the query count)
+// and checks that many contexts out of the package pool.
+func borrowCtxs[T wire.Scalar](workers, nq int) []*Context[T] {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > nq {
 		workers = nq
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	ctxs := make([]*Context[T], workers)
+	for i := range ctxs {
+		ctxs[i] = getCtx[T]()
+	}
+	return ctxs
+}
+
+func releaseCtxs[T wire.Scalar](ctxs []*Context[T]) {
+	for _, sc := range ctxs {
+		putCtx(sc)
+	}
+}
+
+// batchCore is the worker-pool skeleton shared by the exact and
+// quantized batch entry points: per-query RNG derivation (worker
+// contexts reseed their splitmix64 stream per query, bit-identical to
+// the one-shot Query path at the same seed), entry-point hooks,
+// context cancellation composed with Options.Interrupt. Worker w runs
+// every query it claims on ctxs[w]; results are copied out of the
+// context scratch before the next claim.
+func batchCore[T wire.Scalar](ctx context.Context, nq int, opt Options, ctxs []*Context[T], run func(sc *Context[T], qi int, qopt Options) ([]knng.Neighbor, Stats)) ([][]knng.Neighbor, Stats, error) {
+	out := make([][]knng.Neighbor, nq)
+	stats := make([]Stats, nq)
 	done := ctx.Done()
 	canceled := func() bool {
 		select {
@@ -227,23 +264,25 @@ func batchCore(ctx context.Context, nq int, opt Options, workers int, run func(q
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
-	for w := 0; w < workers; w++ {
+	for w := 0; w < len(ctxs); w++ {
 		wg.Add(1)
-		go func() {
+		go func(sc *Context[T]) {
 			defer wg.Done()
 			for qi := range next {
 				if done != nil && canceled() {
 					continue // leave out[qi] nil: never started
 				}
-				rng := rand.New(rand.NewSource(opt.Seed*1_000_003 + int64(qi)))
+				sc.rng.seed(opt.Seed*1_000_003 + int64(qi))
 				qopt := opt
 				qopt.Interrupt = interrupt
 				if opt.EntriesFunc != nil {
 					qopt.Entries = opt.EntriesFunc(qi)
 				}
-				out[qi], stats[qi] = run(qi, qopt, rng)
+				ns, st := run(sc, qi, qopt)
+				out[qi] = append([]knng.Neighbor(nil), ns...)
+				stats[qi] = st
 			}
-		}()
+		}(ctxs[w])
 	}
 feed:
 	for qi := 0; qi < nq; qi++ {

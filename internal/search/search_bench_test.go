@@ -26,7 +26,6 @@ func BenchmarkQuery(b *testing.B) {
 	q := data[42]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		qrng := rand.New(rand.NewSource(int64(i)))
-		Query(g, data, metric.SquaredL2Float32, q, Options{L: 10, Epsilon: 0.1}, qrng)
+		Query(g, data, metric.SquaredL2Float32, q, Options{L: 10, Epsilon: 0.1}, int64(i))
 	}
 }

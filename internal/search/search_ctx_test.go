@@ -34,11 +34,10 @@ func TestQueryInterrupt(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := brute.KNNGraph(data, 8, dist, 0)
-	rng := rand.New(rand.NewSource(7))
 	res, st := Query(g, data, dist, data[0], Options{
 		L: 8, Epsilon: 0.2,
 		Interrupt: func() bool { return true },
-	}, rng)
+	}, 7)
 	if st.Truncated != 1 {
 		t.Fatalf("Truncated = %d, want 1", st.Truncated)
 	}
@@ -49,8 +48,7 @@ func TestQueryInterrupt(t *testing.T) {
 		t.Fatalf("interrupted query should still return its seeded candidates")
 	}
 	// Sanity: without the interrupt the same query expands vertices.
-	rng = rand.New(rand.NewSource(7))
-	_, st2 := Query(g, data, dist, data[0], Options{L: 8, Epsilon: 0.2}, rng)
+	_, st2 := Query(g, data, dist, data[0], Options{L: 8, Epsilon: 0.2}, 7)
 	if st2.Visited == 0 {
 		t.Fatalf("uninterrupted query expanded nothing")
 	}

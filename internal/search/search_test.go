@@ -21,8 +21,7 @@ func lineDataset(n int) [][]float32 {
 func TestQueryOnLineGraph(t *testing.T) {
 	data := lineDataset(100)
 	g := brute.KNNGraph(data, 4, metric.L2Float32, 0)
-	rng := rand.New(rand.NewSource(1))
-	res, st := Query(g, data, metric.L2Float32, []float32{42.4}, Options{L: 3}, rng)
+	res, st := Query(g, data, metric.L2Float32, []float32{42.4}, Options{L: 3}, 1)
 	if len(res) != 3 {
 		t.Fatalf("got %d results", len(res))
 	}
@@ -126,50 +125,50 @@ func TestQueryDeterministicWithSeed(t *testing.T) {
 func TestQueryEdgeCases(t *testing.T) {
 	data := lineDataset(5)
 	g := brute.KNNGraph(data, 2, metric.L2Float32, 0)
-	rng := rand.New(rand.NewSource(1))
 	// L larger than the dataset: return everything.
-	res, _ := Query(g, data, metric.L2Float32, []float32{2}, Options{L: 50}, rng)
+	res, _ := Query(g, data, metric.L2Float32, []float32{2}, Options{L: 50}, 1)
 	if len(res) != 5 {
 		t.Errorf("L>n returned %d results", len(res))
 	}
 	// L = 0: nothing.
-	res, _ = Query(g, data, metric.L2Float32, []float32{2}, Options{L: 0}, rng)
+	res, _ = Query(g, data, metric.L2Float32, []float32{2}, Options{L: 0}, 2)
 	if res != nil {
 		t.Errorf("L=0 returned %v", res)
 	}
 	// Empty graph.
-	res, _ = Query(knng.NewGraph(0), nil, metric.L2Float32, []float32{2}, Options{L: 3}, rng)
+	res, _ = Query(knng.NewGraph(0), nil, metric.L2Float32, []float32{2}, Options{L: 3}, 3)
 	if res != nil {
 		t.Errorf("empty graph returned %v", res)
 	}
 }
 
-func TestBitset(t *testing.T) {
-	b := newBitset(130)
-	if b.testAndSet(0) {
-		t.Error("fresh bit set")
-	}
-	if !b.testAndSet(0) {
-		t.Error("second testAndSet returned false")
-	}
-	if b.testAndSet(129) {
-		t.Error("bit 129 preset")
-	}
-	if !b.testAndSet(129) {
-		t.Error("bit 129 not retained")
-	}
-	if b.testAndSet(64) {
-		t.Error("word boundary bit preset")
+// The visited set moved to knng.VisitSet (tested there); here we pin
+// that one context serves graphs of different sizes back to back —
+// the visited marks must grow and never leak between queries.
+func TestContextAcrossGraphSizes(t *testing.T) {
+	small := lineDataset(40)
+	big := lineDataset(400)
+	gs := brute.KNNGraph(small, 3, metric.L2Float32, 0)
+	gb := brute.KNNGraph(big, 3, metric.L2Float32, 0)
+	sc := NewContext[float32]()
+	for round := 0; round < 3; round++ {
+		res, _ := SearchCtx(sc, gs, small, metric.L2Float32, []float32{17.2}, Options{L: 3}, 7)
+		if res[0].ID != 17 {
+			t.Fatalf("round %d small: nearest = %v", round, res[0])
+		}
+		res, _ = SearchCtx(sc, gb, big, metric.L2Float32, []float32{250.2}, Options{L: 3, Epsilon: 0.3}, 7)
+		if res[0].ID != 250 {
+			t.Fatalf("round %d big: nearest = %v", round, res[0])
+		}
 	}
 }
 
 func TestExplicitEntries(t *testing.T) {
 	data := lineDataset(300)
 	g := brute.KNNGraph(data, 3, metric.L2Float32, 0)
-	rng := rand.New(rand.NewSource(5))
 	// Entry right next to the answer: almost no exploration needed.
 	res, st := Query(g, data, metric.L2Float32, []float32{250.2},
-		Options{L: 3, Entries: []knng.ID{249, 251}}, rng)
+		Options{L: 3, Entries: []knng.ID{249, 251}}, 5)
 	if res[0].ID != 250 {
 		t.Fatalf("nearest = %v", res[0])
 	}
@@ -178,7 +177,7 @@ func TestExplicitEntries(t *testing.T) {
 	}
 	// Out-of-range entries are ignored, not fatal.
 	res, _ = Query(g, data, metric.L2Float32, []float32{10},
-		Options{L: 2, Entries: []knng.ID{9999}}, rng)
+		Options{L: 2, Entries: []knng.ID{9999}}, 6)
 	if len(res) != 2 {
 		t.Fatalf("results with bad entry: %v", res)
 	}

@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"dnnd/internal/msg"
+	"dnnd/internal/search"
+)
+
+// TestLaneWorkerEquivalence is the sharded-dispatch determinism
+// contract: served results are bit-identical to search.Batch ground
+// truth at every lane count and worker width, because per-query seeds
+// make the execution placement irrelevant. The CI race pass re-runs
+// this with DNND_TEST_WORKERS forcing an extra pool width, so the
+// lane/worker machinery is also exercised under the race detector.
+func TestLaneWorkerEquivalence(t *testing.T) {
+	const (
+		n, dim, k = 900, 12, 8
+		nq        = 96
+		l         = 12
+		eps       = 0.25
+		seed      = 5
+	)
+	src := testSource(t, n, dim, k)
+	queryVecs := randData(nq, dim, 33)
+	truth, _ := search.Batch(src.Graph, src.Data, src.Dist, queryVecs,
+		search.Options{L: l, Epsilon: eps, Seed: seed}, 2)
+
+	widths := []int{1, 2}
+	if s := os.Getenv("DNND_TEST_WORKERS"); s != "" {
+		w, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("bad DNND_TEST_WORKERS=%q: %v", s, err)
+		}
+		widths = append(widths, w)
+	}
+	for _, lanes := range []int{1, 2, 4} {
+		for _, workers := range widths {
+			t.Run(fmt.Sprintf("lanes=%d,workers=%d", lanes, workers), func(t *testing.T) {
+				s, err := New(src, Config{
+					L: l, Epsilon: eps, QueueDepth: 256, BatchMax: 8,
+					Lanes: lanes, Workers: workers,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					t.Fatal(err)
+				}
+				go s.Serve(ln)
+				defer func() {
+					ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+					defer cancel()
+					if err := s.Shutdown(ctx); err != nil {
+						t.Errorf("shutdown: %v", err)
+					}
+				}()
+
+				results := make([]*msg.SResult, nq)
+				rep, err := RunLoad[float32](LoadConfig{
+					Addr:        ln.Addr().String(),
+					Requests:    nq,
+					Concurrency: 2 * lanes * workers,
+					L:           l,
+					Epsilon:     eps,
+					Seed:        seed,
+					DialTimeout: 5 * time.Second,
+					Collect:     func(i int, res *msg.SResult) { results[i] = res },
+				}, queryVecs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Errors != 0 || rep.ByStatus["ok"] != nq {
+					t.Fatalf("load report: errors=%d by_status=%v", rep.Errors, rep.ByStatus)
+				}
+				for i, res := range results {
+					if res == nil {
+						t.Fatalf("request %d has no result", i)
+					}
+					want := truth[i]
+					if len(res.Neighbors) != len(want) {
+						t.Fatalf("query %d: %d neighbors, ground truth %d",
+							i, len(res.Neighbors), len(want))
+					}
+					for j := range want {
+						if res.Neighbors[j] != want[j] {
+							t.Fatalf("query %d neighbor %d: got %+v, want %+v",
+								i, j, res.Neighbors[j], want[j])
+						}
+					}
+				}
+				// Every lane that exists must be visible in the dump; with
+				// one lane, it must have done all the work.
+				m := s.Metrics()
+				if len(m.Lanes) != lanes {
+					t.Fatalf("metrics report %d lanes, want %d", len(m.Lanes), lanes)
+				}
+				var laneQueries int64
+				for i := range m.Lanes {
+					laneQueries += m.Lanes[i].Queries.Load()
+				}
+				if laneQueries != nq {
+					t.Fatalf("lane query counters sum to %d, want %d", laneQueries, nq)
+				}
+			})
+		}
+	}
+}
+
+// TestPipelinedLoadEquivalence drives the same determinism contract
+// through the pipelined multi-connection loadgen path: two shared
+// connections carry eight workers' interleaved in-flight queries, so
+// reply routing by ID, the shared write path, and the per-connection
+// report all get exercised against bit-exact ground truth.
+func TestPipelinedLoadEquivalence(t *testing.T) {
+	const (
+		n, dim, k = 900, 12, 8
+		nq        = 96
+		l         = 12
+		eps       = 0.25
+		seed      = 5
+	)
+	src := testSource(t, n, dim, k)
+	queryVecs := randData(nq, dim, 33)
+	truth, _ := search.Batch(src.Graph, src.Data, src.Dist, queryVecs,
+		search.Options{L: l, Epsilon: eps, Seed: seed}, 2)
+
+	s, err := New(src, Config{L: l, Epsilon: eps, QueueDepth: 256, BatchMax: 8, Lanes: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	results := make([]*msg.SResult, nq)
+	rep, err := RunLoad[float32](LoadConfig{
+		Addr:        ln.Addr().String(),
+		Requests:    nq,
+		Concurrency: 8,
+		Conns:       2,
+		L:           l,
+		Epsilon:     eps,
+		Seed:        seed,
+		DialTimeout: 5 * time.Second,
+		Collect:     func(i int, res *msg.SResult) { results[i] = res },
+	}, queryVecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.ByStatus["ok"] != nq {
+		t.Fatalf("load report: errors=%d by_status=%v", rep.Errors, rep.ByStatus)
+	}
+	if rep.Conns != 2 || len(rep.PerConn) != 2 {
+		t.Fatalf("report conns=%d per_conn=%d, want 2 and 2", rep.Conns, len(rep.PerConn))
+	}
+	for ci, summ := range rep.PerConn {
+		if summ.Max <= 0 {
+			t.Fatalf("connection %d latency summary empty: %+v (both conns should carry traffic)", ci, summ)
+		}
+	}
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("request %d has no result", i)
+		}
+		want := truth[i]
+		if len(res.Neighbors) != len(want) {
+			t.Fatalf("query %d: %d neighbors, ground truth %d", i, len(res.Neighbors), len(want))
+		}
+		for j := range want {
+			if res.Neighbors[j] != want[j] {
+				t.Fatalf("query %d neighbor %d: got %+v, want %+v", i, j, res.Neighbors[j], want[j])
+			}
+		}
+	}
+}

@@ -28,6 +28,14 @@ type LoadConfig struct {
 	Seed        int64
 	Warm        bool // set SFlagWarm on every query
 	DialTimeout time.Duration
+	// Conns, when positive, switches to pipelined multi-connection
+	// mode: Conns shared connections carry all Concurrency workers
+	// (worker w pins to connection w mod Conns) with replies matched by
+	// ID, so the generator saturates a multi-lane server without one
+	// TCP connection per in-flight request. The report then includes
+	// per-connection latency quantiles beside the aggregate. Zero keeps
+	// the classic one-connection-per-worker closed/open loop.
+	Conns int
 	// Collect, when non-nil, receives every reply with its request
 	// index (used by the e2e suite to compare against ground truth).
 	// It is called concurrently from worker goroutines.
@@ -57,6 +65,7 @@ func summarize(us []float64) LatencySummary {
 type Report struct {
 	Requests    int            `json:"requests"`
 	Concurrency int            `json:"concurrency"`
+	Conns       int            `json:"conns,omitempty"`      // pipelined mode only
 	TargetQPS   float64        `json:"target_qps,omitempty"` // open loop only
 	WallSeconds float64        `json:"wall_seconds"`
 	QPS         float64        `json:"qps"` // achieved completion rate
@@ -66,6 +75,10 @@ type Report struct {
 	QueueWait   LatencySummary `json:"queue_wait_usec"`
 	Exec        LatencySummary `json:"exec_usec"`
 	DistEvals   float64        `json:"dist_evals_per_query"`
+	// PerConn holds one latency digest per pipelined connection
+	// (index = connection index); a lopsided spread means one
+	// connection's reader goroutine, not the server, is the bottleneck.
+	PerConn []LatencySummary `json:"per_conn_latency_usec,omitempty"`
 }
 
 // RunLoad drives cfg.Requests queries (cycling over the supplied
@@ -89,6 +102,30 @@ func RunLoad[T wire.Scalar](cfg LoadConfig, queries [][]T) (*Report, error) {
 	var errCount atomic.Int64
 	var next atomic.Int64
 
+	// Pipelined mode: a fixed pool of shared connections, dialed up
+	// front so a bad address fails fast instead of mid-run.
+	var pipes []*PipeClient
+	var connOf []int // request index -> connection index
+	if cfg.Conns > 0 {
+		pipes = make([]*PipeClient, cfg.Conns)
+		for i := range pipes {
+			pc, err := DialPipe(cfg.Addr, cfg.DialTimeout)
+			if err != nil {
+				for _, open := range pipes[:i] {
+					open.Close()
+				}
+				return nil, err
+			}
+			pipes[i] = pc
+		}
+		defer func() {
+			for _, pc := range pipes {
+				pc.Close()
+			}
+		}()
+		connOf = make([]int, cfg.Requests)
+	}
+
 	// Open loop: a feeder emits arrival tokens at the target rate; the
 	// buffer is sized so a slow server delays service, never arrivals.
 	// Arrivals follow an absolute schedule (start + i*interval) rather
@@ -110,12 +147,18 @@ func RunLoad[T wire.Scalar](cfg LoadConfig, queries [][]T) (*Report, error) {
 		}()
 	}
 
-	worker := func() error {
-		c, err := Dial(cfg.Addr, cfg.DialTimeout)
-		if err != nil {
-			return err
+	worker := func(w int) error {
+		var c *Client
+		var pc *PipeClient
+		if pipes != nil {
+			pc = pipes[w%len(pipes)]
+		} else {
+			var err error
+			if c, err = Dial(cfg.Addr, cfg.DialTimeout); err != nil {
+				return err
+			}
+			defer c.Close()
 		}
-		defer c.Close()
 		for {
 			if tokens != nil {
 				if _, ok := <-tokens; !ok {
@@ -140,10 +183,23 @@ func RunLoad[T wire.Scalar](cfg LoadConfig, queries [][]T) (*Report, error) {
 				q.Flags |= msg.SFlagWarm
 			}
 			t0 := time.Now()
-			res, err := Do(c, &q)
+			var res *msg.SResult
+			var err error
+			if pc != nil {
+				connOf[i] = w % len(pipes)
+				res, err = DoPipe(pc, &q)
+			} else {
+				res, err = Do(c, &q)
+			}
 			lat[i] = float64(time.Since(t0).Microseconds())
 			if err != nil {
 				errCount.Add(1)
+				if pc != nil {
+					// A pipelined connection is shared; a transport
+					// error there is sticky and poisons every worker on
+					// it, so surface it instead of retrying forever.
+					return err
+				}
 				// The connection is suspect after a transport error;
 				// redial once and keep going so one hiccup doesn't
 				// silently shrink the worker pool.
@@ -167,7 +223,7 @@ func RunLoad[T wire.Scalar](cfg LoadConfig, queries [][]T) (*Report, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			errs[w] = worker()
+			errs[w] = worker(w)
 		}(w)
 	}
 	wg.Wait()
@@ -181,20 +237,30 @@ func RunLoad[T wire.Scalar](cfg LoadConfig, queries [][]T) (*Report, error) {
 	rep := &Report{
 		Requests:    cfg.Requests,
 		Concurrency: cfg.Concurrency,
+		Conns:       cfg.Conns,
 		TargetQPS:   cfg.QPS,
 		WallSeconds: wall.Seconds(),
 		ByStatus:    make(map[string]int),
 		Errors:      int(errCount.Load()),
 	}
 	var qwait, exec []float64
+	var byConn [][]float64
+	if pipes != nil {
+		byConn = make([][]float64, len(pipes))
+	}
 	var evals, answered int64
-	okLat := lat[:0]
+	okLat := lat[:0] // reuses lat's storage; read lat[i] before appending
 	for i, res := range results {
 		if res == nil {
 			continue
 		}
 		rep.ByStatus[msg.SStatusName(res.Status)]++
-		okLat = append(okLat, lat[i])
+		v := lat[i]
+		okLat = append(okLat, v)
+		if byConn != nil {
+			ci := connOf[i]
+			byConn[ci] = append(byConn[ci], v)
+		}
 		qwait = append(qwait, float64(res.QueueMicros))
 		exec = append(exec, float64(res.ExecMicros))
 		if res.Status == msg.SStatusOK || res.Status == msg.SStatusPartial {
@@ -206,6 +272,12 @@ func RunLoad[T wire.Scalar](cfg LoadConfig, queries [][]T) (*Report, error) {
 	rep.Latency = summarize(okLat)
 	rep.QueueWait = summarize(qwait)
 	rep.Exec = summarize(exec)
+	if byConn != nil {
+		rep.PerConn = make([]LatencySummary, len(byConn))
+		for ci, us := range byConn {
+			rep.PerConn[ci] = summarize(us)
+		}
+	}
 	if answered > 0 {
 		rep.DistEvals = float64(evals) / float64(answered)
 	}

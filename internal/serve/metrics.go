@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -44,10 +45,15 @@ type Metrics struct {
 	InFlight      atomic.Int64 // admitted, not yet replied
 	Conns         atomic.Int64
 	ConnsTotal    atomic.Int64
-	QueueMax      atomic.Int64 // high-water queue depth
+	QueueMax      atomic.Int64 // high-water queue depth (summed over lanes)
 	QueueDepth    func() int   // instantaneous, sampled at dump time
 	QueueCap      int          //
 	WarmCacheSize func() int   //
+
+	// Lanes holds one entry per dispatch lane (filled by New), dumped
+	// as dnnd_serve_lane_* samples with a lane label so skew across
+	// lanes — uneven batches, a backed-up shard — is visible.
+	Lanes []LaneStat
 
 	// Histograms (latencies in microseconds).
 	LatTotal  Hist // admission to reply written
@@ -57,6 +63,14 @@ type Metrics struct {
 
 	regOnce sync.Once
 	reg     *obs.Registry
+}
+
+// LaneStat is one dispatch lane's share of the counters plus its
+// queue-shard depth gauge.
+type LaneStat struct {
+	Batches atomic.Int64 // micro-batches executed by this lane
+	Queries atomic.Int64 // queries executed (post deadline-drop)
+	Depth   func() int   // instantaneous shard queue depth
 }
 
 // Registry lazily builds (once) the obs.Registry view of these
@@ -103,6 +117,34 @@ func (m *Metrics) Registry() *obs.Registry {
 		if m.WarmCacheSize != nil {
 			r.Sample("dnnd_serve_warm_cache_size", func() int64 { return int64(m.WarmCacheSize()) })
 		}
+		for i := range m.Lanes {
+			ls := &m.Lanes[i]
+			r.Sample(fmt.Sprintf("dnnd_serve_lane_batches_total{lane=\"%d\"}", i), ls.Batches.Load)
+			r.Sample(fmt.Sprintf("dnnd_serve_lane_queries_total{lane=\"%d\"}", i), ls.Queries.Load)
+			if ls.Depth != nil {
+				depth := ls.Depth
+				r.Sample(fmt.Sprintf("dnnd_serve_lane_queue_depth{lane=\"%d\"}", i),
+					func() int64 { return int64(depth()) })
+			}
+		}
+		// Allocator pressure: the whole point of the pooled-context hot
+		// path is that these stay flat under load. Sampled at dump time
+		// (one ReadMemStats per gauge read; dumps are rare).
+		r.Sample("dnnd_serve_gc_cycles_total", func() int64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return int64(ms.NumGC)
+		})
+		r.Sample("dnnd_serve_mallocs_total", func() int64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return int64(ms.Mallocs)
+		})
+		r.Sample("dnnd_serve_heap_alloc_bytes", func() int64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return int64(ms.HeapAlloc)
+		})
 		r.RegisterHist("dnnd_serve_latency_usec", &m.LatTotal)
 		r.RegisterHist("dnnd_serve_queue_wait_usec", &m.LatQueue)
 		r.RegisterHist("dnnd_serve_exec_usec", &m.LatExec)

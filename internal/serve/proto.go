@@ -57,3 +57,34 @@ func readFrame(r io.Reader) (uint8, []byte, error) {
 	}
 	return hdr[4], payload, nil
 }
+
+// readFrameInto is readFrame with a caller-owned buffer: the returned
+// payload aliases *buf (grown as needed, never shrunk) and is valid
+// only until the next call with the same buffer. The header is staged
+// through the same buffer so a steady-state read allocates nothing.
+func readFrameInto(r io.Reader, buf *[]byte) (uint8, []byte, error) {
+	b := *buf
+	if cap(b) < frameHeaderLen {
+		b = make([]byte, frameHeaderLen, 4096)
+		*buf = b
+	}
+	hdr := b[:frameHeaderLen]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	op := hdr[4] // copied out before the payload overwrites b
+	if n < 1 || n > maxFrame {
+		return 0, nil, fmt.Errorf("serve: bad frame length %d", n)
+	}
+	need := int(n - 1)
+	if cap(b) < need {
+		b = make([]byte, need)
+		*buf = b
+	}
+	payload := b[:need]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return op, payload, nil
+}

@@ -2,93 +2,114 @@ package serve
 
 import (
 	"bufio"
-	"math/rand"
 	"net"
 	"sync"
 	"time"
 
+	"dnnd/internal/engine"
 	"dnnd/internal/knng"
 	"dnnd/internal/msg"
+	"dnnd/internal/obs"
 	"dnnd/internal/search"
 	"dnnd/internal/wire"
 )
 
 func newConnReader(c net.Conn) *bufio.Reader { return bufio.NewReaderSize(c, 64<<10) }
 
-// dispatch assembles micro-batches from the admission queue. The
-// batching is dynamic: after the first (blocking) take, whatever else
-// is already queued is drained greedily up to BatchMax, so batch size
+// lane is one dispatch shard: it owns a slice of the admission queue,
+// its own micro-batch assembly loop, its own engine worker pool, and
+// one pooled search.Context per pool worker. Lanes share no mutable
+// state on the hot path, so N lanes assemble and execute N
+// micro-batches truly concurrently — the single dispatch() goroutine
+// and lone execCh of the pre-lane scheduler stop serializing batch
+// formation at high qps.
+type lane[T wire.Scalar] struct {
+	queue chan *request[T]
+	pool  *engine.Pool[T]
+	sctx  []*search.Context[T] // per pool worker, reused across batches
+	batch []*request[T]        // reused micro-batch assembly buffer
+	timer *time.Timer          // reused BatchWait window timer
+
+	// Mutable inputs of runBody, set by runBatch before each pool run.
+	// Binding runBody once (in New) keeps the ParallelForWorker body
+	// off the per-batch heap.
+	live     []*request[T]
+	warmSnap []knng.ID
+	runBody  func(worker, i int)
+
+	track *obs.Track // per-lane span timeline (nil without cfg.Tracer)
+	stat  *LaneStat
+}
+
+// laneLoop is the lane's dispatcher and executor fused: assemble a
+// micro-batch from the lane's queue shard, then execute it inline on
+// the lane's own pool. The batching is dynamic, exactly as the old
+// single dispatcher: after the first (blocking) take, whatever else is
+// already queued is drained greedily up to BatchMax, so batch size
 // tracks instantaneous load — singleton batches when idle (no added
-// latency), full batches under pressure (amortized scheduling and
-// better cache behavior in the worker pool). A non-zero BatchWait
-// adds a bounded wait for the batch to fill, trading tail latency for
-// larger batches.
-func (s *Server[T]) dispatch() {
+// latency), full batches under pressure. A non-zero BatchWait adds a
+// bounded wait for the batch to fill, trading tail latency for larger
+// batches. The assembly buffer and window timer are reused across
+// batches, so a steady-state batch allocates nothing.
+func (s *Server[T]) laneLoop(ln *lane[T]) {
 	defer s.loopWG.Done()
-	defer close(s.execCh)
 	for {
 		var first *request[T]
 		select {
-		case first = <-s.queue:
+		case first = <-ln.queue:
 		case <-s.stop:
-			return // stop closes only after the queue drained (see Shutdown)
+			return // stop closes only after the queues drained (see Shutdown)
 		}
-		batch := make([]*request[T], 1, s.cfg.BatchMax)
-		batch[0] = first
+		batch := append(ln.batch[:0], first)
 	greedy:
 		for len(batch) < s.cfg.BatchMax {
 			select {
-			case r := <-s.queue:
+			case r := <-ln.queue:
 				batch = append(batch, r)
 			default:
 				break greedy
 			}
 		}
 		if s.cfg.BatchWait > 0 && len(batch) < s.cfg.BatchMax {
-			timer := time.NewTimer(s.cfg.BatchWait)
+			if ln.timer == nil {
+				ln.timer = time.NewTimer(s.cfg.BatchWait)
+			} else {
+				ln.timer.Reset(s.cfg.BatchWait)
+			}
 		window:
 			for len(batch) < s.cfg.BatchMax {
 				select {
-				case r := <-s.queue:
+				case r := <-ln.queue:
 					batch = append(batch, r)
-				case <-timer.C:
+				case <-ln.timer.C:
 					break window
 				case <-s.stop:
 					break window
 				}
 			}
-			timer.Stop()
-		}
-		s.m.Batches.Add(1)
-		s.m.BatchSize.Observe(int64(len(batch)))
-		select {
-		case s.execCh <- batch:
-		case <-s.stop:
-			// Only reachable on a forced (deadline-expired) shutdown:
-			// a graceful drain closes stop strictly after every
-			// admitted request is replied, so no batch can be in hand
-			// then. Reply so admission slots are released.
-			for _, r := range batch {
-				s.m.RejectedDraining.Add(1)
-				s.finish(r, &msg.SResult{ID: r.id, Status: msg.SStatusDraining})
+			if !ln.timer.Stop() {
+				select { // fired (and maybe consumed): leave it drained for Reset
+				case <-ln.timer.C:
+				default:
+				}
 			}
-			return
 		}
-	}
-}
-
-// executor runs micro-batches until the dispatcher closes execCh.
-func (s *Server[T]) executor() {
-	defer s.loopWG.Done()
-	for batch := range s.execCh {
-		s.runBatch(batch)
+		ln.batch = batch // keep the (possibly grown) buffer
+		s.m.Batches.Add(1)
+		ln.stat.Batches.Add(1)
+		s.m.BatchSize.Observe(int64(len(batch)))
+		s.runBatch(ln, batch)
+		for i := range batch {
+			batch[i] = nil // requests are recycled by finish: drop the refs
+		}
 	}
 }
 
 // runBatch drops queries whose deadline expired while queued, then
-// evaluates the rest in parallel on the engine worker pool. Every
-// request in the batch gets exactly one reply.
-func (s *Server[T]) runBatch(batch []*request[T]) {
+// evaluates the rest in parallel on the lane's worker pool, one pooled
+// search context per worker. Every request in the batch gets exactly
+// one reply.
+func (s *Server[T]) runBatch(ln *lane[T], batch []*request[T]) {
 	if s.cfg.execHook != nil {
 		s.cfg.execHook()
 	}
@@ -97,10 +118,11 @@ func (s *Server[T]) runBatch(batch []*request[T]) {
 	for _, r := range batch {
 		if !r.deadline.IsZero() && now.After(r.deadline) {
 			s.m.DeadlineDropped.Add(1)
-			s.finish(r, &msg.SResult{
+			r.res = msg.SResult{
 				ID: r.id, Status: msg.SStatusDeadline,
 				QueueMicros: saturatingMicros(now.Sub(r.enq)),
-			})
+			}
+			s.finish(r)
 			continue
 		}
 		live = append(live, r)
@@ -108,37 +130,38 @@ func (s *Server[T]) runBatch(batch []*request[T]) {
 	if len(live) == 0 {
 		return
 	}
-	// Snapshot the warm cache once per batch; queries opt in per
-	// request via SFlagWarm.
-	var warmSnap []knng.ID
+	// Snapshot the warm cache once per batch (into the lane's reused
+	// buffer); queries opt in per request via SFlagWarm.
+	ln.warmSnap = ln.warmSnap[:0]
 	if s.warm != nil {
-		warmSnap = s.warm.snapshot()
+		ln.warmSnap = s.warm.snapshotInto(ln.warmSnap)
 	}
-	s.pool.ParallelFor(len(live), func(i int) {
-		s.runOne(live[i], warmSnap)
-	})
+	sp := ln.track.BeginArg("serve.batch", int64(len(live)))
+	ln.stat.Queries.Add(int64(len(live)))
+	ln.live = live
+	ln.pool.ParallelForWorker(len(live), ln.runBody)
+	ln.live = nil
+	sp.End()
 }
 
-// runOne executes a single query (on a pool worker or the executor
-// goroutine) and writes its reply.
-func (s *Server[T]) runOne(r *request[T], warmSnap []knng.ID) {
+// runOne executes a single query on a pooled search context (owned by
+// one pool worker for the duration of the batch) and writes its reply.
+// The result slice aliases the context's scratch; it is encoded onto
+// the wire by finish before the context's next query, so nothing is
+// copied.
+func (s *Server[T]) runOne(sc *search.Context[T], r *request[T], warmSnap []knng.ID) {
 	start := time.Now()
-	opt := search.Options{L: r.l, Epsilon: r.eps}
+	opt := search.Options{L: r.l, Epsilon: r.eps, Deadline: r.deadline}
 	if r.warm && len(warmSnap) > 0 {
 		opt.Entries = warmSnap
 		s.m.WarmServed.Add(1)
 	}
-	if !r.deadline.IsZero() {
-		dl := r.deadline
-		opt.Interrupt = func() bool { return time.Now().After(dl) }
-	}
-	rng := rand.New(rand.NewSource(r.seed))
 	var ns []knng.Neighbor
 	var st search.Stats
 	if s.src.Quant != nil {
-		ns, st = search.QueryQuant(s.src.Graph, s.src.Data, s.src.Dist, s.src.Quant, r.vec, opt, rng)
+		ns, st = search.SearchQuantCtx(sc, s.src.Graph, s.src.Data, s.src.Dist, s.src.Quant, r.vec, opt, r.seed)
 	} else {
-		ns, st = search.Query(s.src.Graph, s.src.Data, s.src.Dist, r.vec, opt, rng)
+		ns, st = search.SearchCtx(sc, s.src.Graph, s.src.Data, s.src.Dist, r.vec, opt, r.seed)
 	}
 	s.m.DistEvals.Add(st.DistEvals)
 	s.m.ApproxEvals.Add(st.ApproxEvals)
@@ -153,25 +176,25 @@ func (s *Server[T]) runOne(r *request[T], warmSnap []knng.ID) {
 		s.warm.feed(ns)
 	}
 	exec := time.Since(start)
-	s.finish(r, &msg.SResult{
+	r.res = msg.SResult{
 		ID:          r.id,
 		Status:      status,
 		DistEvals:   st.DistEvals,
 		QueueMicros: saturatingMicros(start.Sub(r.enq)),
 		ExecMicros:  saturatingMicros(exec),
 		Neighbors:   ns,
-	})
+	}
 	s.m.LatQueue.ObserveDuration(start.Sub(r.enq))
 	s.m.LatExec.ObserveDuration(exec)
+	s.finish(r)
 }
 
-// finish writes the reply for an admitted request and releases its
-// admission slot. A write failure (client went away) is counted but
-// never blocks the drain: the request is still "answered".
-func (s *Server[T]) finish(r *request[T], res *msg.SResult) {
-	var w wire.Writer
-	res.Encode(&w)
-	if err := r.conn.writeFrame(msg.SOpQuery, w.Bytes()); err != nil {
+// finish writes the reply held in r.res (encoded zero-copy into the
+// connection's write buffer), releases the admission slot, and
+// recycles the request. A write failure (client went away) is counted
+// but never blocks the drain: the request is still "answered".
+func (s *Server[T]) finish(r *request[T]) {
+	if err := r.conn.writeResult(msg.SOpQuery, &r.res); err != nil {
 		s.m.WriteErrors.Add(1)
 	}
 	s.m.LatTotal.ObserveDuration(time.Since(r.enq))
@@ -179,6 +202,7 @@ func (s *Server[T]) finish(r *request[T], res *msg.SResult) {
 	r.span.End()
 	s.cfg.Trace.Counter("serve.inflight", s.m.InFlight.Add(-1))
 	s.gate.leave()
+	s.putRequest(r)
 }
 
 func saturatingMicros(d time.Duration) uint32 {
@@ -232,6 +256,12 @@ func (w *warmCache) feed(ns []knng.Neighbor) {
 // snapshot copies the current entries (deduplicated lazily by the
 // search's visited set, so duplicates here are harmless).
 func (w *warmCache) snapshot() []knng.ID {
+	return w.snapshotInto(nil)
+}
+
+// snapshotInto is snapshot into a reused buffer (per-lane, so batches
+// at steady state allocate nothing for it).
+func (w *warmCache) snapshotInto(dst []knng.ID) []knng.ID {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	n := w.next
@@ -241,9 +271,7 @@ func (w *warmCache) snapshot() []knng.ID {
 	if n == 0 {
 		return nil
 	}
-	out := make([]knng.ID, n)
-	copy(out, w.ids[:n])
-	return out
+	return append(dst[:0], w.ids[:n]...)
 }
 
 // size reports the number of cached entries (a gauge).

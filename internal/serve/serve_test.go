@@ -166,21 +166,29 @@ func encodeQuery(q *msg.SQuery[float32]) []byte {
 func TestAdmissionRejections(t *testing.T) {
 	src := testSource(t, 50, 4, 4)
 	s := &Server[float32]{
-		cfg:   Config{}.withDefaults(),
-		src:   src,
-		dim:   4,
-		elem:  "float32",
-		m:     &Metrics{},
-		queue: make(chan *request[float32], 1),
-		gate:  newDrainGate(),
-		stop:  make(chan struct{}),
+		cfg:  Config{}.withDefaults(),
+		src:  src,
+		dim:  4,
+		elem: "float32",
+		m:    &Metrics{},
+		gate: newDrainGate(),
+		stop: make(chan struct{}),
 	}
+	// One lane, depth-1 shard, no laneLoop running: a full queue stays
+	// full, so every admission outcome below is forced.
+	s.m.Lanes = make([]LaneStat, 1)
+	s.lanes = []*lane[float32]{{queue: make(chan *request[float32], 1), stat: &s.m.Lanes[0]}}
 	client, server := net.Pipe()
 	defer client.Close()
 	defer server.Close()
 	sc := &serverConn{c: server}
 	replies := collectReplies(t, client)
 
+	var q msg.SQuery[float32]
+	var scratch []float32
+	handle := func(payload []byte) bool {
+		return s.handleQuery(sc, payload, &q, &scratch)
+	}
 	mk := func(id uint64) []byte {
 		return encodeQuery(&msg.SQuery[float32]{ID: id, L: 4, Vec: src.Data[0]})
 	}
@@ -197,10 +205,10 @@ func TestAdmissionRejections(t *testing.T) {
 		}
 	}
 
-	if !s.handleQuery(sc, mk(1)) { // fills the queue, no reply yet
+	if !handle(mk(1)) { // fills the queue, no reply yet
 		t.Fatalf("first query should be admitted")
 	}
-	if !s.handleQuery(sc, mk(2)) { // queue full
+	if !handle(mk(2)) { // queue full
 		t.Fatalf("overload reply failed")
 	}
 	expect(2, msg.SStatusOverloaded)
@@ -208,7 +216,7 @@ func TestAdmissionRejections(t *testing.T) {
 	s.gate.mu.Lock()
 	s.gate.draining = true
 	s.gate.mu.Unlock()
-	if !s.handleQuery(sc, mk(3)) {
+	if !handle(mk(3)) {
 		t.Fatalf("draining reply failed")
 	}
 	expect(3, msg.SStatusDraining)
@@ -217,12 +225,12 @@ func TestAdmissionRejections(t *testing.T) {
 	s.gate.mu.Unlock()
 
 	// Wrong dimensionality is a bad request, not a crash.
-	if !s.handleQuery(sc, encodeQuery(&msg.SQuery[float32]{ID: 4, L: 4, Vec: []float32{1}})) {
+	if !handle(encodeQuery(&msg.SQuery[float32]{ID: 4, L: 4, Vec: []float32{1}})) {
 		t.Fatalf("bad-request reply failed")
 	}
 	expect(4, msg.SStatusBadRequest)
 	// So is an L larger than the dataset.
-	if !s.handleQuery(sc, encodeQuery(&msg.SQuery[float32]{ID: 5, L: 1000, Vec: src.Data[0]})) {
+	if !handle(encodeQuery(&msg.SQuery[float32]{ID: 5, L: 1000, Vec: src.Data[0]})) {
 		t.Fatalf("bad-L reply failed")
 	}
 	expect(5, msg.SStatusBadRequest)
@@ -265,7 +273,7 @@ func TestDeadlineSemantics(t *testing.T) {
 	// Expired while queued: dropped before execution.
 	s.gate.enter()
 	s.m.InFlight.Add(1)
-	s.runBatch([]*request[float32]{{
+	s.runBatch(s.lanes[0], []*request[float32]{{
 		conn: sc, id: 10, l: 8, vec: src.Data[0],
 		deadline: now.Add(-time.Millisecond), enq: now.Add(-2 * time.Millisecond),
 	}})
@@ -282,7 +290,7 @@ func TestDeadlineSemantics(t *testing.T) {
 	// leaving the seeded candidates as a partial answer.
 	s.gate.enter()
 	s.m.InFlight.Add(1)
-	s.runOne(&request[float32]{
+	s.runOne(s.lanes[0].sctx[0], &request[float32]{
 		conn: sc, id: 11, l: 8, vec: src.Data[0],
 		deadline: now, enq: now,
 	}, nil)

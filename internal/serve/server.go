@@ -2,11 +2,13 @@ package serve
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dnnd/internal/engine"
@@ -15,6 +17,7 @@ import (
 	"dnnd/internal/metric/quant"
 	"dnnd/internal/msg"
 	"dnnd/internal/obs"
+	"dnnd/internal/search"
 	"dnnd/internal/wire"
 )
 
@@ -53,17 +56,25 @@ type Config struct {
 	BatchMax int
 	// BatchWait is the optional assembly window: after taking the
 	// first query of a batch and greedily draining whatever else is
-	// queued, the dispatcher waits up to BatchWait for the batch to
-	// fill. The default of 0 is purely dynamic batching — batch size
-	// tracks queue depth with zero added latency when idle.
+	// queued, the lane waits up to BatchWait for the batch to fill.
+	// The default of 0 is purely dynamic batching — batch size tracks
+	// queue depth with zero added latency when idle.
 	BatchWait time.Duration
-	// Executors is the number of micro-batches in flight at once
-	// (default 2): one keeps latency lowest, two overlap a small
-	// batch's reply writes with the next batch's compute.
+	// Lanes is the number of independent dispatch lanes. Each lane owns
+	// a shard of the admission queue, its own micro-batch assembly loop,
+	// its own engine.Pool, and one pooled search.Context per pool
+	// worker, so batch formation and execution never serialize across
+	// lanes. Defaults to Executors for compatibility with pre-lane
+	// configs (and Executors defaults to 2).
+	Lanes int
+	// Executors is the legacy name for the batch-level parallelism knob;
+	// it now only seeds the Lanes default. Kept so existing configs and
+	// flags keep their meaning: N executors become N lanes.
 	Executors int
-	// Workers is the intra-batch worker-pool width used to evaluate a
-	// batch's queries in parallel (default GOMAXPROCS), reusing
-	// internal/engine's pool.
+	// Workers is the per-lane worker-pool width used to evaluate a
+	// batch's queries in parallel (default GOMAXPROCS/Lanes, min 1),
+	// reusing internal/engine's pool. Total search parallelism is
+	// Lanes × Workers.
 	Workers int
 	// DefaultDeadline applies to queries that do not carry their own
 	// (0 = no deadline). MaxDeadline caps client-requested deadlines
@@ -76,16 +87,21 @@ type Config struct {
 	// recent query results and served to queries that set SFlagWarm
 	// (0 disables the cache).
 	WarmEntries int
-	// WriteTimeout bounds each reply write (default 30s), so a client
-	// that stops reading cannot wedge an executor — or a drain —
-	// behind a full TCP send buffer.
+	// WriteTimeout bounds each reply write (default 30s; negative
+	// disables), so a client that stops reading cannot wedge a lane —
+	// or a drain — behind a full TCP send buffer.
 	WriteTimeout time.Duration
 	// Trace, when non-nil, receives the server's span timeline:
 	// "serve.query" async spans covering each admitted request from
 	// admission to reply (async because requests overlap freely across
-	// executors) and a "serve.inflight" counter track. A nil Track
-	// costs one nil check per request.
+	// lanes) and a "serve.inflight" counter track. A nil Track costs
+	// one nil check per request.
 	Trace *obs.Track
+	// Tracer, when non-nil, additionally gives every lane its own
+	// "serve.laneN" track recording one "serve.batch" span per executed
+	// micro-batch (argument = live batch size), so per-lane utilization
+	// and batch shapes are visible on the trace timeline.
+	Tracer *obs.Tracer
 	// execHook, when non-nil, runs at the start of every batch
 	// execution. Tests use it to stall the executors and force
 	// deterministic queue overflow; it is deliberately unexported.
@@ -110,16 +126,29 @@ func (c Config) withDefaults() Config {
 	if c.Executors <= 0 {
 		c.Executors = 2
 	}
-	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
+	if c.Lanes <= 0 {
+		c.Lanes = c.Executors
 	}
-	if c.WriteTimeout <= 0 {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0) / c.Lanes
+		if c.Workers < 1 {
+			c.Workers = 1
+		}
+	}
+	if c.WriteTimeout == 0 {
 		c.WriteTimeout = 30 * time.Second
+	} else if c.WriteTimeout < 0 {
+		c.WriteTimeout = 0
 	}
 	return c
 }
 
 // request is one admitted query flowing through the scheduler.
+// Requests are pooled (getRequest/putRequest): vec is the request's
+// own reusable storage (the borrowed decode buffer is copied into it,
+// because the reader loop overwrites the frame buffer while the
+// request waits in a lane queue), and res is filled in place by the
+// lane worker so the reply needs no per-query allocation either.
 type request[T wire.Scalar] struct {
 	conn     *serverConn
 	id       uint64
@@ -130,18 +159,20 @@ type request[T wire.Scalar] struct {
 	vec      []T
 	deadline time.Time // zero = none
 	enq      time.Time
-	span     obs.Span // serve.query async span, ended by finish
+	span     obs.Span    // serve.query async span, ended by finish
+	res      msg.SResult // reply under construction, encoded by finish
 }
 
 // serverConn wraps one client connection: reads happen on the
 // connection's reader goroutine, reply writes are serialized by wmu
-// (executor goroutines write completions, the reader writes
-// rejections and control replies).
+// (lane workers write completions, the reader writes rejections and
+// control replies).
 type serverConn struct {
 	c        net.Conn
 	wtimeout time.Duration
 	wmu      sync.Mutex
 	wbuf     []byte
+	w        wire.Writer // wraps wbuf during writeResult
 }
 
 func (sc *serverConn) writeFrame(op uint8, payload []byte) error {
@@ -152,6 +183,27 @@ func (sc *serverConn) writeFrame(op uint8, payload []byte) error {
 	}
 	sc.wbuf = appendFrame(sc.wbuf[:0], op, payload)
 	_, err := sc.c.Write(sc.wbuf)
+	return err
+}
+
+// writeResult encodes res directly into the connection's pooled write
+// buffer behind a frame-header placeholder, backpatches the length,
+// and writes the frame — no intermediate payload slice, no copy (the
+// PR 6 AsyncWriter pattern, via wire.Writer.Wrap). Serialized on wmu
+// with writeFrame like every other reply.
+func (sc *serverConn) writeResult(op uint8, res *msg.SResult) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	sc.wbuf = append(sc.wbuf[:0], 0, 0, 0, 0, op)
+	sc.w.Wrap(sc.wbuf)
+	res.Encode(&sc.w)
+	out := sc.w.Bytes()
+	binary.LittleEndian.PutUint32(out[:4], uint32(len(out)-4))
+	sc.wbuf = out[:0] // keep the grown storage for the next reply
+	if sc.wtimeout > 0 {
+		sc.c.SetWriteDeadline(time.Now().Add(sc.wtimeout))
+	}
+	_, err := sc.c.Write(out)
 	return err
 }
 
@@ -225,13 +277,13 @@ type Server[T wire.Scalar] struct {
 	m    *Metrics
 	warm *warmCache
 
-	queue  chan *request[T]
-	execCh chan []*request[T]
-	pool   *engine.Pool[T]
+	lanes   []*lane[T]
+	rr      atomic.Uint32 // round-robin admission cursor
+	reqPool sync.Pool     // recycled *request[T]
 
 	gate     *drainGate
-	stop     chan struct{}  // closed after the queue fully drains
-	loopWG   sync.WaitGroup // dispatcher + executors
+	stop     chan struct{}  // closed after the lane queues fully drain
+	loopWG   sync.WaitGroup // lane loops
 	connWG   sync.WaitGroup
 	connMu   sync.Mutex
 	conns    map[*serverConn]struct{}
@@ -241,8 +293,9 @@ type Server[T wire.Scalar] struct {
 }
 
 // New builds a Server over src. It validates the source and spins up
-// the scheduler (dispatcher, executors, worker pool); the server
-// starts accepting connections when Serve is called.
+// the dispatch lanes (each with its own queue shard, worker pool, and
+// pooled search contexts); the server starts accepting connections
+// when Serve is called.
 func New[T wire.Scalar](src Source[T], cfg Config) (*Server[T], error) {
 	if src.Graph == nil || src.Dist == nil {
 		return nil, errors.New("serve: Source needs a Graph and a Dist")
@@ -256,31 +309,82 @@ func New[T wire.Scalar](src Source[T], cfg Config) (*Server[T], error) {
 	}
 	cfg = cfg.withDefaults()
 	s := &Server[T]{
-		cfg:    cfg,
-		src:    src,
-		dim:    len(src.Data[0]),
-		elem:   elemName[T](),
-		m:      &Metrics{},
-		queue:  make(chan *request[T], cfg.QueueDepth),
-		execCh: make(chan []*request[T], cfg.Executors),
-		gate:   newDrainGate(),
-		stop:   make(chan struct{}),
-		conns:  make(map[*serverConn]struct{}),
+		cfg:   cfg,
+		src:   src,
+		dim:   len(src.Data[0]),
+		elem:  elemName[T](),
+		m:     &Metrics{},
+		gate:  newDrainGate(),
+		stop:  make(chan struct{}),
+		conns: make(map[*serverConn]struct{}),
 	}
-	s.m.QueueCap = cfg.QueueDepth
-	s.m.QueueDepth = func() int { return len(s.queue) }
+	// The admission queue is sharded across lanes; QueueDepth splits
+	// evenly (min 1 per lane) so the configured bound keeps its meaning.
+	laneDepth := cfg.QueueDepth / cfg.Lanes
+	if laneDepth < 1 {
+		laneDepth = 1
+	}
+	s.m.QueueCap = laneDepth * cfg.Lanes
+	s.m.QueueDepth = s.queueLen
+	s.m.Lanes = make([]LaneStat, cfg.Lanes)
 	if cfg.WarmEntries > 0 {
 		s.warm = newWarmCache(cfg.WarmEntries)
 		s.m.WarmCacheSize = s.warm.size
 	}
-	s.pool = engine.NewPool(engine.PoolConfig[T]{Workers: cfg.Workers, Dim: s.dim})
-	s.loopWG.Add(1)
-	go s.dispatch()
-	for i := 0; i < cfg.Executors; i++ {
+	s.lanes = make([]*lane[T], cfg.Lanes)
+	for i := range s.lanes {
+		ln := &lane[T]{
+			queue: make(chan *request[T], laneDepth),
+			pool:  engine.NewPool(engine.PoolConfig[T]{Workers: cfg.Workers, Dim: s.dim}),
+			sctx:  make([]*search.Context[T], cfg.Workers),
+			batch: make([]*request[T], 0, cfg.BatchMax),
+			stat:  &s.m.Lanes[i],
+		}
+		for w := range ln.sctx {
+			ln.sctx[w] = search.NewContext[T]()
+		}
+		q := ln.queue
+		ln.stat.Depth = func() int { return len(q) }
+		// Bound once so batch execution never allocates a closure: the
+		// body reads the lane's current batch through mutable fields,
+		// the same trick search.Context plays with its score closures.
+		ln.runBody = func(w, i int) { s.runOne(ln.sctx[w], ln.live[i], ln.warmSnap) }
+		if cfg.Tracer != nil {
+			ln.track = cfg.Tracer.Track(fmt.Sprintf("serve.lane%d", i), 1+i)
+		}
+		s.lanes[i] = ln
 		s.loopWG.Add(1)
-		go s.executor()
+		go s.laneLoop(ln)
 	}
 	return s, nil
+}
+
+// queueLen sums the lane queue depths (the instantaneous admission
+// backlog gauge).
+func (s *Server[T]) queueLen() int {
+	n := 0
+	for _, ln := range s.lanes {
+		n += len(ln.queue)
+	}
+	return n
+}
+
+// getRequest takes a recycled request or allocates the pool's first.
+func (s *Server[T]) getRequest() *request[T] {
+	if r, ok := s.reqPool.Get().(*request[T]); ok {
+		return r
+	}
+	return &request[T]{}
+}
+
+// putRequest recycles a finished (or rejected) request. References
+// into connection state and search scratch are dropped so the pool
+// never pins them; vec keeps its capacity for the next query.
+func (s *Server[T]) putRequest(r *request[T]) {
+	r.conn = nil
+	r.span = obs.Span{}
+	r.res.Neighbors = nil
+	s.reqPool.Put(r)
 }
 
 func elemName[T wire.Scalar]() string {
@@ -334,9 +438,14 @@ func (s *Server[T]) handleConn(sc *serverConn) {
 		s.connWG.Done()
 	}()
 	br := newConnReader(sc.c)
-	var w wire.Writer
+	var (
+		w       wire.Writer
+		rbuf    []byte        // reused frame payload buffer
+		q       msg.SQuery[T] // reused query decode target
+		scratch []T           // borrowed-vector decode scratch (wide scalars)
+	)
 	for {
-		op, payload, err := readFrame(br)
+		op, payload, err := readFrameInto(br, &rbuf)
 		if err != nil {
 			return // EOF, client reset, or garbage framing: drop the conn
 		}
@@ -369,7 +478,7 @@ func (s *Server[T]) handleConn(sc *serverConn) {
 				return
 			}
 		case msg.SOpQuery:
-			if !s.handleQuery(sc, payload) {
+			if !s.handleQuery(sc, payload, &q, &scratch) {
 				return
 			}
 		default:
@@ -379,26 +488,29 @@ func (s *Server[T]) handleConn(sc *serverConn) {
 }
 
 // handleQuery decodes and admits one query; it reports whether the
-// connection is still usable.
-func (s *Server[T]) handleQuery(sc *serverConn, payload []byte) bool {
-	var q msg.SQuery[T]
+// connection is still usable. q and scratch are the connection's
+// reused decode state: the decoded vector borrows the frame buffer
+// (or scratch) and is copied into the pooled request's own storage,
+// since the reader overwrites the frame buffer while the request
+// waits in a lane queue.
+func (s *Server[T]) handleQuery(sc *serverConn, payload []byte, q *msg.SQuery[T], scratch *[]T) bool {
 	r := wire.NewReader(payload)
-	q.Decode(r)
+	*scratch = q.DecodeBorrow(r, *scratch)
 	if r.Finish() != nil || len(q.Vec) != s.dim || int64(q.L) > int64(len(s.src.Data)) {
 		s.m.RejectedBad.Add(1)
 		return s.reject(sc, q.ID, msg.SStatusBadRequest)
 	}
 	now := time.Now()
-	req := &request[T]{
-		conn: sc,
-		id:   q.ID,
-		seed: q.Seed,
-		l:    int(q.L),
-		eps:  float64(q.Epsilon),
-		warm: q.Flags&msg.SFlagWarm != 0 && s.warm != nil,
-		vec:  q.Vec,
-		enq:  now,
-	}
+	req := s.getRequest()
+	req.conn = sc
+	req.id = q.ID
+	req.seed = q.Seed
+	req.l = int(q.L)
+	req.eps = float64(q.Epsilon)
+	req.warm = q.Flags&msg.SFlagWarm != 0 && s.warm != nil
+	req.vec = append(req.vec[:0], q.Vec...)
+	req.deadline = time.Time{}
+	req.enq = now
 	if req.l == 0 {
 		req.l = s.cfg.L
 	}
@@ -421,38 +533,44 @@ func (s *Server[T]) handleQuery(sc *serverConn, payload []byte) bool {
 	// be waited for by a concurrent drain (see Shutdown), so an
 	// admitted query is never dropped.
 	if !s.gate.enter() {
+		s.putRequest(req)
 		s.m.RejectedDraining.Add(1)
 		return s.reject(sc, q.ID, msg.SStatusDraining)
 	}
 	// The span must be attached before the enqueue: once the request
-	// is on the queue an executor may finish (and End the span) at any
+	// is on a lane queue a worker may finish (and End the span) at any
 	// moment. A span that is never Ended (the overload branch) records
 	// nothing.
 	req.span = s.cfg.Trace.BeginAsync("serve.query", int64(req.id))
-	select {
-	case s.queue <- req:
-		s.m.Accepted.Add(1)
-		s.cfg.Trace.Counter("serve.inflight", s.m.InFlight.Add(1))
-		if d := int64(len(s.queue)); d > s.m.QueueMax.Load() {
-			s.m.QueueMax.Store(d) // racy max: close enough for a gauge
+	// Sharded admission: start at the round-robin lane, then sweep the
+	// others, so one hot lane spills before anything is rejected.
+	// Overload means every lane's shard is full.
+	li := int(s.rr.Add(1)-1) % len(s.lanes)
+	for k := 0; k < len(s.lanes); k++ {
+		select {
+		case s.lanes[(li+k)%len(s.lanes)].queue <- req:
+			s.m.Accepted.Add(1)
+			s.cfg.Trace.Counter("serve.inflight", s.m.InFlight.Add(1))
+			if d := int64(s.queueLen()); d > s.m.QueueMax.Load() {
+				s.m.QueueMax.Store(d) // racy max: close enough for a gauge
+			}
+			return true
+		default:
 		}
-		return true
-	default:
-		// Queue full: typed overload rejection, never a block and
-		// never silence. The client reads this as backpressure.
-		s.gate.leave()
-		s.m.RejectedOverload.Add(1)
-		return s.reject(sc, q.ID, msg.SStatusOverloaded)
 	}
+	// Every lane full: typed overload rejection, never a block and
+	// never silence. The client reads this as backpressure.
+	s.gate.leave()
+	s.putRequest(req)
+	s.m.RejectedOverload.Add(1)
+	return s.reject(sc, q.ID, msg.SStatusOverloaded)
 }
 
 // reject writes an immediate no-result reply; it reports whether the
 // connection survived the write.
 func (s *Server[T]) reject(sc *serverConn, id uint64, status uint8) bool {
-	var w wire.Writer
 	res := msg.SResult{ID: id, Status: status}
-	res.Encode(&w)
-	return sc.writeFrame(msg.SOpQuery, w.Bytes()) == nil
+	return sc.writeResult(msg.SOpQuery, &res) == nil
 }
 
 func (s *Server[T]) healthText() string {
@@ -460,9 +578,9 @@ func (s *Server[T]) healthText() string {
 	if s.gate.isDraining() {
 		state = "draining"
 	}
-	return fmt.Sprintf("%s n=%d dim=%d elem=%s metric=%s inflight=%d queue=%d/%d\n",
-		state, len(s.src.Data), s.dim, s.elem, s.src.Metric,
-		s.m.InFlight.Load(), len(s.queue), s.cfg.QueueDepth)
+	return fmt.Sprintf("%s n=%d dim=%d elem=%s metric=%s lanes=%d inflight=%d queue=%d/%d\n",
+		state, len(s.src.Data), s.dim, s.elem, s.src.Metric, len(s.lanes),
+		s.m.InFlight.Load(), s.queueLen(), s.m.QueueCap)
 }
 
 // Shutdown gracefully drains the server (the SIGTERM path): stop
@@ -487,11 +605,13 @@ func (s *Server[T]) Shutdown(ctx context.Context) error {
 			err = ctx.Err()
 		}
 
-		// The queue is empty now (or we gave up waiting): stop the
-		// dispatcher, let executors drain execCh, stop the pool.
+		// The lane queues are empty now (or we gave up waiting): stop
+		// the lane loops, then their worker pools.
 		close(s.stop)
 		s.loopWG.Wait()
-		s.pool.Shutdown()
+		for _, ln := range s.lanes {
+			ln.pool.Shutdown()
+		}
 
 		// Finally drop the client connections; their readers exit.
 		s.connMu.Lock()

@@ -23,12 +23,17 @@ trap 'rm -f "$tmp"' EXIT
   # Observability tax: the same build with the tracer off (must track
   # BenchmarkConstruction) and on (the cost of a full span timeline).
   go test -run '^$' -bench '^BenchmarkConstructionTracer$' -benchmem -benchtime 3x "$@" .
+  # Quantized-filter anchors: gist (960-dim float32, where the uint8
+  # screen pays) vs bigann (native uint8, the honest negative).
+  go test -run '^$' -bench '^BenchmarkConstructionQuant$' -benchmem -benchtime 3x "$@" .
   # Distance kernels.
   go test -run '^$' -bench . -benchmem "$@" ./internal/metric/
   # Comm substrate (aggregation, delivery, barrier).
   go test -run '^$' -bench . -benchmem "$@" ./internal/ygm/
-  # Online serving: loopback round-trip floor + closed-loop throughput
-  # (server and loadgen in-process; see results/serve.md).
+  # Online serving: loopback round-trip floor, closed-loop throughput,
+  # and the lane-scaling axis (qps at 1/2/4 dispatch lanes over
+  # pipelined connections; server and loadgen in-process — see
+  # results/serve.md).
   go test -run '^$' -bench '^BenchmarkServe' -benchmem "$@" ./internal/serve/
 } | tee "$tmp"
 

@@ -48,6 +48,12 @@ echo "== go test -race (core + dquery with worker pools active)"
 # stage/claim/apply machinery.
 DNND_TEST_WORKERS=3 go test -race -count=1 ./internal/core/ ./internal/dquery/
 
+echo "== go test -race (sharded serve dispatch at a forced worker width)"
+# The lane/worker equivalence sweep re-runs with an extra forced pool
+# width, so the sharded dispatch, pooled contexts, and zero-copy reply
+# writers are raced at a geometry the default suite doesn't cover.
+DNND_TEST_WORKERS=3 go test -race -count=1 -run 'TestLaneWorkerEquivalence' ./internal/serve/
+
 echo "== fuzz smoke (message codecs + bulk LE codec)"
 # Short native-fuzz bursts over the wire-facing decoders: corpus seeds
 # plus a few seconds of mutation each. Full fuzzing is manual; this
