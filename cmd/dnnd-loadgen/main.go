@@ -33,6 +33,11 @@ func main() {
 		deadline    = flag.Duration("deadline", 0, "per-query deadline (0 = server default)")
 		seed        = flag.Int64("seed", 1, "query / entry-point seed")
 		warm        = flag.Bool("warm", false, "use the server's warm entry-point cache")
+		mutate      = flag.Bool("mutate", false, "mixed read/write mode against a mutable server (per-op-class quantiles in the report)")
+		ingestFrac  = flag.Float64("ingest-frac", 0, "share of requests that become ingest ops (mutate mode; default 0.05)")
+		deleteFrac  = flag.Float64("delete-frac", 0, "share of requests that become delete ops (mutate mode; default 0.02)")
+		ingestBatch = flag.Int("ingest-batch", 0, "vectors per ingest op (mutate mode; default 4)")
+		flushEvery  = flag.Int("flush-every", 0, "turn every Nth request into a blocking flush (mutate mode; 0 = background refinement only)")
 		out         = flag.String("out", "", "write the JSON report here (default stdout)")
 	)
 	flag.Parse()
@@ -61,6 +66,12 @@ func main() {
 		Seed:        *seed,
 		Warm:        *warm,
 		DialTimeout: 5 * time.Second,
+
+		Mutate:         *mutate,
+		IngestFraction: *ingestFrac,
+		DeleteFraction: *deleteFrac,
+		IngestBatch:    *ingestBatch,
+		FlushEvery:     *flushEvery,
 	}
 	dim := int(hello.Dim)
 	var rep *serve.Report

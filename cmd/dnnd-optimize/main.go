@@ -1,7 +1,11 @@
-// Command dnnd-optimize applies the Section 4.5 graph optimizations
-// (reverse-edge merge and degree pruning to k*m) to a datastore written
-// by dnnd-construct, mirroring the paper's separate optimization
-// executable that reattaches to the Metall store.
+// Command dnnd-optimize applies offline graph maintenance to a
+// datastore: the Section 4.5 optimizations (reverse-edge merge and
+// degree pruning to k*m) by default, or -compact to fold a mutable
+// store's pending delta and tombstones into its base (delta vectors
+// join the dataset, dead points are physically removed with IDs
+// compacted dense, and a warm-started refinement repairs the graph),
+// mirroring the paper's separate optimization executable that
+// reattaches to the Metall store.
 package main
 
 import (
@@ -17,6 +21,10 @@ func main() {
 	var (
 		storeDir = flag.String("store", "", "datastore directory (required)")
 		m        = flag.Float64("m", 1.5, "degree cap multiplier (prune to k*m)")
+		compact  = flag.Bool("compact", false, "fold a mutable store's delta + tombstones into its base (rewrites the store as a clean snapshot at the next generation)")
+		ranks    = flag.Int("ranks", 0, "simulated ranks for the compaction rebuild (0 = build default)")
+		workers  = flag.Int("workers", 0, "intra-rank workers for the compaction rebuild (0 = build default)")
+		seed     = flag.Int64("seed", 1, "compaction rebuild seed")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -27,6 +35,30 @@ func main() {
 		fatal(err)
 	}
 	start := time.Now()
+	if *compact {
+		opt := dnnd.BuildOptions{Ranks: *ranks, Workers: *workers, Seed: *seed, PruneFactor: *m}
+		var mapping []dnnd.ID
+		switch elem {
+		case "float32":
+			mapping, err = dnnd.Compact[float32](*storeDir, opt)
+		case "uint8":
+			mapping, err = dnnd.Compact[uint8](*storeDir, opt)
+		case "uint32":
+			mapping, err = dnnd.Compact[uint32](*storeDir, opt)
+		default:
+			err = fmt.Errorf("unknown element type %q", elem)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		remapped := "IDs unchanged"
+		if mapping != nil {
+			remapped = fmt.Sprintf("%d IDs remapped", len(mapping))
+		}
+		fmt.Printf("dnnd-optimize: compacted %s (%s) in %s\n",
+			*storeDir, remapped, time.Since(start).Round(time.Millisecond))
+		return
+	}
 	switch elem {
 	case "float32":
 		err = dnnd.Refine[float32](*storeDir, *m)

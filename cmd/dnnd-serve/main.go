@@ -40,23 +40,37 @@ func main() {
 		drainWait   = flag.Duration("drain", 30*time.Second, "graceful-drain budget on shutdown")
 		debugAddr   = flag.String("debug-addr", "", "serve pprof + /metrics + /trace on this address")
 		quantOn     = flag.Bool("quant", false, "score traversal candidates by quantized (uint8) code distance with an exact re-rank of the survivors (l2/sql2 only)")
+		mutableOn   = flag.Bool("mutable", false, "serve the index online-mutable: accept ingest/delete/flush ops, refine the delta in the background, and swap snapshots atomically")
+		refineEvery = flag.Int("refine-every", 256, "pending delta size that triggers a background refinement (mutable mode)")
+		refineRanks = flag.Int("refine-ranks", 0, "simulated ranks for incremental refinements (mutable mode; 0 = build default)")
+		persist     = flag.Bool("persist", true, "write every published snapshot back to the store as a v2 generation (mutable mode)")
 	)
 	flag.Parse()
 	if *storeDir == "" {
 		fatal(fmt.Errorf("-store is required"))
 	}
-	cfg := serve.Config{
-		L:               *l,
-		Epsilon:         *epsilon,
-		QueueDepth:      *queue,
-		BatchMax:        *batch,
-		BatchWait:       *batchWait,
-		Lanes:           *lanes,
-		Executors:       *executors,
-		Workers:         *workers,
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDeadline,
-		WarmEntries:     *warm,
+	o := options{
+		addr:        *addr,
+		debugAddr:   *debugAddr,
+		drainWait:   *drainWait,
+		quantOn:     *quantOn,
+		mutable:     *mutableOn,
+		refineEvery: *refineEvery,
+		refineRanks: *refineRanks,
+		persist:     *persist,
+		cfg: serve.Config{
+			L:               *l,
+			Epsilon:         *epsilon,
+			QueueDepth:      *queue,
+			BatchMax:        *batch,
+			BatchWait:       *batchWait,
+			Lanes:           *lanes,
+			Executors:       *executors,
+			Workers:         *workers,
+			DefaultDeadline: *deadline,
+			MaxDeadline:     *maxDeadline,
+			WarmEntries:     *warm,
+		},
 	}
 
 	elem, err := dnnd.StoreElem(*storeDir)
@@ -65,20 +79,45 @@ func main() {
 	}
 	switch elem {
 	case "float32":
-		run[float32](*storeDir, *addr, *debugAddr, cfg, *drainWait, *quantOn)
+		run[float32](*storeDir, o)
 	case "uint8":
-		run[uint8](*storeDir, *addr, *debugAddr, cfg, *drainWait, *quantOn)
+		run[uint8](*storeDir, o)
 	case "uint32":
-		run[uint32](*storeDir, *addr, *debugAddr, cfg, *drainWait, *quantOn)
+		run[uint32](*storeDir, o)
 	default:
 		fatal(fmt.Errorf("unknown element type %q", elem))
 	}
 }
 
-func run[T dnnd.Scalar](storeDir, addr, debugAddr string, cfg serve.Config, drainWait time.Duration, quantOn bool) {
-	ix, refined, err := dnnd.LoadWithMeta[T](storeDir)
-	if err != nil {
-		fatal(err)
+type options struct {
+	addr, debugAddr string
+	cfg             serve.Config
+	drainWait       time.Duration
+	quantOn         bool
+	mutable         bool
+	refineEvery     int
+	refineRanks     int
+	persist         bool
+}
+
+func run[T dnnd.Scalar](storeDir string, o options) {
+	addr, debugAddr, cfg, drainWait, quantOn := o.addr, o.debugAddr, o.cfg, o.drainWait, o.quantOn
+	var (
+		ix      *dnnd.Index[T]
+		refined bool
+		pending [][]T
+		tombs   *dnnd.Tombstones
+		st      dnnd.StoreState
+		err     error
+	)
+	if o.mutable {
+		if quantOn {
+			fatal(fmt.Errorf("-quant and -mutable are mutually exclusive: quantized serving is frozen-only"))
+		}
+		ix, pending, tombs, st, err = dnnd.LoadMutable[T](storeDir)
+		refined = st.Refined
+	} else {
+		ix, refined, err = dnnd.LoadWithMeta[T](storeDir)
 	}
 	src := serve.Source[T]{
 		Graph:   ix.Graph(),
@@ -112,6 +151,34 @@ func run[T dnnd.Scalar](storeDir, addr, debugAddr string, cfg serve.Config, drai
 	if err != nil {
 		fatal(err)
 	}
+	if o.mutable {
+		bopt := dnnd.BuildOptions{K: st.K, Metric: st.Metric, Ranks: o.refineRanks, Seed: 1}
+		mcfg := serve.MutableConfig[T]{
+			RefineEvery: o.refineEvery,
+			Gen:         uint64(st.Gen),
+			Tombs:       tombs,
+			Pending:     pending,
+			Refine: func(data [][]T, prior *dnnd.Graph, dead *dnnd.Tombstones) (*dnnd.Graph, error) {
+				res, err := dnnd.Refresh(data, prior, dead, bopt)
+				if err != nil {
+					return nil, err
+				}
+				return res.Graph, nil
+			},
+		}
+		if o.persist {
+			mcfg.Publish = func(g *dnnd.Graph, data [][]T, tb *dnnd.Tombstones, gen uint64) error {
+				pix, err := dnnd.NewIndex(g, data, st.Metric, st.K)
+				if err != nil {
+					return err
+				}
+				return dnnd.SaveMutable(storeDir, pix, true, nil, tb, int64(gen))
+			}
+		}
+		if err := s.EnableMutation(mcfg); err != nil {
+			fatal(err)
+		}
+	}
 	if debugAddr != "" {
 		dbg, err := obs.ServeDebug(debugAddr, s.Metrics().Registry(), tracer)
 		if err != nil {
@@ -124,8 +191,13 @@ func run[T dnnd.Scalar](storeDir, addr, debugAddr string, cfg serve.Config, drai
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("dnnd-serve: serving %d %s points (metric=%s k=%d refined=%v) on %s\n",
-		ix.Len(), elemOf[T](), ix.Metric(), ix.K(), refined, ln.Addr())
+	if o.mutable {
+		fmt.Printf("dnnd-serve: serving %d %s points mutable (metric=%s k=%d gen=%d pending=%d tombstones=%d persist=%v) on %s\n",
+			ix.Len(), elemOf[T](), ix.Metric(), ix.K(), st.Gen, len(pending), st.TombN, o.persist, ln.Addr())
+	} else {
+		fmt.Printf("dnnd-serve: serving %d %s points (metric=%s k=%d refined=%v) on %s\n",
+			ix.Len(), elemOf[T](), ix.Metric(), ix.K(), refined, ln.Addr())
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)

@@ -319,6 +319,95 @@ func Remove[T Scalar](data [][]T, removeIDs []ID, prior *Graph, opt BuildOptions
 	return kept, res, mapping, nil
 }
 
+// Tombstones is a concurrent delete-marker set over the point ID
+// space: queries skip dead points as results while still routing
+// through them, and Refresh repairs live neighborhoods around them.
+// See knng.TombSet for the concurrency contract.
+type Tombstones = knng.TombSet
+
+// NewTombstones returns an empty tombstone set over n points.
+func NewTombstones(n int) *Tombstones { return knng.NewTombSet(n) }
+
+// Refresh is the in-place incremental rebuild of the mutable-index
+// pipeline: data is the full dataset (the prior graph's points plus
+// any appended ones), prior the current graph, and tombs the deleted
+// IDs. Unlike Remove, IDs are NOT compacted — dead vertices keep their
+// prior neighbor lists as routable stepping stones, live vertices are
+// repaired around them, and appended points are stitched in, so
+// existing IDs stay valid and the result can be swapped under live
+// queries. tombs is copied before the build starts; concurrent Kills
+// on the caller's set are safe and fold into the next Refresh.
+func Refresh[T Scalar](data [][]T, prior *Graph, tombs *Tombstones, opt BuildOptions) (*BuildResult, error) {
+	if prior == nil {
+		return nil, errors.New("dnnd: Refresh requires a prior graph")
+	}
+	if prior.NumVertices() > len(data) {
+		return nil, fmt.Errorf("dnnd: prior graph covers %d vertices but data has %d rows",
+			prior.NumVertices(), len(data))
+	}
+	kern, err := kernelFor[T](opt.Metric)
+	if err != nil {
+		return nil, err
+	}
+	ranks := opt.Ranks
+	if ranks <= 0 {
+		ranks = 4
+	}
+	if ranks > len(data) {
+		ranks = len(data)
+	}
+	cfg := opt.coreConfig()
+	if err := cfg.Validate(len(data)); err != nil {
+		return nil, err
+	}
+	frozen := tombs.CloneGrow(len(data)) // deterministic build input
+	// The convergence threshold is Delta*K*N over the full dataset, but
+	// an incremental refinement's updates concentrate on the changed
+	// working set (appended rows plus the neighborhoods around
+	// tombstones). Measured against the full N, the descent would stop
+	// while the new points are still under-converged; scale Delta to the
+	// working-set fraction so "converged" means converged where the work
+	// actually is.
+	if changed := (len(data) - prior.NumVertices()) + frozen.Count(); changed > 0 && changed < len(data) {
+		cfg.Delta *= float64(changed) / float64(len(data))
+	}
+	world := ygm.NewLocalWorld(ranks)
+	world.SetTracer(opt.Tracer)
+	if opt.Metrics != nil {
+		world.PublishMetrics(opt.Metrics)
+	}
+	var mu sync.Mutex
+	var root *core.Result
+	err = world.Run(func(c *ygm.Comm) error {
+		shard := core.Partition(data, c.Rank(), c.NRanks())
+		res, err := core.BuildIncrementalKernel(c, shard, kern, cfg, prior, frozen)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			root = res
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	st := world.AggregateStats()
+	return &BuildResult{
+		Graph:        root.Graph,
+		K:            opt.K,
+		Metric:       opt.Metric,
+		Iters:        root.Iters,
+		DistEvals:    root.DistEvals,
+		QuantApprox:  root.QuantApprox,
+		QuantPruned:  root.QuantPruned,
+		Messages:     st.SentMsgs,
+		MessageBytes: st.SentBytes,
+	}, nil
+}
+
 // buildWithPrior runs a warm-started world build (shared by Extend and
 // Remove).
 func buildWithPrior[T Scalar](data [][]T, prior *Graph, opt BuildOptions) (*BuildResult, error) {

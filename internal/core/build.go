@@ -97,6 +97,17 @@ type builder[T wire.Scalar] struct {
 	gatherInto *knng.Graph // set on the gather root
 	warm       *knng.Graph // prior graph for warm-started builds
 
+	// dead is the frozen tombstone set of an incremental build (nil
+	// otherwise). Dead vertices keep their prior lists verbatim as
+	// routable stepping stones but are excluded from sampling, checks,
+	// and optimize emission, and never enter a live vertex's list. The
+	// set must not be mutated during the build — callers hand the
+	// builder a frozen copy, and deletes arriving mid-build are folded
+	// into the next refinement (the serve layer's swap re-applies them
+	// to the published snapshot's live set immediately, so query
+	// visibility does not wait).
+	dead *knng.TombSet
+
 	hInitReq, hInitResp    ygm.HandlerID
 	hRevOld, hRevNew       ygm.HandlerID
 	hType1, hType2, hType3 ygm.HandlerID
@@ -129,8 +140,37 @@ func BuildWarm[T wire.Scalar](c *ygm.Comm, shard *Shard[T], dist metric.Func[T],
 
 // BuildWarmKernel is BuildWarm taking a full metric.Kernel.
 func BuildWarmKernel[T wire.Scalar](c *ygm.Comm, shard *Shard[T], kern metric.Kernel[T], cfg Config, prior *knng.Graph) (*Result, error) {
+	return BuildIncrementalKernel(c, shard, kern, cfg, prior, nil)
+}
+
+// BuildIncremental is the mutable-index refinement entry point: a warm
+// start from the current graph plus a frozen tombstone set. Live
+// vertices are repaired (dead warm neighbors are dropped at load, and
+// the resulting short lists are topped up with random candidates
+// flagged new, which re-focuses the descent on the damage); dead
+// vertices keep their prior lists verbatim so the search graph stays
+// routable through them until compaction, but they generate no checks,
+// never appear in sampling, and never enter a live vertex's list. The
+// result is bit-identical at every worker width, like the full build.
+func BuildIncremental[T wire.Scalar](c *ygm.Comm, shard *Shard[T], dist metric.Func[T], cfg Config, prior *knng.Graph, dead *knng.TombSet) (*Result, error) {
+	return BuildIncrementalKernel(c, shard, metric.Kernel[T]{Fn: dist}, cfg, prior, dead)
+}
+
+// BuildIncrementalKernel is BuildIncremental taking a full
+// metric.Kernel.
+func BuildIncrementalKernel[T wire.Scalar](c *ygm.Comm, shard *Shard[T], kern metric.Kernel[T], cfg Config, prior *knng.Graph, dead *knng.TombSet) (*Result, error) {
 	if err := cfg.Validate(shard.N); err != nil {
 		return nil, err
+	}
+	if dead != nil {
+		if dead.Len() > shard.N {
+			return nil, fmt.Errorf("core: tombstone set covers %d vertices but dataset only %d",
+				dead.Len(), shard.N)
+		}
+		if alive := shard.N - dead.Count(); alive <= cfg.K {
+			return nil, fmt.Errorf("core: only %d live vertices for K=%d; compact instead of refining",
+				alive, cfg.K)
+		}
 	}
 	if kern.Fn == nil {
 		return nil, fmt.Errorf("core: kernel has no distance function")
@@ -198,6 +238,7 @@ func BuildWarmKernel[T wire.Scalar](c *ygm.Comm, shard *Shard[T], kern metric.Ke
 	res := &Result{K: cfg.K, N: shard.N, Workers: b.pool.Workers()}
 
 	b.warm = prior
+	b.dead = dead
 	b.initGraph()
 
 	threshold := int64(cfg.Delta * float64(cfg.K) * float64(shard.N))

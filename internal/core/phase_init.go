@@ -15,6 +15,17 @@ func (b *builder[T]) initGraph() {
 	w := b.phaseWriter(64)
 	b.phInit.Run(b.shard.Len(), b.cfg.K, func(i int) {
 		v := b.shard.IDs[i]
+		// Incremental builds: a dead vertex keeps its prior list
+		// verbatim — no repair, no top-up, no checks. It stays in the
+		// graph purely as a routable stepping stone until compaction.
+		if b.dead.Dead(v) {
+			if b.warm != nil && int(v) < b.warm.NumVertices() {
+				for _, e := range b.warm.Neighbors[v] {
+					b.lists[i].Update(e.ID, e.Dist, false)
+				}
+			}
+			return
+		}
 		need := b.cfg.K
 		var seen map[knng.ID]bool
 		if cons {
@@ -27,9 +38,14 @@ func (b *builder[T]) initGraph() {
 		// old so they generate no redundant checks on their own.
 		// Partial lists (e.g. after deletions) are topped up with
 		// random candidates below, flagged new, which focuses the
-		// refinement on the affected vertices.
+		// refinement on the affected vertices. Dead warm neighbors are
+		// dropped here — that shortfall is exactly what triggers the
+		// repair top-up.
 		if b.warm != nil && int(v) < b.warm.NumVertices() {
 			for _, e := range b.warm.Neighbors[v] {
+				if b.dead.Dead(e.ID) {
+					continue
+				}
 				if b.lists[i].Update(e.ID, e.Dist, false) == 1 {
 					if cons {
 						seen[e.ID] = true
@@ -40,12 +56,25 @@ func (b *builder[T]) initGraph() {
 				}
 			}
 		}
+		// Warm vertices with full prior lists would otherwise enter the
+		// descent with zero fresh candidates: every neighbor is flagged
+		// old, no checks are generated, and the build inherits the prior
+		// graph's local optimum verbatim. A small random exploration
+		// top-up (K/4, at least 1) re-seeds the cross-pollination that a
+		// cold build gets from its fully random start, at a cost linear
+		// in N rather than the descent's N*K^2.
+		if b.warm != nil {
+			need = max(need, max(1, b.cfg.K/4))
+		}
 		if need <= 0 {
 			return
 		}
 		vec := b.shard.Vecs[i]
 		for need > 0 {
 			u := knng.ID(b.rng.Intn(b.shard.N))
+			if b.dead.Dead(u) {
+				continue
+			}
 			if cons {
 				if u == v || seen[u] {
 					continue

@@ -23,6 +23,11 @@ func (b *builder[T]) optimizeGraph() {
 	w := b.phaseWriter(16)
 	b.phOpt.Run(b.shard.Len(), b.cfg.K, func(i int) {
 		v := b.shard.IDs[i]
+		// Dead vertices ship no reverse edges: a live receiver must
+		// never merge a dead ID into its optimized list.
+		if b.dead.Dead(v) {
+			return
+		}
 		for _, e := range b.lists[i].Items() {
 			w.Reset()
 			m := msg.OptEdge{U: e.ID, V: v, D: e.Dist}

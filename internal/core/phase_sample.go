@@ -14,6 +14,14 @@ import (
 func (b *builder[T]) sampleLists() {
 	sampleN := int(math.Ceil(b.cfg.Rho * float64(b.cfg.K)))
 	for i := range b.lists {
+		// Dead vertices sample nothing: with empty old/new lists they
+		// generate no checks and never enter a reverse row, so no live
+		// list can ever acquire a dead neighbor.
+		if b.dead.Dead(b.shard.IDs[i]) {
+			b.olds[i] = b.olds[i][:0]
+			b.news[i] = b.news[i][:0]
+			continue
+		}
 		items := b.lists[i].Items()
 		old := b.olds[i][:0]
 		var cand []knng.ID
@@ -51,6 +59,9 @@ func (b *builder[T]) sampleLists() {
 func (b *builder[T]) mergeReverseSamples() {
 	sampleN := int(math.Ceil(b.cfg.Rho * float64(b.cfg.K)))
 	for i, v := range b.shard.IDs {
+		if b.dead.Dead(v) {
+			continue // keep old/new empty (see sampleLists)
+		}
 		var extraOld, extraNew []knng.ID
 		if b.cfg.Conservative {
 			extraOld, extraNew = b.oldRev[v], b.newRev[v]

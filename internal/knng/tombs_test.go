@@ -1,0 +1,144 @@
+package knng
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTombSetBasics(t *testing.T) {
+	ts := NewTombSet(130)
+	if ts.Len() != 130 || ts.Count() != 0 || ts.Alive() != 130 {
+		t.Fatalf("fresh set: Len=%d Count=%d Alive=%d", ts.Len(), ts.Count(), ts.Alive())
+	}
+	for _, id := range []ID{0, 63, 64, 129} {
+		if ts.Dead(id) {
+			t.Fatalf("id %d dead before Kill", id)
+		}
+		if !ts.Kill(id) {
+			t.Fatalf("Kill(%d) returned false on first call", id)
+		}
+		if ts.Kill(id) {
+			t.Fatalf("Kill(%d) returned true on second call", id)
+		}
+		if !ts.Dead(id) {
+			t.Fatalf("id %d not dead after Kill", id)
+		}
+	}
+	if ts.Count() != 4 || ts.Alive() != 126 {
+		t.Fatalf("after 4 kills: Count=%d Alive=%d", ts.Count(), ts.Alive())
+	}
+	// Out of range is a no-op on both sides.
+	if ts.Dead(130) || ts.Kill(999) {
+		t.Fatal("out-of-range ID treated as in-range")
+	}
+	got := ts.Snapshot()
+	want := []ID{0, 63, 64, 129}
+	if len(got) != len(want) {
+		t.Fatalf("Snapshot = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Snapshot = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTombSetNilSafe(t *testing.T) {
+	var ts *TombSet
+	if ts.Dead(0) || ts.Kill(0) || ts.Len() != 0 || ts.Count() != 0 {
+		t.Fatal("nil TombSet not inert")
+	}
+	if got := ts.Snapshot(); got != nil {
+		t.Fatalf("nil Snapshot = %v", got)
+	}
+	grown := ts.CloneGrow(10)
+	if grown.Len() != 10 || grown.Count() != 0 {
+		t.Fatalf("nil CloneGrow: Len=%d Count=%d", grown.Len(), grown.Count())
+	}
+}
+
+func TestTombSetCloneGrow(t *testing.T) {
+	ts := NewTombSet(100)
+	ts.Kill(7)
+	ts.Kill(64)
+	grown := ts.CloneGrow(200)
+	if grown.Len() != 200 || grown.Count() != 2 {
+		t.Fatalf("CloneGrow: Len=%d Count=%d", grown.Len(), grown.Count())
+	}
+	if !grown.Dead(7) || !grown.Dead(64) || grown.Dead(8) {
+		t.Fatal("CloneGrow dropped or invented bits")
+	}
+	// Growing below current size clamps to current size.
+	same := ts.CloneGrow(10)
+	if same.Len() != 100 {
+		t.Fatalf("CloneGrow(10) over 100 IDs: Len=%d", same.Len())
+	}
+	// The clone is independent: killing in one is invisible in the other.
+	grown.Kill(8)
+	if ts.Dead(8) {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestTombSetConcurrentKill(t *testing.T) {
+	const n = 4096
+	ts := NewTombSet(n)
+	var wg sync.WaitGroup
+	firsts := make([]int, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for id := 0; id < n; id++ {
+				if ts.Kill(ID(id)) {
+					firsts[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, f := range firsts {
+		total += f
+	}
+	// Exactly one goroutine wins each Kill.
+	if total != n || ts.Count() != n {
+		t.Fatalf("first-kill total=%d Count=%d, want %d", total, ts.Count(), n)
+	}
+}
+
+func TestTombSetMarshalRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+		ts := NewTombSet(n)
+		for id := 0; id < n; id += 7 {
+			ts.Kill(ID(id))
+		}
+		got, err := UnmarshalTombSet(ts.Marshal())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got.Len() != ts.Len() || got.Count() != ts.Count() {
+			t.Fatalf("n=%d: Len=%d/%d Count=%d/%d", n, got.Len(), ts.Len(), got.Count(), ts.Count())
+		}
+		for id := 0; id < n; id++ {
+			if got.Dead(ID(id)) != ts.Dead(ID(id)) {
+				t.Fatalf("n=%d: bit %d mismatch", n, id)
+			}
+		}
+	}
+}
+
+func TestTombSetUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalTombSet([]byte("nope")); err == nil {
+		t.Fatal("short garbage accepted")
+	}
+	blob := NewTombSet(64).Marshal()
+	blob[0] ^= 0xff
+	if _, err := UnmarshalTombSet(blob); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	blob = NewTombSet(64).Marshal()
+	if _, err := UnmarshalTombSet(blob[:len(blob)-1]); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+}

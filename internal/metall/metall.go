@@ -106,10 +106,17 @@ func Open(dir string) (*Manager, error) {
 		pending: make(map[string][]byte),
 		cache:   make(map[string][]byte),
 	}
+	// Resume the object-file sequence after the highest number in use,
+	// not at the object count: committed files keep climbing (obj-000006
+	// after five objects were rewritten once), and a lower seq would make
+	// the next commit overwrite live files and then delete them as stale.
 	for _, e := range mf.Objects {
 		m.entries[e.Name] = e
+		var n int
+		if _, err := fmt.Sscanf(e.File, "obj-%06d.bin", &n); err == nil && n > m.seq {
+			m.seq = n
+		}
 	}
-	m.seq = len(mf.Objects)
 	return m, nil
 }
 

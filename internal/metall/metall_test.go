@@ -51,6 +51,61 @@ func TestCreatePutGetCloseOpen(t *testing.T) {
 	}
 }
 
+// TestRepeatedReopenCommitCycles is the regression test for the
+// sequence-counter bug: Open used to resume the object-file counter at
+// the object COUNT rather than the highest file number in use, so the
+// third open+put+close cycle rewrote the live object files and then
+// deleted them as stale — silently destroying the store. An online
+// mutable index commits every published generation this way.
+func TestRepeatedReopenCommitCycles(t *testing.T) {
+	dir := t.TempDir()
+	names := []string{"meta", "graph", "dataset", "delta", "tombstones"}
+	for cycle := 0; cycle < 5; cycle++ {
+		m, err := OpenOrCreate(dir)
+		if err != nil {
+			t.Fatalf("cycle %d: open: %v", cycle, err)
+		}
+		for _, name := range names {
+			payload := []byte(name + "-gen-" + string(rune('0'+cycle)))
+			if err := m.Put(name, payload); err != nil {
+				t.Fatalf("cycle %d: put %s: %v", cycle, name, err)
+			}
+		}
+		if err := m.Close(); err != nil {
+			t.Fatalf("cycle %d: close: %v", cycle, err)
+		}
+
+		r, err := Open(dir)
+		if err != nil {
+			t.Fatalf("cycle %d: reopen: %v", cycle, err)
+		}
+		for _, name := range names {
+			want := name + "-gen-" + string(rune('0'+cycle))
+			got, err := r.Get(name)
+			if err != nil {
+				t.Fatalf("cycle %d: get %s: %v", cycle, name, err)
+			}
+			if string(got) != want {
+				t.Fatalf("cycle %d: %s = %q, want %q", cycle, name, got, want)
+			}
+		}
+		r.Close()
+	}
+	// No stale object files left behind: exactly one file per object
+	// plus the manifest.
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(names)+1 {
+		var fn []string
+		for _, f := range files {
+			fn = append(fn, f.Name())
+		}
+		t.Errorf("store holds %d files after 5 cycles, want %d: %v", len(files), len(names)+1, fn)
+	}
+}
+
 func TestCreateRefusesExistingStore(t *testing.T) {
 	dir := t.TempDir()
 	m, _ := Create(dir)

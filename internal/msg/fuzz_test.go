@@ -79,7 +79,7 @@ func FuzzCoreMessages(f *testing.F) {
 }
 
 func FuzzServeMessages(f *testing.F) {
-	for sel := byte(0); sel < 5; sel++ {
+	for sel := byte(0); sel < 10; sel++ {
 		f.Add([]byte{sel, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0})
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -87,7 +87,7 @@ func FuzzServeMessages(f *testing.F) {
 			return
 		}
 		sel, frame := data[0], data[1:]
-		switch sel % 5 {
+		switch sel % 10 {
 		case 0:
 			checkCodec(t, &SHelloReply{}, frame)
 		case 1:
@@ -98,6 +98,16 @@ func FuzzServeMessages(f *testing.F) {
 			checkCodec(t, &SQuery[uint32]{}, frame)
 		case 4:
 			checkCodec(t, &SResult{}, frame)
+		case 5:
+			checkCodec(t, &SIngest[float32]{}, frame)
+		case 6:
+			checkCodec(t, &SIngest[uint8]{}, frame)
+		case 7:
+			checkCodec(t, &SDelete{}, frame)
+		case 8:
+			checkCodec(t, &SFlush{}, frame)
+		case 9:
+			checkCodec(t, &SUpdateReply{}, frame)
 		}
 	})
 }

@@ -19,6 +19,9 @@ const (
 	SOpQuery  uint8 = 2 // SQuery -> SResult
 	SOpStats  uint8 = 3 // empty request -> metrics dump (plain text)
 	SOpHealth uint8 = 4 // empty request -> health probe (plain text)
+	SOpIngest uint8 = 5 // SIngest -> SUpdateReply (mutable servers only)
+	SOpDelete uint8 = 6 // SDelete -> SUpdateReply (mutable servers only)
+	SOpFlush  uint8 = 7 // SFlush -> SUpdateReply after refine+swap completes
 )
 
 // SResult status codes. Everything except SStatusOK and SStatusPartial
@@ -41,6 +44,9 @@ const (
 	SStatusPartial uint8 = 4
 	// SStatusBadRequest: malformed query (wrong dimensionality, L < 1).
 	SStatusBadRequest uint8 = 5
+	// SStatusReadOnly: a mutation op (ingest/delete/flush) reached a
+	// server running a frozen index.
+	SStatusReadOnly uint8 = 6
 )
 
 // SStatusName returns the human label used in reports and metrics.
@@ -58,6 +64,8 @@ func SStatusName(s uint8) string {
 		return "partial"
 	case SStatusBadRequest:
 		return "bad_request"
+	case SStatusReadOnly:
+		return "read_only"
 	default:
 		return "unknown"
 	}
@@ -182,4 +190,96 @@ func (m *SResult) Decode(r *wire.Reader) {
 	m.QueueMicros = r.Uint32()
 	m.ExecMicros = r.Uint32()
 	m.Neighbors = getNeighbors(r)
+}
+
+// The mutable-index ops (PR 8). SResult and SHelloReply layouts are
+// byte-pinned and unchanged; mutation traffic gets its own codecs and
+// its own reply type instead.
+
+// SIngest appends vectors to the served index's delta log. The
+// assigned point IDs are consecutive from SUpdateReply.First; the new
+// points become searchable after the next refinement publishes a
+// snapshot (trigger one eagerly with SOpFlush).
+type SIngest[T wire.Scalar] struct {
+	ID   uint64
+	Vecs [][]T
+}
+
+func (m *SIngest[T]) Encode(w *wire.Writer) {
+	w.Uint64(m.ID)
+	w.Uint32(uint32(len(m.Vecs)))
+	for _, v := range m.Vecs {
+		wire.PutVector(w, v)
+	}
+}
+
+func (m *SIngest[T]) Decode(r *wire.Reader) {
+	m.ID = r.Uint64()
+	n := r.Count(4) // each vector carries at least its length prefix
+	if r.Err() != nil {
+		m.Vecs = nil
+		return
+	}
+	m.Vecs = make([][]T, 0, n)
+	for i := 0; i < n; i++ {
+		m.Vecs = append(m.Vecs, wire.GetVector[T](r))
+	}
+}
+
+// SDelete tombstones points by ID. Deletes are visible to queries
+// immediately (dead points are never returned) and physically removed
+// at the next compaction. Unknown or already-dead IDs are counted out
+// of SUpdateReply.Count, not errors.
+type SDelete struct {
+	ID  uint64
+	IDs []knng.ID
+}
+
+func (m *SDelete) Encode(w *wire.Writer) {
+	w.Uint64(m.ID)
+	w.Uint32s(m.IDs)
+}
+
+func (m *SDelete) Decode(r *wire.Reader) {
+	m.ID = r.Uint64()
+	m.IDs = r.Uint32s()
+}
+
+// SFlush forces a refinement over the pending delta and blocks until
+// the refined snapshot is published (the deterministic barrier the e2e
+// suite and batch loaders use; background refinement triggers cover
+// steady-state traffic).
+type SFlush struct {
+	ID uint64
+}
+
+func (m *SFlush) Encode(w *wire.Writer) { w.Uint64(m.ID) }
+func (m *SFlush) Decode(r *wire.Reader) { m.ID = r.Uint64() }
+
+// SUpdateReply answers every mutation op. Gen is the snapshot
+// generation the mutation landed in (for SOpFlush, the freshly
+// published one); First/Count report assigned IDs for ingests and the
+// newly-tombstoned count for deletes.
+type SUpdateReply struct {
+	ID     uint64
+	Status uint8
+	Gen    uint64
+	First  uint64 // first assigned point ID (ingest)
+	Count  uint32 // vectors ingested / IDs newly tombstoned
+}
+
+func (m *SUpdateReply) Encode(w *wire.Writer) {
+	w.Uint64(m.ID)
+	w.Uint8(m.Status)
+	w.Uint64(m.Gen)
+	w.Uint64(m.First)
+	w.Uint32(m.Count)
+}
+
+func (m *SUpdateReply) Decode(r *wire.Reader) {
+	m.ID = r.Uint64()
+	m.Status = r.Uint8()
+	m.Gen = r.Uint64()
+	m.First = r.Uint64()
+	m.Count = r.Uint32()
 }

@@ -113,8 +113,102 @@ func TestServeResultGolden(t *testing.T) {
 	}
 }
 
+func TestMutationCodecsRoundTrip(t *testing.T) {
+	roundTrip := func(name string, m codec, fresh func() codec) {
+		t.Helper()
+		w := wire.NewWriter(64)
+		m.Encode(w)
+		d := fresh()
+		r := wire.NewReader(w.Bytes())
+		d.Decode(r)
+		if err := r.Finish(); err != nil {
+			t.Fatalf("%s decode: %v", name, err)
+		}
+		w2 := wire.NewWriter(64)
+		d.Encode(w2)
+		if !bytes.Equal(w.Bytes(), w2.Bytes()) {
+			t.Fatalf("%s round trip: %x != %x", name, w2.Bytes(), w.Bytes())
+		}
+	}
+
+	roundTrip("SIngest[float32]",
+		&SIngest[float32]{ID: 11, Vecs: [][]float32{{1, 2}, {3, float32(math.Inf(1))}}},
+		func() codec { return &SIngest[float32]{} })
+	roundTrip("SIngest[uint8]",
+		&SIngest[uint8]{ID: 12, Vecs: [][]uint8{{0, 255, 7}}},
+		func() codec { return &SIngest[uint8]{} })
+	roundTrip("SIngest-empty",
+		&SIngest[uint32]{ID: 13},
+		func() codec { return &SIngest[uint32]{} })
+	roundTrip("SDelete",
+		&SDelete{ID: 14, IDs: []knng.ID{9, 3, 9}},
+		func() codec { return &SDelete{} })
+	roundTrip("SFlush",
+		&SFlush{ID: 15},
+		func() codec { return &SFlush{} })
+	roundTrip("SUpdateReply",
+		&SUpdateReply{ID: 16, Status: SStatusReadOnly, Gen: 4, First: 20000, Count: 128},
+		func() codec { return &SUpdateReply{} })
+}
+
+// The mutation-op golden pins, same contract as the SQuery/SResult
+// ones: little-endian fields in declaration order, length-prefixed
+// collections. Deployed client/server pairs depend on these bytes.
+func TestServeMutationGolden(t *testing.T) {
+	ing := SIngest[float32]{ID: 1, Vecs: [][]float32{{1}, {0.5, 1}}}
+	w := wire.NewWriter(64)
+	ing.Encode(w)
+	want := []byte{
+		1, 0, 0, 0, 0, 0, 0, 0, // ID
+		2, 0, 0, 0, // vector count
+		1, 0, 0, 0, // vec0 length
+		0, 0, 0x80, 0x3f, // 1.0f
+		2, 0, 0, 0, // vec1 length
+		0, 0, 0, 0x3f, // 0.5f
+		0, 0, 0x80, 0x3f, // 1.0f
+	}
+	if !bytes.Equal(w.Bytes(), want) {
+		t.Fatalf("SIngest layout drifted:\ngot  %x\nwant %x", w.Bytes(), want)
+	}
+
+	del := SDelete{ID: 1, IDs: []knng.ID{2, 256}}
+	w.Reset()
+	del.Encode(w)
+	want = []byte{
+		1, 0, 0, 0, 0, 0, 0, 0, // ID
+		2, 0, 0, 0, // ID count
+		2, 0, 0, 0, // IDs[0]
+		0, 1, 0, 0, // IDs[1] = 256
+	}
+	if !bytes.Equal(w.Bytes(), want) {
+		t.Fatalf("SDelete layout drifted:\ngot  %x\nwant %x", w.Bytes(), want)
+	}
+
+	fl := SFlush{ID: 1}
+	w.Reset()
+	fl.Encode(w)
+	want = []byte{1, 0, 0, 0, 0, 0, 0, 0}
+	if !bytes.Equal(w.Bytes(), want) {
+		t.Fatalf("SFlush layout drifted:\ngot  %x\nwant %x", w.Bytes(), want)
+	}
+
+	up := SUpdateReply{ID: 1, Status: SStatusOK, Gen: 2, First: 3, Count: 4}
+	w.Reset()
+	up.Encode(w)
+	want = []byte{
+		1, 0, 0, 0, 0, 0, 0, 0, // ID
+		0,                      // Status
+		2, 0, 0, 0, 0, 0, 0, 0, // Gen
+		3, 0, 0, 0, 0, 0, 0, 0, // First
+		4, 0, 0, 0, // Count
+	}
+	if !bytes.Equal(w.Bytes(), want) {
+		t.Fatalf("SUpdateReply layout drifted:\ngot  %x\nwant %x", w.Bytes(), want)
+	}
+}
+
 func TestSStatusName(t *testing.T) {
-	for s := uint8(0); s <= SStatusBadRequest; s++ {
+	for s := uint8(0); s <= SStatusReadOnly; s++ {
 		if SStatusName(s) == "unknown" {
 			t.Errorf("status %d has no name", s)
 		}

@@ -44,6 +44,12 @@ type Options struct {
 	// hot path needs no per-query closure. Composes with Interrupt
 	// (either one stops the query).
 	Deadline time.Time
+	// Tombs, when non-nil, marks deleted vertices: they are never
+	// returned as results but remain routable — the traversal still
+	// scores them and expands through them, because until compaction
+	// rewrites the graph they are load-bearing stepping stones in its
+	// connectivity. A nil set costs one branch per candidate.
+	Tombs *knng.TombSet
 }
 
 // minSeedPoints floors the number of random entry points per query.
@@ -117,6 +123,7 @@ func traverse[T wire.Scalar](sc *Context[T], g *knng.Graph, score func(knng.ID) 
 	if seeds > n {
 		seeds = n
 	}
+	tombs := opt.Tombs
 	seeded := 0
 	for _, id := range opt.Entries {
 		if int(id) >= n || !sc.visited.Visit(id) {
@@ -124,7 +131,9 @@ func traverse[T wire.Scalar](sc *Context[T], g *knng.Graph, score func(knng.ID) 
 		}
 		seeded++
 		d := score(id)
-		results.Update(id, d, false)
+		if !tombs.Dead(id) {
+			results.Update(id, d, false)
+		}
 		front.Push(id, d)
 	}
 	for attempts := 0; seeded < seeds && attempts < 4*seeds+16; attempts++ {
@@ -134,7 +143,9 @@ func traverse[T wire.Scalar](sc *Context[T], g *knng.Graph, score func(knng.ID) 
 		}
 		seeded++
 		d := score(id)
-		results.Update(id, d, false)
+		if !tombs.Dead(id) {
+			results.Update(id, d, false)
+		}
 		front.Push(id, d)
 	}
 
@@ -162,7 +173,9 @@ func traverse[T wire.Scalar](sc *Context[T], g *knng.Graph, score func(knng.ID) 
 			}
 			d := score(e.ID)
 			if float64(d) < horizon(results, eps1) {
-				results.Update(e.ID, d, false)
+				if !tombs.Dead(e.ID) {
+					results.Update(e.ID, d, false)
+				}
 				front.Push(e.ID, d)
 			}
 		}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"dnnd/internal/knng"
 	"dnnd/internal/msg"
 	"dnnd/internal/wire"
 )
@@ -80,6 +81,52 @@ func (c *Client) Health() (string, error) {
 func (c *Client) Stats() (string, error) {
 	reply, err := c.roundTrip(msg.SOpStats, nil)
 	return string(reply), err
+}
+
+// updateTrip runs one mutation round trip and decodes the SUpdateReply.
+func (c *Client) updateTrip(op uint8, payload []byte) (*msg.SUpdateReply, error) {
+	reply, err := c.roundTrip(op, payload)
+	if err != nil {
+		return nil, err
+	}
+	var up msg.SUpdateReply
+	r := wire.NewReader(reply)
+	up.Decode(r)
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return &up, nil
+}
+
+// Ingest appends vectors to a mutable server's delta. Like Do,
+// rejections (read_only, overloaded, draining) come back as a typed
+// Status, not an error. The assigned IDs are First..First+Count-1; the
+// points become searchable after the next refinement (Flush forces
+// one).
+func Ingest[T wire.Scalar](c *Client, vecs [][]T) (*msg.SUpdateReply, error) {
+	in := msg.SIngest[T]{Vecs: vecs}
+	var w wire.Writer
+	in.Encode(&w)
+	return c.updateTrip(msg.SOpIngest, w.Bytes())
+}
+
+// Delete tombstones points by ID on a mutable server. Tombstoned
+// points stop being returned immediately; Count reports how many of
+// the IDs were newly tombstoned.
+func (c *Client) Delete(ids []knng.ID) (*msg.SUpdateReply, error) {
+	del := msg.SDelete{IDs: ids}
+	var w wire.Writer
+	del.Encode(&w)
+	return c.updateTrip(msg.SOpDelete, w.Bytes())
+}
+
+// Flush forces a refinement over the pending delta and blocks until
+// the new snapshot is published; Gen reports its generation.
+func (c *Client) Flush() (*msg.SUpdateReply, error) {
+	var fl msg.SFlush
+	var w wire.Writer
+	fl.Encode(&w)
+	return c.updateTrip(msg.SOpFlush, w.Bytes())
 }
 
 // Do runs one query round trip. Rejections (overload, draining,

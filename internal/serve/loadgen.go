@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dnnd/internal/knng"
 	"dnnd/internal/msg"
 	"dnnd/internal/wire"
 )
@@ -40,6 +41,68 @@ type LoadConfig struct {
 	// index (used by the e2e suite to compare against ground truth).
 	// It is called concurrently from worker goroutines.
 	Collect func(i int, res *msg.SResult)
+	// Mutate enables mixed read/write mode against a mutable server:
+	// each request slot becomes an ingest, delete, flush, or query,
+	// chosen deterministically from the request index and Seed per the
+	// fractions below, and the report splits latency quantiles per op
+	// class. Incompatible with Conns (the pipelined client only routes
+	// query replies).
+	Mutate bool
+	// IngestFraction and DeleteFraction are the shares of requests that
+	// become ingest and delete ops (defaults 0.05 and 0.02); the rest
+	// stay queries. Ingests carry IngestBatch vectors each (default 4),
+	// cycling over the supplied query vectors; deletes target one
+	// pseudo-random committed ID each.
+	IngestFraction float64
+	DeleteFraction float64
+	IngestBatch    int
+	// FlushEvery, when positive, turns every FlushEvery-th request into
+	// a blocking flush (refine + snapshot swap), so swap latency shows
+	// up in the report as its own op class. Zero relies on the server's
+	// background refinement trigger.
+	FlushEvery int
+}
+
+// Per-op class tags used by mutate mode.
+const (
+	opQuery uint8 = iota
+	opIngest
+	opDelete
+	opFlush
+)
+
+var opNames = [...]string{"query", "ingest", "delete", "flush"}
+
+// classify deterministically maps request index i to an op class.
+// splitmix64-style hashing keeps the mix independent of request order,
+// so two runs with the same Seed issue the identical op sequence.
+func (c *LoadConfig) classify(i int) uint8 {
+	if !c.Mutate {
+		return opQuery
+	}
+	if c.FlushEvery > 0 && (i+1)%c.FlushEvery == 0 {
+		return opFlush
+	}
+	h := uint64(i)*0x9E3779B97F4A7C15 + uint64(c.Seed)
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	u := float64(h>>11) / float64(1<<53)
+	switch {
+	case u < c.IngestFraction:
+		return opIngest
+	case u < c.IngestFraction+c.DeleteFraction:
+		return opDelete
+	default:
+		return opQuery
+	}
+}
+
+// OpReport is one op class's share of a mutate-mode run.
+type OpReport struct {
+	Count    int            `json:"count"`
+	ByStatus map[string]int `json:"by_status"`
+	Latency  LatencySummary `json:"latency_usec"`
 }
 
 // LatencySummary is an exact (sample-sorted) latency digest in
@@ -79,6 +142,12 @@ type Report struct {
 	// (index = connection index); a lopsided spread means one
 	// connection's reader goroutine, not the server, is the bottleneck.
 	PerConn []LatencySummary `json:"per_conn_latency_usec,omitempty"`
+	// PerOp splits the run by op class in mutate mode ("query",
+	// "ingest", "delete", "flush"), each with its own status counts and
+	// latency quantiles. The aggregate Latency/QueueWait/Exec fields
+	// then cover only the query ops, so they stay comparable with
+	// read-only runs.
+	PerOp map[string]*OpReport `json:"per_op,omitempty"`
 }
 
 // RunLoad drives cfg.Requests queries (cycling over the supplied
@@ -95,6 +164,43 @@ func RunLoad[T wire.Scalar](cfg LoadConfig, queries [][]T) (*Report, error) {
 	}
 	if cfg.Concurrency <= 0 {
 		cfg.Concurrency = 1
+	}
+
+	// Mutate mode setup: defaults, a probe for the committed ID range
+	// deletes may target, and the deterministic per-request op plan.
+	var opClass []uint8
+	var opStatus []uint8
+	var mutDone []bool
+	var deleteRange uint64
+	if cfg.Mutate {
+		if cfg.Conns > 0 {
+			return nil, errors.New("serve: mutate mode needs per-worker connections; -conns pipelining routes only query replies")
+		}
+		if cfg.IngestFraction <= 0 {
+			cfg.IngestFraction = 0.05
+		}
+		if cfg.DeleteFraction <= 0 {
+			cfg.DeleteFraction = 0.02
+		}
+		if cfg.IngestBatch <= 0 {
+			cfg.IngestBatch = 4
+		}
+		probe, err := Dial(cfg.Addr, cfg.DialTimeout)
+		if err != nil {
+			return nil, err
+		}
+		hello, err := probe.Hello()
+		probe.Close()
+		if err != nil {
+			return nil, err
+		}
+		deleteRange = uint64(hello.N)
+		opClass = make([]uint8, cfg.Requests)
+		for i := range opClass {
+			opClass[i] = cfg.classify(i)
+		}
+		opStatus = make([]uint8, cfg.Requests)
+		mutDone = make([]bool, cfg.Requests)
 	}
 
 	lat := make([]float64, cfg.Requests) // indexed by request, no lock
@@ -168,6 +274,37 @@ func RunLoad[T wire.Scalar](cfg LoadConfig, queries [][]T) (*Report, error) {
 			i := int(next.Add(1)) - 1
 			if i >= cfg.Requests {
 				return nil
+			}
+			if opClass != nil && opClass[i] != opQuery {
+				t0 := time.Now()
+				var up *msg.SUpdateReply
+				var err error
+				switch opClass[i] {
+				case opIngest:
+					vecs := make([][]T, cfg.IngestBatch)
+					for j := range vecs {
+						vecs[j] = queries[(i+j)%len(queries)]
+					}
+					up, err = Ingest(c, vecs)
+				case opDelete:
+					h := uint64(i)*0xD1B54A32D192ED03 + uint64(cfg.Seed)
+					h ^= h >> 32
+					up, err = c.Delete([]knng.ID{knng.ID(h % deleteRange)})
+				default: // opFlush
+					up, err = c.Flush()
+				}
+				lat[i] = float64(time.Since(t0).Microseconds())
+				if err != nil {
+					errCount.Add(1)
+					c.Close()
+					if c, err = Dial(cfg.Addr, cfg.DialTimeout); err != nil {
+						return err
+					}
+					continue
+				}
+				opStatus[i] = up.Status
+				mutDone[i] = true
+				continue
 			}
 			q := msg.SQuery[T]{
 				ID:      uint64(i),
@@ -249,10 +386,36 @@ func RunLoad[T wire.Scalar](cfg LoadConfig, queries [][]T) (*Report, error) {
 		byConn = make([][]float64, len(pipes))
 	}
 	var evals, answered int64
+	// Per-op split (mutate mode): mutation latencies go to their own
+	// class; query stats additionally fill the classic aggregate
+	// fields. okLat reuses lat's storage, which stays safe because the
+	// append position never passes the read index.
+	var perOpLat map[uint8][]float64
+	if cfg.Mutate {
+		perOpLat = make(map[uint8][]float64)
+		rep.PerOp = make(map[string]*OpReport)
+		for _, name := range opNames {
+			rep.PerOp[name] = &OpReport{ByStatus: make(map[string]int)}
+		}
+	}
 	okLat := lat[:0] // reuses lat's storage; read lat[i] before appending
 	for i, res := range results {
+		if opClass != nil && opClass[i] != opQuery {
+			if mutDone[i] {
+				op := rep.PerOp[opNames[opClass[i]]]
+				op.Count++
+				op.ByStatus[msg.SStatusName(opStatus[i])]++
+				perOpLat[opClass[i]] = append(perOpLat[opClass[i]], lat[i])
+			}
+			continue
+		}
 		if res == nil {
 			continue
+		}
+		if cfg.Mutate {
+			op := rep.PerOp[opNames[opQuery]]
+			op.Count++
+			op.ByStatus[msg.SStatusName(res.Status)]++
 		}
 		rep.ByStatus[msg.SStatusName(res.Status)]++
 		v := lat[i]
@@ -272,6 +435,17 @@ func RunLoad[T wire.Scalar](cfg LoadConfig, queries [][]T) (*Report, error) {
 	rep.Latency = summarize(okLat)
 	rep.QueueWait = summarize(qwait)
 	rep.Exec = summarize(exec)
+	if cfg.Mutate {
+		rep.PerOp[opNames[opQuery]].Latency = rep.Latency
+		for class, us := range perOpLat {
+			rep.PerOp[opNames[class]].Latency = summarize(us)
+		}
+		for name, op := range rep.PerOp {
+			if op.Count == 0 {
+				delete(rep.PerOp, name)
+			}
+		}
+	}
 	if byConn != nil {
 		rep.PerConn = make([]LatencySummary, len(byConn))
 		for ci, us := range byConn {

@@ -41,14 +41,27 @@ type Metrics struct {
 	// Endpoint counters (non-query ops).
 	Hellos, StatsDumps, HealthProbes atomic.Int64
 
+	// Mutation counters (mutable servers; all zero on frozen ones).
+	IngestOps        atomic.Int64 // SIngest frames handled
+	DeleteOps        atomic.Int64 // SDelete frames handled
+	FlushOps         atomic.Int64 // SFlush frames handled
+	Ingested         atomic.Int64 // vectors appended to the delta
+	Tombstoned       atomic.Int64 // IDs newly tombstoned
+	Refines          atomic.Int64 // snapshots published by the refiner
+	RefineErrors     atomic.Int64 // refinements that failed (snapshot kept)
+	RejectedReadOnly atomic.Int64 // mutations against a frozen server
+	MutLogErrors     atomic.Int64 // durability hook failures (non-fatal)
+
 	// Gauges.
 	InFlight      atomic.Int64 // admitted, not yet replied
 	Conns         atomic.Int64
 	ConnsTotal    atomic.Int64
-	QueueMax      atomic.Int64 // high-water queue depth (summed over lanes)
-	QueueDepth    func() int   // instantaneous, sampled at dump time
-	QueueCap      int          //
-	WarmCacheSize func() int   //
+	QueueMax      atomic.Int64  // high-water queue depth (summed over lanes)
+	QueueDepth    func() int    // instantaneous, sampled at dump time
+	QueueCap      int           //
+	WarmCacheSize func() int    //
+	Gen           func() uint64 // published snapshot generation (mutable servers)
+	PendingDelta  func() int    // ingested rows not yet refined into the graph
 
 	// Lanes holds one entry per dispatch lane (filled by New), dumped
 	// as dnnd_serve_lane_* samples with a lane label so skew across
@@ -116,6 +129,21 @@ func (m *Metrics) Registry() *obs.Registry {
 		r.Sample("dnnd_serve_queue_cap", func() int64 { return int64(m.QueueCap) })
 		if m.WarmCacheSize != nil {
 			r.Sample("dnnd_serve_warm_cache_size", func() int64 { return int64(m.WarmCacheSize()) })
+		}
+		r.Sample("dnnd_serve_ingest_ops_total", m.IngestOps.Load)
+		r.Sample("dnnd_serve_delete_ops_total", m.DeleteOps.Load)
+		r.Sample("dnnd_serve_flush_ops_total", m.FlushOps.Load)
+		r.Sample("dnnd_serve_ingested_total", m.Ingested.Load)
+		r.Sample("dnnd_serve_tombstoned_total", m.Tombstoned.Load)
+		r.Sample("dnnd_serve_refines_total", m.Refines.Load)
+		r.Sample("dnnd_serve_refine_errors_total", m.RefineErrors.Load)
+		r.Sample("dnnd_serve_rejected_read_only_total", m.RejectedReadOnly.Load)
+		r.Sample("dnnd_serve_mutlog_errors_total", m.MutLogErrors.Load)
+		if m.Gen != nil {
+			r.Sample("dnnd_serve_generation", func() int64 { return int64(m.Gen()) })
+		}
+		if m.PendingDelta != nil {
+			r.Sample("dnnd_serve_pending_delta", func() int64 { return int64(m.PendingDelta()) })
 		}
 		for i := range m.Lanes {
 			ls := &m.Lanes[i]

@@ -32,9 +32,13 @@ type lane[T wire.Scalar] struct {
 
 	// Mutable inputs of runBody, set by runBatch before each pool run.
 	// Binding runBody once (in New) keeps the ParallelForWorker body
-	// off the per-batch heap.
+	// off the per-batch heap. snap is the index snapshot pinned for the
+	// batch: every query in the batch sees one consistent
+	// graph/dataset/tombstone version even if the refiner publishes a
+	// new one mid-batch.
 	live     []*request[T]
 	warmSnap []knng.ID
+	snap     *snapshot[T]
 	runBody  func(worker, i int)
 
 	track *obs.Track // per-lane span timeline (nil without cfg.Tracer)
@@ -139,8 +143,10 @@ func (s *Server[T]) runBatch(ln *lane[T], batch []*request[T]) {
 	sp := ln.track.BeginArg("serve.batch", int64(len(live)))
 	ln.stat.Queries.Add(int64(len(live)))
 	ln.live = live
+	ln.snap = s.cur.Load() // pin one index version for the whole batch
 	ln.pool.ParallelForWorker(len(live), ln.runBody)
 	ln.live = nil
+	ln.snap = nil
 	sp.End()
 }
 
@@ -149,19 +155,31 @@ func (s *Server[T]) runBatch(ln *lane[T], batch []*request[T]) {
 // The result slice aliases the context's scratch; it is encoded onto
 // the wire by finish before the context's next query, so nothing is
 // copied.
-func (s *Server[T]) runOne(sc *search.Context[T], r *request[T], warmSnap []knng.ID) {
+func (s *Server[T]) runOne(sc *search.Context[T], r *request[T], warmSnap []knng.ID, sn *snapshot[T]) {
 	start := time.Now()
-	opt := search.Options{L: r.l, Epsilon: r.eps, Deadline: r.deadline}
+	opt := search.Options{L: r.l, Epsilon: r.eps, Deadline: r.deadline, Tombs: sn.tombs}
 	if r.warm && len(warmSnap) > 0 {
-		opt.Entries = warmSnap
-		s.m.WarmServed.Add(1)
+		// The warm cache is fed from the latest snapshot's results; a
+		// batch that pinned an older snapshot across a growing swap must
+		// not seed entry points the pinned graph does not have.
+		ok := true
+		for _, id := range warmSnap {
+			if int(id) >= len(sn.data) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			opt.Entries = warmSnap
+			s.m.WarmServed.Add(1)
+		}
 	}
 	var ns []knng.Neighbor
 	var st search.Stats
-	if s.src.Quant != nil {
-		ns, st = search.SearchQuantCtx(sc, s.src.Graph, s.src.Data, s.src.Dist, s.src.Quant, r.vec, opt, r.seed)
+	if sn.quant != nil {
+		ns, st = search.SearchQuantCtx(sc, sn.graph, sn.data, s.src.Dist, sn.quant, r.vec, opt, r.seed)
 	} else {
-		ns, st = search.SearchCtx(sc, s.src.Graph, s.src.Data, s.src.Dist, r.vec, opt, r.seed)
+		ns, st = search.SearchCtx(sc, sn.graph, sn.data, s.src.Dist, r.vec, opt, r.seed)
 	}
 	s.m.DistEvals.Add(st.DistEvals)
 	s.m.ApproxEvals.Add(st.ApproxEvals)

@@ -174,6 +174,7 @@ func TestAdmissionRejections(t *testing.T) {
 		gate: newDrainGate(),
 		stop: make(chan struct{}),
 	}
+	s.cur.Store(&snapshot[float32]{graph: src.Graph, data: src.Data, quant: src.Quant})
 	// One lane, depth-1 shard, no laneLoop running: a full queue stays
 	// full, so every admission outcome below is forced.
 	s.m.Lanes = make([]LaneStat, 1)
@@ -293,7 +294,7 @@ func TestDeadlineSemantics(t *testing.T) {
 	s.runOne(s.lanes[0].sctx[0], &request[float32]{
 		conn: sc, id: 11, l: 8, vec: src.Data[0],
 		deadline: now, enq: now,
-	}, nil)
+	}, nil, s.cur.Load())
 	res = <-replies
 	if res.ID != 11 || res.Status != msg.SStatusPartial {
 		t.Fatalf("mid-exec expiry reply: ID=%d status=%s", res.ID, msg.SStatusName(res.Status))

@@ -143,6 +143,22 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// snapshot is one immutable published version of the served index. The
+// server holds the current one behind an atomic pointer; queries pin
+// it once per batch and never observe a torn mix of graph, dataset,
+// and tombstones. Snapshots are never mutated after publication —
+// except tombs, whose bit-set operations are individually atomic by
+// design so deletes become visible to in-flight readers immediately.
+// Old snapshots are reclaimed by the garbage collector once the last
+// pinned batch drops its pointer (RCU with the GC as the grace period).
+type snapshot[T wire.Scalar] struct {
+	graph *knng.Graph
+	data  [][]T
+	tombs *knng.TombSet // nil on frozen (immutable) servers
+	quant *quant.View
+	gen   uint64
+}
+
 // request is one admitted query flowing through the scheduler.
 // Requests are pooled (getRequest/putRequest): vec is the request's
 // own reusable storage (the borrowed decode buffer is copied into it,
@@ -274,6 +290,13 @@ type Server[T wire.Scalar] struct {
 	dim  int
 	elem string
 
+	// cur is the currently published index snapshot. The hot path only
+	// ever Loads it (once per batch); publication is a single Store in
+	// the refiner (see mutable.go), so queries concurrent with a swap
+	// run to completion against whichever complete version they pinned.
+	cur atomic.Pointer[snapshot[T]]
+	mut *mutable[T] // nil until EnableMutation
+
 	m    *Metrics
 	warm *warmCache
 
@@ -318,6 +341,7 @@ func New[T wire.Scalar](src Source[T], cfg Config) (*Server[T], error) {
 		stop:  make(chan struct{}),
 		conns: make(map[*serverConn]struct{}),
 	}
+	s.cur.Store(&snapshot[T]{graph: src.Graph, data: src.Data, quant: src.Quant})
 	// The admission queue is sharded across lanes; QueueDepth splits
 	// evenly (min 1 per lane) so the configured bound keeps its meaning.
 	laneDepth := cfg.QueueDepth / cfg.Lanes
@@ -348,7 +372,7 @@ func New[T wire.Scalar](src Source[T], cfg Config) (*Server[T], error) {
 		// Bound once so batch execution never allocates a closure: the
 		// body reads the lane's current batch through mutable fields,
 		// the same trick search.Context plays with its score closures.
-		ln.runBody = func(w, i int) { s.runOne(ln.sctx[w], ln.live[i], ln.warmSnap) }
+		ln.runBody = func(w, i int) { s.runOne(ln.sctx[w], ln.live[i], ln.warmSnap, ln.snap) }
 		if cfg.Tracer != nil {
 			ln.track = cfg.Tracer.Track(fmt.Sprintf("serve.lane%d", i), 1+i)
 		}
@@ -455,7 +479,7 @@ func (s *Server[T]) handleConn(sc *serverConn) {
 			reply := msg.SHelloReply{
 				Elem:           s.elem,
 				Metric:         s.src.Metric,
-				N:              uint32(len(s.src.Data)),
+				N:              uint32(len(s.cur.Load().data)),
 				Dim:            uint32(s.dim),
 				K:              uint32(s.src.K),
 				Refined:        s.src.Refined,
@@ -481,6 +505,10 @@ func (s *Server[T]) handleConn(sc *serverConn) {
 			if !s.handleQuery(sc, payload, &q, &scratch) {
 				return
 			}
+		case msg.SOpIngest, msg.SOpDelete, msg.SOpFlush:
+			if !s.handleMutation(sc, op, payload, &w) {
+				return
+			}
 		default:
 			return // unknown op: protocol error, drop the conn
 		}
@@ -496,7 +524,7 @@ func (s *Server[T]) handleConn(sc *serverConn) {
 func (s *Server[T]) handleQuery(sc *serverConn, payload []byte, q *msg.SQuery[T], scratch *[]T) bool {
 	r := wire.NewReader(payload)
 	*scratch = q.DecodeBorrow(r, *scratch)
-	if r.Finish() != nil || len(q.Vec) != s.dim || int64(q.L) > int64(len(s.src.Data)) {
+	if r.Finish() != nil || len(q.Vec) != s.dim || int64(q.L) > int64(len(s.cur.Load().data)) {
 		s.m.RejectedBad.Add(1)
 		return s.reject(sc, q.ID, msg.SStatusBadRequest)
 	}
@@ -578,9 +606,14 @@ func (s *Server[T]) healthText() string {
 	if s.gate.isDraining() {
 		state = "draining"
 	}
-	return fmt.Sprintf("%s n=%d dim=%d elem=%s metric=%s lanes=%d inflight=%d queue=%d/%d\n",
-		state, len(s.src.Data), s.dim, s.elem, s.src.Metric, len(s.lanes),
-		s.m.InFlight.Load(), s.queueLen(), s.m.QueueCap)
+	sn := s.cur.Load()
+	mode := "frozen"
+	if s.mut != nil {
+		mode = "mutable"
+	}
+	return fmt.Sprintf("%s n=%d dim=%d elem=%s metric=%s lanes=%d inflight=%d queue=%d/%d mode=%s gen=%d\n",
+		state, len(sn.data), s.dim, s.elem, s.src.Metric, len(s.lanes),
+		s.m.InFlight.Load(), s.queueLen(), s.m.QueueCap, mode, sn.gen)
 }
 
 // Shutdown gracefully drains the server (the SIGTERM path): stop
@@ -611,6 +644,12 @@ func (s *Server[T]) Shutdown(ctx context.Context) error {
 		s.loopWG.Wait()
 		for _, ln := range s.lanes {
 			ln.pool.Shutdown()
+		}
+		// Stop the refiner (if any). New mutations were already being
+		// rejected with SStatusDraining once the gate flipped; a
+		// refinement in progress runs to completion and publishes.
+		if s.mut != nil {
+			s.mut.stopRefiner()
 		}
 
 		// Finally drop the client connections; their readers exit.

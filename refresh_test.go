@@ -1,0 +1,139 @@
+package dnnd
+
+import (
+	"math/rand"
+	"testing"
+
+	"dnnd/internal/brute"
+	"dnnd/internal/knng"
+	"dnnd/internal/metric"
+)
+
+// TestRefreshKeepsIDsStable: Refresh stitches appended points in and
+// repairs around tombstones without compacting IDs — dead vertices
+// keep prior lists, live lists never contain dead IDs.
+func TestRefreshKeepsIDsStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const n, extra, dim = 400, 40, 8
+	data := make([][]float32, n+extra)
+	for i := range data {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = rng.Float32() * 10
+		}
+		data[i] = v
+	}
+	opt := BuildOptions{K: 8, Metric: metric.SquaredL2, Ranks: 2, Seed: 1}
+	base, err := Build(data[:n], opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tombs := NewTombstones(n + extra)
+	for i := 0; i < 20; i++ {
+		tombs.Kill(ID(i * 7))
+	}
+	res, err := Refresh(data, base.Graph, tombs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.NumVertices() != n+extra {
+		t.Fatalf("refreshed graph covers %d vertices, want %d", res.Graph.NumVertices(), n+extra)
+	}
+	for v := 0; v < res.Graph.NumVertices(); v++ {
+		if tombs.Dead(ID(v)) {
+			continue
+		}
+		if len(res.Graph.Neighbors[v]) == 0 {
+			t.Fatalf("live vertex %d has no neighbors", v)
+		}
+		for _, e := range res.Graph.Neighbors[v] {
+			if tombs.Dead(e.ID) {
+				t.Fatalf("live vertex %d kept dead neighbor %d", v, e.ID)
+			}
+		}
+	}
+	if res.DistEvals >= base.DistEvals {
+		t.Errorf("refresh evals %d not below base build's %d", res.DistEvals, base.DistEvals)
+	}
+}
+
+// TestRefreshRecallAtLeastCold is the mutable-index acceptance gate:
+// ingesting a +10% delta and refreshing the prior graph must (a) search
+// at least as well as a cold rebuild over the combined dataset and
+// (b) cost at most 0.3x the cold rebuild's distance evaluations —
+// otherwise the online path would be pointless and a full rebuild
+// always preferable.
+func TestRefreshRecallAtLeastCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	const n, extra, dim, k, nq = 1000, 100, 12, 10, 80
+	all := make([][]float32, n+extra)
+	for i := range all {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = rng.Float32() * 10
+		}
+		all[i] = v
+	}
+	queries := make([][]float32, nq)
+	for i := range queries {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = rng.Float32() * 10
+		}
+		queries[i] = v
+	}
+	opt := BuildOptions{K: k, Metric: metric.SquaredL2, Ranks: 1, Seed: 5}
+
+	cold, err := Build(all, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Build(all[:n], opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, err := Refresh(all, base.Graph, NewTombstones(n+extra), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dist, err := metric.ForFloat32(metric.SquaredL2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := brute.TruthIDs(brute.QueryKNN(all, queries, k, dist, 0))
+	recall := func(g *Graph) float64 {
+		ix, err := NewIndex(g, all, metric.SquaredL2, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _ := ix.SearchBatch(queries, k, 0.3, 2)
+		hits := 0
+		for qi, want := range truth {
+			got := make(map[knng.ID]bool, len(res[qi]))
+			for _, nb := range res[qi] {
+				got[nb.ID] = true
+			}
+			for _, id := range want {
+				if got[id] {
+					hits++
+				}
+			}
+		}
+		return float64(hits) / float64(nq*k)
+	}
+
+	coldR, incrR := recall(cold.Graph), recall(incr.Graph)
+	t.Logf("recall@%d: cold=%.4f incremental=%.4f; evals: cold=%d incremental=%d (%.2fx)",
+		k, coldR, incrR, cold.DistEvals, incr.DistEvals,
+		float64(incr.DistEvals)/float64(cold.DistEvals))
+	if coldR < 0.80 {
+		t.Fatalf("cold-rebuild recall %.4f implausibly low; test setup broken", coldR)
+	}
+	if incrR < coldR {
+		t.Errorf("incremental recall %.4f below cold rebuild's %.4f", incrR, coldR)
+	}
+	if got, cap := incr.DistEvals, cold.DistEvals*3/10; got > cap {
+		t.Errorf("+10%% delta refresh cost %d evals, above the 0.3x cold-rebuild cap %d", got, cap)
+	}
+}

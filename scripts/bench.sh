@@ -35,6 +35,10 @@ trap 'rm -f "$tmp"' EXIT
   # pipelined connections; server and loadgen in-process — see
   # results/serve.md).
   go test -run '^$' -bench '^BenchmarkServe' -benchmem "$@" ./internal/serve/
+  # Mutable-index online path: wire-ingest a +10% delta, force the
+  # incremental refinement, and swap the snapshot (vecs/sec plus the
+  # refine-evals axis results/incr.md compares against cold rebuilds).
+  go test -run '^$' -bench '^BenchmarkIngestRefine$' -benchmem -benchtime 3x "$@" ./internal/serve/
 } | tee "$tmp"
 
 go run ./cmd/benchjson < "$tmp" > "$out"

@@ -14,11 +14,19 @@ const (
 	objMeta    = "meta"
 	objGraph   = "graph"
 	objDataset = "dataset"
+	objDelta   = "delta"      // append-only log of vectors not yet refined into the graph
+	objTombs   = "tombstones" // knng.TombSet blob over [0, BaseN+DeltaN)
 )
 
-// storeVersion is the on-disk format version written by Save and
-// required by Load.
-const storeVersion = 1
+// Store format versions. Save still writes the frozen single-snapshot
+// v1 layout (meta + graph + dataset), so stores produced by this build
+// remain readable by older tools; SaveMutable writes the v2 MVCC
+// manifest, which adds a generation counter, the base/delta split, and
+// the delta + tombstone objects. Load accepts both.
+const (
+	storeVersion        = 1
+	storeVersionMutable = 2
+)
 
 // MismatchError reports a typed incompatibility between a persisted
 // datastore and what the caller asked for: an unknown format version,
@@ -39,6 +47,11 @@ func (e *MismatchError) Error() string {
 }
 
 // storeMeta describes a persisted index (JSON inside the datastore).
+// The v2 fields version the snapshot manifest: Gen counts published
+// snapshots (every SaveMutable commit bumps it), BaseN is the vertex
+// count the graph object covers, DeltaN the pending vectors in the
+// delta log, TombN the tombstoned IDs. v1 stores carry none of them
+// (BaseN = N, everything else zero).
 type storeMeta struct {
 	Version int        `json:"version"`
 	K       int        `json:"k"`
@@ -46,6 +59,11 @@ type storeMeta struct {
 	Elem    string     `json:"elem"`
 	N       int        `json:"n"`
 	Refined bool       `json:"refined"` // Section 4.5 optimization applied
+
+	Gen    int64 `json:"gen,omitempty"`
+	BaseN  int   `json:"base_n,omitempty"`
+	DeltaN int   `json:"delta_n,omitempty"`
+	TombN  int   `json:"tomb_n,omitempty"`
 }
 
 func elemName[T Scalar]() string {
@@ -117,10 +135,22 @@ func LoadWithMeta[T Scalar](dir string) (*Index[T], bool, error) {
 	if err := json.Unmarshal(rawMeta, &meta); err != nil {
 		return nil, false, fmt.Errorf("dnnd: bad store metadata: %w", err)
 	}
-	if meta.Version != storeVersion {
+	switch meta.Version {
+	case storeVersion:
+	case storeVersionMutable:
+		// A clean v2 store (no pending mutations) is frozen-equivalent;
+		// one with deltas or tombstones must go through LoadMutable, or
+		// a frozen reader would resurface deleted points.
+		if meta.DeltaN != 0 || meta.TombN != 0 {
+			return nil, false, fmt.Errorf(
+				"dnnd: store %s has pending mutations (delta %d, tombstones %d); use LoadMutable or compact it first",
+				dir, meta.DeltaN, meta.TombN)
+		}
+	default:
 		return nil, false, &MismatchError{
 			Dir: dir, Field: "version",
-			Got: fmt.Sprintf("%d", meta.Version), Want: fmt.Sprintf("%d", storeVersion),
+			Got:  fmt.Sprintf("%d", meta.Version),
+			Want: fmt.Sprintf("%d|%d", storeVersion, storeVersionMutable),
 		}
 	}
 	if meta.Elem != elemName[T]() {
@@ -189,6 +219,223 @@ func Refine[T Scalar](dir string, m float64) error {
 	}
 	ix.graph.Optimize(ix.k, m)
 	return Save(dir, ix, true)
+}
+
+// StoreState describes a mutable (v2) store's manifest, as returned by
+// LoadMutable. A v1 store reads as generation 0 with no pending
+// mutations.
+type StoreState struct {
+	Version int
+	Gen     int64 // published-snapshot generation, bumped by every SaveMutable
+	K       int
+	Metric  MetricKind
+	BaseN   int // vertices the persisted graph covers
+	DeltaN  int // pending delta-log vectors (not yet in the graph)
+	TombN   int // tombstoned IDs
+	Refined bool
+}
+
+// SaveMutable persists a mutable index as a v2 MVCC snapshot: the base
+// index (graph + dataset, BaseN vertices), the pending delta log
+// (vectors ingested but not yet refined into a graph), and the
+// tombstone set, under generation gen. The commit is atomic through
+// metall's temp+rename manifest machinery — a crash mid-save leaves
+// the previous generation intact.
+func SaveMutable[T Scalar](dir string, ix *Index[T], refined bool, pending [][]T, tombs *Tombstones, gen int64) error {
+	mgr, err := metall.OpenOrCreate(dir)
+	if err != nil {
+		return err
+	}
+	meta := storeMeta{
+		Version: storeVersionMutable,
+		K:       ix.k,
+		Metric:  ix.kind,
+		Elem:    elemName[T](),
+		N:       len(ix.data) + len(pending),
+		Refined: refined,
+		Gen:     gen,
+		BaseN:   len(ix.data),
+		DeltaN:  len(pending),
+		TombN:   tombs.Count(),
+	}
+	rawMeta, err := json.Marshal(&meta)
+	if err != nil {
+		return err
+	}
+	if err := mgr.Put(objMeta, rawMeta); err != nil {
+		return err
+	}
+	if err := mgr.Put(objGraph, ix.graph.Marshal()); err != nil {
+		return err
+	}
+	if err := mgr.Put(objDataset, marshalDataset(ix.data)); err != nil {
+		return err
+	}
+	if err := mgr.Put(objDelta, marshalDataset(pending)); err != nil {
+		return err
+	}
+	if err := mgr.Put(objTombs, tombs.CloneGrow(meta.N).Marshal()); err != nil {
+		return err
+	}
+	return mgr.Close()
+}
+
+// LoadMutable reattaches to a store for mutation: the base index, the
+// pending delta vectors, the tombstone set (grown to cover base+delta),
+// and the manifest state. It reads both formats — a frozen v1 store
+// comes back as generation 0 with an empty delta and no tombstones, so
+// any store Save ever wrote can be opened for online mutation.
+func LoadMutable[T Scalar](dir string) (*Index[T], [][]T, *Tombstones, StoreState, error) {
+	var st StoreState
+	mgr, err := metall.Open(dir)
+	if err != nil {
+		return nil, nil, nil, st, err
+	}
+	defer mgr.Close()
+
+	rawMeta, err := mgr.Get(objMeta)
+	if err != nil {
+		return nil, nil, nil, st, err
+	}
+	var meta storeMeta
+	if err := json.Unmarshal(rawMeta, &meta); err != nil {
+		return nil, nil, nil, st, fmt.Errorf("dnnd: bad store metadata: %w", err)
+	}
+	if meta.Version != storeVersion && meta.Version != storeVersionMutable {
+		return nil, nil, nil, st, &MismatchError{
+			Dir: dir, Field: "version",
+			Got:  fmt.Sprintf("%d", meta.Version),
+			Want: fmt.Sprintf("%d|%d", storeVersion, storeVersionMutable),
+		}
+	}
+	if meta.Elem != elemName[T]() {
+		return nil, nil, nil, st, &MismatchError{
+			Dir: dir, Field: "elem", Got: meta.Elem, Want: elemName[T](),
+		}
+	}
+	if meta.Version == storeVersion {
+		meta.BaseN = meta.N
+	}
+
+	rawGraph, err := mgr.Get(objGraph)
+	if err != nil {
+		return nil, nil, nil, st, err
+	}
+	g, err := knng.Unmarshal(rawGraph)
+	if err != nil {
+		return nil, nil, nil, st, err
+	}
+	rawData, err := mgr.Get(objDataset)
+	if err != nil {
+		return nil, nil, nil, st, err
+	}
+	data, err := unmarshalDataset[T](rawData)
+	if err != nil {
+		return nil, nil, nil, st, err
+	}
+	if len(data) != meta.BaseN || g.NumVertices() != meta.BaseN {
+		return nil, nil, nil, st, fmt.Errorf("dnnd: store inconsistent: meta BaseN=%d, dataset %d, graph %d",
+			meta.BaseN, len(data), g.NumVertices())
+	}
+
+	var pending [][]T
+	tombs := NewTombstones(meta.BaseN)
+	if meta.Version == storeVersionMutable {
+		rawDelta, err := mgr.Get(objDelta)
+		if err != nil {
+			return nil, nil, nil, st, err
+		}
+		if pending, err = unmarshalDataset[T](rawDelta); err != nil {
+			return nil, nil, nil, st, err
+		}
+		if len(pending) != meta.DeltaN {
+			return nil, nil, nil, st, fmt.Errorf("dnnd: store inconsistent: meta DeltaN=%d, delta log %d",
+				meta.DeltaN, len(pending))
+		}
+		rawTombs, err := mgr.Get(objTombs)
+		if err != nil {
+			return nil, nil, nil, st, err
+		}
+		if tombs, err = knng.UnmarshalTombSet(rawTombs); err != nil {
+			return nil, nil, nil, st, err
+		}
+		tombs = tombs.CloneGrow(meta.BaseN + meta.DeltaN)
+		if tombs.Count() != meta.TombN {
+			return nil, nil, nil, st, fmt.Errorf("dnnd: store inconsistent: meta TombN=%d, tombstone set %d",
+				meta.TombN, tombs.Count())
+		}
+	}
+
+	ix, err := NewIndex(g, data, meta.Metric, meta.K)
+	if err != nil {
+		return nil, nil, nil, st, err
+	}
+	st = StoreState{
+		Version: meta.Version,
+		Gen:     meta.Gen,
+		K:       meta.K,
+		Metric:  meta.Metric,
+		BaseN:   meta.BaseN,
+		DeltaN:  meta.DeltaN,
+		TombN:   tombs.Count(),
+		Refined: meta.Refined,
+	}
+	return ix, pending, tombs, st, nil
+}
+
+// Compact folds a mutable store's pending mutations into its base:
+// delta vectors join the dataset, tombstoned points are physically
+// removed (surviving IDs are compacted dense — the returned mapping
+// translates old IDs to new, knng.InvalidID for removed points; it is
+// nil when there were no tombstones and IDs are unchanged), and a
+// warm-started refinement repairs the graph. The result is written
+// back as a clean snapshot at the next generation. opt.K and
+// opt.Metric default to the store's own values.
+func Compact[T Scalar](dir string, opt BuildOptions) ([]ID, error) {
+	ix, pending, tombs, st, err := LoadMutable[T](dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(pending) == 0 && tombs.Count() == 0 {
+		return nil, fmt.Errorf("dnnd: store %s has nothing to compact", dir)
+	}
+	if opt.K == 0 {
+		opt.K = st.K
+	}
+	if opt.Metric == "" {
+		opt.Metric = st.Metric
+	}
+
+	combined := make([][]T, 0, len(ix.data)+len(pending))
+	combined = append(combined, ix.data...)
+	combined = append(combined, pending...)
+	// Grow the prior graph over the delta range with empty lists: the
+	// warm-started build tops those vertices up exactly like Extend.
+	prior := knng.NewGraph(len(combined))
+	copy(prior.Neighbors, ix.graph.Neighbors)
+
+	var (
+		kept    [][]T
+		res     *BuildResult
+		mapping []ID
+	)
+	if dead := tombs.Snapshot(); len(dead) > 0 {
+		kept, res, mapping, err = Remove(combined, dead, prior, opt)
+	} else {
+		kept = combined
+		res, err = buildWithPrior(combined, prior, opt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	newIx, err := NewIndex(res.Graph, kept, opt.Metric, opt.K)
+	if err != nil {
+		return nil, err
+	}
+	if err := SaveMutable(dir, newIx, !opt.SkipRefine, nil, nil, st.Gen+1); err != nil {
+		return nil, err
+	}
+	return mapping, nil
 }
 
 const datasetMagic uint32 = 0x54534456 // "VDST"

@@ -1,0 +1,249 @@
+package dnnd
+
+import (
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dnnd/internal/brute"
+	"dnnd/internal/knng"
+	"dnnd/internal/metric"
+)
+
+func randRows[T Scalar](rng *rand.Rand, n, dim int) [][]T {
+	var z T
+	out := make([][]T, n)
+	for i := range out {
+		v := make([]T, dim)
+		switch any(z).(type) {
+		case float32:
+			for j := range v {
+				v[j] = T(any(float32(rng.Float32())).(T))
+			}
+		case uint8:
+			for j := range v {
+				v[j] = T(any(uint8(rng.Intn(256))).(T))
+			}
+		default:
+			// Sorted distinct sets for Jaccard.
+			x := uint32(rng.Intn(3))
+			for j := range v {
+				v[j] = T(any(x).(T))
+				x += uint32(1 + rng.Intn(5))
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// mutableRoundTrip persists a v2 manifest (base + delta + tombstones)
+// and checks every component and manifest field survives reload.
+func mutableRoundTrip[T Scalar](t *testing.T, kind MetricKind) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	const n, dim, k = 40, 6, 4
+	data := randRows[T](rng, n, dim)
+	delta := randRows[T](rng, 7, dim)
+	dist, err := metricFor[T](kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := brute.KNNGraph(data, k, dist, 0)
+	ix, err := NewIndex(g, data, kind, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tombs := NewTombstones(n + len(delta))
+	tombs.Kill(3)
+	tombs.Kill(ID(n + 2)) // a delta point deleted before refinement
+
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := SaveMutable(dir, ix, true, delta, tombs, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	lx, pending, ltombs, st, err := LoadMutable[T](dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != storeVersionMutable || st.Gen != 5 || st.BaseN != n ||
+		st.DeltaN != len(delta) || st.TombN != 2 || !st.Refined || st.K != k || st.Metric != kind {
+		t.Fatalf("manifest state: %+v", st)
+	}
+	if lx.Len() != n || len(pending) != len(delta) {
+		t.Fatalf("base %d pending %d", lx.Len(), len(pending))
+	}
+	for i := range delta {
+		for j := range delta[i] {
+			if pending[i][j] != delta[i][j] {
+				t.Fatalf("delta[%d][%d] mismatch", i, j)
+			}
+		}
+	}
+	if !ltombs.Dead(3) || !ltombs.Dead(ID(n+2)) || ltombs.Dead(4) || ltombs.Len() != n+len(delta) {
+		t.Fatalf("tombstones: len=%d count=%d", ltombs.Len(), ltombs.Count())
+	}
+	if !lx.Graph().Equal(g) {
+		t.Fatal("graph changed across mutable round trip")
+	}
+}
+
+func TestMutableStoreRoundTripAllElems(t *testing.T) {
+	t.Run("float32", func(t *testing.T) { mutableRoundTrip[float32](t, metric.SquaredL2) })
+	t.Run("uint8", func(t *testing.T) { mutableRoundTrip[uint8](t, metric.L2) })
+	t.Run("uint32", func(t *testing.T) { mutableRoundTrip[uint32](t, metric.Jaccard) })
+}
+
+// TestV1StoreOpensForMutation: a frozen store written by Save reads
+// back through LoadMutable as generation 0 with no pending mutations —
+// old single-snapshot stores stay fully usable.
+func TestV1StoreOpensForMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := randRows[float32](rng, 30, 4)
+	g := brute.KNNGraph(data, 3, metric.SquaredL2Float32, 0)
+	ix, err := NewIndex(g, data, metric.SquaredL2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := Save(dir, ix, false); err != nil {
+		t.Fatal(err)
+	}
+	lx, pending, tombs, st, err := LoadMutable[float32](dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != storeVersion || st.Gen != 0 || st.BaseN != 30 || st.DeltaN != 0 || st.TombN != 0 {
+		t.Fatalf("v1 manifest state: %+v", st)
+	}
+	if len(pending) != 0 || tombs.Count() != 0 || tombs.Len() != 30 {
+		t.Fatalf("v1 pending=%d tombs=%d/%d", len(pending), tombs.Count(), tombs.Len())
+	}
+	if !lx.Graph().Equal(g) {
+		t.Fatal("graph changed")
+	}
+}
+
+// TestFrozenLoadRejectsDirtyMutableStore: LoadWithMeta must refuse a
+// v2 store with pending mutations (a frozen reader would resurface
+// deleted points) but accept a clean one.
+func TestFrozenLoadRejectsDirtyMutableStore(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := randRows[float32](rng, 30, 4)
+	g := brute.KNNGraph(data, 3, metric.SquaredL2Float32, 0)
+	ix, err := NewIndex(g, data, metric.SquaredL2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clean := filepath.Join(t.TempDir(), "clean")
+	if err := SaveMutable(clean, ix, false, nil, nil, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadWithMeta[float32](clean); err != nil {
+		t.Fatalf("clean v2 store rejected by frozen load: %v", err)
+	}
+
+	dirty := filepath.Join(t.TempDir(), "dirty")
+	tombs := NewTombstones(30)
+	tombs.Kill(1)
+	if err := SaveMutable(dirty, ix, false, nil, tombs, 2); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = LoadWithMeta[float32](dirty)
+	if err == nil || !strings.Contains(err.Error(), "pending mutations") {
+		t.Fatalf("dirty v2 store accepted by frozen load: %v", err)
+	}
+}
+
+// TestMutableStoreSurvivesManyGenerations: an online server commits
+// every published snapshot back to the same store directory, so the
+// open→put→close cycle repeats once per generation. Each generation
+// must stay fully readable — this is the store-level regression test
+// for the metall sequence-counter bug, where the third commit cycle
+// destroyed the live object files.
+func TestMutableStoreSurvivesManyGenerations(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const n, dim, k = 40, 6, 4
+	dir := filepath.Join(t.TempDir(), "store")
+	for gen := int64(1); gen <= 5; gen++ {
+		data := randRows[float32](rng, n+int(gen), dim)
+		g := brute.KNNGraph(data, k, metric.SquaredL2Float32, 0)
+		ix, err := NewIndex(g, data, metric.SquaredL2, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tombs := NewTombstones(len(data))
+		tombs.Kill(ID(gen))
+		if err := SaveMutable(dir, ix, true, nil, tombs, gen); err != nil {
+			t.Fatalf("gen %d: save: %v", gen, err)
+		}
+		lx, pending, ltombs, st, err := LoadMutable[float32](dir)
+		if err != nil {
+			t.Fatalf("gen %d: load: %v", gen, err)
+		}
+		if st.Gen != gen || lx.Len() != len(data) || len(pending) != 0 {
+			t.Fatalf("gen %d: state %+v, n=%d pending=%d", gen, st, lx.Len(), len(pending))
+		}
+		if !ltombs.Dead(ID(gen)) || ltombs.Count() != 1 {
+			t.Fatalf("gen %d: tombstones count=%d", gen, ltombs.Count())
+		}
+		if !lx.Graph().Equal(g) {
+			t.Fatalf("gen %d: graph changed across commit", gen)
+		}
+	}
+}
+
+// TestCompactFoldsDeltaAndTombstones: compaction folds the delta into
+// the base, removes dead points, bumps the generation, and leaves a
+// clean store a frozen loader accepts.
+func TestCompactFoldsDeltaAndTombstones(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const n, dim, k = 120, 6, 6
+	data := randRows[float32](rng, n, dim)
+	delta := randRows[float32](rng, 12, dim)
+	g := brute.KNNGraph(data, k, metric.SquaredL2Float32, 0)
+	ix, err := NewIndex(g, data, metric.SquaredL2, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tombs := NewTombstones(n + len(delta))
+	tombs.Kill(10)
+	tombs.Kill(11)
+
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := SaveMutable(dir, ix, false, delta, tombs, 3); err != nil {
+		t.Fatal(err)
+	}
+	mapping, err := Compact[float32](dir, BuildOptions{Metric: metric.SquaredL2, Ranks: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mapping) != n+len(delta) {
+		t.Fatalf("mapping covers %d IDs, want %d", len(mapping), n+len(delta))
+	}
+	if mapping[10] != knng.InvalidID || mapping[11] != knng.InvalidID || mapping[0] == knng.InvalidID {
+		t.Fatalf("mapping: %v %v %v", mapping[10], mapping[11], mapping[0])
+	}
+
+	lx, pending, ltombs, st, err := LoadMutable[float32](dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Gen != 4 || st.DeltaN != 0 || st.TombN != 0 {
+		t.Fatalf("post-compact state: %+v", st)
+	}
+	if lx.Len() != n+len(delta)-2 || len(pending) != 0 || ltombs.Count() != 0 {
+		t.Fatalf("post-compact: n=%d pending=%d tombs=%d", lx.Len(), len(pending), ltombs.Count())
+	}
+	// Frozen loaders accept the compacted store again.
+	if _, _, err := LoadWithMeta[float32](dir); err != nil {
+		t.Fatalf("frozen load of compacted store: %v", err)
+	}
+	// Compacting a clean store is a typed no-op error.
+	if _, err := Compact[float32](dir, BuildOptions{Metric: metric.SquaredL2, Ranks: 1}); err == nil {
+		t.Fatal("compact of clean store did not report nothing-to-do")
+	}
+}

@@ -172,7 +172,7 @@ func TestStoreVersionMismatchTyped(t *testing.T) {
 	if err := json.Unmarshal(raw, &meta); err != nil {
 		t.Fatal(err)
 	}
-	meta.Version = storeVersion + 1
+	meta.Version = storeVersionMutable + 1
 	raw, err = json.Marshal(&meta)
 	if err != nil {
 		t.Fatal(err)
@@ -189,7 +189,7 @@ func TestStoreVersionMismatchTyped(t *testing.T) {
 	if !errors.As(err, &mm) {
 		t.Fatalf("version mismatch returned %T (%v), want *MismatchError", err, err)
 	}
-	if mm.Field != "version" || mm.Got != "2" || mm.Want != "1" {
+	if mm.Field != "version" || mm.Got != "3" || mm.Want != "1|2" {
 		t.Fatalf("mismatch detail: %+v", mm)
 	}
 }
