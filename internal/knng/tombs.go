@@ -176,6 +176,12 @@ func UnmarshalTombSet(p []byte) (*TombSet, error) {
 	if err := r.Finish(); err != nil {
 		return nil, fmt.Errorf("knng: bad tombstone data: %v", err)
 	}
+	// The last word carries only n%64 valid bits; a blob with bits set
+	// beyond n would inflate Count() past any killable ID range and
+	// break the store's TombN consistency check.
+	if tail := n & 63; tail != 0 && t.bits[len(t.bits)-1]>>uint(tail) != 0 {
+		return nil, fmt.Errorf("knng: tombstone bits set beyond n=%d", n)
+	}
 	t.dead.Store(dead)
 	return t, nil
 }

@@ -141,4 +141,16 @@ func TestTombSetUnmarshalRejectsGarbage(t *testing.T) {
 	if _, err := UnmarshalTombSet(blob[:len(blob)-1]); err == nil {
 		t.Fatal("truncated blob accepted")
 	}
+	// Bits beyond n in the last word would inflate Count() past any
+	// killable ID and break the store's TombN consistency check.
+	blob = NewTombSet(65).Marshal()
+	blob[len(blob)-8] |= 0x02 // bit 1 of the last word = ID 65 >= n
+	if _, err := UnmarshalTombSet(blob); err == nil {
+		t.Fatal("blob with bits set beyond n accepted")
+	}
+	blob = NewTombSet(65).Marshal()
+	blob[len(blob)-8] |= 0x01 // ID 64 < n: still valid
+	if ts, err := UnmarshalTombSet(blob); err != nil || !ts.Dead(64) || ts.Count() != 1 {
+		t.Fatalf("valid final-word bit rejected: %v", err)
+	}
 }

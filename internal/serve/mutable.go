@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"dnnd/internal/knng"
 	"dnnd/internal/msg"
@@ -43,10 +44,15 @@ type MutableConfig[T wire.Scalar] struct {
 	Pending [][]T
 	// LogIngest, LogDelete, and Publish are optional durability hooks.
 	// LogIngest and LogDelete run synchronously on the mutation path
-	// after the in-memory state is updated; Publish runs on the refiner
-	// goroutine after each snapshot swap with the newly published
-	// graph, dataset, tombstones, and generation. Hook errors are
-	// counted (MutLogErrors) but do not fail the mutation: the
+	// with the mutation lock still held, so a log that appends in
+	// hook-call order replays correctly: ingest batches arrive in
+	// exactly ID-assignment order (point IDs are positional), and a
+	// delete is always logged after the ingest that created its IDs.
+	// The hooks must be fast (they stall concurrent mutations, not
+	// queries) and must not call back into the server. Publish runs on
+	// the refiner goroutine after each snapshot swap with the newly
+	// published graph, dataset, tombstones, and generation. Hook errors
+	// are counted (MutLogErrors) but do not fail the mutation: the
 	// in-memory index is the source of truth while the server runs.
 	LogIngest func(vecs [][]T) error
 	LogDelete func(ids []knng.ID) error
@@ -231,16 +237,21 @@ func (m *mutable[T]) ingest(s *Server[T], id uint64, vecs [][]T) msg.SUpdateRepl
 	if len(vecs) > 0 {
 		m.dirty = true
 	}
+	// Log while still holding mu: IDs are positional, so the log must
+	// see batches in exactly ID-assignment order or a replay rebuilds
+	// rows at the wrong IDs.
+	logErr := false
+	if m.cfg.LogIngest != nil && len(vecs) > 0 {
+		logErr = m.cfg.LogIngest(vecs) != nil
+	}
 	gen := m.gen
 	pending += len(vecs)
 	m.mu.Unlock()
 
 	s.m.IngestOps.Add(1)
 	s.m.Ingested.Add(int64(len(vecs)))
-	if m.cfg.LogIngest != nil && len(vecs) > 0 {
-		if err := m.cfg.LogIngest(vecs); err != nil {
-			s.m.MutLogErrors.Add(1)
-		}
+	if logErr {
+		s.m.MutLogErrors.Add(1)
 	}
 	if pending >= m.cfg.RefineEvery {
 		m.kickRefine()
@@ -272,15 +283,19 @@ func (m *mutable[T]) delete(s *Server[T], id uint64, ids []knng.ID) msg.SUpdateR
 	if newly > 0 {
 		m.dirty = true
 	}
+	// Log under mu, like ingest: a delete must be logged after the
+	// ingest that assigned its IDs, or a replay drops it as unknown.
+	logErr := false
+	if m.cfg.LogDelete != nil && len(ids) > 0 {
+		logErr = m.cfg.LogDelete(ids) != nil
+	}
 	gen := m.gen
 	m.mu.Unlock()
 
 	s.m.DeleteOps.Add(1)
 	s.m.Tombstoned.Add(int64(newly))
-	if m.cfg.LogDelete != nil && len(ids) > 0 {
-		if err := m.cfg.LogDelete(ids); err != nil {
-			s.m.MutLogErrors.Add(1)
-		}
+	if logErr {
+		s.m.MutLogErrors.Add(1)
 	}
 	return msg.SUpdateReply{ID: id, Status: msg.SStatusOK, Gen: gen, Count: uint32(newly)}
 }
@@ -326,15 +341,36 @@ func (m *mutable[T]) stopRefiner() {
 	<-m.done
 }
 
+// Failed refinements are retried with exponential backoff so pending
+// mutations do not sit unsearchable until the next mutation or flush
+// happens to re-kick the refiner.
+const (
+	refineRetryMin = 100 * time.Millisecond
+	refineRetryMax = 5 * time.Second
+)
+
 // refineLoop is the single background refiner: triggered by kicks
-// (delta threshold) and flushes, it runs one refinement at a time and
-// answers every flush waiter it picked up before starting.
+// (delta threshold), flushes, and retry timers after a failure, it
+// runs one refinement at a time and answers every flush waiter it
+// picked up before starting.
 func (m *mutable[T]) refineLoop(s *Server[T]) {
 	defer close(m.done)
+	backoff := refineRetryMin
+	var retry *time.Timer
+	var retryC <-chan time.Time
+	stopRetry := func() {
+		if retry != nil {
+			retry.Stop()
+			retry, retryC = nil, nil
+		}
+	}
+	defer stopRetry()
 	for {
 		var waiters []chan flushReply
 		select {
 		case <-m.kick:
+		case <-retryC:
+			retry, retryC = nil, nil
 		case ch := <-m.flushC:
 			waiters = append(waiters, ch)
 		case <-m.quit:
@@ -352,6 +388,16 @@ func (m *mutable[T]) refineLoop(s *Server[T]) {
 		gen, err := m.refineOnce(s)
 		for _, ch := range waiters {
 			ch <- flushReply{gen: gen, err: err}
+		}
+		stopRetry()
+		if err != nil {
+			retry = time.NewTimer(backoff)
+			retryC = retry.C
+			if backoff *= 2; backoff > refineRetryMax {
+				backoff = refineRetryMax
+			}
+		} else {
+			backoff = refineRetryMin
 		}
 	}
 }

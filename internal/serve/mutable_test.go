@@ -492,3 +492,120 @@ func TestMutableDeterministicAcrossWorkers(t *testing.T) {
 		}
 	}
 }
+
+// TestRefineFailureRetries: a failed refinement must not strand the
+// pending delta until the next mutation — the refiner re-kicks itself
+// with backoff and publishes once Refine recovers, with no further
+// traffic arriving.
+func TestRefineFailureRetries(t *testing.T) {
+	const n, dim, k, l = 200, 8, 8, 12
+	const failures = 2
+	var calls atomic.Int32
+	mcfg := MutableConfig[float32]{
+		RefineEvery: 1, // the single ingest below kicks the refiner
+		Refine: func(data [][]float32, prior *knng.Graph, dead *knng.TombSet) (*knng.Graph, error) {
+			if calls.Add(1) <= failures {
+				return nil, fmt.Errorf("injected refine failure")
+			}
+			res, err := dnnd.Refresh(data, prior, dead,
+				dnnd.BuildOptions{K: k, Metric: metric.SquaredL2, Ranks: 1, Seed: 3})
+			if err != nil {
+				return nil, err
+			}
+			return res.Graph, nil
+		},
+	}
+	s, c, shutdown := mutableFixture(t, n, dim, k, Config{L: l, Epsilon: 0.25}, mcfg)
+	defer shutdown()
+
+	if up, err := Ingest(c, randData(1, dim, 99)); err != nil || up.Status != msg.SStatusOK {
+		t.Fatalf("ingest: %+v, %v", up, err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for s.cur.Load().gen != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("refiner never recovered: %d refine calls, gen %d",
+				calls.Load(), s.cur.Load().gen)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := s.Metrics().RefineErrors.Load(); got != failures {
+		t.Fatalf("RefineErrors = %d, want %d", got, failures)
+	}
+	if got := s.Metrics().Refines.Load(); got != 1 {
+		t.Fatalf("Refines = %d, want 1", got)
+	}
+	// The published snapshot covers the ingested row.
+	if snap := s.cur.Load(); len(snap.data) != n+1 {
+		t.Fatalf("published snapshot covers %d rows, want %d", len(snap.data), n+1)
+	}
+}
+
+// TestMutationLogOrder: LogIngest runs while the mutation lock is
+// held, so the durability log observes batches in exactly ID-assignment
+// order even under concurrent writers — replaying the log in hook-call
+// order must rebuild the dataset tail row for row (point IDs are
+// positional, so any reordering silently corrupts a replayed index).
+func TestMutationLogOrder(t *testing.T) {
+	const n, dim, k, l = 200, 8, 8, 12
+	const writers, perWriter = 4, 30
+	var logMu sync.Mutex
+	var replay [][]float32
+	mcfg := MutableConfig[float32]{
+		RefineEvery: 1 << 20, // no refinement noise during the race
+		LogIngest: func(vecs [][]float32) error {
+			logMu.Lock()
+			replay = append(replay, vecs...)
+			logMu.Unlock()
+			return nil
+		},
+	}
+	s, c, shutdown := mutableFixture(t, n, dim, k,
+		Config{L: l, Epsilon: 0.25, Lanes: 2, Workers: 2}, mcfg)
+	defer shutdown()
+	addr := c.c.RemoteAddr().String()
+
+	vecs := randData(writers*perWriter, dim, 7)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wc, err := Dial(addr, 5*time.Second)
+			if err != nil {
+				t.Errorf("writer %d: dial: %v", w, err)
+				return
+			}
+			defer wc.Close()
+			for i := 0; i < perWriter; i++ {
+				row := vecs[w*perWriter+i : w*perWriter+i+1]
+				if up, err := Ingest(wc, row); err != nil || up.Status != msg.SStatusOK {
+					t.Errorf("writer %d ingest %d: %+v, %v", w, i, up, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	m := s.mut
+	m.mu.Lock()
+	tail := append([][]float32(nil), m.data[n:]...)
+	m.mu.Unlock()
+	if len(replay) != len(tail) || len(tail) != writers*perWriter {
+		t.Fatalf("log has %d rows, dataset tail %d, want %d", len(replay), len(tail), writers*perWriter)
+	}
+	for i := range tail {
+		for j := range tail[i] {
+			if replay[i][j] != tail[i][j] {
+				t.Fatalf("log order diverges from ID-assignment order at row %d", i)
+			}
+		}
+	}
+	if got := s.Metrics().MutLogErrors.Load(); got != 0 {
+		t.Fatalf("MutLogErrors = %d", got)
+	}
+}

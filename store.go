@@ -246,17 +246,24 @@ func SaveMutable[T Scalar](dir string, ix *Index[T], refined bool, pending [][]T
 	if err != nil {
 		return err
 	}
+	n := len(ix.data) + len(pending)
+	// Freeze the tombstone set once up front: callers (the server's
+	// Publish hook) pass the live set of a published snapshot, which
+	// concurrent deletes keep mutating. Deriving TombN and the persisted
+	// bitset from separate reads of the live set can disagree, producing
+	// a store LoadMutable rejects as inconsistent.
+	frozen := tombs.CloneGrow(n)
 	meta := storeMeta{
 		Version: storeVersionMutable,
 		K:       ix.k,
 		Metric:  ix.kind,
 		Elem:    elemName[T](),
-		N:       len(ix.data) + len(pending),
+		N:       n,
 		Refined: refined,
 		Gen:     gen,
 		BaseN:   len(ix.data),
 		DeltaN:  len(pending),
-		TombN:   tombs.Count(),
+		TombN:   frozen.Count(),
 	}
 	rawMeta, err := json.Marshal(&meta)
 	if err != nil {
@@ -274,7 +281,7 @@ func SaveMutable[T Scalar](dir string, ix *Index[T], refined bool, pending [][]T
 	if err := mgr.Put(objDelta, marshalDataset(pending)); err != nil {
 		return err
 	}
-	if err := mgr.Put(objTombs, tombs.CloneGrow(meta.N).Marshal()); err != nil {
+	if err := mgr.Put(objTombs, frozen.Marshal()); err != nil {
 		return err
 	}
 	return mgr.Close()

@@ -247,3 +247,53 @@ func TestCompactFoldsDeltaAndTombstones(t *testing.T) {
 		t.Fatal("compact of clean store did not report nothing-to-do")
 	}
 }
+
+// TestSaveMutableUnderConcurrentDeletes: SaveMutable freezes the
+// tombstone set once and derives both the persisted TombN and the
+// bitset blob from that single copy, so a save racing concurrent Kill
+// calls (the server's persist-on-publish path, where deletes keep
+// landing on the published snapshot's live set) always writes a
+// self-consistent store that LoadMutable reopens.
+func TestSaveMutableUnderConcurrentDeletes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n, dim, k = 2000, 4, 3
+	const gens, killsPerGen = 15, 100
+	data := randRows[float32](rng, n, dim)
+	g := brute.KNNGraph(data, k, metric.SquaredL2Float32, 0)
+	ix, err := NewIndex(g, data, metric.SquaredL2, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tombs := NewTombstones(n)
+
+	dir := filepath.Join(t.TempDir(), "store")
+	for gen := int64(1); gen <= gens; gen++ {
+		// Kill a fresh batch of IDs concurrently with the save; each
+		// iteration races real mutations against the snapshot freeze.
+		start := make(chan struct{})
+		done := make(chan struct{})
+		base := int(gen-1) * killsPerGen
+		go func() {
+			defer close(done)
+			<-start
+			for i := 0; i < killsPerGen; i++ {
+				tombs.Kill(ID(base + i))
+			}
+		}()
+		close(start)
+		if err := SaveMutable(dir, ix, true, nil, tombs, gen); err != nil {
+			t.Fatalf("gen %d: save: %v", gen, err)
+		}
+		<-done
+		// The persisted count and bitset must agree no matter how the
+		// race landed — LoadMutable rejects the store otherwise.
+		if _, _, ltombs, st, err := LoadMutable[float32](dir); err != nil {
+			t.Fatalf("gen %d: load: %v", gen, err)
+		} else if st.Gen != gen || ltombs.Count() != st.TombN {
+			t.Fatalf("gen %d: state %+v, tombs=%d", gen, st, ltombs.Count())
+		}
+	}
+	if tombs.Count() != gens*killsPerGen {
+		t.Fatalf("killer lost kills: %d", tombs.Count())
+	}
+}
