@@ -38,6 +38,7 @@ func main() {
 		deleteFrac  = flag.Float64("delete-frac", 0, "share of requests that become delete ops (mutate mode; default 0.02)")
 		ingestBatch = flag.Int("ingest-batch", 0, "vectors per ingest op (mutate mode; default 4)")
 		flushEvery  = flag.Int("flush-every", 0, "turn every Nth request into a blocking flush (mutate mode; 0 = background refinement only)")
+		reportErrs  = flag.Bool("report-errors", false, "count replies per status code and transport errors per kind in the report")
 		out         = flag.String("out", "", "write the JSON report here (default stdout)")
 	)
 	flag.Parse()
@@ -55,17 +56,18 @@ func main() {
 		*addr, hello.N, hello.Elem, hello.Dim, hello.K, hello.DefaultL, hello.DefaultEpsilon)
 
 	cfg := serve.LoadConfig{
-		Addr:        *addr,
-		Requests:    *requests,
-		Concurrency: *concurrency,
-		Conns:       *conns,
-		QPS:         *qps,
-		L:           *l,
-		Epsilon:     *epsilon,
-		Deadline:    *deadline,
-		Seed:        *seed,
-		Warm:        *warm,
-		DialTimeout: 5 * time.Second,
+		Addr:         *addr,
+		Requests:     *requests,
+		Concurrency:  *concurrency,
+		Conns:        *conns,
+		QPS:          *qps,
+		L:            *l,
+		Epsilon:      *epsilon,
+		Deadline:     *deadline,
+		Seed:         *seed,
+		Warm:         *warm,
+		DialTimeout:  5 * time.Second,
+		ReportErrors: *reportErrs,
 
 		Mutate:         *mutate,
 		IngestFraction: *ingestFrac,

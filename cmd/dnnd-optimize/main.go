@@ -5,7 +5,9 @@
 // join the dataset, dead points are physically removed with IDs
 // compacted dense, and a warm-started refinement repairs the graph),
 // mirroring the paper's separate optimization executable that
-// reattaches to the Metall store.
+// reattaches to the Metall store. -split N instead partitions the
+// store into N shard stores plus a shard manifest (the offline half of
+// the cluster workflow; see dnnd-router for the online half).
 package main
 
 import (
@@ -22,9 +24,11 @@ func main() {
 		storeDir = flag.String("store", "", "datastore directory (required)")
 		m        = flag.Float64("m", 1.5, "degree cap multiplier (prune to k*m)")
 		compact  = flag.Bool("compact", false, "fold a mutable store's delta + tombstones into its base (rewrites the store as a clean snapshot at the next generation)")
-		ranks    = flag.Int("ranks", 0, "simulated ranks for the compaction rebuild (0 = build default)")
-		workers  = flag.Int("workers", 0, "intra-rank workers for the compaction rebuild (0 = build default)")
-		seed     = flag.Int64("seed", 1, "compaction rebuild seed")
+		ranks    = flag.Int("ranks", 0, "simulated ranks for the compaction or shard rebuild (0 = build default)")
+		workers  = flag.Int("workers", 0, "intra-rank workers for the compaction or shard rebuild (0 = build default)")
+		seed     = flag.Int64("seed", 1, "compaction or shard rebuild seed")
+		split    = flag.Int("split", 0, "partition the store into this many shard stores plus a manifest (see -split-out)")
+		splitOut = flag.String("split-out", "", "output directory for -split (required with it; gets shard0..shardN-1 and manifest/)")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -35,6 +39,26 @@ func main() {
 		fatal(err)
 	}
 	start := time.Now()
+	if *split > 0 {
+		if *compact {
+			fatal(fmt.Errorf("-split and -compact are mutually exclusive"))
+		}
+		if *splitOut == "" {
+			fatal(fmt.Errorf("-split requires -split-out"))
+		}
+		opt := dnnd.BuildOptions{Ranks: *ranks, Workers: *workers, Seed: *seed, PruneFactor: *m}
+		man, err := dnnd.SplitStore(*storeDir, *splitOut, *split, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dnnd-optimize: split %s (%d %s points) into %d shards under %s in %s\n",
+			*storeDir, man.N, man.Elem, len(man.Shards), *splitOut,
+			time.Since(start).Round(time.Millisecond))
+		for i, sh := range man.Shards {
+			fmt.Printf("  shard%d: %d points\n", i, sh.Count)
+		}
+		return
+	}
 	if *compact {
 		opt := dnnd.BuildOptions{Ranks: *ranks, Workers: *workers, Seed: *seed, PruneFactor: *m}
 		var mapping []dnnd.ID

@@ -112,6 +112,15 @@ func FuzzServeMessages(f *testing.F) {
 	})
 }
 
+func FuzzRouterMessages(f *testing.F) {
+	// A 1-shard, 1-replica topology as the corpus seed; the mutator
+	// grows it from there.
+	f.Add([]byte{1, 0, 0, 0, 5, 0, 0, 0, 1, 0, 0, 0, 3, 0, 0, 0, 'a', ':', '1', 0, 7, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		checkCodec(t, &RTopology{}, data)
+	})
+}
+
 func FuzzDQueryMessages(f *testing.F) {
 	for sel := byte(0); sel < 7; sel++ {
 		f.Add([]byte{sel, 4, 0, 0, 0, 2, 0, 0, 0, 7, 0, 0, 0, 9, 0, 0, 0})

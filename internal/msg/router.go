@@ -1,0 +1,109 @@
+package msg
+
+import (
+	"dnnd/internal/wire"
+)
+
+// The dnnd-router cluster protocol (internal/router) extends the serve
+// protocol: a router front end speaks the exact serve framing to
+// clients (hello/query/stats/health behave identically, so every serve
+// client is a router client), and adds one routing op that describes
+// the cluster behind the front end.
+
+// SOpTopo asks a router for its cluster topology: an empty request
+// answered by an RTopology reply. Plain dnnd-serve processes do not
+// implement it (they drop the connection on the unknown op), which is
+// how clients tell a single server from a router front end.
+const SOpTopo uint8 = 8
+
+// Replica states as seen by the router's health prober. The zero value
+// is live so a freshly-configured replica is routable until a probe or
+// a query says otherwise.
+const (
+	RStateLive     uint8 = 0 // answering health probes, in rotation
+	RStateDraining uint8 = 1 // rolling restart: out of rotation, finishing in-flight work
+	RStateDown     uint8 = 2 // probe or query transport failure, out of rotation
+)
+
+// RStateName returns the human label used in topology dumps and
+// metrics.
+func RStateName(s uint8) string {
+	switch s {
+	case RStateLive:
+		return "live"
+	case RStateDraining:
+		return "draining"
+	case RStateDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// RReplica is one replica of a shard as the router currently sees it:
+// its address, its health state, and the snapshot generation its last
+// health probe reported (the PR 8 gen field — divergent generations
+// across a replica group mean a rolling re-index is in progress).
+type RReplica struct {
+	Addr  string
+	State uint8 // RState*
+	Gen   uint64
+}
+
+// RShard is one shard's slice of the cluster: how many points it
+// serves and its replica group.
+type RShard struct {
+	Count    uint32
+	Replicas []RReplica
+}
+
+// RTopology answers SOpTopo: the router's current view of every shard
+// and replica, in shard order. Counts sum to the cluster's total point
+// count (the N a plain hello reports).
+type RTopology struct {
+	Shards []RShard
+}
+
+func (m *RTopology) Encode(w *wire.Writer) {
+	w.Uint32(uint32(len(m.Shards)))
+	for _, sh := range m.Shards {
+		w.Uint32(sh.Count)
+		w.Uint32(uint32(len(sh.Replicas)))
+		for _, rep := range sh.Replicas {
+			w.String(rep.Addr)
+			w.Uint8(rep.State)
+			w.Uint64(rep.Gen)
+		}
+	}
+}
+
+func (m *RTopology) Decode(r *wire.Reader) {
+	// Each shard carries at least its count and replica-count words;
+	// each replica at least a string length, the state byte, and the
+	// generation — the floors that keep a corrupt count from forcing a
+	// huge allocation.
+	ns := r.Count(8)
+	if r.Err() != nil {
+		m.Shards = nil
+		return
+	}
+	m.Shards = make([]RShard, 0, ns)
+	for i := 0; i < ns; i++ {
+		var sh RShard
+		sh.Count = r.Uint32()
+		nr := r.Count(13)
+		if r.Err() != nil {
+			m.Shards = nil
+			return
+		}
+		sh.Replicas = make([]RReplica, 0, nr)
+		for j := 0; j < nr; j++ {
+			var rep RReplica
+			rep.Addr = r.String()
+			rep.State = r.Uint8()
+			rep.Gen = r.Uint64()
+			sh.Replicas = append(sh.Replicas, rep)
+		}
+		m.Shards = append(m.Shards, sh)
+	}
+}

@@ -1,0 +1,98 @@
+package msg
+
+import (
+	"reflect"
+	"testing"
+
+	"dnnd/internal/wire"
+)
+
+// TestRouterMessageLayouts pins the RTopology byte layout the same way
+// the core and serve goldens do: against a transcribed hand-rolled
+// writer sequence. The router protocol is client-visible, so drift here
+// is a wire break, not a refactor.
+func TestRouterMessageLayouts(t *testing.T) {
+	topo := RTopology{Shards: []RShard{
+		{Count: 1000, Replicas: []RReplica{
+			{Addr: "127.0.0.1:7751", State: RStateLive, Gen: 4},
+			{Addr: "127.0.0.1:7752", State: RStateDraining, Gen: 3},
+		}},
+		{Count: 999, Replicas: []RReplica{
+			{Addr: "127.0.0.1:7753", State: RStateDown, Gen: 0},
+		}},
+	}}
+	checkGolden(t, "RTopology", &topo, func(w *wire.Writer) {
+		w.Uint32(2)
+
+		w.Uint32(1000)
+		w.Uint32(2)
+		w.String("127.0.0.1:7751")
+		w.Uint8(0)
+		w.Uint64(4)
+		w.String("127.0.0.1:7752")
+		w.Uint8(1)
+		w.Uint64(3)
+
+		w.Uint32(999)
+		w.Uint32(1)
+		w.String("127.0.0.1:7753")
+		w.Uint8(2)
+		w.Uint64(0)
+	})
+}
+
+func TestRouterTopologyRoundTrip(t *testing.T) {
+	topo := RTopology{Shards: []RShard{
+		{Count: 5, Replicas: []RReplica{{Addr: "a:1", State: RStateLive, Gen: 17}}},
+		{Count: 0, Replicas: []RReplica{}},
+	}}
+	w := wire.NewWriter(64)
+	topo.Encode(w)
+	var got RTopology
+	r := wire.NewReader(w.Bytes())
+	got.Decode(r)
+	if err := r.Finish(); err != nil {
+		t.Fatalf("decode did not consume frame: %v", err)
+	}
+	if !reflect.DeepEqual(topo, got) {
+		t.Fatalf("round trip:\ngot  %+v\nwant %+v", got, topo)
+	}
+
+	// Corrupt counts must fail the reader, never allocate wildly.
+	bad := append([]byte(nil), w.Bytes()...)
+	bad[0] = 0xFF // shard count far beyond the remaining bytes
+	var junk RTopology
+	r2 := wire.NewReader(bad)
+	junk.Decode(r2)
+	if r2.Finish() == nil {
+		t.Fatal("oversized shard count decoded cleanly")
+	}
+}
+
+func TestStatusNames(t *testing.T) {
+	for st, want := range map[uint8]string{
+		SStatusOK:          "ok",
+		SStatusOverloaded:  "overloaded",
+		SStatusDraining:    "draining",
+		SStatusDeadline:    "deadline",
+		SStatusPartial:     "partial",
+		SStatusBadRequest:  "bad_request",
+		SStatusReadOnly:    "read_only",
+		SStatusUnavailable: "unavailable",
+		200:                "unknown",
+	} {
+		if got := SStatusName(st); got != want {
+			t.Errorf("SStatusName(%d) = %q, want %q", st, got, want)
+		}
+	}
+	for st, want := range map[uint8]string{
+		RStateLive:     "live",
+		RStateDraining: "draining",
+		RStateDown:     "down",
+		9:              "unknown",
+	} {
+		if got := RStateName(st); got != want {
+			t.Errorf("RStateName(%d) = %q, want %q", st, got, want)
+		}
+	}
+}

@@ -47,6 +47,10 @@ const (
 	// SStatusReadOnly: a mutation op (ingest/delete/flush) reached a
 	// server running a frozen index.
 	SStatusReadOnly uint8 = 6
+	// SStatusUnavailable: a router could not reach any replica of at
+	// least one shard (after bounded failover) and has no results to
+	// return. Single servers never emit it.
+	SStatusUnavailable uint8 = 7
 )
 
 // SStatusName returns the human label used in reports and metrics.
@@ -66,6 +70,8 @@ func SStatusName(s uint8) string {
 		return "bad_request"
 	case SStatusReadOnly:
 		return "read_only"
+	case SStatusUnavailable:
+		return "unavailable"
 	default:
 		return "unknown"
 	}

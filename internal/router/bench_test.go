@@ -1,0 +1,91 @@
+// Router overhead benchmarks: what does putting the cluster front end
+// between a client and a shard cost? BenchmarkRouterRoundTrip pins the
+// per-request tax (1-shard passthrough vs the same server direct);
+// BenchmarkRouterMergedQPS records the closed-loop merged throughput a
+// 3-shard cluster sustains through one router (results/router.md).
+package router_test
+
+import (
+	"testing"
+	"time"
+
+	"dnnd"
+	"dnnd/internal/msg"
+	"dnnd/internal/router"
+	"dnnd/internal/serve"
+)
+
+// benchQuery runs b.N synchronous round trips against addr.
+func benchRoundTrips(b *testing.B, addr string, queries [][]float32) {
+	b.Helper()
+	c, err := serve.Dial(addr, 5*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := msg.SQuery[float32]{
+			ID: uint64(i), Seed: int64(i), L: 10, Epsilon: 0.1,
+			Vec: queries[i%len(queries)],
+		}
+		res, err := serve.Do(c, &q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Status != msg.SStatusOK {
+			b.Fatalf("status %s", msg.SStatusName(res.Status))
+		}
+	}
+}
+
+// BenchmarkRouterRoundTrip measures one synchronous query round trip
+// direct to a shard server vs through a 1-shard router in front of the
+// same server — the pure scatter/merge/forwarding tax, since with one
+// shard the router adds a hop and a merge of one list but no fan-out.
+func BenchmarkRouterRoundTrip(b *testing.B) {
+	const n, dim, k = 2000, 16, 10
+	data := randVecs(n, dim, 41)
+	queries := randVecs(64, dim, 42)
+	_, man, out := buildCluster(b, data, k, 1)
+	addr, _ := startShard(b, dnnd.ShardDir(out, 0))
+	_, raddr := startRouterOver(b, man, [][]string{{addr}}, router.Config{
+		ProbeInterval: -1,
+	})
+
+	b.Run("direct", func(b *testing.B) { benchRoundTrips(b, addr, queries) })
+	b.Run("router", func(b *testing.B) { benchRoundTrips(b, raddr, queries) })
+}
+
+// BenchmarkRouterMergedQPS measures sustained closed-loop merged
+// throughput through a router over a 3-shard cluster: 8 workers over 4
+// pipelined connections, every reply a global top-k merged from three
+// scatter legs.
+func BenchmarkRouterMergedQPS(b *testing.B) {
+	const n, dim, k, nShards = 3000, 16, 10, 3
+	data := randVecs(n, dim, 43)
+	queries := randVecs(256, dim, 44)
+	_, man, out := buildCluster(b, data, k, nShards)
+	groups := make([][]string, nShards)
+	for s := 0; s < nShards; s++ {
+		addr, _ := startShard(b, dnnd.ShardDir(out, s))
+		groups[s] = []string{addr}
+	}
+	_, raddr := startRouterOver(b, man, groups, router.Config{ProbeInterval: -1})
+
+	b.ResetTimer()
+	rep, err := serve.RunLoad[float32](serve.LoadConfig{
+		Addr: raddr, Requests: b.N, Concurrency: 8, Conns: 4, Seed: 1,
+		L: 10, Epsilon: 0.1,
+	}, queries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if rep.Errors != 0 {
+		b.Fatalf("transport errors: %d", rep.Errors)
+	}
+	b.ReportMetric(rep.QPS, "qps")
+	b.ReportMetric(rep.Latency.P50, "p50-usec")
+	b.ReportMetric(rep.Latency.P99, "p99-usec")
+}

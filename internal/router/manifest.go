@@ -1,0 +1,34 @@
+// Package router is the cluster front end over a set of sharded
+// dnnd-serve processes: it speaks the exact serve wire protocol to
+// clients (every serve client — the load generator above all — works
+// against a router unchanged), scatter-gathers each query across all
+// shards, merges the per-shard top-k into a global top-k with global
+// IDs, and fails over between replicas of a shard when one dies or
+// drains. The shard stores themselves come from dnnd.Split, which
+// writes the Manifest this package loads.
+package router
+
+import "dnnd/internal/shard"
+
+// The manifest itself lives in internal/shard — a leaf package with no
+// serve dependency — so the offline splitter in the root package can
+// write one without importing the router (root → router → serve would
+// cycle with serve's own white-box tests, which exercise the full
+// stack through the root package). The router re-exports the names its
+// callers use.
+type (
+	Manifest  = shard.Manifest
+	ShardInfo = shard.ShardInfo
+)
+
+// ManifestObject is the metall object name the manifest is stored
+// under (its own datastore directory, sibling to the shard stores).
+const ManifestObject = shard.ManifestObject
+
+// SaveManifest persists the manifest into a metall datastore directory
+// with the usual temp+rename commit discipline.
+func SaveManifest(dir string, m *Manifest) error { return shard.SaveManifest(dir, m) }
+
+// LoadManifest reattaches to a manifest written by SaveManifest,
+// rejecting anything that fails decoding or validation.
+func LoadManifest(dir string) (*Manifest, error) { return shard.LoadManifest(dir) }

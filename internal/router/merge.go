@@ -1,0 +1,43 @@
+package router
+
+import (
+	"sort"
+
+	"dnnd/internal/knng"
+	"dnnd/internal/msg"
+)
+
+// mergeResults folds one shard's reply into the accumulated global
+// candidate list, remapping each neighbor's shard-local ID to its
+// global ID through the manifest table. Out-of-range local IDs (a
+// replica serving a store larger than its manifest slice — should be
+// impossible past the probe validation) are dropped rather than
+// remapped to garbage.
+func mergeResults(dst []knng.Neighbor, res *msg.SResult, globals []knng.ID) []knng.Neighbor {
+	for _, nb := range res.Neighbors {
+		if int(nb.ID) >= len(globals) {
+			continue
+		}
+		nb.ID = globals[nb.ID]
+		dst = append(dst, nb)
+	}
+	return dst
+}
+
+// finishMerge orders the accumulated candidates into the global top-l:
+// ascending distance, ties broken by global ID so the merged order is
+// deterministic regardless of shard reply order (the property the
+// exact-equality e2e pins against the single-store search, which
+// breaks ties the same way).
+func finishMerge(all []knng.Neighbor, l int) []knng.Neighbor {
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].ID < all[j].ID
+	})
+	if l > 0 && len(all) > l {
+		all = all[:l]
+	}
+	return all
+}

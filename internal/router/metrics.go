@@ -1,0 +1,154 @@
+package router
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dnnd/internal/msg"
+	"dnnd/internal/obs"
+)
+
+// Metrics is the router's observability surface, mirroring the serve
+// server's: monotonic counters, per-shard and per-replica breakdowns,
+// and latency histograms, all dumped through one obs.Registry behind
+// the stats op.
+type Metrics struct {
+	// Admission and completion counters, by final client-visible status.
+	Accepted         atomic.Int64
+	CompletedOK      atomic.Int64
+	CompletedPartial atomic.Int64
+	RejectedOverload atomic.Int64 // a shard signalled backpressure (or the router itself did)
+	RejectedDraining atomic.Int64 // router drain, or every shard draining
+	RejectedBad      atomic.Int64
+	DeadlineMiss     atomic.Int64 // no shard produced results before the deadline
+	Unavailable      atomic.Int64 // a shard had no reachable replica and nothing was salvageable
+	Completed        atomic.Int64 // every admitted query replied, any status
+	WriteErrors      atomic.Int64
+
+	// Fan-out counters.
+	SubQueries  atomic.Int64 // sub-queries sent to shards (including retries)
+	Failovers   atomic.Int64 // sub-queries retried on a sibling replica
+	ShardErrors atomic.Int64 // replica transport failures on the query path
+	ShardSlow   atomic.Int64 // sub-queries abandoned by the per-shard watchdog
+
+	// Prober counters.
+	ProbeFails      atomic.Int64
+	ProbeMismatches atomic.Int64 // replica serving the wrong store shape
+
+	// Endpoint counters.
+	Hellos, StatsDumps, HealthProbes, TopoDumps atomic.Int64
+
+	// Gauges.
+	InFlight   atomic.Int64
+	Conns      atomic.Int64
+	ConnsTotal atomic.Int64
+
+	// Latency (microseconds, admission to reply written).
+	LatTotal obs.Hist
+
+	// Shards holds one entry per shard (filled by New).
+	Shards []ShardStat
+
+	// replicaViews lets the registry export per-replica state and
+	// generation gauges without reaching into the router (filled by New).
+	replicaViews []replicaView
+
+	regOnce sync.Once
+	reg     *obs.Registry
+}
+
+// ShardStat is one shard's share of the fan-out counters plus its
+// sub-query latency histogram.
+type ShardStat struct {
+	Queries atomic.Int64 // successful sub-queries (results merged)
+	Misses  atomic.Int64 // sub-queries that contributed nothing
+	Lat     obs.Hist     // successful sub-query round-trip time (usec)
+}
+
+type replicaView struct {
+	shard int
+	addr  string
+	state func() uint8
+	gen   func() uint64
+}
+
+// Registry lazily builds (once) the obs.Registry view under
+// dnnd_router_* names, the same pattern and dump format as the serve
+// metrics so one scraper handles both.
+func (m *Metrics) Registry() *obs.Registry {
+	m.regOnce.Do(func() {
+		r := obs.NewRegistry()
+		for _, sc := range []struct {
+			status string
+			c      *atomic.Int64
+		}{
+			{"ok", &m.CompletedOK},
+			{"partial", &m.CompletedPartial},
+			{"overloaded", &m.RejectedOverload},
+			{"draining", &m.RejectedDraining},
+			{"bad_request", &m.RejectedBad},
+			{"deadline", &m.DeadlineMiss},
+			{"unavailable", &m.Unavailable},
+		} {
+			r.Sample(fmt.Sprintf("dnnd_router_queries_total{status=%q}", sc.status), sc.c.Load)
+		}
+		r.Sample("dnnd_router_accepted_total", m.Accepted.Load)
+		r.Sample("dnnd_router_completed_total", m.Completed.Load)
+		r.Sample("dnnd_router_write_errors_total", m.WriteErrors.Load)
+		r.Sample("dnnd_router_subqueries_total", m.SubQueries.Load)
+		r.Sample("dnnd_router_failovers_total", m.Failovers.Load)
+		r.Sample("dnnd_router_shard_errors_total", m.ShardErrors.Load)
+		r.Sample("dnnd_router_shard_slow_total", m.ShardSlow.Load)
+		r.Sample("dnnd_router_probe_fails_total", m.ProbeFails.Load)
+		r.Sample("dnnd_router_probe_mismatches_total", m.ProbeMismatches.Load)
+		r.Sample("dnnd_router_hello_total", m.Hellos.Load)
+		r.Sample("dnnd_router_stats_total", m.StatsDumps.Load)
+		r.Sample("dnnd_router_health_total", m.HealthProbes.Load)
+		r.Sample("dnnd_router_topo_total", m.TopoDumps.Load)
+		r.Sample("dnnd_router_inflight", m.InFlight.Load)
+		r.Sample("dnnd_router_connections", m.Conns.Load)
+		r.Sample("dnnd_router_connections_total", m.ConnsTotal.Load)
+		for i := range m.Shards {
+			ss := &m.Shards[i]
+			r.Sample(fmt.Sprintf("dnnd_router_shard_queries_total{shard=\"%d\"}", i), ss.Queries.Load)
+			r.Sample(fmt.Sprintf("dnnd_router_shard_misses_total{shard=\"%d\"}", i), ss.Misses.Load)
+			r.RegisterHist(fmt.Sprintf("dnnd_router_shard_latency_usec{shard=\"%d\"}", i), &ss.Lat)
+		}
+		for _, rv := range m.replicaViews {
+			rv := rv
+			r.Sample(fmt.Sprintf("dnnd_router_replica_state{shard=%q,replica=%q}",
+				fmt.Sprint(rv.shard), rv.addr),
+				func() int64 { return int64(rv.state()) })
+			r.Sample(fmt.Sprintf("dnnd_router_replica_gen{shard=%q,replica=%q}",
+				fmt.Sprint(rv.shard), rv.addr),
+				func() int64 { return int64(rv.gen()) })
+		}
+		r.RegisterHist("dnnd_router_latency_usec", &m.LatTotal)
+		m.reg = r
+	})
+	return m.reg
+}
+
+// Dump renders the metrics in the shared /metrics-style text format.
+func (m *Metrics) Dump() string { return m.Registry().DumpString() }
+
+// statusCounter returns the completion counter a final status bumps.
+func (m *Metrics) statusCounter(status uint8) *atomic.Int64 {
+	switch status {
+	case msg.SStatusOK:
+		return &m.CompletedOK
+	case msg.SStatusPartial:
+		return &m.CompletedPartial
+	case msg.SStatusOverloaded:
+		return &m.RejectedOverload
+	case msg.SStatusDraining:
+		return &m.RejectedDraining
+	case msg.SStatusBadRequest:
+		return &m.RejectedBad
+	case msg.SStatusDeadline:
+		return &m.DeadlineMiss
+	default:
+		return &m.Unavailable
+	}
+}

@@ -1,0 +1,183 @@
+package router
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnnd/internal/msg"
+	"dnnd/internal/serve"
+)
+
+// replica is one backend server holding a copy of one shard. The query
+// path shares a single lazily-dialed pipelined connection per replica
+// (the serve protocol is built for that); the health prober uses its
+// own short-lived connections so a wedged query path cannot mask a
+// dead server or vice versa.
+//
+// State transitions: probes set live/draining/down from the health
+// line; the query path demotes straight to down on a transport error
+// (failover must not wait a probe interval) and to draining on a typed
+// draining rejection. Only a probe ever promotes back to live.
+type replica struct {
+	addr  string
+	shard int
+
+	state atomic.Uint32 // msg.RState*; zero value live, routable until told otherwise
+	gen   atomic.Uint64 // snapshot generation from the last health line
+
+	mu          sync.Mutex
+	pc          *serve.PipeClient
+	dialTimeout time.Duration
+}
+
+func (rp *replica) curState() uint8 { return uint8(rp.state.Load()) }
+
+// client returns the replica's shared pipelined connection, dialing it
+// on first use (and after a demotion dropped the previous one).
+func (rp *replica) client() (*serve.PipeClient, error) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if rp.pc != nil {
+		return rp.pc, nil
+	}
+	pc, err := serve.DialPipe(rp.addr, rp.dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	rp.pc = pc
+	return pc, nil
+}
+
+// demote drops pc if it is still the replica's current connection and
+// marks the replica with state (down on transport errors, draining on
+// typed draining rejections). Closing the connection wakes every
+// caller still blocked in DoQueryRaw on it, so one failure fails over
+// all of that replica's in-flight sub-queries at once.
+func (rp *replica) demote(pc *serve.PipeClient, state uint8) {
+	rp.mu.Lock()
+	if pc != nil && rp.pc == pc {
+		rp.pc = nil
+	}
+	rp.mu.Unlock()
+	if pc != nil {
+		pc.Close()
+	}
+	rp.state.Store(uint32(state))
+}
+
+// closeConn drops the replica's pooled connection (shutdown path).
+func (rp *replica) closeConn() {
+	rp.mu.Lock()
+	pc := rp.pc
+	rp.pc = nil
+	rp.mu.Unlock()
+	if pc != nil {
+		pc.Close()
+	}
+}
+
+// healthInfo is the parsed form of the serve health line
+// ("ok n=1000 dim=8 elem=float32 metric=l2 ... gen=3").
+type healthInfo struct {
+	state uint8 // msg.RState*
+	n     uint64
+	dim   uint64
+	elem  string
+	gen   uint64
+}
+
+// parseHealth parses a health probe line: the first token is the
+// server state, the rest are key=value fields (unknown keys ignored,
+// so the format can keep growing).
+func parseHealth(line string) (healthInfo, error) {
+	info := healthInfo{n: ^uint64(0), dim: ^uint64(0)}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 {
+		return info, fmt.Errorf("router: empty health line")
+	}
+	switch fields[0] {
+	case "ok":
+		info.state = msg.RStateLive
+	case "draining":
+		info.state = msg.RStateDraining
+	default:
+		return info, fmt.Errorf("router: unknown health state %q", fields[0])
+	}
+	for _, f := range fields[1:] {
+		k, v, found := strings.Cut(f, "=")
+		if !found {
+			continue
+		}
+		switch k {
+		case "n":
+			info.n, _ = strconv.ParseUint(v, 10, 64)
+		case "dim":
+			info.dim, _ = strconv.ParseUint(v, 10, 64)
+		case "elem":
+			info.elem = v
+		case "gen":
+			info.gen, _ = strconv.ParseUint(v, 10, 64)
+		}
+	}
+	return info, nil
+}
+
+// probeOnce runs one health round trip against rp and applies the
+// result: live/draining per the health line, down on any transport
+// failure, and — crucially — down on a shape mismatch: a replica
+// answering probes but serving the wrong store (wrong point count,
+// dimensionality, or element type for its shard) would silently
+// return garbage through the global ID remap, so it is treated as
+// broken, not healthy.
+func (rt *Router) probeOnce(rp *replica) {
+	c, err := serve.Dial(rp.addr, rt.cfg.DialTimeout)
+	if err != nil {
+		rt.m.ProbeFails.Add(1)
+		rp.demote(nil, msg.RStateDown)
+		return
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(rt.cfg.DialTimeout))
+	line, err := c.Health()
+	if err != nil {
+		rt.m.ProbeFails.Add(1)
+		rp.demote(nil, msg.RStateDown)
+		return
+	}
+	info, err := parseHealth(line)
+	if err != nil {
+		rt.m.ProbeFails.Add(1)
+		rp.demote(nil, msg.RStateDown)
+		return
+	}
+	sh := &rt.man.Shards[rp.shard]
+	if info.n != uint64(sh.Count) ||
+		info.dim != uint64(rt.man.Dim) ||
+		(info.elem != "" && info.elem != rt.man.Elem) {
+		rt.m.ProbeMismatches.Add(1)
+		rp.demote(nil, msg.RStateDown)
+		return
+	}
+	rp.gen.Store(info.gen)
+	rp.state.Store(uint32(info.state))
+}
+
+// prober is the per-replica health loop: one probe immediately, then
+// one per interval until shutdown.
+func (rt *Router) prober(rp *replica) {
+	defer rt.probeWG.Done()
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		rt.probeOnce(rp)
+		select {
+		case <-rt.stopProbe:
+			return
+		case <-t.C:
+		}
+	}
+}

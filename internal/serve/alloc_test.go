@@ -82,7 +82,7 @@ func TestServeRoundTripZeroAlloc(t *testing.T) {
 	s.connWG.Add(1)
 	go s.handleConn(sc)
 
-	frame := appendFrame(nil, msg.SOpQuery, encodeQuery(&msg.SQuery[float32]{
+	frame := AppendFrame(nil, msg.SOpQuery, encodeQuery(&msg.SQuery[float32]{
 		ID: 1, Seed: 42, L: 10, Epsilon: 0.1, Vec: s.src.Data[3],
 	}))
 	br := bufio.NewReaderSize(client, 64<<10)
@@ -91,7 +91,7 @@ func TestServeRoundTripZeroAlloc(t *testing.T) {
 		if _, err := client.Write(frame); err != nil {
 			t.Fatalf("write: %v", err)
 		}
-		op, payload, err := readFrameInto(br, &rbuf)
+		op, payload, err := ReadFrameInto(br, &rbuf)
 		if err != nil || op != msg.SOpQuery || len(payload) == 0 {
 			t.Fatalf("reply: op=%d len=%d err=%v", op, len(payload), err)
 		}

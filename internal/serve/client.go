@@ -39,14 +39,19 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 // Close closes the underlying connection.
 func (c *Client) Close() error { return c.c.Close() }
 
+// SetDeadline sets the absolute I/O deadline on the underlying
+// connection (reads and writes both). The router's health prober uses
+// it so a hung server fails a probe instead of wedging the prober.
+func (c *Client) SetDeadline(t time.Time) error { return c.c.SetDeadline(t) }
+
 func (c *Client) roundTrip(op uint8, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.wbuf = appendFrame(c.wbuf[:0], op, payload)
+	c.wbuf = AppendFrame(c.wbuf[:0], op, payload)
 	if _, err := c.c.Write(c.wbuf); err != nil {
 		return nil, err
 	}
-	gotOp, reply, err := readFrame(c.br)
+	gotOp, reply, err := ReadFrame(c.br)
 	if err != nil {
 		return nil, err
 	}
@@ -81,6 +86,25 @@ func (c *Client) Health() (string, error) {
 func (c *Client) Stats() (string, error) {
 	reply, err := c.roundTrip(msg.SOpStats, nil)
 	return string(reply), err
+}
+
+// Topology fetches a router front end's cluster topology (shards,
+// replica groups, health states, per-replica generations). Plain
+// dnnd-serve processes do not implement the op and drop the
+// connection, so an error here against a healthy address means "not a
+// router".
+func (c *Client) Topology() (*msg.RTopology, error) {
+	reply, err := c.roundTrip(msg.SOpTopo, nil)
+	if err != nil {
+		return nil, err
+	}
+	var topo msg.RTopology
+	r := wire.NewReader(reply)
+	topo.Decode(r)
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return &topo, nil
 }
 
 // updateTrip runs one mutation round trip and decodes the SUpdateReply.

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"fmt"
+
+	"dnnd/internal/msg"
+)
+
+// StatusError is a reply's typed rejection as a Go error. Do/DoPipe
+// deliberately return rejections as results (replay clients treat a
+// deadline drop as data, not a failure); callers that instead want
+// error-shaped control flow — the router's failover loop above all —
+// convert with ResultErr/UpdateErr/StatusErr and branch on the
+// sentinels below with errors.Is, or on the classification helpers,
+// instead of string-matching the status byte.
+type StatusError struct {
+	Status uint8
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("serve: rejected: %s", msg.SStatusName(e.Status))
+}
+
+// Canonical sentinels, one per rejection status. StatusErr returns
+// these exact values, so errors.Is works by identity without an Is
+// method.
+var (
+	ErrOverloaded  = &StatusError{Status: msg.SStatusOverloaded}
+	ErrDraining    = &StatusError{Status: msg.SStatusDraining}
+	ErrDeadline    = &StatusError{Status: msg.SStatusDeadline}
+	ErrBadRequest  = &StatusError{Status: msg.SStatusBadRequest}
+	ErrReadOnly    = &StatusError{Status: msg.SStatusReadOnly}
+	ErrUnavailable = &StatusError{Status: msg.SStatusUnavailable}
+)
+
+// Retryable reports whether the rejection is worth retrying on a
+// different replica of the same data: the server never admitted the
+// query (draining shutdown) or is gone for this router's purposes
+// (unavailable after failover is itself final — retrying it elsewhere
+// is the router's job, not the client's). Overloaded is deliberately
+// NOT retryable: it is the backpressure signal, and replaying it
+// against a sibling replica converts one overloaded server into a
+// cluster-wide overload.
+func (e *StatusError) Retryable() bool {
+	return e.Status == msg.SStatusDraining
+}
+
+// Backpressure reports whether the rejection asks the caller to slow
+// down rather than to fail over.
+func (e *StatusError) Backpressure() bool {
+	return e.Status == msg.SStatusOverloaded
+}
+
+// StatusErr maps a reply status byte to its typed error: nil for the
+// two result-carrying statuses (ok, partial), the matching sentinel
+// otherwise. Unknown status bytes get a fresh StatusError so nothing
+// is silently treated as success.
+func StatusErr(status uint8) error {
+	switch status {
+	case msg.SStatusOK, msg.SStatusPartial:
+		return nil
+	case msg.SStatusOverloaded:
+		return ErrOverloaded
+	case msg.SStatusDraining:
+		return ErrDraining
+	case msg.SStatusDeadline:
+		return ErrDeadline
+	case msg.SStatusBadRequest:
+		return ErrBadRequest
+	case msg.SStatusReadOnly:
+		return ErrReadOnly
+	case msg.SStatusUnavailable:
+		return ErrUnavailable
+	default:
+		return &StatusError{Status: status}
+	}
+}
+
+// ResultErr converts a query reply's status to a typed error (nil when
+// the reply carries results).
+func ResultErr(res *msg.SResult) error { return StatusErr(res.Status) }
+
+// UpdateErr converts a mutation reply's status to a typed error (nil
+// on success; mutation replies never carry partial).
+func UpdateErr(up *msg.SUpdateReply) error {
+	if up.Status == msg.SStatusOK {
+		return nil
+	}
+	if err := StatusErr(up.Status); err != nil {
+		return err
+	}
+	// A status that would be success-like on the query path (partial)
+	// is malformed on a mutation reply; surface it rather than nil.
+	return &StatusError{Status: up.Status}
+}

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"syscall"
+	"testing"
+
+	"dnnd/internal/msg"
+)
+
+func TestStatusErrMapping(t *testing.T) {
+	// Result-carrying statuses are not errors.
+	for _, st := range []uint8{msg.SStatusOK, msg.SStatusPartial} {
+		if err := StatusErr(st); err != nil {
+			t.Errorf("StatusErr(%s) = %v, want nil", msg.SStatusName(st), err)
+		}
+	}
+	// Every rejection maps to its canonical sentinel, matchable with
+	// errors.Is and carrying the status byte for code that needs it.
+	cases := []struct {
+		status uint8
+		want   *StatusError
+	}{
+		{msg.SStatusOverloaded, ErrOverloaded},
+		{msg.SStatusDraining, ErrDraining},
+		{msg.SStatusDeadline, ErrDeadline},
+		{msg.SStatusBadRequest, ErrBadRequest},
+		{msg.SStatusReadOnly, ErrReadOnly},
+		{msg.SStatusUnavailable, ErrUnavailable},
+	}
+	for _, c := range cases {
+		err := StatusErr(c.status)
+		if !errors.Is(err, c.want) {
+			t.Errorf("StatusErr(%s) = %v, not the sentinel", msg.SStatusName(c.status), err)
+		}
+		var se *StatusError
+		if !errors.As(err, &se) || se.Status != c.status {
+			t.Errorf("StatusErr(%s) does not expose the status byte", msg.SStatusName(c.status))
+		}
+		if !strings.Contains(err.Error(), msg.SStatusName(c.status)) {
+			t.Errorf("StatusErr(%s).Error() = %q, missing status name", msg.SStatusName(c.status), err)
+		}
+	}
+	// Unknown statuses are still errors, never silent successes.
+	if err := StatusErr(250); err == nil {
+		t.Error("unknown status mapped to nil")
+	}
+}
+
+func TestStatusErrClassification(t *testing.T) {
+	if !ErrDraining.Retryable() {
+		t.Error("draining must be retryable: the server never admitted the query")
+	}
+	for _, e := range []*StatusError{ErrOverloaded, ErrBadRequest, ErrReadOnly, ErrUnavailable, ErrDeadline} {
+		if e.Retryable() {
+			t.Errorf("%v classified retryable", e)
+		}
+	}
+	if !ErrOverloaded.Backpressure() {
+		t.Error("overloaded must classify as backpressure")
+	}
+	if ErrDraining.Backpressure() {
+		t.Error("draining is not backpressure")
+	}
+}
+
+func TestResultAndUpdateErr(t *testing.T) {
+	if err := ResultErr(&msg.SResult{Status: msg.SStatusPartial}); err != nil {
+		t.Errorf("partial result mapped to error %v", err)
+	}
+	if err := ResultErr(&msg.SResult{Status: msg.SStatusOverloaded}); !errors.Is(err, ErrOverloaded) {
+		t.Errorf("overloaded result mapped to %v", err)
+	}
+	if err := UpdateErr(&msg.SUpdateReply{Status: msg.SStatusOK}); err != nil {
+		t.Errorf("ok update mapped to error %v", err)
+	}
+	if err := UpdateErr(&msg.SUpdateReply{Status: msg.SStatusReadOnly}); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("read_only update mapped to %v", err)
+	}
+	// Partial is malformed on the mutation path: an error, not success.
+	if err := UpdateErr(&msg.SUpdateReply{Status: msg.SStatusPartial}); err == nil {
+		t.Error("partial update reply mapped to nil")
+	}
+}
+
+func TestClassifyErr(t *testing.T) {
+	for err, want := range map[error]string{
+		io.EOF:               "eof",
+		io.ErrUnexpectedEOF:  "eof",
+		syscall.ECONNRESET:   "reset",
+		syscall.EPIPE:        "reset",
+		syscall.ECONNREFUSED: "refused",
+		errors.New("weird"):  "io",
+	} {
+		if got := classifyErr(err); got != want {
+			t.Errorf("classifyErr(%v) = %q, want %q", err, got, want)
+		}
+	}
+}

@@ -2,8 +2,11 @@ package serve
 
 import (
 	"errors"
+	"io"
+	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"dnnd/internal/knng"
@@ -61,6 +64,30 @@ type LoadConfig struct {
 	// up in the report as its own op class. Zero relies on the server's
 	// background refinement trigger.
 	FlushEvery int
+	// ReportErrors adds a per-kind transport-error breakdown to the
+	// report (Report.ErrorKinds), so failover tests can assert not just
+	// that the error count is zero but that no class of failure leaked
+	// through at all.
+	ReportErrors bool
+}
+
+// classifyErr buckets a transport error for Report.ErrorKinds. The
+// buckets are deliberately coarse — the failover suite only needs to
+// tell connection churn (reset/refused) from protocol damage.
+func classifyErr(err error) string {
+	var ne net.Error
+	switch {
+	case errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF):
+		return "eof"
+	case errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE):
+		return "reset"
+	case errors.Is(err, syscall.ECONNREFUSED):
+		return "refused"
+	case errors.As(err, &ne) && ne.Timeout():
+		return "timeout"
+	default:
+		return "io"
+	}
 }
 
 // Per-op class tags used by mutate mode.
@@ -134,10 +161,15 @@ type Report struct {
 	QPS         float64        `json:"qps"` // achieved completion rate
 	ByStatus    map[string]int `json:"by_status"`
 	Errors      int            `json:"errors"` // transport failures
-	Latency     LatencySummary `json:"latency_usec"`
-	QueueWait   LatencySummary `json:"queue_wait_usec"`
-	Exec        LatencySummary `json:"exec_usec"`
-	DistEvals   float64        `json:"dist_evals_per_query"`
+	// ErrorKinds breaks Errors down by transport failure kind ("eof",
+	// "reset", "refused", "timeout", "io"); filled only when
+	// LoadConfig.ReportErrors is set, so replica-kill tests can pin an
+	// exact error budget — usually zero.
+	ErrorKinds map[string]int `json:"error_kinds,omitempty"`
+	Latency    LatencySummary `json:"latency_usec"`
+	QueueWait  LatencySummary `json:"queue_wait_usec"`
+	Exec       LatencySummary `json:"exec_usec"`
+	DistEvals  float64        `json:"dist_evals_per_query"`
 	// PerConn holds one latency digest per pipelined connection
 	// (index = connection index); a lopsided spread means one
 	// connection's reader goroutine, not the server, is the bottleneck.
@@ -207,6 +239,22 @@ func RunLoad[T wire.Scalar](cfg LoadConfig, queries [][]T) (*Report, error) {
 	results := make([]*msg.SResult, cfg.Requests)
 	var errCount atomic.Int64
 	var next atomic.Int64
+
+	// Transport-error accounting. The mutex is fine: errors are the
+	// exceptional path, and the kinds map only exists on request.
+	var errMu sync.Mutex
+	var errKinds map[string]int
+	if cfg.ReportErrors {
+		errKinds = make(map[string]int)
+	}
+	recordErr := func(err error) {
+		errCount.Add(1)
+		if errKinds != nil {
+			errMu.Lock()
+			errKinds[classifyErr(err)]++
+			errMu.Unlock()
+		}
+	}
 
 	// Pipelined mode: a fixed pool of shared connections, dialed up
 	// front so a bad address fails fast instead of mid-run.
@@ -295,7 +343,7 @@ func RunLoad[T wire.Scalar](cfg LoadConfig, queries [][]T) (*Report, error) {
 				}
 				lat[i] = float64(time.Since(t0).Microseconds())
 				if err != nil {
-					errCount.Add(1)
+					recordErr(err)
 					c.Close()
 					if c, err = Dial(cfg.Addr, cfg.DialTimeout); err != nil {
 						return err
@@ -330,7 +378,7 @@ func RunLoad[T wire.Scalar](cfg LoadConfig, queries [][]T) (*Report, error) {
 			}
 			lat[i] = float64(time.Since(t0).Microseconds())
 			if err != nil {
-				errCount.Add(1)
+				recordErr(err)
 				if pc != nil {
 					// A pipelined connection is shared; a transport
 					// error there is sticky and poisons every worker on
@@ -379,6 +427,7 @@ func RunLoad[T wire.Scalar](cfg LoadConfig, queries [][]T) (*Report, error) {
 		WallSeconds: wall.Seconds(),
 		ByStatus:    make(map[string]int),
 		Errors:      int(errCount.Load()),
+		ErrorKinds:  errKinds,
 	}
 	var qwait, exec []float64
 	var byConn [][]float64

@@ -58,7 +58,7 @@ func (pc *PipeClient) readLoop() {
 	br := bufio.NewReaderSize(pc.c, 64<<10)
 	var rbuf []byte
 	for {
-		op, payload, err := readFrameInto(br, &rbuf)
+		op, payload, err := ReadFrameInto(br, &rbuf)
 		if err != nil {
 			pc.fail(err)
 			return
@@ -101,28 +101,51 @@ func (pc *PipeClient) fail(err error) {
 // reply arrives (other callers' queries overlap freely in between).
 // Like Do, typed rejections are results, not errors.
 func DoPipe[T wire.Scalar](pc *PipeClient, q *msg.SQuery[T]) (*msg.SResult, error) {
-	ch := make(chan *msg.SResult, 1)
-	pc.mu.Lock()
-	if pc.err != nil {
-		pc.mu.Unlock()
-		return nil, pc.err
-	}
-	if _, dup := pc.pending[q.ID]; dup {
-		pc.mu.Unlock()
-		return nil, fmt.Errorf("serve: duplicate in-flight query ID %d", q.ID)
-	}
-	pc.pending[q.ID] = ch
-	pc.mu.Unlock()
-
 	pc.wmu.Lock()
 	pc.w.Reset()
 	q.Encode(&pc.w)
-	pc.wbuf = appendFrame(pc.wbuf[:0], msg.SOpQuery, pc.w.Bytes())
+	payload := pc.w.Bytes()
+	return pc.doLocked(q.ID, payload)
+}
+
+// DoQueryRaw sends an already-encoded SQuery payload whose leading ID
+// field has been set to id, and blocks for the matching reply. This is
+// the router's scatter path: it rewrites only the 8-byte ID prefix of
+// the client's query payload per sub-query, so the vector bytes are
+// forwarded without ever being decoded. The payload is copied into the
+// connection's write buffer before DoQueryRaw returns the first time
+// it blocks, so the caller may reuse it immediately.
+func (pc *PipeClient) DoQueryRaw(id uint64, payload []byte) (*msg.SResult, error) {
+	pc.wmu.Lock()
+	return pc.doLocked(id, payload)
+}
+
+// doLocked registers id, frames and writes payload, and waits for the
+// routed reply. The caller holds wmu (covering payload if it aliases
+// pc.w); doLocked releases it once the frame is on the wire.
+func (pc *PipeClient) doLocked(id uint64, payload []byte) (*msg.SResult, error) {
+	ch := make(chan *msg.SResult, 1)
+	pc.mu.Lock()
+	if pc.err != nil {
+		err := pc.err
+		pc.mu.Unlock()
+		pc.wmu.Unlock()
+		return nil, err
+	}
+	if _, dup := pc.pending[id]; dup {
+		pc.mu.Unlock()
+		pc.wmu.Unlock()
+		return nil, fmt.Errorf("serve: duplicate in-flight query ID %d", id)
+	}
+	pc.pending[id] = ch
+	pc.mu.Unlock()
+
+	pc.wbuf = AppendFrame(pc.wbuf[:0], msg.SOpQuery, payload)
 	_, err := pc.c.Write(pc.wbuf)
 	pc.wmu.Unlock()
 	if err != nil {
 		pc.mu.Lock()
-		delete(pc.pending, q.ID)
+		delete(pc.pending, id)
 		pc.mu.Unlock()
 		return nil, err
 	}

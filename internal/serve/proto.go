@@ -30,9 +30,9 @@ const maxFrame = 1 << 24
 
 const frameHeaderLen = 5 // uint32 length + op byte
 
-// appendFrame appends a framed message to buf and returns the
+// AppendFrame appends a framed message to buf and returns the
 // extended slice (the caller owns buf and reuses it across frames).
-func appendFrame(buf []byte, op uint8, payload []byte) []byte {
+func AppendFrame(buf []byte, op uint8, payload []byte) []byte {
 	var hdr [frameHeaderLen]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
 	hdr[4] = op
@@ -40,9 +40,9 @@ func appendFrame(buf []byte, op uint8, payload []byte) []byte {
 	return append(buf, payload...)
 }
 
-// readFrame reads one frame, returning the op byte and the payload.
+// ReadFrame reads one frame, returning the op byte and the payload.
 // The payload is freshly allocated and owned by the caller.
-func readFrame(r io.Reader) (uint8, []byte, error) {
+func ReadFrame(r io.Reader) (uint8, []byte, error) {
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
@@ -58,11 +58,11 @@ func readFrame(r io.Reader) (uint8, []byte, error) {
 	return hdr[4], payload, nil
 }
 
-// readFrameInto is readFrame with a caller-owned buffer: the returned
+// ReadFrameInto is ReadFrame with a caller-owned buffer: the returned
 // payload aliases *buf (grown as needed, never shrunk) and is valid
 // only until the next call with the same buffer. The header is staged
 // through the same buffer so a steady-state read allocates nothing.
-func readFrameInto(r io.Reader, buf *[]byte) (uint8, []byte, error) {
+func ReadFrameInto(r io.Reader, buf *[]byte) (uint8, []byte, error) {
 	b := *buf
 	if cap(b) < frameHeaderLen {
 		b = make([]byte, frameHeaderLen, 4096)

@@ -49,29 +49,29 @@ func testSource(t testing.TB, n, dim, k int) Source[float32] {
 
 func TestFrameRoundTrip(t *testing.T) {
 	var buf []byte
-	buf = appendFrame(buf, 7, []byte("abc"))
-	buf = appendFrame(buf, 9, nil)
+	buf = AppendFrame(buf, 7, []byte("abc"))
+	buf = AppendFrame(buf, 9, nil)
 	r := bytes.NewReader(buf)
-	op, p, err := readFrame(r)
+	op, p, err := ReadFrame(r)
 	if err != nil || op != 7 || string(p) != "abc" {
 		t.Fatalf("frame 1: op=%d payload=%q err=%v", op, p, err)
 	}
-	op, p, err = readFrame(r)
+	op, p, err = ReadFrame(r)
 	if err != nil || op != 9 || len(p) != 0 {
 		t.Fatalf("frame 2: op=%d payload=%q err=%v", op, p, err)
 	}
-	if _, _, err := readFrame(r); err == nil {
+	if _, _, err := ReadFrame(r); err == nil {
 		t.Fatalf("read past the last frame succeeded")
 	}
 
 	// A zero length cannot even hold the op byte.
-	if _, _, err := readFrame(bytes.NewReader(make([]byte, frameHeaderLen))); err == nil {
+	if _, _, err := ReadFrame(bytes.NewReader(make([]byte, frameHeaderLen))); err == nil {
 		t.Fatalf("zero-length frame accepted")
 	}
 	// An absurd length must be rejected before allocation.
 	var huge [frameHeaderLen]byte
 	binary.LittleEndian.PutUint32(huge[:4], maxFrame+1)
-	if _, _, err := readFrame(bytes.NewReader(huge[:])); err == nil {
+	if _, _, err := ReadFrame(bytes.NewReader(huge[:])); err == nil {
 		t.Fatalf("oversized frame accepted")
 	}
 }
@@ -132,7 +132,7 @@ func collectReplies(t *testing.T, c net.Conn) <-chan msg.SResult {
 		defer close(out)
 		br := bufio.NewReader(c)
 		for {
-			op, payload, err := readFrame(br)
+			op, payload, err := ReadFrame(br)
 			if err != nil {
 				return
 			}

@@ -197,7 +197,7 @@ func (sc *serverConn) writeFrame(op uint8, payload []byte) error {
 	if sc.wtimeout > 0 {
 		sc.c.SetWriteDeadline(time.Now().Add(sc.wtimeout))
 	}
-	sc.wbuf = appendFrame(sc.wbuf[:0], op, payload)
+	sc.wbuf = AppendFrame(sc.wbuf[:0], op, payload)
 	_, err := sc.c.Write(sc.wbuf)
 	return err
 }
@@ -469,7 +469,7 @@ func (s *Server[T]) handleConn(sc *serverConn) {
 		scratch []T           // borrowed-vector decode scratch (wide scalars)
 	)
 	for {
-		op, payload, err := readFrameInto(br, &rbuf)
+		op, payload, err := ReadFrameInto(br, &rbuf)
 		if err != nil {
 			return // EOF, client reset, or garbage framing: drop the conn
 		}

@@ -35,6 +35,15 @@ echo "== go test -race (online serving: server + loadgen in-process)"
 # the scheduler, the connection writers, and the metrics.
 go test -race -count=1 ./internal/serve/ ./internal/bootstrap/
 
+echo "== go test -race (cluster router: scatter/gather, failover, e2e smoke)"
+# The router suite includes the cluster e2e tests — a 2-shard ×
+# 2-replica cluster of real serve servers behind a real router, with
+# one replica hard-killed under open-loop load (zero client-visible
+# failures) and a 3-shard exact-merge check against single-store
+# ground truth — all raced: probers, failover demotions, and the
+# scatter/gather hot path run concurrently by construction.
+go test -race -count=1 ./internal/router/
+
 echo "== go test -race (observability: tracks, registry, histograms)"
 # Concurrent writers record onto lock-free tracks while an exporter
 # snapshots them; histograms merge under concurrent Observe. The obs
@@ -61,6 +70,7 @@ echo "== fuzz smoke (message codecs + bulk LE codec)"
 go test -run='^$' -fuzz='^FuzzCoreMessages$' -fuzztime=2s ./internal/msg/
 go test -run='^$' -fuzz='^FuzzDQueryMessages$' -fuzztime=2s ./internal/msg/
 go test -run='^$' -fuzz='^FuzzServeMessages$' -fuzztime=2s ./internal/msg/
+go test -run='^$' -fuzz='^FuzzRouterMessages$' -fuzztime=2s ./internal/msg/
 go test -run='^$' -fuzz='^FuzzBulkCodec$' -fuzztime=2s ./internal/wire/
 go test -run='^$' -fuzz='^FuzzTraceDecode$' -fuzztime=2s ./internal/obs/
 go test -run='^$' -fuzz='^FuzzQuantRoundTrip$' -fuzztime=2s ./internal/metric/quant/
