@@ -39,6 +39,7 @@ func main() {
 		ingestBatch = flag.Int("ingest-batch", 0, "vectors per ingest op (mutate mode; default 4)")
 		flushEvery  = flag.Int("flush-every", 0, "turn every Nth request into a blocking flush (mutate mode; 0 = background refinement only)")
 		reportErrs  = flag.Bool("report-errors", false, "count replies per status code and transport errors per kind in the report")
+		traceSample = flag.Float64("trace-sample", 0, "fraction of requests stamped with a sampled trace context (0..1); the report then lists the trace IDs of the slowest percentile")
 		out         = flag.String("out", "", "write the JSON report here (default stdout)")
 	)
 	flag.Parse()
@@ -68,6 +69,7 @@ func main() {
 		Warm:         *warm,
 		DialTimeout:  5 * time.Second,
 		ReportErrors: *reportErrs,
+		TraceSample:  *traceSample,
 
 		Mutate:         *mutate,
 		IngestFraction: *ingestFrac,

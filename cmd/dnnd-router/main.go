@@ -12,9 +12,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -38,7 +40,9 @@ func main() {
 		probe        = flag.Duration("probe", 500*time.Millisecond, "health probe period per replica (0 < only; probing cannot be disabled from the CLI)")
 		retries      = flag.Int("retries", 3, "failover attempts per shard per query beyond the first")
 		drainWait    = flag.Duration("drain", 30*time.Second, "graceful-drain budget on shutdown")
-		debugAddr    = flag.String("debug-addr", "", "serve pprof + /metrics + /trace on this address")
+		debugAddr    = flag.String("debug-addr", "", "serve pprof + /metrics + /trace on this address, plus the cluster views /cluster/metrics(.json) and /debug/slowest")
+		traceOut     = flag.String("trace", "", "write the router's span timeline here on shutdown (Perfetto-loadable JSON; tracecheck -merge joins it with the shards')")
+		slowLog      = flag.Int("slow-log", 0, "slowest-queries ring size with per-shard breakdowns and trace IDs (0 = default 32, negative disables)")
 	)
 	flag.Parse()
 	if *manifestDir == "" {
@@ -64,9 +68,10 @@ func main() {
 		DialTimeout:   *dialTimeout,
 		ProbeInterval: *probe,
 		Retries:       *retries,
+		SlowLog:       *slowLog,
 	}
 	var tracer *obs.Tracer
-	if *debugAddr != "" {
+	if *debugAddr != "" || *traceOut != "" {
 		tracer = obs.NewTracer(0)
 		cfg.Trace = tracer.Track("router", 0)
 	}
@@ -80,7 +85,24 @@ func main() {
 			fatal(err)
 		}
 		defer dbg.Close()
-		fmt.Printf("dnnd-router: debug listener on http://%s (pprof, /metrics, /trace)\n", dbg.Addr())
+		// Cluster-scoped views: federated replica metrics (scraped live
+		// per request) and the slowest-query ring with trace join keys.
+		scrapeTimeout := *dialTimeout
+		dbg.Handle("/cluster/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			rt.ClusterMetrics(scrapeTimeout).DumpText(w)
+		})
+		dbg.Handle("/cluster/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			rt.ClusterMetrics(scrapeTimeout).DumpJSON(w)
+		})
+		dbg.Handle("/debug/slowest", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(rt.SlowQueries())
+		})
+		fmt.Printf("dnnd-router: debug listener on http://%s (pprof, /metrics, /trace, /cluster/metrics, /debug/slowest)\n", dbg.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -113,7 +135,28 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "dnnd-router: trace: %v\n", err)
+		} else {
+			fmt.Printf("dnnd-router: trace written to %s\n", *traceOut)
+		}
+	}
 	fmt.Print(rt.Metrics().Dump())
+}
+
+// writeTrace flushes the router's span timeline to path — merged with
+// the shard processes' files by tracecheck -merge.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseShards splits "a1,a2;b1" into [][]string{{"a1","a2"},{"b1"}}:

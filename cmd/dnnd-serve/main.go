@@ -39,6 +39,7 @@ func main() {
 		warm        = flag.Int("warm", 0, "warm entry-point cache size (0 = disabled)")
 		drainWait   = flag.Duration("drain", 30*time.Second, "graceful-drain budget on shutdown")
 		debugAddr   = flag.String("debug-addr", "", "serve pprof + /metrics + /trace on this address")
+		traceOut    = flag.String("trace", "", "write this process's span timeline here on shutdown (Perfetto-loadable JSON; tracecheck -merge joins it with the router's)")
 		quantOn     = flag.Bool("quant", false, "score traversal candidates by quantized (uint8) code distance with an exact re-rank of the survivors (l2/sql2 only)")
 		mutableOn   = flag.Bool("mutable", false, "serve the index online-mutable: accept ingest/delete/flush ops, refine the delta in the background, and swap snapshots atomically")
 		refineEvery = flag.Int("refine-every", 256, "pending delta size that triggers a background refinement (mutable mode)")
@@ -52,6 +53,7 @@ func main() {
 	o := options{
 		addr:        *addr,
 		debugAddr:   *debugAddr,
+		traceOut:    *traceOut,
 		drainWait:   *drainWait,
 		quantOn:     *quantOn,
 		mutable:     *mutableOn,
@@ -91,6 +93,7 @@ func main() {
 
 type options struct {
 	addr, debugAddr string
+	traceOut        string
 	cfg             serve.Config
 	drainWait       time.Duration
 	quantOn         bool
@@ -142,7 +145,7 @@ func run[T dnnd.Scalar](storeDir string, o options) {
 		src.Quant = view
 	}
 	var tracer *obs.Tracer
-	if debugAddr != "" {
+	if debugAddr != "" || o.traceOut != "" {
 		tracer = obs.NewTracer(0)
 		cfg.Trace = tracer.Track("serve", 0)
 		cfg.Tracer = tracer // per-lane serve.batch span tracks
@@ -218,7 +221,28 @@ func run[T dnnd.Scalar](storeDir string, o options) {
 			fatal(err)
 		}
 	}
+	if o.traceOut != "" {
+		if err := writeTrace(o.traceOut, tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "dnnd-serve: trace: %v\n", err)
+		} else {
+			fmt.Printf("dnnd-serve: trace written to %s\n", o.traceOut)
+		}
+	}
 	fmt.Print(s.Metrics().Dump())
+}
+
+// writeTrace flushes the process's span timeline to path — one trace
+// file per process, joined later by tracecheck -merge.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func elemOf[T dnnd.Scalar]() string {

@@ -5,13 +5,25 @@
 // of tracks, spans, and counters, and exits non-zero on any violation
 // — the CI trace smoke runs it over a real 3-rank build's output.
 //
+// With -merge it instead joins N per-process trace files (a router's
+// and its shard replicas') into one timeline: each file becomes one
+// process row, clocks are aligned from the matched cross-process span
+// pairs (wall-clock epoch as fallback), and the merged document must
+// prove cross-process parentage — every distributed span's parent
+// exists under the same trace ID. -o writes the merged timeline as
+// Perfetto-loadable JSON.
+//
 // Usage: tracecheck [-require name]... trace.json
+//
+//	tracecheck -merge [-o merged.json] [-cross-min n] [-require name]... [name=]trace.json...
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -28,19 +40,25 @@ func main() {
 	var require requireFlag
 	flag.Var(&require, "require", "fail unless a span with this name prefix is present (repeatable)")
 	summary := flag.Bool("summary", false, "print a per-span-name time breakdown after validating")
+	merge := flag.Bool("merge", false, "join N per-process trace files into one cross-process timeline and validate distributed parentage")
+	out := flag.String("o", "", "write the merged timeline here (merge mode)")
+	crossMin := flag.Int("cross-min", 1, "fail unless at least this many cross-process parent edges exist (merge mode)")
 	flag.Parse()
+
+	if *merge {
+		if flag.NArg() < 2 {
+			fmt.Fprintln(os.Stderr, "usage: tracecheck -merge [-o merged.json] [-cross-min n] [-require name]... [name=]trace.json...")
+			os.Exit(2)
+		}
+		runMerge(flag.Args(), *out, *crossMin, require, *summary)
+		return
+	}
+
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require name]... trace.json")
 		os.Exit(2)
 	}
-	raw, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-	doc, err := obs.DecodeTrace(raw)
-	if err != nil {
-		fatal(fmt.Errorf("%s does not decode: %w", flag.Arg(0), err))
-	}
+	doc := readDoc(flag.Arg(0))
 	nspans, err := doc.Validate()
 	if err != nil {
 		fatal(fmt.Errorf("%s does not validate: %w", flag.Arg(0), err))
@@ -49,28 +67,115 @@ func main() {
 	spans := doc.SpanNames()
 	async := doc.AsyncSpanNames()
 	counters := doc.CounterNames()
+	checkRequired(flag.Arg(0), require, doc)
+	fmt.Printf("tracecheck: %s ok — %d spans (%d names), %d async, %d counter tracks\n",
+		flag.Arg(0), nspans, len(spans), len(async), len(counters))
+	if *summary {
+		printSummary(doc)
+	}
+}
+
+// runMerge is the -merge mode: decode every input, join them into one
+// timeline, prove it, and optionally write it out. Inputs are
+// "name=path" pairs; a bare path names its process after the file.
+func runMerge(args []string, out string, crossMin int, require requireFlag, summary bool) {
+	names := make([]string, 0, len(args))
+	docs := make([]*obs.TraceDoc, 0, len(args))
+	for _, a := range args {
+		name, path, found := strings.Cut(a, "=")
+		if !found {
+			path = a
+			name = strings.TrimSuffix(filepath.Base(a), filepath.Ext(a))
+		}
+		names = append(names, name)
+		docs = append(docs, readDoc(path))
+	}
+	merged, stats, err := obs.MergeTraces(names, docs)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := merged.Validate(); err != nil {
+		fatal(fmt.Errorf("merged timeline does not validate: %w", err))
+	}
+	cross, err := merged.ValidateCross()
+	if err != nil {
+		fatal(fmt.Errorf("cross-process parentage broken: %w", err))
+	}
+	if cross < crossMin {
+		fatal(fmt.Errorf("merged timeline has %d cross-process parent edges, want >= %d — the processes never joined", cross, crossMin))
+	}
+	checkRequired("merged", require, merged)
+
+	fmt.Printf("tracecheck: merged %d files ok — %d events, %d distributed spans, %d cross-process edges\n",
+		len(docs), stats.Events, stats.Spans, cross)
+	for i, name := range names {
+		how := fmt.Sprintf("%d span pairs", stats.Pairs[i])
+		if i == 0 {
+			how = "reference clock"
+		} else if stats.WallOnly[i] {
+			how = "wall-clock fallback"
+		}
+		fmt.Printf("tracecheck:   %-12s offset %+10.1fµs (%s)\n", name, stats.OffsetsUs[i], how)
+	}
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.NewEncoder(f).Encode(merged); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("tracecheck: merged timeline written to %s\n", out)
+	}
+	if summary {
+		printSummary(merged)
+	}
+}
+
+func readDoc(path string) *obs.TraceDoc {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	doc, err := obs.DecodeTrace(raw)
+	if err != nil {
+		fatal(fmt.Errorf("%s does not decode: %w", path, err))
+	}
+	return doc
+}
+
+// checkRequired enforces -require prefixes over every span shape the
+// document carries: synchronous, async, and distributed (traced).
+func checkRequired(label string, require requireFlag, doc *obs.TraceDoc) {
+	if len(require) == 0 {
+		return
+	}
+	have := map[string]int{}
+	for name, n := range doc.SpanNames() {
+		have[name] += n
+	}
+	for name, n := range doc.AsyncSpanNames() {
+		have[name] += n
+	}
+	for _, s := range doc.TracedSpans() {
+		have[s.Name]++
+	}
 	for _, want := range require {
 		found := false
-		for name := range spans {
-			if strings.HasPrefix(name, want) {
-				found = true
-				break
-			}
-		}
-		for name := range async {
+		for name := range have {
 			if strings.HasPrefix(name, want) {
 				found = true
 				break
 			}
 		}
 		if !found {
-			fatal(fmt.Errorf("%s: no span named %s* (have %v)", flag.Arg(0), want, names(spans)))
+			fatal(fmt.Errorf("%s: no span named %s* (have %v)", label, want, names(have)))
 		}
-	}
-	fmt.Printf("tracecheck: %s ok — %d spans (%d names), %d async, %d counter tracks\n",
-		flag.Arg(0), nspans, len(spans), len(async), len(counters))
-	if *summary {
-		printSummary(doc)
 	}
 }
 
@@ -85,17 +190,22 @@ func printSummary(doc *obs.TraceDoc) {
 		total float64 // microseconds
 	}
 	byName := map[string]*agg{}
-	for _, ev := range doc.TraceEvents {
-		if ev.Ph != "X" {
-			continue
-		}
-		a := byName[ev.Name]
+	add := func(name string, dur float64) {
+		a := byName[name]
 		if a == nil {
-			a = &agg{name: ev.Name}
-			byName[ev.Name] = a
+			a = &agg{name: name}
+			byName[name] = a
 		}
 		a.n++
-		a.total += ev.Dur
+		a.total += dur
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			add(ev.Name, ev.Dur)
+		}
+	}
+	for _, s := range doc.TracedSpans() {
+		add(s.Name, s.Dur)
 	}
 	rows := make([]*agg, 0, len(byName))
 	for _, a := range byName {

@@ -78,10 +78,24 @@ func FuzzCoreMessages(f *testing.F) {
 	})
 }
 
+// tracedSeed builds a selector-prefixed corpus entry from a codec so
+// the fuzzers start from well-formed traced frames (the optional
+// STrace tail) as well as the historic untraced ones.
+func tracedSeed(sel byte, m codec) []byte {
+	w := wire.NewWriter(64)
+	m.Encode(w)
+	return append([]byte{sel}, w.Bytes()...)
+}
+
 func FuzzServeMessages(f *testing.F) {
 	for sel := byte(0); sel < 10; sel++ {
 		f.Add([]byte{sel, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0})
 	}
+	// Traced forms of the codecs that grew the optional trace tail.
+	tq := &SQuery[float32]{ID: 1, L: 2, Vec: []float32{1}}
+	tq.SetTrace(STrace{TraceID: 3, SpanID: 4, Sampled: true})
+	f.Add(tracedSeed(1, tq))
+	f.Add(tracedSeed(4, &SResult{ID: 1, Trace: STrace{TraceID: 3, SpanID: 4, Sampled: true}}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) == 0 {
 			return
@@ -114,10 +128,28 @@ func FuzzServeMessages(f *testing.F) {
 
 func FuzzRouterMessages(f *testing.F) {
 	// A 1-shard, 1-replica topology as the corpus seed; the mutator
-	// grows it from there.
+	// grows it from there. The historic seed starts with byte 1, which
+	// selector-maps to RTopology below, so its coverage is preserved.
 	f.Add([]byte{1, 0, 0, 0, 5, 0, 0, 0, 1, 0, 0, 0, 3, 0, 0, 0, 'a', ':', '1', 0, 7, 0, 0, 0, 0, 0, 0, 0})
+	// The messages the router rewrites in place: traced queries (whose
+	// tail it re-parents per attempt) and traced result echoes.
+	tq := &SQuery[uint8]{ID: 9, L: 4, Vec: []uint8{1, 2, 3, 4}}
+	tq.SetTrace(STrace{TraceID: 7, SpanID: 8, Sampled: true})
+	f.Add(tracedSeed(0, tq))
+	f.Add(tracedSeed(2, &SResult{ID: 9, Trace: STrace{TraceID: 7, SpanID: 8}}))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		checkCodec(t, &RTopology{}, data)
+		if len(data) == 0 {
+			return
+		}
+		sel, frame := data[0], data[1:]
+		switch sel % 3 {
+		case 0:
+			checkCodec(t, &SQuery[uint8]{}, frame)
+		case 1:
+			checkCodec(t, &RTopology{}, frame)
+		case 2:
+			checkCodec(t, &SResult{}, frame)
+		}
 	})
 }
 

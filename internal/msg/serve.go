@@ -22,6 +22,13 @@ const (
 	SOpIngest uint8 = 5 // SIngest -> SUpdateReply (mutable servers only)
 	SOpDelete uint8 = 6 // SDelete -> SUpdateReply (mutable servers only)
 	SOpFlush  uint8 = 7 // SFlush -> SUpdateReply after refine+swap completes
+	// SOpTopo = 8 lives in router.go (router-only topology op).
+
+	// SOpMetrics: empty request -> bucket-level metrics dump as JSON
+	// (obs.FullDump). Unlike SOpStats' quantile text, the reply carries
+	// raw log2 histogram buckets, so a scraper (the router's cluster
+	// federation) can merge histograms associatively.
+	SOpMetrics uint8 = 9
 )
 
 // SResult status codes. Everything except SStatusOK and SStatusPartial
@@ -83,6 +90,76 @@ func SStatusName(s uint8) string {
 // clients leave it unset.
 const SFlagWarm uint8 = 1
 
+// SFlagTrace marks a query carrying the optional trailing trace
+// context (STrace) after the vector. The flag is the version gate: a
+// PR-10+ peer decodes the extra bytes, and because clients only set
+// the flag when they actually want tracing, a query without it is
+// byte-identical to the pre-PR-10 layout.
+const SFlagTrace uint8 = 2
+
+// STrace is the wire form of a distributed trace context: the trace a
+// request belongs to, the span the receiver should parent its own
+// span on, and the head sampling decision. The layout (two uint64s
+// and a flag byte, appended after the variable-length tail of the
+// carrying message) is shared by SQuery (router/client -> shard) and
+// SResult (shard -> router/client echo).
+type STrace struct {
+	TraceID uint64
+	SpanID  uint64
+	Sampled bool
+}
+
+func (t *STrace) encode(w *wire.Writer) {
+	w.Uint64(t.TraceID)
+	w.Uint64(t.SpanID)
+	var b uint8
+	if t.Sampled {
+		b = 1
+	}
+	w.Uint8(b)
+}
+
+func (t *STrace) decode(r *wire.Reader) {
+	t.TraceID = r.Uint64()
+	t.SpanID = r.Uint64()
+	t.Sampled = r.Uint8()&1 != 0
+}
+
+// STraceBytes is the encoded size of an STrace — the fixed distance
+// of the trace section from a traced query's tail, which is how the
+// router patches the parent span in place per attempt.
+const STraceBytes = 17
+
+// ReadSTraceTail decodes the STrace section from the last STraceBytes
+// of b. The caller guarantees the tail is present (SFlagTrace on a
+// query, length arithmetic on a result); this is the router's raw
+// accessor — it inspects forwarded frames without decoding the vector.
+func ReadSTraceTail(b []byte) STrace {
+	t := b[len(b)-STraceBytes:]
+	return STrace{
+		TraceID: uint64(t[0]) | uint64(t[1])<<8 | uint64(t[2])<<16 | uint64(t[3])<<24 |
+			uint64(t[4])<<32 | uint64(t[5])<<40 | uint64(t[6])<<48 | uint64(t[7])<<56,
+		SpanID: uint64(t[8]) | uint64(t[9])<<8 | uint64(t[10])<<16 | uint64(t[11])<<24 |
+			uint64(t[12])<<32 | uint64(t[13])<<40 | uint64(t[14])<<48 | uint64(t[15])<<56,
+		Sampled: t[16]&1 != 0,
+	}
+}
+
+// PutSTraceTail overwrites the last STraceBytes of b with tc — the
+// router's per-attempt re-parenting patch: same trace, new parent span,
+// vector untouched.
+func PutSTraceTail(b []byte, tc STrace) {
+	t := b[len(b)-STraceBytes:]
+	for i := 0; i < 8; i++ {
+		t[i] = byte(tc.TraceID >> (8 * i))
+		t[8+i] = byte(tc.SpanID >> (8 * i))
+	}
+	t[16] = 0
+	if tc.Sampled {
+		t[16] = 1
+	}
+}
+
 // SHelloReply describes the served index so clients (the loadgen in
 // particular) can shape queries without out-of-band configuration.
 type SHelloReply struct {
@@ -127,8 +204,18 @@ type SQuery[T wire.Scalar] struct {
 	L              uint32
 	Epsilon        float32
 	DeadlineMicros uint32 // 0 = server default; capped by the server
-	Flags          uint8  // SFlagWarm
+	Flags          uint8  // SFlagWarm | SFlagTrace
 	Vec            []T
+	// Trace is the optional distributed trace context, on the wire
+	// only when Flags&SFlagTrace is set (it trails the vector, so
+	// untraced queries keep the pre-PR-10 byte layout exactly).
+	Trace STrace
+}
+
+// SetTrace attaches a trace context, setting the presence flag.
+func (m *SQuery[T]) SetTrace(t STrace) {
+	m.Trace = t
+	m.Flags |= SFlagTrace
 }
 
 func (m *SQuery[T]) Encode(w *wire.Writer) {
@@ -139,6 +226,9 @@ func (m *SQuery[T]) Encode(w *wire.Writer) {
 	w.Uint32(m.DeadlineMicros)
 	w.Uint8(m.Flags)
 	wire.PutVector(w, m.Vec)
+	if m.Flags&SFlagTrace != 0 {
+		m.Trace.encode(w)
+	}
 }
 
 func (m *SQuery[T]) Decode(r *wire.Reader) {
@@ -149,6 +239,11 @@ func (m *SQuery[T]) Decode(r *wire.Reader) {
 	m.DeadlineMicros = r.Uint32()
 	m.Flags = r.Uint8()
 	m.Vec = wire.GetVector[T](r)
+	if m.Flags&SFlagTrace != 0 {
+		m.Trace.decode(r)
+	} else {
+		m.Trace = STrace{}
+	}
 }
 
 // DecodeBorrow is Decode without the vector allocation: Vec either
@@ -164,6 +259,11 @@ func (m *SQuery[T]) DecodeBorrow(r *wire.Reader, scratch []T) []T {
 	m.DeadlineMicros = r.Uint32()
 	m.Flags = r.Uint8()
 	m.Vec, scratch = wire.GetVectorBorrow(r, scratch)
+	if m.Flags&SFlagTrace != 0 {
+		m.Trace.decode(r)
+	} else {
+		m.Trace = STrace{}
+	}
 	return scratch
 }
 
@@ -178,6 +278,15 @@ type SResult struct {
 	QueueMicros uint32
 	ExecMicros  uint32
 	Neighbors   []knng.Neighbor
+	// Trace echoes the query's trace context back: TraceID is the
+	// query's trace, SpanID the span the server recorded its work
+	// under (so a client can cross-reference its request into a merged
+	// timeline). Present on the wire — trailing the neighbor list —
+	// only when TraceID is nonzero; servers only set it for queries
+	// that carried SFlagTrace, so replies to untraced queries keep the
+	// pre-PR-10 layout, and presence on decode is keyed by frame
+	// length (the pre-PR-10 layout ends exactly at the neighbor list).
+	Trace STrace
 }
 
 func (m *SResult) Encode(w *wire.Writer) {
@@ -187,6 +296,9 @@ func (m *SResult) Encode(w *wire.Writer) {
 	w.Uint32(m.QueueMicros)
 	w.Uint32(m.ExecMicros)
 	putNeighbors(w, m.Neighbors)
+	if m.Trace.TraceID != 0 {
+		m.Trace.encode(w)
+	}
 }
 
 func (m *SResult) Decode(r *wire.Reader) {
@@ -196,6 +308,15 @@ func (m *SResult) Decode(r *wire.Reader) {
 	m.QueueMicros = r.Uint32()
 	m.ExecMicros = r.Uint32()
 	m.Neighbors = getNeighbors(r)
+	m.Trace = STrace{}
+	if r.Err() == nil && r.Remaining() >= STraceBytes {
+		m.Trace.decode(r)
+		if m.Trace.TraceID == 0 {
+			// Not a canonical trace section (encode omits zero trace
+			// IDs); treat as absent so re-encoding stays a fixed point.
+			m.Trace = STrace{}
+		}
+	}
 }
 
 // The mutable-index ops (PR 8). SResult and SHelloReply layouts are

@@ -1,0 +1,190 @@
+package msg
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dnnd/internal/knng"
+	"dnnd/internal/wire"
+)
+
+// Wire compatibility for the PR-10 optional trace context, both ways:
+// pre-PR-10 byte streams decode unchanged (and re-encode identically),
+// and the traced forms have a pinned layout of their own.
+
+// prePR10Query is the exact SQuery byte stream TestServeQueryGolden
+// pins — what a pre-PR-10 client puts on the wire.
+var prePR10Query = []byte{
+	1, 0, 0, 0, 0, 0, 0, 0, // ID
+	2, 0, 0, 0, 0, 0, 0, 0, // Seed
+	3, 0, 0, 0, // L
+	0, 0, 0, 0x3f, // Epsilon = 0.5
+	4, 0, 0, 0, // DeadlineMicros
+	1,          // Flags = SFlagWarm
+	1, 0, 0, 0, // vec length
+	0, 0, 0x80, 0x3f, // 1.0f
+}
+
+// prePR10Result is the exact SResult stream TestServeResultGolden pins.
+var prePR10Result = []byte{
+	1, 0, 0, 0, 0, 0, 0, 0, // ID
+	0,                      // Status
+	2, 0, 0, 0, 0, 0, 0, 0, // DistEvals
+	3, 0, 0, 0, // QueueMicros
+	4, 0, 0, 0, // ExecMicros
+	1, 0, 0, 0, // neighbor count
+	5, 0, 0, 0, // neighbor ID
+	0, 0, 0x80, 0x3f, // dist 1.0f
+}
+
+// traceTail is the STrace section both traced goldens share:
+// TraceID 0xABC, SpanID 0xDEF, sampled.
+var traceTail = []byte{
+	0xbc, 0x0a, 0, 0, 0, 0, 0, 0, // TraceID
+	0xef, 0x0d, 0, 0, 0, 0, 0, 0, // SpanID
+	1, // sampled
+}
+
+func TestPrePR10QueryDecodesUnchanged(t *testing.T) {
+	var q SQuery[float32]
+	r := wire.NewReader(prePR10Query)
+	q.Decode(r)
+	if err := r.Finish(); err != nil {
+		t.Fatalf("pre-PR-10 query stream no longer decodes: %v", err)
+	}
+	want := SQuery[float32]{
+		ID: 1, Seed: 2, L: 3, Epsilon: 0.5, DeadlineMicros: 4, Flags: SFlagWarm,
+		Vec: []float32{1},
+	}
+	if !reflect.DeepEqual(q, want) {
+		t.Fatalf("pre-PR-10 query decoded differently: %+v", q)
+	}
+	// And re-encodes to the identical bytes: a trace-less peer's frames
+	// pass through a PR-10 process untouched.
+	w := wire.NewWriter(64)
+	q.Encode(w)
+	if !bytes.Equal(w.Bytes(), prePR10Query) {
+		t.Fatalf("pre-PR-10 query not byte-stable:\ngot  %x\nwant %x", w.Bytes(), prePR10Query)
+	}
+
+	var res SResult
+	r = wire.NewReader(prePR10Result)
+	res.Decode(r)
+	if err := r.Finish(); err != nil {
+		t.Fatalf("pre-PR-10 result stream no longer decodes: %v", err)
+	}
+	wantRes := SResult{
+		ID: 1, Status: SStatusOK, DistEvals: 2, QueueMicros: 3, ExecMicros: 4,
+		Neighbors: []knng.Neighbor{{ID: 5, Dist: 1}},
+	}
+	if !reflect.DeepEqual(res, wantRes) {
+		t.Fatalf("pre-PR-10 result decoded differently: %+v", res)
+	}
+	w.Reset()
+	res.Encode(w)
+	if !bytes.Equal(w.Bytes(), prePR10Result) {
+		t.Fatalf("pre-PR-10 result not byte-stable:\ngot  %x\nwant %x", w.Bytes(), prePR10Result)
+	}
+}
+
+// TestTracedQueryGolden pins the traced layout: the pre-PR-10 prefix
+// byte-for-byte (only the flag bit differs), then the STrace tail.
+// The prefix stability is what keeps the router's in-place ID/L
+// patches valid on traced payloads.
+func TestTracedQueryGolden(t *testing.T) {
+	q := SQuery[float32]{
+		ID: 1, Seed: 2, L: 3, Epsilon: 0.5, DeadlineMicros: 4, Flags: SFlagWarm,
+		Vec: []float32{1},
+	}
+	q.SetTrace(STrace{TraceID: 0xABC, SpanID: 0xDEF, Sampled: true})
+	w := wire.NewWriter(64)
+	q.Encode(w)
+
+	want := append([]byte(nil), prePR10Query...)
+	want[28] |= SFlagTrace // flags byte
+	want = append(want, traceTail...)
+	if !bytes.Equal(w.Bytes(), want) {
+		t.Fatalf("traced SQuery layout drifted:\ngot  %x\nwant %x", w.Bytes(), want)
+	}
+	if len(w.Bytes())-len(prePR10Query) != STraceBytes {
+		t.Fatalf("STraceBytes constant drifted from the encoder")
+	}
+
+	var q2 SQuery[float32]
+	r := wire.NewReader(w.Bytes())
+	q2.Decode(r)
+	if err := r.Finish(); err != nil {
+		t.Fatalf("traced query decode: %v", err)
+	}
+	if !reflect.DeepEqual(q, q2) {
+		t.Fatalf("traced query round trip: %+v != %+v", q2, q)
+	}
+
+	// DecodeBorrow sees the same trace context.
+	var qb SQuery[float32]
+	r = wire.NewReader(w.Bytes())
+	qb.DecodeBorrow(r, nil)
+	if err := r.Finish(); err != nil {
+		t.Fatalf("traced DecodeBorrow: %v", err)
+	}
+	if qb.Trace != q.Trace {
+		t.Fatalf("DecodeBorrow trace = %+v, want %+v", qb.Trace, q.Trace)
+	}
+}
+
+func TestTracedResultGolden(t *testing.T) {
+	res := SResult{
+		ID: 1, Status: SStatusOK, DistEvals: 2, QueueMicros: 3, ExecMicros: 4,
+		Neighbors: []knng.Neighbor{{ID: 5, Dist: 1}},
+		Trace:     STrace{TraceID: 0xABC, SpanID: 0xDEF, Sampled: true},
+	}
+	w := wire.NewWriter(64)
+	res.Encode(w)
+	want := append(append([]byte(nil), prePR10Result...), traceTail...)
+	if !bytes.Equal(w.Bytes(), want) {
+		t.Fatalf("traced SResult layout drifted:\ngot  %x\nwant %x", w.Bytes(), want)
+	}
+
+	var res2 SResult
+	r := wire.NewReader(w.Bytes())
+	res2.Decode(r)
+	if err := r.Finish(); err != nil {
+		t.Fatalf("traced result decode: %v", err)
+	}
+	if !reflect.DeepEqual(res, res2) {
+		t.Fatalf("traced result round trip: %+v != %+v", res2, res)
+	}
+}
+
+// TestUntracedEncodeDropsTrace: a result whose trace context was never
+// set (TraceID 0) stays on the pre-PR-10 layout even if SpanID is
+// dirty, and a query without SFlagTrace never emits the tail — the
+// properties that keep trace-less and trace-ful peers interoperable.
+func TestUntracedEncodeDropsTrace(t *testing.T) {
+	res := SResult{ID: 1, Trace: STrace{SpanID: 99, Sampled: true}}
+	w := wire.NewWriter(64)
+	res.Encode(w)
+	var res2 SResult
+	r := wire.NewReader(w.Bytes())
+	res2.Decode(r)
+	if err := r.Finish(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if res2.Trace != (STrace{}) {
+		t.Fatalf("zero-trace result leaked a trace section: %+v", res2.Trace)
+	}
+
+	q := SQuery[float32]{ID: 1, Vec: []float32{1}, Trace: STrace{TraceID: 7, SpanID: 8}}
+	w.Reset()
+	q.Encode(w) // flag not set: context must not hit the wire
+	var q2 SQuery[float32]
+	r = wire.NewReader(w.Bytes())
+	q2.Decode(r)
+	if err := r.Finish(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if q2.Trace != (STrace{}) {
+		t.Fatalf("unflagged query leaked a trace section: %+v", q2.Trace)
+	}
+}

@@ -19,6 +19,15 @@ import (
 type DebugServer struct {
 	ln  net.Listener
 	srv *http.Server
+	mux *http.ServeMux
+}
+
+// Handle registers an extra endpoint on the debug mux — how the
+// router hangs its cluster-scoped views (/cluster/metrics,
+// /debug/slowest) off the same listener. ServeMux registration is
+// concurrency-safe, so this may run after the server has started.
+func (d *DebugServer) Handle(pattern string, h http.HandlerFunc) {
+	d.mux.HandleFunc(pattern, h)
 }
 
 // ServeDebug starts the debug listener on addr. reg and tr may each be
@@ -58,7 +67,7 @@ func ServeDebug(addr string, reg *Registry, tr *Tracer) (*DebugServer, error) {
 	})
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln)
-	return &DebugServer{ln: ln, srv: srv}, nil
+	return &DebugServer{ln: ln, srv: srv, mux: mux}, nil
 }
 
 // Addr returns the bound listen address (useful with ":0").

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Cluster metrics federation: the router scrapes every replica's
+// FullDump and folds them into one view. The merge semantics follow
+// the usual monitoring-system conventions, classified by name:
+//
+//   - counters (base name ends in "_total", labels and all) sum
+//     across replicas — totals are totals;
+//   - histograms merge bucket-wise through Hist.MergeDump, the same
+//     associative addition per-rank histograms already fold with, so
+//     cluster quantiles come from real merged buckets rather than
+//     averaged per-replica quantiles;
+//   - everything else is a gauge (inflight, queue depth, heap bytes):
+//     summing point-in-time readings across processes is meaningless,
+//     so each reading is kept and labeled with its replica.
+type Instance struct {
+	Labels string // identifying label set, e.g. `shard="0",replica="host:port"`
+	Dump   *FullDump
+}
+
+// Gauge is one labeled per-replica reading in a federated view.
+type Gauge struct {
+	Name   string `json:"name"`
+	Labels string `json:"labels"`
+	Value  int64  `json:"value"`
+}
+
+// Federated is the merged cluster view.
+type Federated struct {
+	Replicas int
+	Errors   []string // scrape failures, labeled
+	Counters map[string]int64
+	Hists    map[string]*Hist
+	Gauges   []Gauge
+}
+
+// isCounterName reports whether a dump key names a counter: its base
+// name — the part before any {label} suffix — ends in "_total".
+func isCounterName(name string) bool {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		name = name[:i]
+	}
+	return strings.HasSuffix(name, "_total")
+}
+
+// withLabels splices instance labels into a metric name, after any
+// labels the name already carries.
+func withLabels(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:len(name)-1] + "," + labels + "}"
+	}
+	return name + "{" + labels + "}"
+}
+
+// Federate merges scraped instance dumps into one cluster view.
+func Federate(insts []Instance) *Federated {
+	f := &Federated{
+		Replicas: len(insts),
+		Counters: make(map[string]int64),
+		Hists:    make(map[string]*Hist),
+	}
+	for _, in := range insts {
+		if in.Dump == nil {
+			continue
+		}
+		for name, v := range in.Dump.Samples {
+			if isCounterName(name) {
+				f.Counters[name] += v
+			} else {
+				f.Gauges = append(f.Gauges, Gauge{Name: name, Labels: in.Labels, Value: v})
+			}
+		}
+		for name, hd := range in.Dump.Hists {
+			h := f.Hists[name]
+			if h == nil {
+				h = &Hist{}
+				f.Hists[name] = h
+			}
+			h.MergeDump(hd)
+		}
+	}
+	sort.Slice(f.Gauges, func(i, j int) bool {
+		if f.Gauges[i].Name != f.Gauges[j].Name {
+			return f.Gauges[i].Name < f.Gauges[j].Name
+		}
+		return f.Gauges[i].Labels < f.Gauges[j].Labels
+	})
+	return f
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DumpText writes the federated view in the registry text format:
+// summed counters, merged histogram summaries, then per-replica
+// labeled gauges.
+func (f *Federated) DumpText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "dnnd_cluster_replicas_scraped %d\n", f.Replicas-len(f.Errors)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "dnnd_cluster_scrape_errors %d\n", len(f.Errors)); err != nil {
+		return err
+	}
+	for _, name := range sortedKeys(f.Counters) {
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, f.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(f.Hists) {
+		if err := dumpHistText(w, name, f.Hists[name]); err != nil {
+			return err
+		}
+	}
+	for _, g := range f.Gauges {
+		if _, err := fmt.Fprintf(w, "%s %d\n", withLabels(g.Name, g.Labels), g.Value); err != nil {
+			return err
+		}
+	}
+	for _, e := range f.Errors {
+		if _, err := fmt.Fprintf(w, "# scrape error: %s\n", e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DumpJSON writes the federated view as one JSON object.
+func (f *Federated) DumpJSON(w io.Writer) error {
+	hists := make(map[string]any, len(f.Hists))
+	for name, h := range f.Hists {
+		hists[name] = map[string]any{
+			"count": h.Count(),
+			"mean":  h.Mean(),
+			"max":   h.Max(),
+			"p50":   h.Quantile(0.5),
+			"p95":   h.Quantile(0.95),
+			"p99":   h.Quantile(0.99),
+		}
+	}
+	out := map[string]any{
+		"replicas_scraped": f.Replicas - len(f.Errors),
+		"scrape_errors":    f.Errors,
+		"counters":         f.Counters,
+		"hists":            hists,
+		"gauges":           f.Gauges,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -97,6 +97,60 @@ func (h *Hist) Merge(other *Hist) {
 	}
 }
 
+// HistDump is the bucket-level serialized form of a histogram — what
+// the federation path ships over the wire so remote histograms merge
+// through the same associative bucket addition as local ones (a
+// quantile-only dump cannot be merged soundly). Fields are read
+// independently from a live histogram, so a dump taken under
+// concurrent Observe calls may be slightly torn (count vs bucket sum
+// off by in-flight observations); merging remains associative and
+// never loses completed observations — the property the scrape-
+// boundary tests pin.
+type HistDump struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Max     int64   `json:"max"`
+	Buckets []int64 `json:"buckets,omitempty"` // log2 buckets, trailing zeros trimmed
+}
+
+// Dump snapshots the histogram including its buckets.
+func (h *Hist) Dump() HistDump {
+	d := HistDump{Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Load()}
+	last := -1
+	var buckets [HistBuckets]int64
+	for i := 0; i < HistBuckets; i++ {
+		buckets[i] = h.buckets[i].Load()
+		if buckets[i] != 0 {
+			last = i
+		}
+	}
+	if last >= 0 {
+		d.Buckets = append([]int64(nil), buckets[:last+1]...)
+	}
+	return d
+}
+
+// MergeDump folds a serialized histogram into h — the remote half of
+// Merge, with the same commutative/associative semantics.
+func (h *Hist) MergeDump(d HistDump) {
+	for i, v := range d.Buckets {
+		if i >= HistBuckets {
+			break
+		}
+		if v != 0 {
+			h.buckets[i].Add(v)
+		}
+	}
+	h.count.Add(d.Count)
+	h.sum.Add(d.Sum)
+	for {
+		old := h.max.Load()
+		if d.Max <= old || h.max.CompareAndSwap(old, d.Max) {
+			break
+		}
+	}
+}
+
 // Quantile estimates the p-quantile (p in [0,1]) from the buckets.
 func (h *Hist) Quantile(p float64) float64 {
 	var counts [HistBuckets]int64

@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Multi-process trace assembly: each process (router, shard replicas)
+// streams its sampled spans into its own trace file with its own
+// epoch; MergeTraces joins N such files into one Perfetto timeline —
+// one process row per file — by translating every file onto the
+// reference file's clock. The alignment offset is estimated from the
+// matched request round-trips themselves: every cross-process span
+// pair (a router attempt span and the shard serve.query span it
+// parented) is one RTT measurement, and under the usual symmetric-
+// delay assumption the child's midpoint coincides with the parent's
+// midpoint. The median midpoint difference over all pairs is the
+// file's offset — robust to queueing outliers, and self-contained in
+// the trace files. Files with no cross edges fall back to the coarse
+// wall-clock epoch difference (epochWallNanos).
+
+// hexID formats a span/trace ID as fixed-width hex (13 digits carry
+// the full TraceIDBits).
+func hexID(id uint64) string { return fmt.Sprintf("%013x", id) }
+
+// ParseID parses the hex form back. Returns 0 on malformed input.
+func ParseID(s string) uint64 {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// TracedSpan is one cross-process span reassembled from its "b"/"e"
+// event pair (category "trace").
+type TracedSpan struct {
+	Name     string
+	Pid, Tid int
+	Ts, Dur  float64 // microseconds, file-local unless merged
+	Trace    uint64
+	Span     uint64
+	Parent   uint64 // 0 = trace root
+}
+
+func argID(args map[string]any, key string) uint64 {
+	s, ok := args[key].(string)
+	if !ok {
+		return 0
+	}
+	return ParseID(s)
+}
+
+// TracedSpans reassembles the document's cross-process spans, pairing
+// begin and end events by span ID.
+func (d *TraceDoc) TracedSpans() []TracedSpan {
+	var spans []TracedSpan
+	idx := make(map[uint64]int) // span id -> index into spans
+	for _, ev := range d.TraceEvents {
+		if ev.Cat != "trace" || (ev.Ph != "b" && ev.Ph != "e") {
+			continue
+		}
+		span := argID(ev.Args, "span")
+		if span == 0 {
+			continue
+		}
+		if ev.Ph == "b" {
+			idx[span] = len(spans)
+			spans = append(spans, TracedSpan{
+				Name: ev.Name, Pid: ev.Pid, Tid: ev.Tid, Ts: ev.Ts,
+				Trace:  argID(ev.Args, "trace"),
+				Span:   span,
+				Parent: argID(ev.Args, "parent"),
+			})
+		} else if i, ok := idx[span]; ok {
+			spans[i].Dur = ev.Ts - spans[i].Ts
+		}
+	}
+	return spans
+}
+
+// ValidateCross proves cross-process parentage over the document's
+// traced spans: every span with a nonzero parent must find that
+// parent in the document, under the same trace ID. Returns the number
+// of cross-process edges (child and parent on different pids).
+func (d *TraceDoc) ValidateCross() (int, error) {
+	spans := d.TracedSpans()
+	byID := make(map[uint64]*TracedSpan, len(spans))
+	for i := range spans {
+		byID[spans[i].Span] = &spans[i]
+	}
+	cross := 0
+	for i := range spans {
+		s := &spans[i]
+		if s.Parent == 0 {
+			continue
+		}
+		p, ok := byID[s.Parent]
+		if !ok {
+			return 0, fmt.Errorf("obs: span %q (%s) has no parent %s in the document",
+				s.Name, hexID(s.Span), hexID(s.Parent))
+		}
+		if p.Trace != s.Trace {
+			return 0, fmt.Errorf("obs: span %q (trace %s) parented across traces on %q (trace %s)",
+				s.Name, hexID(s.Trace), p.Name, hexID(p.Trace))
+		}
+		if p.Pid != s.Pid {
+			cross++
+		}
+	}
+	return cross, nil
+}
+
+// MergeStats reports how a merge aligned each input file.
+type MergeStats struct {
+	Events    int       // events in the merged document
+	Spans     int       // traced spans in the merged document
+	OffsetsUs []float64 // per-file applied clock offset (µs); [0] is 0
+	Pairs     []int     // cross-process span pairs behind each offset
+	WallOnly  []bool    // true where the wall-clock fallback was used
+}
+
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+func wallNanos(d *TraceDoc) (int64, bool) {
+	if d.EpochWallNanos == "" {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(d.EpochWallNanos, 10, 64)
+	return v, err == nil
+}
+
+// MergeTraces joins per-process trace files into one timeline: file i
+// becomes process i (named names[i]) and every event timestamp is
+// translated onto file 0's clock. Offsets come from the median
+// midpoint difference of matched cross-process span pairs where such
+// pairs exist (iterating so a file whose parents live in an already-
+// aligned non-reference file still aligns), from the wall-clock epoch
+// difference otherwise. Timestamps are then normalized so the merged
+// timeline starts at zero.
+func MergeTraces(names []string, docs []*TraceDoc) (*TraceDoc, *MergeStats, error) {
+	if len(docs) == 0 || len(names) != len(docs) {
+		return nil, nil, fmt.Errorf("obs: merge needs matching names and docs, got %d/%d", len(names), len(docs))
+	}
+	n := len(docs)
+	stats := &MergeStats{
+		OffsetsUs: make([]float64, n),
+		Pairs:     make([]int, n),
+		WallOnly:  make([]bool, n),
+	}
+
+	// Per-file spans and a global span-id index for parent lookups.
+	fileSpans := make([][]TracedSpan, n)
+	type owner struct {
+		file int
+		span *TracedSpan
+	}
+	byID := make(map[uint64]owner)
+	for i, d := range docs {
+		fileSpans[i] = d.TracedSpans()
+		for j := range fileSpans[i] {
+			s := &fileSpans[i][j]
+			byID[s.Span] = owner{file: i, span: s}
+		}
+	}
+
+	refWall, refHasWall := wallNanos(docs[0])
+	aligned := make([]bool, n)
+	aligned[0] = true
+	for progress := true; progress; {
+		progress = false
+		for i := 1; i < n; i++ {
+			if aligned[i] {
+				continue
+			}
+			var diffs []float64
+			for j := range fileSpans[i] {
+				c := &fileSpans[i][j]
+				if c.Parent == 0 {
+					continue
+				}
+				o, ok := byID[c.Parent]
+				if !ok || o.file == i || !aligned[o.file] {
+					continue
+				}
+				p := o.span
+				parentMid := p.Ts + p.Dur/2 + stats.OffsetsUs[o.file]
+				childMid := c.Ts + c.Dur/2
+				diffs = append(diffs, parentMid-childMid)
+			}
+			if len(diffs) > 0 {
+				stats.OffsetsUs[i] = median(diffs)
+				stats.Pairs[i] = len(diffs)
+				aligned[i] = true
+				progress = true
+			}
+		}
+	}
+	for i := 1; i < n; i++ {
+		if aligned[i] {
+			continue
+		}
+		if w, ok := wallNanos(docs[i]); ok && refHasWall {
+			stats.OffsetsUs[i] = float64(w-refWall) / 1e3
+			stats.WallOnly[i] = true
+		}
+	}
+
+	out := &TraceDoc{DisplayTimeUnit: "ms", EpochWallNanos: docs[0].EpochWallNanos}
+	for i, d := range docs {
+		out.TraceEvents = append(out.TraceEvents,
+			TraceEvent{Name: "process_name", Ph: "M", Pid: i,
+				Args: map[string]any{"name": names[i]}},
+			TraceEvent{Name: "process_sort_index", Ph: "M", Pid: i,
+				Args: map[string]any{"sort_index": i}})
+		for _, ev := range d.TraceEvents {
+			ev.Pid = i
+			if ev.Ph != "M" {
+				ev.Ts += stats.OffsetsUs[i]
+			}
+			out.TraceEvents = append(out.TraceEvents, ev)
+		}
+	}
+
+	// Normalize so the earliest event lands at ts 0 (Validate rejects
+	// negative timestamps, which offsets can otherwise introduce).
+	min := 0.0
+	seen := false
+	for _, ev := range out.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		if !seen || ev.Ts < min {
+			min, seen = ev.Ts, true
+		}
+	}
+	if seen && min != 0 {
+		for i := range out.TraceEvents {
+			if out.TraceEvents[i].Ph != "M" {
+				out.TraceEvents[i].Ts -= min
+			}
+		}
+	}
+
+	stats.Events = len(out.TraceEvents)
+	stats.Spans = len(out.TracedSpans())
+	return out, stats, nil
+}

@@ -1,0 +1,320 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// twoProcessTraces builds a router-like tracer and a shard-like tracer
+// with deliberately different epochs, records a propagated span pair
+// (router attempt -> shard exec), and returns the decoded docs.
+func twoProcessTraces(t *testing.T) (routerDoc, shardDoc *TraceDoc, attemptCtx TraceCtx) {
+	t.Helper()
+	router := NewTracer(1024)
+	rt := router.Track("router", 0)
+
+	root := rt.BeginTraced("router.query", TraceCtx{})
+	attempt := rt.BeginTraced("router.attempt", root.TraceCtx())
+	attemptCtx = attempt.TraceCtx()
+	if !attemptCtx.Valid() {
+		t.Fatalf("live traced span returned invalid ctx")
+	}
+
+	// The shard tracer starts later: its epoch differs, so raw
+	// timestamps are incomparable until the merge aligns them.
+	time.Sleep(2 * time.Millisecond)
+	shard := NewTracer(1024)
+	st := shard.Track("serve", 0)
+	exec := st.BeginTraced("serve.query", attemptCtx)
+	time.Sleep(1 * time.Millisecond)
+	exec.End()
+
+	attempt.End()
+	root.End()
+
+	decode := func(tr *Tracer) *TraceDoc {
+		var b bytes.Buffer
+		if err := tr.WriteJSON(&b); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		doc, err := DecodeTrace(b.Bytes())
+		if err != nil {
+			t.Fatalf("DecodeTrace: %v", err)
+		}
+		return doc
+	}
+	return decode(router), decode(shard), attemptCtx
+}
+
+func TestTracedSpanRoundTrip(t *testing.T) {
+	routerDoc, shardDoc, attemptCtx := twoProcessTraces(t)
+
+	if routerDoc.EpochWallNanos == "" {
+		t.Fatalf("router doc missing epochWallNanos")
+	}
+	spans := routerDoc.TracedSpans()
+	if len(spans) != 2 {
+		t.Fatalf("router traced spans = %d, want 2", len(spans))
+	}
+	byName := map[string]TracedSpan{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	root, attempt := byName["router.query"], byName["router.attempt"]
+	if root.Parent != 0 || attempt.Parent != root.Span || attempt.Trace != root.Trace {
+		t.Fatalf("parentage wrong: root=%+v attempt=%+v", root, attempt)
+	}
+	if attempt.Span != attemptCtx.SpanID || attempt.Trace != attemptCtx.TraceID {
+		t.Fatalf("attempt ctx mismatch: span %x vs ctx %x", attempt.Span, attemptCtx.SpanID)
+	}
+
+	sspans := shardDoc.TracedSpans()
+	if len(sspans) != 1 || sspans[0].Parent != attemptCtx.SpanID {
+		t.Fatalf("shard span not parented on attempt: %+v", sspans)
+	}
+	if sspans[0].Dur <= 0 {
+		t.Fatalf("shard span end event not paired: dur = %g", sspans[0].Dur)
+	}
+}
+
+func TestMergeTracesAlignsAndValidates(t *testing.T) {
+	routerDoc, shardDoc, _ := twoProcessTraces(t)
+
+	// The shard file alone cannot prove parentage: its parent span
+	// lives in the router file.
+	if _, err := shardDoc.ValidateCross(); err == nil {
+		t.Fatalf("shard doc alone should fail cross validation")
+	}
+
+	merged, stats, err := MergeTraces([]string{"router", "shard"}, []*TraceDoc{routerDoc, shardDoc})
+	if err != nil {
+		t.Fatalf("MergeTraces: %v", err)
+	}
+	if stats.Pairs[1] != 1 {
+		t.Fatalf("expected 1 alignment pair for the shard file, got %d", stats.Pairs[1])
+	}
+	if stats.WallOnly[1] {
+		t.Fatalf("pair-based alignment should win over wall fallback")
+	}
+	if _, err := merged.Validate(); err != nil {
+		t.Fatalf("merged doc invalid: %v", err)
+	}
+	cross, err := merged.ValidateCross()
+	if err != nil {
+		t.Fatalf("ValidateCross: %v", err)
+	}
+	if cross != 1 {
+		t.Fatalf("cross edges = %d, want 1", cross)
+	}
+
+	// Alignment: the shard exec span must land inside its parent
+	// attempt span (midpoint estimator, symmetric-delay assumption —
+	// in-process both clocks are the same, so this is near-exact).
+	spans := merged.TracedSpans()
+	var attempt, exec TracedSpan
+	for _, s := range spans {
+		switch s.Name {
+		case "router.attempt":
+			attempt = s
+		case "serve.query":
+			exec = s
+		}
+	}
+	if exec.Ts < attempt.Ts-50 || exec.Ts+exec.Dur > attempt.Ts+attempt.Dur+50 {
+		t.Fatalf("aligned exec span [%g,%g] not within attempt [%g,%g]",
+			exec.Ts, exec.Ts+exec.Dur, attempt.Ts, attempt.Ts+attempt.Dur)
+	}
+	// Processes are separated in the merged doc.
+	if attempt.Pid == exec.Pid {
+		t.Fatalf("merged spans share a pid: %d", attempt.Pid)
+	}
+	// Normalization: no negative timestamps.
+	for _, ev := range merged.TraceEvents {
+		if ev.Ph != "M" && ev.Ts < 0 {
+			t.Fatalf("negative ts after normalization: %+v", ev)
+		}
+	}
+}
+
+func TestMergeTracesWallFallback(t *testing.T) {
+	// Two files with no cross edges: alignment falls back to the wall
+	// epoch difference.
+	a := &TraceDoc{EpochWallNanos: "1000000000", TraceEvents: []TraceEvent{
+		{Name: "x", Ph: "X", Ts: 10, Dur: 5},
+	}}
+	b := &TraceDoc{EpochWallNanos: "1002000000", TraceEvents: []TraceEvent{
+		{Name: "y", Ph: "X", Ts: 10, Dur: 5},
+	}}
+	merged, stats, err := MergeTraces([]string{"a", "b"}, []*TraceDoc{a, b})
+	if err != nil {
+		t.Fatalf("MergeTraces: %v", err)
+	}
+	if !stats.WallOnly[1] || stats.OffsetsUs[1] != 2000 {
+		t.Fatalf("wall fallback offset = %g (wallOnly=%v), want 2000", stats.OffsetsUs[1], stats.WallOnly[1])
+	}
+	// After normalization x (the earliest event) sits at 0 and y keeps
+	// the 2000µs wall gap.
+	var xa, ya *TraceEvent
+	for i := range merged.TraceEvents {
+		switch merged.TraceEvents[i].Name {
+		case "x":
+			xa = &merged.TraceEvents[i]
+		case "y":
+			ya = &merged.TraceEvents[i]
+		}
+	}
+	if xa == nil || ya == nil || xa.Ts != 0 || ya.Ts != 2000 {
+		t.Fatalf("wall offset not applied: x=%+v y=%+v", xa, ya)
+	}
+}
+
+func TestValidateCrossRejectsMissingParent(t *testing.T) {
+	doc := &TraceDoc{TraceEvents: []TraceEvent{
+		{Name: "s", Ph: "b", Cat: "trace", Ts: 0, ID: 1,
+			Args: map[string]any{"trace": "0000000000001", "span": "0000000000002", "parent": "00000000000ff"}},
+		{Name: "s", Ph: "e", Cat: "trace", Ts: 5, ID: 1,
+			Args: map[string]any{"span": "0000000000002"}},
+	}}
+	if _, err := doc.ValidateCross(); err == nil || !strings.Contains(err.Error(), "no parent") {
+		t.Fatalf("missing parent not detected: %v", err)
+	}
+}
+
+// TestFullDumpConcurrentScrape is the scrape-boundary property the
+// federation path relies on: dumps taken while writers are observing
+// must stay internally consistent enough to merge (bucket sum never
+// exceeds observations started, merge stays associative), and the
+// final post-quiescence dump must be exact. Run under -race in ci.
+func TestFullDumpConcurrentScrape(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Hist("lat")
+	reg.Counter("reqs_total").Add(0)
+
+	const goroutines = 4
+	const per = 20000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(g*per+i) % 4096)
+			}
+		}(g)
+	}
+
+	var dumps []HistDump
+	scraped := make(chan struct{})
+	go func() {
+		defer close(scraped)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			d := reg.FullDump().Hists["lat"]
+			var sum int64
+			for _, c := range d.Buckets {
+				sum += c
+			}
+			// A live dump may be slightly torn, but bucket counts only
+			// grow; the sum can never exceed the total writers will
+			// ever record.
+			if sum > goroutines*per {
+				t.Errorf("scraped bucket sum %d exceeds total %d", sum, goroutines*per)
+				return
+			}
+			dumps = append(dumps, d)
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-scraped
+
+	final := h.Dump()
+	var sum int64
+	for _, c := range final.Buckets {
+		sum += c
+	}
+	if final.Count != goroutines*per || sum != goroutines*per {
+		t.Fatalf("final dump inexact: count=%d bucketsum=%d want %d", final.Count, sum, goroutines*per)
+	}
+
+	// Merge associativity at the dump boundary: folding the final dump
+	// left-to-right vs right-to-left over fresh hists agrees exactly.
+	var l, r, m Hist
+	l.MergeDump(final)
+	l.MergeDump(final)
+	m.MergeDump(final)
+	r.MergeDump(final)
+	r.Merge(&m)
+	if !histEqual(&l, &r) {
+		t.Fatalf("MergeDump not associative with Merge")
+	}
+}
+
+func TestFederate(t *testing.T) {
+	mk := func(queries, inflight int64, lat []int64) *FullDump {
+		reg := NewRegistry()
+		reg.Counter("dnnd_serve_queries_total{status=\"ok\"}").Add(queries)
+		reg.Sample("dnnd_serve_inflight", func() int64 { return inflight })
+		h := reg.Hist("dnnd_serve_latency_usec")
+		for _, v := range lat {
+			h.Observe(v)
+		}
+		return reg.FullDump()
+	}
+	fed := Federate([]Instance{
+		{Labels: `shard="0",replica="a:1"`, Dump: mk(10, 3, []int64{100, 200})},
+		{Labels: `shard="1",replica="b:1"`, Dump: mk(32, 5, []int64{400})},
+	})
+	if got := fed.Counters[`dnnd_serve_queries_total{status="ok"}`]; got != 42 {
+		t.Fatalf("counter sum = %d, want 42", got)
+	}
+	h := fed.Hists["dnnd_serve_latency_usec"]
+	if h == nil || h.Count() != 3 || h.Max() != 400 {
+		t.Fatalf("hist merge wrong: %+v", h)
+	}
+	if len(fed.Gauges) != 2 {
+		t.Fatalf("gauges = %+v, want 2 labeled readings", fed.Gauges)
+	}
+
+	var text bytes.Buffer
+	if err := fed.DumpText(&text); err != nil {
+		t.Fatalf("DumpText: %v", err)
+	}
+	out := text.String()
+	for _, want := range []string{
+		"dnnd_cluster_replicas_scraped 2",
+		`dnnd_serve_queries_total{status="ok"} 42`,
+		"dnnd_serve_latency_usec_count 3",
+		`dnnd_serve_inflight{shard="0",replica="a:1"} 3`,
+		`dnnd_serve_inflight{shard="1",replica="b:1"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("federated text missing %q:\n%s", want, out)
+		}
+	}
+
+	var js bytes.Buffer
+	if err := fed.DumpJSON(&js); err != nil {
+		t.Fatalf("DumpJSON: %v", err)
+	}
+	if !strings.Contains(js.String(), `"replicas_scraped": 2`) {
+		t.Fatalf("federated json missing scrape count:\n%s", js.String())
+	}
+}
+
+func TestWithLabels(t *testing.T) {
+	if got := withLabels("a_total", `r="x"`); got != `a_total{r="x"}` {
+		t.Fatalf("withLabels plain = %q", got)
+	}
+	if got := withLabels(`a_total{s="0"}`, `r="x"`); got != `a_total{s="0",r="x"}` {
+		t.Fatalf("withLabels labeled = %q", got)
+	}
+}

@@ -43,6 +43,11 @@ const (
 	// them on per-id sub-rows — which is what concurrent serve
 	// requests need where synchronous "X" spans must nest.
 	KindAsync
+	// KindTraced is a completed cross-process span: like KindAsync it
+	// may overlap on a track, but it additionally carries a trace ID,
+	// its own span ID, and its parent's span ID, so span records from
+	// different processes stitch into one tree (tracectx.go, merge.go).
+	KindTraced
 )
 
 // Event is one recorded trace event. Name must be a stable (typically
@@ -56,6 +61,10 @@ type Event struct {
 	Arg   int64
 	TS    int64 // nanoseconds since the tracer epoch
 	Dur   int64 // span duration in nanoseconds (spans only)
+	// Cross-process identity (KindTraced only; zero otherwise).
+	Trace  uint64
+	Span   uint64
+	Parent uint64
 }
 
 // DefaultTrackEvents is the per-track event capacity when NewTracer is
@@ -67,11 +76,12 @@ const DefaultTrackEvents = 1 << 18
 // servers) and the shared epoch their timestamps count from. A nil
 // *Tracer is valid everywhere and records nothing.
 type Tracer struct {
-	enabled  atomic.Bool
-	epoch    time.Time
-	capacity int
-	mu       sync.Mutex
-	tracks   []*Track
+	enabled   atomic.Bool
+	epoch     time.Time
+	epochWall int64 // epoch as wall-clock unix nanoseconds
+	capacity  int
+	mu        sync.Mutex
+	tracks    []*Track
 }
 
 // NewTracer returns an enabled tracer whose tracks buffer up to
@@ -80,7 +90,8 @@ func NewTracer(perTrackEvents int) *Tracer {
 	if perTrackEvents <= 0 {
 		perTrackEvents = DefaultTrackEvents
 	}
-	t := &Tracer{epoch: time.Now(), capacity: perTrackEvents}
+	now := time.Now()
+	t := &Tracer{epoch: now, epochWall: now.UnixNano(), capacity: perTrackEvents}
 	t.enabled.Store(true)
 	return t
 }
@@ -187,6 +198,25 @@ func (tr *Track) record(kind uint8, name string, arg, ts, dur int64) {
 	e.ready.Store(1)
 }
 
+// recordTraced publishes one KindTraced event with its span identity.
+func (tr *Track) recordTraced(name string, trace, span, parent uint64, ts, dur int64) {
+	i := tr.next.Add(1) - 1
+	if i >= int64(len(tr.events)) {
+		tr.drops.Add(1)
+		return
+	}
+	e := &tr.events[i]
+	e.Kind = KindTraced
+	e.Name = name
+	e.Arg = 0
+	e.TS = ts
+	e.Dur = dur
+	e.Trace = trace
+	e.Span = span
+	e.Parent = parent
+	e.ready.Store(1)
+}
+
 // Span is an in-progress span handle. The zero value (returned when
 // tracing is off) is valid and End on it is a no-op.
 type Span struct {
@@ -195,6 +225,10 @@ type Span struct {
 	arg   int64
 	t0    int64
 	async bool
+	// Cross-process identity (BeginTraced spans only).
+	trace  uint64
+	span   uint64
+	parent uint64
 }
 
 // Begin opens a span. On a nil track or a disabled tracer it costs a
@@ -227,6 +261,10 @@ func (tr *Track) BeginAsync(name string, id int64) Span {
 // End completes the span and records it.
 func (s Span) End() {
 	if s.tr == nil || !s.tr.t.enabled.Load() {
+		return
+	}
+	if s.span != 0 {
+		s.tr.recordTraced(s.name, s.trace, s.span, s.parent, s.t0, s.tr.t.now()-s.t0)
 		return
 	}
 	kind := KindSpan

@@ -35,6 +35,12 @@ type TraceEvent struct {
 type TraceDoc struct {
 	TraceEvents     []TraceEvent `json:"traceEvents"`
 	DisplayTimeUnit string       `json:"displayTimeUnit,omitempty"`
+	// EpochWallNanos is the tracer's epoch (the zero of every ts in
+	// this file) as wall-clock unix nanoseconds, decimal-encoded as a
+	// string because the value exceeds what JSON numbers carry
+	// exactly. It is the coarse clock-alignment signal MergeTraces
+	// starts from; empty in hand-written fixtures and pre-PR-10 files.
+	EpochWallNanos string `json:"epochWallNanos,omitempty"`
 }
 
 func usec(ns int64) float64 { return float64(ns) / 1e3 }
@@ -48,7 +54,7 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		_, err := io.WriteString(w, `{"traceEvents":[]}`)
 		return err
 	}
-	if _, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+	if _, err := fmt.Fprintf(w, `{"displayTimeUnit":"ms","epochWallNanos":"%d","traceEvents":[`, t.epochWall); err != nil {
 		return err
 	}
 	first := true
@@ -104,6 +110,26 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 				}
 				ev = TraceEvent{Name: e.Name, Ph: "e", Cat: "req", Tid: tid,
 					Ts: usec(e.TS + e.Dur), ID: e.Arg}
+			case KindTraced:
+				// Cross-process span: async begin/end grouped by trace
+				// ID (so one trace's spans share a Perfetto sub-row)
+				// with the span identity in args as fixed-width hex.
+				// The end event repeats the span ID so pairs match
+				// unambiguously after files are merged and re-sorted.
+				args := map[string]any{
+					"trace": hexID(e.Trace), "span": hexID(e.Span),
+				}
+				if e.Parent != 0 {
+					args["parent"] = hexID(e.Parent)
+				}
+				b := TraceEvent{Name: e.Name, Ph: "b", Cat: "trace", Tid: tid,
+					Ts: usec(e.TS), ID: int64(e.Trace), Args: args}
+				if err := emit(b); err != nil {
+					return err
+				}
+				ev = TraceEvent{Name: e.Name, Ph: "e", Cat: "trace", Tid: tid,
+					Ts: usec(e.TS + e.Dur), ID: int64(e.Trace),
+					Args: map[string]any{"span": hexID(e.Span)}}
 			default:
 				continue
 			}

@@ -161,6 +161,35 @@ func (r *Registry) DumpString() string {
 	return b.String()
 }
 
+// FullDump is the scrape form of a registry: every scalar (counters
+// and samples alike — the distinction is a dump-time detail) plus
+// every histogram at bucket level, so a scraper can merge histograms
+// soundly. This is what the serve metrics op ships to the router's
+// cluster federation.
+type FullDump struct {
+	Samples map[string]int64    `json:"samples"`
+	Hists   map[string]HistDump `json:"hists,omitempty"`
+}
+
+// FullDump snapshots the registry in its mergeable form.
+func (r *Registry) FullDump() *FullDump {
+	out := &FullDump{Samples: make(map[string]int64)}
+	for _, it := range r.snapshot() {
+		switch {
+		case it.counter != nil:
+			out.Samples[it.name] = it.counter.Load()
+		case it.sample != nil:
+			out.Samples[it.name] = it.sample()
+		case it.hist != nil:
+			if out.Hists == nil {
+				out.Hists = make(map[string]HistDump)
+			}
+			out.Hists[it.name] = it.hist.Dump()
+		}
+	}
+	return out
+}
+
 // DumpJSON writes a flat JSON object: counters and samples as
 // integers, histograms as {count,mean,max,p50,p95,p99}. Key order
 // follows Go's JSON map marshaling (sorted), so the output is stable.

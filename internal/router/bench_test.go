@@ -11,12 +11,15 @@ import (
 
 	"dnnd"
 	"dnnd/internal/msg"
+	"dnnd/internal/obs"
 	"dnnd/internal/router"
 	"dnnd/internal/serve"
 )
 
-// benchQuery runs b.N synchronous round trips against addr.
-func benchRoundTrips(b *testing.B, addr string, queries [][]float32) {
+// benchQuery runs b.N synchronous round trips against addr. With
+// traced set, every query carries a sampled client trace context — the
+// worst case for the distributed-tracing wire and span overhead.
+func benchRoundTrips(b *testing.B, addr string, queries [][]float32, traced bool) {
 	b.Helper()
 	c, err := serve.Dial(addr, 5*time.Second)
 	if err != nil {
@@ -28,6 +31,9 @@ func benchRoundTrips(b *testing.B, addr string, queries [][]float32) {
 		q := msg.SQuery[float32]{
 			ID: uint64(i), Seed: int64(i), L: 10, Epsilon: 0.1,
 			Vec: queries[i%len(queries)],
+		}
+		if traced {
+			q.Trace = msg.STrace{TraceID: obs.NewTraceID(), Sampled: true}
 		}
 		res, err := serve.Do(c, &q)
 		if err != nil {
@@ -43,6 +49,11 @@ func benchRoundTrips(b *testing.B, addr string, queries [][]float32) {
 // direct to a shard server vs through a 1-shard router in front of the
 // same server — the pure scatter/merge/forwarding tax, since with one
 // shard the router adds a hop and a merge of one list but no fan-out.
+// The traced variants pin the distributed-tracing tax: router and
+// shard both record spans and every request is sampled end to end
+// (untraced requests through a tracing-enabled router ride the same
+// paths with the spans compiled out by the sampled check, so the
+// interesting axes are off/off vs on/on).
 func BenchmarkRouterRoundTrip(b *testing.B) {
 	const n, dim, k = 2000, 16, 10
 	data := randVecs(n, dim, 41)
@@ -53,8 +64,16 @@ func BenchmarkRouterRoundTrip(b *testing.B) {
 		ProbeInterval: -1,
 	})
 
-	b.Run("direct", func(b *testing.B) { benchRoundTrips(b, addr, queries) })
-	b.Run("router", func(b *testing.B) { benchRoundTrips(b, raddr, queries) })
+	b.Run("direct", func(b *testing.B) { benchRoundTrips(b, addr, queries, false) })
+	b.Run("router", func(b *testing.B) { benchRoundTrips(b, raddr, queries, false) })
+
+	taddr, _, _ := startTracedShard(b, dnnd.ShardDir(out, 0))
+	rtr := obs.NewTracer(1 << 12)
+	_, traddr := startRouterOver(b, man, [][]string{{taddr}}, router.Config{
+		ProbeInterval: -1,
+		Trace:         rtr.Track("router", 0),
+	})
+	b.Run("router-traced", func(b *testing.B) { benchRoundTrips(b, traddr, queries, true) })
 }
 
 // BenchmarkRouterMergedQPS measures sustained closed-loop merged

@@ -1,0 +1,79 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"dnnd/internal/obs"
+	"dnnd/internal/serve"
+)
+
+// ClusterMetrics scrapes every replica's structured metrics dump
+// (SOpMetrics) and federates them into one cluster view: counters
+// summed, histograms bucket-merged (so cluster quantiles come from
+// real buckets), point-in-time gauges labeled per replica. Scrapes run
+// concurrently over short-lived connections — the query path's pooled
+// pipelined connections are never touched — and a replica that fails
+// to answer (down, or pre-PR-10 without the op) is reported in
+// Federated.Errors instead of failing the whole view. timeout bounds
+// each scrape; non-positive uses the router's dial timeout.
+func (rt *Router) ClusterMetrics(timeout time.Duration) *obs.Federated {
+	if timeout <= 0 {
+		timeout = rt.cfg.DialTimeout
+	}
+	type target struct {
+		shard int
+		addr  string
+	}
+	var targets []target
+	for si, sg := range rt.shards {
+		for _, rp := range sg.replicas {
+			targets = append(targets, target{shard: si, addr: rp.addr})
+		}
+	}
+	insts := make([]obs.Instance, len(targets))
+	errs := make([]string, len(targets))
+	var wg sync.WaitGroup
+	for i, tg := range targets {
+		wg.Add(1)
+		go func(i int, tg target) {
+			defer wg.Done()
+			labels := fmt.Sprintf("shard=%q,replica=%q", fmt.Sprint(tg.shard), tg.addr)
+			insts[i].Labels = labels
+			dump, err := scrapeReplica(tg.addr, timeout)
+			if err != nil {
+				errs[i] = fmt.Sprintf("%s: %v", labels, err)
+				return
+			}
+			insts[i].Dump = dump
+		}(i, tg)
+	}
+	wg.Wait()
+	fed := obs.Federate(insts)
+	for _, e := range errs {
+		if e != "" {
+			fed.Errors = append(fed.Errors, e)
+		}
+	}
+	return fed
+}
+
+func scrapeReplica(addr string, timeout time.Duration) (*obs.FullDump, error) {
+	c, err := serve.Dial(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(timeout))
+	raw, err := c.MetricsJSON()
+	if err != nil {
+		return nil, err
+	}
+	var d obs.FullDump
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}

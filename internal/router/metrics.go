@@ -67,10 +67,12 @@ type ShardStat struct {
 }
 
 type replicaView struct {
-	shard int
-	addr  string
-	state func() uint8
-	gen   func() uint64
+	shard    int
+	addr     string
+	state    func() uint8
+	gen      func() uint64
+	clockOff func() int64 // estimated remote−local clock offset, ns
+	rtt      func() int64 // qualifying probe RTT floor, ns
 }
 
 // Registry lazily builds (once) the obs.Registry view under
@@ -123,6 +125,10 @@ func (m *Metrics) Registry() *obs.Registry {
 			r.Sample(fmt.Sprintf("dnnd_router_replica_gen{shard=%q,replica=%q}",
 				fmt.Sprint(rv.shard), rv.addr),
 				func() int64 { return int64(rv.gen()) })
+			r.Sample(fmt.Sprintf("dnnd_router_replica_clock_offset_nanos{shard=%q,replica=%q}",
+				fmt.Sprint(rv.shard), rv.addr), rv.clockOff)
+			r.Sample(fmt.Sprintf("dnnd_router_replica_probe_rtt_nanos{shard=%q,replica=%q}",
+				fmt.Sprint(rv.shard), rv.addr), rv.rtt)
 		}
 		r.RegisterHist("dnnd_router_latency_usec", &m.LatTotal)
 		m.reg = r

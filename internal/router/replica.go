@@ -29,6 +29,15 @@ type replica struct {
 	state atomic.Uint32 // msg.RState*; zero value live, routable until told otherwise
 	gen   atomic.Uint64 // snapshot generation from the last health line
 
+	// NTP-style clock estimate from health probes: each probe is one
+	// round trip, so remote_now − (probe_start + rtt/2) estimates the
+	// replica's clock offset under the symmetric-delay assumption. Only
+	// probes whose RTT is near the best seen update the offset (a
+	// queued probe's midpoint is meaningless); minRTT decays slowly so
+	// a genuine path change can re-qualify.
+	clockOff atomic.Int64 // estimated remote−local offset, nanoseconds
+	minRTT   atomic.Int64 // qualifying-RTT floor, nanoseconds (0 = no estimate yet)
+
 	mu          sync.Mutex
 	pc          *serve.PipeClient
 	dialTimeout time.Duration
@@ -88,6 +97,7 @@ type healthInfo struct {
 	dim   uint64
 	elem  string
 	gen   uint64
+	now   int64 // server wall clock at reply time (0 = pre-PR-10 server)
 }
 
 // parseHealth parses a health probe line: the first token is the
@@ -121,6 +131,8 @@ func parseHealth(line string) (healthInfo, error) {
 			info.elem = v
 		case "gen":
 			info.gen, _ = strconv.ParseUint(v, 10, 64)
+		case "now":
+			info.now, _ = strconv.ParseInt(v, 10, 64)
 		}
 	}
 	return info, nil
@@ -142,7 +154,9 @@ func (rt *Router) probeOnce(rp *replica) {
 	}
 	defer c.Close()
 	c.SetDeadline(time.Now().Add(rt.cfg.DialTimeout))
+	t0 := time.Now()
 	line, err := c.Health()
+	rtt := time.Since(t0)
 	if err != nil {
 		rt.m.ProbeFails.Add(1)
 		rp.demote(nil, msg.RStateDown)
@@ -161,6 +175,16 @@ func (rt *Router) probeOnce(rp *replica) {
 		rt.m.ProbeMismatches.Add(1)
 		rp.demote(nil, msg.RStateDown)
 		return
+	}
+	if info.now != 0 {
+		best := rp.minRTT.Load()
+		if best == 0 || rtt.Nanoseconds() <= best+best/4 {
+			rp.clockOff.Store(info.now - t0.UnixNano() - rtt.Nanoseconds()/2)
+			if best == 0 || rtt.Nanoseconds() < best {
+				best = rtt.Nanoseconds()
+			}
+		}
+		rp.minRTT.Store(best + best/8) // decay toward re-qualifying
 	}
 	rp.gen.Store(info.gen)
 	rp.state.Store(uint32(info.state))

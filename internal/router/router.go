@@ -50,10 +50,23 @@ type Config struct {
 	// WriteTimeout bounds each client reply write (default 30s;
 	// negative disables), exactly like the serve server's.
 	WriteTimeout time.Duration
-	// Trace, when non-nil, receives "router.query" async spans covering
-	// each admitted query from admission to reply, and a
-	// "router.inflight" counter track.
+	// Trace, when non-nil, receives the router's span timeline: a
+	// "router.inflight" counter track plus, when the tracer is enabled,
+	// distributed "router.query" spans covering each admitted query —
+	// with "router.scatter" children per shard, "router.attempt" /
+	// "router.retry" children per replica attempt, "router.watchdog"
+	// markers on watchdog fires, and a "router.merge" child around the
+	// gather's merge+reply. A traced query's sub-queries carry the trace
+	// context on the wire (SFlagTrace), so a tracing shard parents its
+	// serve.query span under the router's attempt span; the client's
+	// own sampled context, when present, is adopted as the trace root.
+	// With a nil Trace (or a disabled tracer) queries carrying a trace
+	// context are forwarded byte-for-byte unchanged.
 	Trace *obs.Track
+	// SlowLog bounds the slow-query log: the SlowLog slowest queries
+	// (by total latency, admission to reply) are kept with per-shard
+	// latency breakdowns and trace IDs. Default 32; negative disables.
+	SlowLog int
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +98,11 @@ func (c Config) withDefaults() Config {
 	} else if c.WriteTimeout < 0 {
 		c.WriteTimeout = 0
 	}
+	if c.SlowLog == 0 {
+		c.SlowLog = 32
+	} else if c.SlowLog < 0 {
+		c.SlowLog = 0
+	}
 	return c
 }
 
@@ -100,8 +118,9 @@ const deadlineGrace = 25 * time.Millisecond
 // sub-query and clamps L per shard by patching these offsets in place,
 // never re-encoding the vector.
 const (
-	qOffID = 0
-	qOffL  = 16
+	qOffID    = 0
+	qOffL     = 16
+	qOffFlags = 28
 )
 
 // shardGroup is one shard's replica set plus its round-robin cursor.
@@ -112,11 +131,15 @@ type shardGroup struct {
 }
 
 // shardOutcome is the result of one shard's scatter leg: a reply with
-// results, or the status explaining why there is none.
+// results, or the status explaining why there is none, plus the
+// latency breakdown the slow-query log records.
 type shardOutcome struct {
-	shard  int
-	status uint8
-	res    *msg.SResult // non-nil only for ok/partial
+	shard    int
+	status   uint8
+	res      *msg.SResult // non-nil only for ok/partial
+	attempts int
+	micros   int64
+	replica  string // answering (or last-tried) replica address
 }
 
 // rconn wraps one client connection, the same split as the serve
@@ -219,6 +242,7 @@ type Router struct {
 	elemSize int
 	shards   []*shardGroup
 	m        *Metrics
+	slow     *slowLog
 
 	subID atomic.Uint64 // sub-query ID counter, unique per backend connection's lifetime
 
@@ -255,6 +279,7 @@ func New(man *Manifest, shardAddrs [][]string, cfg Config) (*Router, error) {
 		man:       man,
 		elemSize:  man.ElemSize(),
 		m:         &Metrics{Shards: make([]ShardStat, len(man.Shards))},
+		slow:      newSlowLog(cfg.SlowLog),
 		gate:      newGate(),
 		stopProbe: make(chan struct{}),
 		conns:     make(map[*rconn]struct{}),
@@ -269,6 +294,7 @@ func New(man *Manifest, shardAddrs [][]string, cfg Config) (*Router, error) {
 			sg.replicas = append(sg.replicas, rp)
 			rt.m.replicaViews = append(rt.m.replicaViews, replicaView{
 				shard: i, addr: addr, state: rp.curState, gen: rp.gen.Load,
+				clockOff: rp.clockOff.Load, rtt: rp.minRTT.Load,
 			})
 		}
 		rt.shards = append(rt.shards, sg)
@@ -286,6 +312,9 @@ func New(man *Manifest, shardAddrs [][]string, cfg Config) (*Router, error) {
 
 // Metrics exposes the router's observability surface.
 func (rt *Router) Metrics() *Metrics { return rt.m }
+
+// SlowQueries snapshots the slow-query log, slowest first.
+func (rt *Router) SlowQueries() []SlowQuery { return rt.slow.Snapshot() }
 
 // Topology snapshots the router's current view of every shard and
 // replica (the SOpTopo reply).
@@ -439,10 +468,14 @@ func (rt *Router) handleQuery(sc *rconn, payload []byte) bool {
 	l := r.Uint32()
 	_ = r.Float32() // epsilon: forwarded untouched
 	dlMicros := r.Uint32()
-	_ = r.Uint8() // flags: forwarded untouched
+	flags := r.Uint8()
 	n := r.Count(rt.elemSize)
+	want := n * rt.elemSize
+	if flags&msg.SFlagTrace != 0 {
+		want += msg.STraceBytes
+	}
 	if r.Err() != nil || n != int(rt.man.Dim) ||
-		r.Remaining() != n*rt.elemSize || int64(l) > int64(rt.man.N) {
+		r.Remaining() != want || int64(l) > int64(rt.man.N) {
 		rt.m.RejectedBad.Add(1)
 		return rt.reject(sc, id, msg.SStatusBadRequest)
 	}
@@ -467,8 +500,23 @@ func (rt *Router) handleQuery(sc *rconn, payload []byte) bool {
 	// own copy before the scatter goroutines take over.
 	own := make([]byte, len(payload))
 	copy(own, payload)
-	span := rt.cfg.Trace.BeginAsync("router.query", int64(id))
-	go rt.serveQuery(sc, own, id, l, deadline, now, span)
+	// Trace root: adopt the client's sampled context when it sent one
+	// (the client's trace ID becomes the timeline's join key), else
+	// stamp a fresh trace. A disabled tracer falls back to the local
+	// async span and forwards any client context untouched.
+	var clientTC msg.STrace
+	var clientCtx obs.TraceCtx
+	if flags&msg.SFlagTrace != 0 {
+		clientTC = msg.ReadSTraceTail(own)
+		if clientTC.TraceID != 0 && clientTC.Sampled {
+			clientCtx = obs.TraceCtx{TraceID: clientTC.TraceID, SpanID: clientTC.SpanID, Sampled: true}
+		}
+	}
+	span := rt.cfg.Trace.BeginTraced("router.query", clientCtx)
+	if !span.TraceCtx().Valid() {
+		span = rt.cfg.Trace.BeginAsync("router.query", int64(id))
+	}
+	go rt.serveQuery(sc, own, id, l, deadline, now, span, clientTC)
 	return true
 }
 
@@ -481,7 +529,7 @@ func (rt *Router) reject(sc *rconn, id uint64, status uint8) bool {
 // gather loop bounded by the client deadline (plus grace) or the shard
 // timeout, and a merged reply whose status tells the client exactly
 // how complete the answer is.
-func (rt *Router) serveQuery(sc *rconn, payload []byte, id uint64, l uint32, deadline time.Time, enq time.Time, span obs.Span) {
+func (rt *Router) serveQuery(sc *rconn, payload []byte, id uint64, l uint32, deadline time.Time, enq time.Time, span obs.Span, clientTC msg.STrace) {
 	// budget bounds each sub-query attempt; the gather timer additionally
 	// covers failover: without a client deadline a shard may spend up to
 	// maxAttempts × budget before giving up, and the gather must outlast
@@ -506,10 +554,11 @@ func (rt *Router) serveQuery(sc *rconn, payload []byte, id uint64, l uint32, dea
 		}
 		gatherBound = budget + deadlineGrace
 	}
+	rootCtx := span.TraceCtx()
 	nsh := len(rt.shards)
 	ch := make(chan shardOutcome, nsh)
 	for _, sg := range rt.shards {
-		go func(sg *shardGroup) { ch <- rt.queryShard(sg, payload, l, budget) }(sg)
+		go func(sg *shardGroup) { ch <- rt.queryShard(sg, payload, l, budget, rootCtx) }(sg)
 	}
 
 	var (
@@ -518,7 +567,11 @@ func (rt *Router) serveQuery(sc *rconn, payload []byte, id uint64, l uint32, dea
 		qmax, emax uint32
 		counts     [8]int
 		timedOut   int
+		legs       []SlowShard
 	)
+	if rt.slow != nil {
+		legs = make([]SlowShard, 0, nsh)
+	}
 	timer := time.NewTimer(gatherBound)
 gather:
 	for got := 0; got < nsh; got++ {
@@ -534,6 +587,12 @@ gather:
 					emax = o.res.ExecMicros
 				}
 				all = mergeResults(all, o.res, rt.man.Shards[o.shard].Globals)
+			}
+			if legs != nil {
+				legs = append(legs, SlowShard{
+					Shard: o.shard, Status: msg.SStatusName(o.status),
+					Attempts: o.attempts, Micros: o.micros, Replica: o.replica,
+				})
 			}
 		case <-timer.C:
 			timedOut = nsh - got
@@ -569,6 +628,10 @@ gather:
 	if effL == 0 {
 		effL = rt.cfg.L
 	}
+	var mspan obs.Span
+	if rootCtx.Valid() {
+		mspan = rt.cfg.Trace.BeginTraced("router.merge", rootCtx)
+	}
 	res := msg.SResult{
 		ID:          id,
 		Status:      status,
@@ -577,15 +640,42 @@ gather:
 		ExecMicros:  emax,
 		Neighbors:   finishMerge(all, effL),
 	}
+	// Reply trace echo: the effective trace ID (the client's when it
+	// was adopted, the router-stamped one otherwise) plus the router's
+	// root span ID — a trace-less client learns the join key for this
+	// query's timeline from the reply alone.
+	effTrace := clientTC.TraceID
+	if rootCtx.Valid() {
+		effTrace = rootCtx.TraceID
+	}
+	if effTrace != 0 {
+		res.Trace = msg.STrace{
+			TraceID: effTrace,
+			SpanID:  rootCtx.SpanID,
+			Sampled: clientTC.Sampled || rootCtx.Valid(),
+		}
+	}
 	if err := sc.writeResult(&res); err != nil {
 		rt.m.WriteErrors.Add(1)
 	}
-	rt.m.LatTotal.ObserveDuration(time.Since(enq))
+	mspan.End()
+	total := time.Since(enq)
+	rt.m.LatTotal.ObserveDuration(total)
 	rt.m.statusCounter(status).Add(1)
 	rt.m.Completed.Add(1)
 	rt.cfg.Trace.Counter("router.inflight", rt.m.InFlight.Add(-1))
 	span.End()
 	rt.gate.leave()
+	if us := total.Microseconds(); rt.slow.qualifies(us) {
+		var hex string
+		if effTrace != 0 {
+			hex = fmt.Sprintf("%013x", effTrace)
+		}
+		rt.slow.add(SlowQuery{
+			ID: id, Trace: hex, Status: msg.SStatusName(status),
+			TotalMicros: us, UnixNanos: time.Now().UnixNano(), Shards: legs,
+		})
+	}
 }
 
 // queryShard runs one shard's scatter leg with bounded failover: live
@@ -594,9 +684,29 @@ gather:
 // sub-query is the client payload with the ID rewritten and L clamped
 // to the shard's point count (a search wider than the shard is the
 // same search, but the backend would reject the literal value).
-func (rt *Router) queryShard(sg *shardGroup, payload []byte, l uint32, budget time.Duration) shardOutcome {
-	sub := make([]byte, len(payload))
+func (rt *Router) queryShard(sg *shardGroup, payload []byte, l uint32, budget time.Duration, parent obs.TraceCtx) shardOutcome {
+	// Traced queries get a "router.scatter" span per shard; its span ID
+	// is the parent of every attempt span below. An untraced router
+	// (invalid parent) records nothing and forwards the payload as-is.
+	var scatter obs.Span
+	if parent.Valid() {
+		scatter = rt.cfg.Trace.BeginTraced("router.scatter", parent)
+	}
+	defer scatter.End()
+	sctx := scatter.TraceCtx()
+
+	// The sub-query needs a trace tail to re-parent per attempt; append
+	// one (and set the version-gate flag) only if the client didn't
+	// already send one — the vector bytes stay untouched either way.
+	extra := 0
+	if sctx.Valid() && payload[qOffFlags]&msg.SFlagTrace == 0 {
+		extra = msg.STraceBytes
+	}
+	sub := make([]byte, len(payload)+extra)
 	copy(sub, payload)
+	if extra > 0 {
+		sub[qOffFlags] |= msg.SFlagTrace
+	}
 	if count := rt.man.Shards[sg.idx].Count; l > count {
 		binary.LittleEndian.PutUint32(sub[qOffL:qOffL+4], count)
 	}
@@ -608,13 +718,28 @@ func (rt *Router) queryShard(sg *shardGroup, payload []byte, l uint32, budget ti
 	}
 	start := time.Now()
 	draining := 0
+	var lastAddr string
 	for i := 0; i < attempts; i++ {
 		rp := reps[i]
+		lastAddr = rp.addr
+		name := "router.attempt"
 		if i > 0 {
 			rt.m.Failovers.Add(1)
+			name = "router.retry" // failover retries are their own span name
+		}
+		var att obs.Span
+		if sctx.Valid() {
+			att = rt.cfg.Trace.BeginTraced(name, sctx)
+			// Re-parent the wire context on this attempt's span, in
+			// place: the shard's serve.query span hangs off exactly the
+			// attempt that carried it, retries included.
+			msg.PutSTraceTail(sub, msg.STrace{
+				TraceID: sctx.TraceID, SpanID: att.TraceCtx().SpanID, Sampled: true,
+			})
 		}
 		pc, err := rp.client()
 		if err != nil {
+			att.End()
 			rt.m.ShardErrors.Add(1)
 			rp.demote(nil, msg.RStateDown)
 			continue
@@ -622,7 +747,8 @@ func (rt *Router) queryShard(sg *shardGroup, payload []byte, l uint32, budget ti
 		sid := rt.subID.Add(1)
 		binary.LittleEndian.PutUint64(sub[qOffID:qOffID+8], sid)
 		rt.m.SubQueries.Add(1)
-		res, err := rt.doWithWatchdog(rp, pc, sid, sub, budget)
+		res, err := rt.doWithWatchdog(rp, pc, sid, sub, budget, att.TraceCtx())
+		att.End()
 		if err != nil {
 			rt.m.ShardErrors.Add(1)
 			rp.demote(pc, msg.RStateDown)
@@ -632,7 +758,8 @@ func (rt *Router) queryShard(sg *shardGroup, payload []byte, l uint32, budget ti
 		case msg.SStatusOK, msg.SStatusPartial:
 			rt.m.Shards[sg.idx].Queries.Add(1)
 			rt.m.Shards[sg.idx].Lat.ObserveDuration(time.Since(start))
-			return shardOutcome{shard: sg.idx, status: res.Status, res: res}
+			return shardOutcome{shard: sg.idx, status: res.Status, res: res,
+				attempts: i + 1, micros: time.Since(start).Microseconds(), replica: rp.addr}
 		case msg.SStatusDraining:
 			// Typed draining: the replica never admitted the query, so
 			// retrying a sibling is always safe. Take it out of rotation
@@ -651,14 +778,17 @@ func (rt *Router) queryShard(sg *shardGroup, payload []byte, l uint32, budget ti
 				st = msg.SStatusUnavailable
 			}
 			rt.m.Shards[sg.idx].Misses.Add(1)
-			return shardOutcome{shard: sg.idx, status: st}
+			return shardOutcome{shard: sg.idx, status: st,
+				attempts: i + 1, micros: time.Since(start).Microseconds(), replica: rp.addr}
 		}
 	}
 	rt.m.Shards[sg.idx].Misses.Add(1)
+	out := shardOutcome{shard: sg.idx, status: msg.SStatusUnavailable,
+		attempts: attempts, micros: time.Since(start).Microseconds(), replica: lastAddr}
 	if draining > 0 && draining == attempts {
-		return shardOutcome{shard: sg.idx, status: msg.SStatusDraining}
+		out.status = msg.SStatusDraining
 	}
-	return shardOutcome{shard: sg.idx, status: msg.SStatusUnavailable}
+	return out
 }
 
 // candidates orders the group's replicas for one scatter leg: live
@@ -687,7 +817,7 @@ func (sg *shardGroup) candidates() []*replica {
 // replica is demoted and its connection closed, which wakes the
 // blocked call (and every other in-flight sub-query on that replica)
 // with a transport error — slow is handled exactly like dead.
-func (rt *Router) doWithWatchdog(rp *replica, pc *serve.PipeClient, id uint64, sub []byte, budget time.Duration) (*msg.SResult, error) {
+func (rt *Router) doWithWatchdog(rp *replica, pc *serve.PipeClient, id uint64, sub []byte, budget time.Duration, parent obs.TraceCtx) (*msg.SResult, error) {
 	type ans struct {
 		res *msg.SResult
 		err error
@@ -704,6 +834,12 @@ func (rt *Router) doWithWatchdog(rp *replica, pc *serve.PipeClient, id uint64, s
 		return a.res, a.err
 	case <-t.C:
 		rt.m.ShardSlow.Add(1)
+		if parent.Valid() {
+			// Zero-duration marker under the attempt span: the timeline
+			// shows exactly when the watchdog gave up on the replica.
+			wd := rt.cfg.Trace.BeginTraced("router.watchdog", parent)
+			wd.End()
+		}
 		rp.demote(pc, msg.RStateDown)
 		a := <-ch // unblocked by the close; may still have raced a reply in
 		return a.res, a.err

@@ -1,0 +1,117 @@
+package router
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// SlowShard is one shard's leg of a logged slow query: how the leg
+// ended, how many replica attempts it took, and how long it ran.
+type SlowShard struct {
+	Shard    int    `json:"shard"`
+	Status   string `json:"status"`
+	Attempts int    `json:"attempts"`
+	Micros   int64  `json:"usec"`
+	Replica  string `json:"replica,omitempty"` // answering (or last-tried) replica
+}
+
+// SlowQuery is one entry of the router's slow-query log. Trace is the
+// hex trace ID when the query was traced — the join key into a merged
+// tracecheck timeline.
+type SlowQuery struct {
+	ID          uint64      `json:"id"`
+	Trace       string      `json:"trace,omitempty"`
+	Status      string      `json:"status"`
+	TotalMicros int64       `json:"total_usec"`
+	UnixNanos   int64       `json:"unix_nanos"`
+	Shards      []SlowShard `json:"shards,omitempty"`
+}
+
+// slowLog keeps the cap slowest queries ever seen, as a min-heap on
+// total latency. The floor atomic mirrors the heap minimum once the
+// log is full, so the overwhelmingly common case — a query faster than
+// everything logged — is dismissed with one atomic load, before the
+// caller even builds the entry. Memory is bounded by cap entries.
+type slowLog struct {
+	floor atomic.Int64
+	mu    sync.Mutex
+	cap   int
+	heap  []SlowQuery
+}
+
+func newSlowLog(capacity int) *slowLog {
+	if capacity <= 0 {
+		return nil
+	}
+	return &slowLog{cap: capacity}
+}
+
+// qualifies is the allocation-free fast path: callers check it before
+// assembling a SlowQuery. Nil-safe (disabled log admits nothing).
+func (sl *slowLog) qualifies(totalMicros int64) bool {
+	return sl != nil && totalMicros > sl.floor.Load()
+}
+
+func (sl *slowLog) add(q SlowQuery) {
+	if sl == nil {
+		return
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if len(sl.heap) < sl.cap {
+		sl.heap = append(sl.heap, q)
+		sl.up(len(sl.heap) - 1)
+		if len(sl.heap) == sl.cap {
+			sl.floor.Store(sl.heap[0].TotalMicros)
+		}
+		return
+	}
+	if q.TotalMicros <= sl.heap[0].TotalMicros {
+		return // raced below the floor between qualifies and add
+	}
+	sl.heap[0] = q
+	sl.down(0)
+	sl.floor.Store(sl.heap[0].TotalMicros)
+}
+
+func (sl *slowLog) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if sl.heap[p].TotalMicros <= sl.heap[i].TotalMicros {
+			return
+		}
+		sl.heap[p], sl.heap[i] = sl.heap[i], sl.heap[p]
+		i = p
+	}
+}
+
+func (sl *slowLog) down(i int) {
+	n := len(sl.heap)
+	for {
+		min, l, r := i, 2*i+1, 2*i+2
+		if l < n && sl.heap[l].TotalMicros < sl.heap[min].TotalMicros {
+			min = l
+		}
+		if r < n && sl.heap[r].TotalMicros < sl.heap[min].TotalMicros {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		sl.heap[min], sl.heap[i] = sl.heap[i], sl.heap[min]
+		i = min
+	}
+}
+
+// Snapshot returns the logged queries, slowest first.
+func (sl *slowLog) Snapshot() []SlowQuery {
+	if sl == nil {
+		return nil
+	}
+	sl.mu.Lock()
+	out := append([]SlowQuery(nil), sl.heap...)
+	sl.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].TotalMicros > out[j].TotalMicros })
+	return out
+}

@@ -88,6 +88,15 @@ func (c *Client) Stats() (string, error) {
 	return string(reply), err
 }
 
+// MetricsJSON fetches the structured metrics dump (obs.FullDump as
+// JSON): counters and samples by name plus bucket-level histogram
+// dumps, the mergeable form the router's /cluster/metrics federation
+// scrapes. Pre-PR-10 servers do not implement the op and drop the
+// connection.
+func (c *Client) MetricsJSON() ([]byte, error) {
+	return c.roundTrip(msg.SOpMetrics, nil)
+}
+
 // Topology fetches a router front end's cluster topology (shards,
 // replica groups, health states, per-replica generations). Plain
 // dnnd-serve processes do not implement the op and drop the

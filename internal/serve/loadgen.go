@@ -2,8 +2,10 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -11,6 +13,7 @@ import (
 
 	"dnnd/internal/knng"
 	"dnnd/internal/msg"
+	"dnnd/internal/obs"
 	"dnnd/internal/wire"
 )
 
@@ -69,6 +72,40 @@ type LoadConfig struct {
 	// that the error count is zero but that no class of failure leaked
 	// through at all.
 	ReportErrors bool
+	// TraceSample stamps a fresh sampled trace context (SFlagTrace +
+	// client-chosen trace ID) on this fraction of query requests,
+	// chosen deterministically from the request index and Seed. A
+	// tracing server or router adopts the trace ID, and the reply
+	// echoes it — Report.SlowestTraces then names the slowest requests'
+	// timelines. Against a tracing router the echo fills in even at 0
+	// (the router stamps its own traces); sampling here additionally
+	// makes the client the trace root.
+	TraceSample float64
+}
+
+// TraceRef names one traced request in a report: the hex trace ID (the
+// join key into a tracecheck -merge timeline) with its latency.
+type TraceRef struct {
+	Trace       string  `json:"trace"`
+	Request     int     `json:"request"`
+	Status      string  `json:"status"`
+	LatencyUsec float64 `json:"latency_usec"`
+}
+
+// traceSampled deterministically picks the requests TraceSample stamps
+// (same splitmix-style hash discipline as classify, independent bits).
+func traceSampled(i int, seed int64, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	h := uint64(i)*0x9E3779B97F4A7C15 + uint64(seed)*0x94D049BB133111EB + 0x2545F4914F6CDD1D
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	return float64(h>>11)/float64(1<<53) < p
 }
 
 // classifyErr buckets a transport error for Report.ErrorKinds. The
@@ -180,6 +217,12 @@ type Report struct {
 	// then cover only the query ops, so they stay comparable with
 	// read-only runs.
 	PerOp map[string]*OpReport `json:"per_op,omitempty"`
+	// SlowestTraces lists the slowest percentile of traced requests
+	// (slowest first, at most 16): requests whose reply carried a trace
+	// echo, i.e. sampled by TraceSample or traced by the server side.
+	// Each entry's Trace is the hex trace ID to look up in a merged
+	// trace timeline.
+	SlowestTraces []TraceRef `json:"slowest_traces,omitempty"`
 }
 
 // RunLoad drives cfg.Requests queries (cycling over the supplied
@@ -367,6 +410,9 @@ func RunLoad[T wire.Scalar](cfg LoadConfig, queries [][]T) (*Report, error) {
 			if cfg.Warm {
 				q.Flags |= msg.SFlagWarm
 			}
+			if traceSampled(i, cfg.Seed, cfg.TraceSample) {
+				q.SetTrace(msg.STrace{TraceID: obs.NewTraceID(), Sampled: true})
+			}
 			t0 := time.Now()
 			var res *msg.SResult
 			var err error
@@ -447,6 +493,7 @@ func RunLoad[T wire.Scalar](cfg LoadConfig, queries [][]T) (*Report, error) {
 			rep.PerOp[name] = &OpReport{ByStatus: make(map[string]int)}
 		}
 	}
+	var traced []TraceRef
 	okLat := lat[:0] // reuses lat's storage; read lat[i] before appending
 	for i, res := range results {
 		if opClass != nil && opClass[i] != opQuery {
@@ -468,6 +515,14 @@ func RunLoad[T wire.Scalar](cfg LoadConfig, queries [][]T) (*Report, error) {
 		}
 		rep.ByStatus[msg.SStatusName(res.Status)]++
 		v := lat[i]
+		if res.Trace.TraceID != 0 {
+			traced = append(traced, TraceRef{
+				Trace:       fmt.Sprintf("%013x", res.Trace.TraceID),
+				Request:     i,
+				Status:      msg.SStatusName(res.Status),
+				LatencyUsec: v,
+			})
+		}
 		okLat = append(okLat, v)
 		if byConn != nil {
 			ci := connOf[i]
@@ -503,6 +558,16 @@ func RunLoad[T wire.Scalar](cfg LoadConfig, queries [][]T) (*Report, error) {
 	}
 	if answered > 0 {
 		rep.DistEvals = float64(evals) / float64(answered)
+	}
+	// Slowest traced requests: any reply that carried a trace echo
+	// names a timeline; report the slowest percentile of them.
+	if len(traced) > 0 {
+		sort.Slice(traced, func(i, j int) bool { return traced[i].LatencyUsec > traced[j].LatencyUsec })
+		keep := (len(traced) + 99) / 100 // slowest 1%, at least 1
+		if keep > 16 {
+			keep = 16
+		}
+		rep.SlowestTraces = traced[:keep]
 	}
 	return rep, nil
 }

@@ -126,6 +126,7 @@ func (s *Server[T]) runBatch(ln *lane[T], batch []*request[T]) {
 				ID: r.id, Status: msg.SStatusDeadline,
 				QueueMicros: saturatingMicros(now.Sub(r.enq)),
 			}
+			r.echoTrace()
 			s.finish(r)
 			continue
 		}
@@ -202,6 +203,7 @@ func (s *Server[T]) runOne(sc *search.Context[T], r *request[T], warmSnap []knng
 		ExecMicros:  saturatingMicros(exec),
 		Neighbors:   ns,
 	}
+	r.echoTrace()
 	s.m.LatQueue.ObserveDuration(start.Sub(r.enq))
 	s.m.LatExec.ObserveDuration(exec)
 	s.finish(r)

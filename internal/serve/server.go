@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -176,6 +177,7 @@ type request[T wire.Scalar] struct {
 	deadline time.Time // zero = none
 	enq      time.Time
 	span     obs.Span    // serve.query async span, ended by finish
+	tctx     msg.STrace  // propagated trace context (zero when untraced)
 	res      msg.SResult // reply under construction, encoded by finish
 }
 
@@ -407,8 +409,26 @@ func (s *Server[T]) getRequest() *request[T] {
 func (s *Server[T]) putRequest(r *request[T]) {
 	r.conn = nil
 	r.span = obs.Span{}
+	r.tctx = msg.STrace{}
 	r.res.Neighbors = nil
 	s.reqPool.Put(r)
+}
+
+// echoTrace stamps the reply's trace echo: the client's trace ID back,
+// plus this server's serve.query span ID so the router (or tracecheck
+// -merge) can stitch the cross-process parent edge. On an untraced
+// server the span ID is simply 0 — the echo still confirms the trace
+// ID reached the shard. A request without a trace context leaves the
+// reply on the pre-PR-10 layout entirely.
+func (r *request[T]) echoTrace() {
+	if r.tctx.TraceID == 0 {
+		return
+	}
+	r.res.Trace = msg.STrace{
+		TraceID: r.tctx.TraceID,
+		SpanID:  r.span.TraceCtx().SpanID,
+		Sampled: r.tctx.Sampled,
+	}
 }
 
 func elemName[T wire.Scalar]() string {
@@ -501,6 +521,15 @@ func (s *Server[T]) handleConn(sc *serverConn) {
 			if sc.writeFrame(msg.SOpStats, []byte(s.m.Dump())) != nil {
 				return
 			}
+		case msg.SOpMetrics:
+			s.m.StatsDumps.Add(1)
+			dump, err := json.Marshal(s.m.Registry().FullDump())
+			if err != nil {
+				return
+			}
+			if sc.writeFrame(msg.SOpMetrics, dump) != nil {
+				return
+			}
 		case msg.SOpQuery:
 			if !s.handleQuery(sc, payload, &q, &scratch) {
 				return
@@ -539,6 +568,7 @@ func (s *Server[T]) handleQuery(sc *serverConn, payload []byte, q *msg.SQuery[T]
 	req.vec = append(req.vec[:0], q.Vec...)
 	req.deadline = time.Time{}
 	req.enq = now
+	req.tctx = q.Trace
 	if req.l == 0 {
 		req.l = s.cfg.L
 	}
@@ -568,8 +598,16 @@ func (s *Server[T]) handleQuery(sc *serverConn, payload []byte, q *msg.SQuery[T]
 	// The span must be attached before the enqueue: once the request
 	// is on a lane queue a worker may finish (and End the span) at any
 	// moment. A span that is never Ended (the overload branch) records
-	// nothing.
-	req.span = s.cfg.Trace.BeginAsync("serve.query", int64(req.id))
+	// nothing. A sampled propagated context opens the span under the
+	// remote parent (the router's per-replica attempt span), stitching
+	// this process into the distributed trace; everything else keeps
+	// the local async span.
+	if req.tctx.TraceID != 0 && req.tctx.Sampled {
+		req.span = s.cfg.Trace.BeginTraced("serve.query",
+			obs.TraceCtx{TraceID: req.tctx.TraceID, SpanID: req.tctx.SpanID, Sampled: true})
+	} else {
+		req.span = s.cfg.Trace.BeginAsync("serve.query", int64(req.id))
+	}
 	// Sharded admission: start at the round-robin lane, then sweep the
 	// others, so one hot lane spills before anything is rejected.
 	// Overload means every lane's shard is full.
@@ -611,9 +649,13 @@ func (s *Server[T]) healthText() string {
 	if s.mut != nil {
 		mode = "mutable"
 	}
-	return fmt.Sprintf("%s n=%d dim=%d elem=%s metric=%s lanes=%d inflight=%d queue=%d/%d mode=%s gen=%d\n",
+	// now= is the server's wall clock at reply time: one half of the
+	// NTP-style offset estimate the router keeps per replica (probe
+	// RTT midpoint vs reported remote time). Unknown keys are ignored
+	// by older parsers, so the health line stays forward-compatible.
+	return fmt.Sprintf("%s n=%d dim=%d elem=%s metric=%s lanes=%d inflight=%d queue=%d/%d mode=%s gen=%d now=%d\n",
 		state, len(sn.data), s.dim, s.elem, s.src.Metric, len(s.lanes),
-		s.m.InFlight.Load(), s.queueLen(), s.m.QueueCap, mode, sn.gen)
+		s.m.InFlight.Load(), s.queueLen(), s.m.QueueCap, mode, sn.gen, time.Now().UnixNano())
 }
 
 // Shutdown gracefully drains the server (the SIGTERM path): stop

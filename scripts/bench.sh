@@ -36,8 +36,9 @@ trap 'rm -f "$tmp"' EXIT
   # results/serve.md).
   go test -run '^$' -bench '^BenchmarkServe' -benchmem "$@" ./internal/serve/
   # Cluster router: the per-request routing tax (direct shard vs
-  # 1-shard router passthrough) and the merged closed-loop throughput
-  # of a 3-shard cluster through one router (see results/router.md).
+  # 1-shard router passthrough, plus the same hop with distributed
+  # tracing fully sampled) and the merged closed-loop throughput of a
+  # 3-shard cluster through one router (see results/router.md).
   go test -run '^$' -bench '^BenchmarkRouter' -benchmem "$@" ./internal/router/
   # Mutable-index online path: wire-ingest a +10% delta, force the
   # incremental refinement, and swap the snapshot (vecs/sec plus the

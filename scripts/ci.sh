@@ -88,4 +88,12 @@ go run ./cmd/tracecheck \
   -require nd.round -require ygm.barrier -require ygm.flush \
   "$tracedir/trace.json"
 
+echo "== cluster smoke (real 3-shard multi-process run + tracecheck -merge)"
+# Three dnnd-serve processes and a dnnd-router, each tracing into its
+# own file, take traced loadgen traffic; tracecheck -merge must join
+# the four files into one validated cross-process timeline — the
+# executable form of the PR-10 acceptance criterion (the failover half
+# runs in-process as TestClusterTraceTimeline, raced above).
+bash scripts/cluster_smoke.sh
+
 echo "CI OK"
